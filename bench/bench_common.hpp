@@ -1,0 +1,119 @@
+#pragma once
+
+// Shared plumbing for the experiment binaries: the paper's §V-A scenario,
+// standard calibration configs, CSV output location, and report helpers.
+//
+// Every binary accepts --n-params / --replicates / --resample to rescale
+// the simulation budget (paper scale: --n-params=25000 --replicates=20
+// --resample=10000), plus --out-dir for CSV artifacts.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/posterior.hpp"
+#include "core/scenario.hpp"
+#include "core/sequential_calibrator.hpp"
+#include "core/simulator.hpp"
+#include "io/args.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace epismc::bench {
+
+/// The paper's evaluation scenario: Chicago-scale population, theta and rho
+/// switching at days 34/48/62, observations through day 100.
+inline core::ScenarioConfig paper_scenario() {
+  core::ScenarioConfig cfg;
+  return cfg;  // defaults in ScenarioConfig are the §V-A values
+}
+
+/// The four calibration windows of Figures 4 and 5.
+inline std::vector<std::pair<std::int32_t, std::int32_t>> paper_windows() {
+  return {{20, 33}, {34, 47}, {48, 61}, {62, 75}};
+}
+
+struct BenchBudget {
+  std::size_t n_params;
+  std::size_t replicates;
+  std::size_t resample;
+  std::filesystem::path out_dir;
+};
+
+/// Parse the common budget flags. Defaults keep each experiment binary in
+/// the a-few-seconds range; pass the paper-scale values to reproduce the
+/// full 500k-trajectory runs.
+inline BenchBudget parse_budget(const io::Args& args,
+                                std::size_t default_params = 2500,
+                                std::size_t default_replicates = 10,
+                                std::size_t default_resample = 5000) {
+  BenchBudget b;
+  b.n_params = static_cast<std::size_t>(
+      args.get_int("n-params", static_cast<std::int64_t>(default_params)));
+  b.replicates = static_cast<std::size_t>(args.get_int(
+      "replicates", static_cast<std::int64_t>(default_replicates)));
+  b.resample = static_cast<std::size_t>(
+      args.get_int("resample", static_cast<std::int64_t>(default_resample)));
+  b.out_dir = args.get_string("out-dir", "bench_results");
+  std::filesystem::create_directories(b.out_dir);
+  return b;
+}
+
+inline core::CalibrationConfig paper_calibration(const BenchBudget& b,
+                                                 bool use_deaths) {
+  core::CalibrationConfig cfg;
+  cfg.windows = paper_windows();
+  cfg.n_params = b.n_params;
+  cfg.replicates = b.replicates;
+  cfg.resample_size = b.resample;
+  cfg.use_deaths = use_deaths;
+  // Count-magnitude-aware sqrt-scale likelihood: equals the paper's
+  // sigma ~ 1 at window-1 magnitudes but relaxes as counts grow to 30k+,
+  // preventing total ensemble degeneracy in the later windows (see
+  // EXPERIMENTS.md substitution notes).
+  cfg.likelihood_name = "nb-sqrt";
+  cfg.likelihood_parameter = 500.0;
+  return cfg;
+}
+
+/// Print one window's (theta, rho) posterior next to the truth.
+inline void add_posterior_row(io::Table& table, const core::WindowResult& w,
+                              const core::GroundTruth& truth) {
+  const auto s = core::summarize_window(w);
+  const std::string window_label =
+      "days " + std::to_string(w.from_day) + "-" + std::to_string(w.to_day);
+  table.add_row_values(
+      window_label, truth.theta_at(w.from_day), s.theta.mean, s.theta.sd,
+      truth.rho_at(w.from_day), s.rho.mean, s.rho.sd,
+      io::Table::num(w.diag.ess, 1),
+      static_cast<std::int64_t>(w.diag.unique_resampled));
+}
+
+inline io::Table posterior_table() {
+  return io::Table({"window", "theta*", "theta mean", "theta sd", "rho*",
+                    "rho mean", "rho sd", "ESS", "uniq"});
+}
+
+/// Report a window's joint posterior against the truth via 2-D KDE:
+/// mode location and the HPD mass captured near the true point.
+inline void print_contour_summary(std::ostream& os,
+                                  const core::WindowResult& w,
+                                  const core::GroundTruth& truth) {
+  const auto kde = core::joint_posterior_kde(w, 0.1, 0.55, 0.3, 1.0, 56);
+  const auto [theta_mode, rho_mode] = kde.mode();
+  const double theta_true = truth.theta_at(w.from_day);
+  const double rho_true = truth.rho_at(w.from_day);
+  const double near_mass = stats::box_mass(kde, theta_true - 0.05,
+                                           theta_true + 0.05, rho_true - 0.1,
+                                           rho_true + 0.1);
+  const auto levels = stats::hpd_levels(kde, std::vector<double>{0.5, 0.9});
+  os << "  days " << w.from_day << "-" << w.to_day << ": mode=("
+     << io::Table::num(theta_mode) << ", " << io::Table::num(rho_mode)
+     << ")  truth=(" << io::Table::num(theta_true) << ", "
+     << io::Table::num(rho_true) << ")  P(box around truth)="
+     << io::Table::num(near_mass) << "  hpd50/90 density levels="
+     << io::Table::num(levels[0], 1) << "/" << io::Table::num(levels[1], 1)
+     << "\n";
+}
+
+}  // namespace epismc::bench

@@ -1,0 +1,174 @@
+// E13 / Microbenchmarks (google-benchmark): the kernels the SMC hot path is
+// built from. Binomial sampling dominates the simulator step (every
+// compartment transition and the bias model are binomial draws), so the
+// BINV/BTPE regimes are measured separately; engine overhead, simulator
+// day-steps, resampling, likelihood evaluation and checkpoint round-trips
+// complete the picture.
+
+#include <benchmark/benchmark.h>
+
+#include "core/likelihood.hpp"
+#include "epi/seir_model.hpp"
+#include "random/distributions.hpp"
+#include "random/engines.hpp"
+#include "stats/resampling.hpp"
+#include "stats/weights.hpp"
+
+namespace {
+
+using namespace epismc;
+
+void BM_PhiloxU64(benchmark::State& state) {
+  rng::Engine eng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng());
+  }
+}
+BENCHMARK(BM_PhiloxU64);
+
+void BM_Xoshiro256ppU64(benchmark::State& state) {
+  rng::Xoshiro256pp eng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eng());
+  }
+}
+BENCHMARK(BM_Xoshiro256ppU64);
+
+void BM_NormalInverseCdf(benchmark::State& state) {
+  rng::Engine eng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::normal(eng));
+  }
+}
+BENCHMARK(BM_NormalInverseCdf);
+
+void BM_BinomialSmallNp(benchmark::State& state) {
+  // BINV inversion regime (n*p < 30).
+  rng::Engine eng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::binomial(eng, 100, 0.05));
+  }
+}
+BENCHMARK(BM_BinomialSmallNp);
+
+void BM_BinomialBtpe(benchmark::State& state) {
+  // BTPE rejection regime; n at epidemic scale -- cost must stay O(1).
+  const auto n = state.range(0);
+  rng::Engine eng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::binomial(eng, n, 0.3));
+  }
+}
+BENCHMARK(BM_BinomialBtpe)->Arg(1000)->Arg(100000)->Arg(2700000);
+
+void BM_PoissonPtrs(benchmark::State& state) {
+  rng::Engine eng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::poisson(eng, 500.0));
+  }
+}
+BENCHMARK(BM_PoissonPtrs);
+
+void BM_GammaMarsagliaTsang(benchmark::State& state) {
+  rng::Engine eng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng::gamma(eng, 4.0, 1.0));
+  }
+}
+BENCHMARK(BM_GammaMarsagliaTsang);
+
+void BM_SimulatorDayStep(benchmark::State& state) {
+  // One day of the event-driven model mid-epidemic.
+  epi::DiseaseParameters params;
+  params.population = 2'700'000;
+  epi::SeirModel model(params, epi::PiecewiseSchedule(0.3), 7);
+  model.seed_exposed(400);
+  model.run_until_day(40);  // reach a busy regime
+  const epi::Checkpoint base = model.make_checkpoint();
+  for (auto _ : state) {
+    state.PauseTiming();
+    epi::SeirModel m = epi::SeirModel::restore(base);
+    state.ResumeTiming();
+    m.step();
+    benchmark::DoNotOptimize(m.day());
+  }
+}
+BENCHMARK(BM_SimulatorDayStep);
+
+void BM_SimulatorFullWindow(benchmark::State& state) {
+  // A 14-day calibration window branched from a checkpoint: the unit of
+  // work the particle loop parallelizes.
+  epi::DiseaseParameters params;
+  params.population = 2'700'000;
+  epi::SeirModel model(params, epi::PiecewiseSchedule(0.3), 8);
+  model.seed_exposed(400);
+  model.run_until_day(19);
+  const epi::Checkpoint base = model.make_checkpoint();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    epi::RestartOverrides ovr;
+    ovr.seed = ++seed;
+    ovr.transmission_rate = 0.3;
+    epi::SeirModel m = epi::SeirModel::restore(base, ovr);
+    m.run_until_day(33);
+    benchmark::DoNotOptimize(m.census());
+  }
+}
+BENCHMARK(BM_SimulatorFullWindow);
+
+void BM_CheckpointRoundTrip(benchmark::State& state) {
+  epi::DiseaseParameters params;
+  params.population = 2'700'000;
+  epi::SeirModel model(params, epi::PiecewiseSchedule(0.3), 9);
+  model.seed_exposed(400);
+  model.run_until_day(50);
+  for (auto _ : state) {
+    const epi::Checkpoint ckpt = model.make_checkpoint();
+    benchmark::DoNotOptimize(epi::SeirModel::restore(ckpt).day());
+  }
+}
+BENCHMARK(BM_CheckpointRoundTrip);
+
+void BM_Resampling(benchmark::State& state) {
+  const auto scheme = static_cast<stats::ResamplingScheme>(state.range(0));
+  const std::size_t n = 100000;
+  rng::Engine weight_eng(10);
+  std::vector<double> weights(n);
+  for (auto& w : weights) w = rng::uniform_double_oo(weight_eng);
+  rng::Engine eng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::resample(scheme, eng, weights, n / 10));
+  }
+}
+BENCHMARK(BM_Resampling)
+    ->Arg(static_cast<int>(stats::ResamplingScheme::kMultinomial))
+    ->Arg(static_cast<int>(stats::ResamplingScheme::kSystematic))
+    ->Arg(static_cast<int>(stats::ResamplingScheme::kResidual));
+
+void BM_NormalizeLogWeights(benchmark::State& state) {
+  rng::Engine eng(12);
+  std::vector<double> lw(100000);
+  for (auto& v : lw) v = -1000.0 + 50.0 * rng::normal(eng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::normalize_log_weights(lw));
+  }
+}
+BENCHMARK(BM_NormalizeLogWeights);
+
+void BM_GaussianSqrtLikelihood(benchmark::State& state) {
+  const core::GaussianSqrtLikelihood lik(1.0);
+  std::vector<double> y(14);
+  std::vector<double> eta(14);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = 100.0 + 10.0 * static_cast<double>(i);
+    eta[i] = 105.0 + 9.0 * static_cast<double>(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lik.logpdf(y, eta));
+  }
+}
+BENCHMARK(BM_GaussianSqrtLikelihood);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// E8 / Table 1 (from the paper's HPC-concurrency claim): strong scaling of
+// particle propagation. The SMC workload is embarrassingly parallel over
+// (theta, s, rho) tuples; this bench fixes one window's workload and sweeps
+// the OpenMP thread count, reporting speedup and parallel efficiency. It
+// also verifies that results are bit-identical across thread counts (the
+// counter-based RNG contract).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "parallel/parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epismc;
+  const io::Args args(argc, argv);
+  const bench::BenchBudget budget = bench::parse_budget(args, 600, 5, 1200);
+  const std::string thread_list = args.get_string("threads", "1,2,4,8,16,24");
+  args.check_unused();
+
+  const core::ScenarioConfig scenario = bench::paper_scenario();
+  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
+  const core::SeirSimulator simulator(
+      {scenario.params, 0.3, scenario.initial_exposed});
+
+  std::vector<int> thread_counts;
+  {
+    std::stringstream ss(thread_list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) thread_counts.push_back(std::stoi(tok));
+  }
+  const int hw = parallel::max_threads();
+
+  std::cout << "=== Strong scaling: one calibration window, "
+            << budget.n_params * budget.replicates
+            << " trajectories x 14 days, hardware threads: " << hw
+            << " ===\n\n";
+
+  core::CalibrationConfig config = bench::paper_calibration(budget, false);
+  config.windows = {{20, 33}};
+
+  double t1 = 0.0;
+  std::vector<double> reference_thetas;
+  io::Table table({"threads", "propagate (s)", "total (s)", "speedup",
+                   "efficiency", "identical"});
+  io::CsvWriter csv(budget.out_dir / "tab1_scaling.csv",
+                    {"threads", "propagate_s", "total_s", "speedup",
+                     "efficiency"});
+
+  for (const int threads : thread_counts) {
+    if (threads > hw) continue;
+    parallel::set_threads(threads);
+    core::SequentialCalibrator calibrator(simulator, truth.observed(), config);
+    parallel::Timer timer;
+    const core::WindowResult& w = calibrator.run_next_window();
+    const double total = timer.seconds();
+    const double propagate = w.diag.propagate_seconds;
+    if (reference_thetas.empty()) {
+      t1 = propagate;
+      reference_thetas = w.posterior_thetas();
+    }
+    const double speedup = t1 / propagate;
+    const double efficiency = speedup / threads;
+    const bool identical = w.posterior_thetas() == reference_thetas;
+    table.add_row_values(threads, io::Table::num(propagate),
+                         io::Table::num(total), io::Table::num(speedup, 2),
+                         io::Table::num(efficiency, 2),
+                         identical ? "yes" : "NO");
+    csv.row_values(threads, propagate, total, speedup, efficiency);
+  }
+  parallel::set_threads(hw);
+
+  table.print(std::cout);
+  std::cout << "\n'identical' = posterior draws bit-identical to the 1-thread"
+               " run (counter-based RNG contract).\n";
+  std::cout << "Wrote " << (budget.out_dir / "tab1_scaling.csv").string()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Quickstart: the smallest end-to-end use of the epismc public API.
+//
+//   1. Simulate a synthetic epidemic with time-varying transmission and a
+//      time-varying case-reporting bias (the paper's §V-A ground truth).
+//   2. Calibrate the first time window against the *reported* cases with
+//      single-window importance sampling (paper Algorithm 1).
+//   3. Print the recovered posterior for (theta, rho) next to the truth.
+//
+// Build & run:  ./build/examples/quickstart [--n-params=N] [--replicates=R]
+
+#include <iostream>
+
+#include "core/posterior.hpp"
+#include "core/scenario.hpp"
+#include "core/sequential_calibrator.hpp"
+#include "core/simulator.hpp"
+#include "io/args.hpp"
+#include "io/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace epismc;
+
+  const io::Args args(argc, argv);
+  const auto n_params = static_cast<std::size_t>(args.get_int("n-params", 400));
+  const auto replicates =
+      static_cast<std::size_t>(args.get_int("replicates", 5));
+  args.check_unused();
+
+  // --- 1. Ground truth -----------------------------------------------------
+  core::ScenarioConfig scenario;
+  scenario.total_days = 40;
+  core::GroundTruth truth = core::simulate_ground_truth(scenario);
+
+  std::cout << "Synthetic epidemic (population "
+            << scenario.params.population << ", theta=0.30, rho=0.60):\n";
+  io::Table head({"day", "true cases", "reported cases", "deaths",
+                  "hospital census"});
+  for (std::int32_t day = 5; day <= 40; day += 5) {
+    const auto& rec = truth.trajectory.at_day(day);
+    head.add_row_values(day, rec.new_infections,
+                        static_cast<std::int64_t>(
+                            truth.observed_cases[static_cast<std::size_t>(day - 1)]),
+                        rec.new_deaths, rec.hospital_census);
+  }
+  head.print(std::cout);
+
+  // --- 2. Calibrate window days 20-33 on reported cases --------------------
+  core::SeirSimulator simulator({scenario.params});
+  core::CalibrationConfig config;
+  config.windows = {{20, 33}};
+  config.n_params = n_params;
+  config.replicates = replicates;
+  config.resample_size = 2 * n_params;
+
+  core::SequentialCalibrator calibrator(simulator, truth.observed(), config);
+  std::cout << "\nCalibrating days 20-33 with " << n_params << " x "
+            << replicates << " = " << n_params * replicates
+            << " trajectories...\n";
+  const core::WindowResult& window = calibrator.run_next_window();
+  const core::WindowPosteriorSummary posterior =
+      core::summarize_window(window);
+
+  // --- 3. Report -----------------------------------------------------------
+  io::Table out({"parameter", "truth", "posterior mean", "sd", "90% CI"});
+  out.add_row_values(
+      "theta (transmission)", truth.theta_at(20), posterior.theta.mean,
+      posterior.theta.sd,
+      "[" + io::Table::num(posterior.theta.ci90.lo) + ", " +
+          io::Table::num(posterior.theta.ci90.hi) + "]");
+  out.add_row_values(
+      "rho (reporting)", truth.rho_at(20), posterior.rho.mean,
+      posterior.rho.sd,
+      "[" + io::Table::num(posterior.rho.ci90.lo) + ", " +
+          io::Table::num(posterior.rho.ci90.hi) + "]");
+  out.print(std::cout);
+
+  std::cout << "\nDiagnostics: ESS=" << window.diag.ess << "/"
+            << window.diag.n_sims
+            << ", unique ancestors=" << window.diag.unique_resampled
+            << ", propagation=" << io::Table::num(window.diag.propagate_seconds)
+            << "s\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "abm/abm_simulator.hpp"
+
+#include <stdexcept>
+
+namespace epismc::abm {
+
+epi::Checkpoint AbmSimulator::initial_state(std::int32_t day,
+                                            std::uint64_t seed) const {
+  AgentBasedModel model(config_.abm,
+                        epi::PiecewiseSchedule(config_.burnin_theta), seed,
+                        /*stream=*/0);
+  model.seed_exposed(config_.initial_exposed);
+  model.run_until_day(day);
+  return model.make_checkpoint();
+}
+
+core::WindowRun AbmSimulator::run_window(const epi::Checkpoint& state,
+                                         double theta, std::uint64_t seed,
+                                         std::uint64_t stream,
+                                         std::int32_t to_day,
+                                         bool want_checkpoint) const {
+  epi::RestartOverrides ovr;
+  ovr.seed = seed;
+  ovr.stream = stream;
+  ovr.transmission_rate = theta;
+  AgentBasedModel model = AgentBasedModel::restore(state, ovr);
+  const std::int32_t from_day = model.day() + 1;
+  if (to_day < from_day) {
+    throw std::invalid_argument("run_window: to_day before checkpoint day");
+  }
+  model.run_until_day(to_day);
+
+  core::WindowRun run;
+  run.true_cases = model.trajectory().new_infections(from_day, to_day);
+  run.deaths = model.trajectory().new_deaths(from_day, to_day);
+  if (want_checkpoint) run.end_state = model.make_checkpoint();
+  return run;
+}
+
+}  // namespace epismc::abm

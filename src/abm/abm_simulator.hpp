@@ -1,0 +1,38 @@
+#pragma once
+
+// core::Simulator adapter for the agent-based model: the SMC machinery
+// calibrates the ABM through exactly the interface it uses for the
+// compartmental engines -- the paper's simulator-agnosticism claim, made
+// compilable.
+
+#include "abm/agent_model.hpp"
+#include "core/simulator.hpp"
+
+namespace epismc::abm {
+
+struct AbmSimulatorConfig {
+  AbmConfig abm;
+  double burnin_theta = 0.3;
+  std::int64_t initial_exposed = 50;
+};
+
+class AbmSimulator final : public core::Simulator {
+ public:
+  explicit AbmSimulator(AbmSimulatorConfig config) : config_(config) {
+    config_.abm.validate();
+  }
+
+  [[nodiscard]] epi::Checkpoint initial_state(std::int32_t day,
+                                              std::uint64_t seed) const override;
+  [[nodiscard]] core::WindowRun run_window(const epi::Checkpoint& state,
+                                           double theta, std::uint64_t seed,
+                                           std::uint64_t stream,
+                                           std::int32_t to_day,
+                                           bool want_checkpoint) const override;
+  [[nodiscard]] std::string name() const override { return "agent-based"; }
+
+ private:
+  AbmSimulatorConfig config_;
+};
+
+}  // namespace epismc::abm

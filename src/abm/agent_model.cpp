@@ -1,0 +1,375 @@
+#include "abm/agent_model.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace epismc::abm {
+
+namespace {
+constexpr std::uint32_t kAbmCheckpointVersion = 201;
+constexpr std::int32_t kNever = std::numeric_limits<std::int32_t>::max();
+constexpr std::uint64_t kNetworkTag = 0x4E455457ull;  // "NETW"
+}  // namespace
+
+void AbmConfig::validate() const {
+  disease.validate();
+  if (!(mean_household_size >= 1.0 && mean_household_size <= 20.0)) {
+    throw std::invalid_argument("AbmConfig: mean_household_size out of range");
+  }
+  if (!(household_share >= 0.0 && household_share <= 1.0)) {
+    throw std::invalid_argument("AbmConfig: household_share must be in [0, 1]");
+  }
+}
+
+AgentBasedModel::AgentBasedModel(AbmConfig config,
+                                 epi::PiecewiseSchedule transmission,
+                                 std::uint64_t seed, std::uint64_t stream)
+    : config_(config),
+      transmission_(std::move(transmission)),
+      eng_(seed, stream) {
+  config_.validate();
+  const auto n = static_cast<std::size_t>(config_.disease.population);
+  state_.assign(n, static_cast<std::uint8_t>(epi::Compartment::kS));
+  next_state_.assign(n, static_cast<std::uint8_t>(epi::Compartment::kS));
+  next_day_.assign(n, kNever);
+  counts_[epi::index(epi::Compartment::kS)] = config_.disease.population;
+  build_households();
+  acquire_delay_tables();
+}
+
+void AgentBasedModel::build_households() {
+  const auto n = static_cast<std::size_t>(config_.disease.population);
+  household_.assign(n, 0);
+  household_offsets_.clear();
+  household_members_.clear();
+  household_members_.reserve(n);
+  household_offsets_.push_back(0);
+
+  // Sizes ~ 1 + Poisson(mean - 1); topology derived from network_seed only,
+  // so restarts and replicas reconstruct the identical network.
+  auto net_eng = rng::PhiloxEngine(config_.network_seed, kNetworkTag);
+  std::size_t assigned = 0;
+  std::uint32_t hh = 0;
+  while (assigned < n) {
+    const auto size = static_cast<std::size_t>(
+        1 + rng::poisson(net_eng, config_.mean_household_size - 1.0));
+    const std::size_t take = std::min(size, n - assigned);
+    for (std::size_t k = 0; k < take; ++k) {
+      household_[assigned] = hh;
+      household_members_.push_back(static_cast<std::uint32_t>(assigned));
+      ++assigned;
+    }
+    household_offsets_.push_back(static_cast<std::uint32_t>(assigned));
+    ++hh;
+  }
+}
+
+void AgentBasedModel::acquire_delay_tables() {
+  const auto& p = config_.disease;
+  const int k = p.erlang_shape;
+  const int md = p.max_delay;
+  auto tables = std::make_shared<epi::DelayTables>();
+  tables->latent = epi::DelayDistribution(p.latent_period, k, md);
+  tables->presym = epi::DelayDistribution(p.presymptomatic_period, k, md);
+  tables->asym = epi::DelayDistribution(p.asymptomatic_period, k, md);
+  tables->mild = epi::DelayDistribution(p.mild_period, k, md);
+  tables->severe = epi::DelayDistribution(p.severe_period, k, md);
+  tables->hosp = epi::DelayDistribution(p.hospital_period, k, md);
+  tables->hosp_icu = epi::DelayDistribution(p.hospital_to_icu, k, md);
+  tables->icu = epi::DelayDistribution(p.icu_period, k, md);
+  tables->posticu = epi::DelayDistribution(p.post_icu_period, k, md);
+  delays_ = std::move(tables);
+}
+
+double AgentBasedModel::weight_of(epi::Compartment c) const noexcept {
+  using C = epi::Compartment;
+  const double asym = config_.disease.asymptomatic_infectiousness;
+  const double det = config_.disease.detected_infectiousness;
+  switch (c) {
+    case C::kAu: return asym;
+    case C::kAd: return asym * det;
+    case C::kPu: case C::kSmU: case C::kSsU: return 1.0;
+    case C::kPd: case C::kSmD: case C::kSsD: return det;
+    default: return 0.0;
+  }
+}
+
+double AgentBasedModel::effective_infectious() const noexcept {
+  double w = 0.0;
+  for (std::size_t c = 0; c < epi::kCompartmentCount; ++c) {
+    w += weight_of(static_cast<epi::Compartment>(c)) *
+         static_cast<double>(counts_[c]);
+  }
+  return w;
+}
+
+void AgentBasedModel::enter(std::size_t a, epi::Compartment c) {
+  using C = epi::Compartment;
+  const epi::DiseaseParameters& p = config_.disease;
+  state_[a] = static_cast<std::uint8_t>(c);
+  counts_[epi::index(c)] += 1;
+  if (c == C::kDu || c == C::kDd) today_new_deaths_ += 1;
+
+  const auto go = [&](C to, int delay) {
+    next_state_[a] = static_cast<std::uint8_t>(to);
+    next_day_[a] = day_ + std::max(delay, 1);
+  };
+  const auto terminal = [&] { next_day_[a] = kNever; };
+
+  switch (c) {
+    case C::kE:
+      go(rng::bernoulli(eng_, p.fraction_symptomatic) ? C::kPu : C::kAu,
+         delays_->latent.sample_one(eng_));
+      break;
+    case C::kAu:
+      if (rng::bernoulli(eng_, p.detect_asymptomatic)) {
+        go(C::kAd, p.detection_delay);
+      } else {
+        go(C::kRu, delays_->asym.sample_one(eng_));
+      }
+      break;
+    case C::kAd:
+      go(C::kRd, delays_->asym.sample_one(eng_));
+      break;
+    case C::kPu:
+      if (rng::bernoulli(eng_, p.detect_presymptomatic)) {
+        go(C::kPd, p.detection_delay);
+      } else {
+        go(rng::bernoulli(eng_, p.fraction_mild) ? C::kSmU : C::kSsU,
+           delays_->presym.sample_one(eng_));
+      }
+      break;
+    case C::kPd:
+      go(rng::bernoulli(eng_, p.fraction_mild) ? C::kSmD : C::kSsD,
+         delays_->presym.sample_one(eng_));
+      break;
+    case C::kSmU:
+      if (rng::bernoulli(eng_, p.detect_mild)) {
+        go(C::kSmD, p.detection_delay);
+      } else {
+        go(C::kRu, delays_->mild.sample_one(eng_));
+      }
+      break;
+    case C::kSmD:
+      go(C::kRd, delays_->mild.sample_one(eng_));
+      break;
+    case C::kSsU:
+      if (rng::bernoulli(eng_, p.detect_severe)) {
+        go(C::kSsD, p.detection_delay);
+      } else {
+        go(C::kHu, delays_->severe.sample_one(eng_));
+      }
+      break;
+    case C::kSsD:
+      go(C::kHd, delays_->severe.sample_one(eng_));
+      break;
+    case C::kHu:
+    case C::kHd: {
+      const bool undetected = c == C::kHu;
+      if (rng::bernoulli(eng_, p.fraction_critical)) {
+        go(undetected ? C::kCu : C::kCd, delays_->hosp_icu.sample_one(eng_));
+      } else {
+        go(undetected ? C::kRu : C::kRd, delays_->hosp.sample_one(eng_));
+      }
+      break;
+    }
+    case C::kCu:
+    case C::kCd: {
+      const bool undetected = c == C::kCu;
+      if (rng::bernoulli(eng_, p.fraction_death)) {
+        go(undetected ? C::kDu : C::kDd, delays_->icu.sample_one(eng_));
+      } else {
+        go(undetected ? C::kHpU : C::kHpD, delays_->icu.sample_one(eng_));
+      }
+      break;
+    }
+    case C::kHpU:
+      go(C::kRu, delays_->posticu.sample_one(eng_));
+      break;
+    case C::kHpD:
+      go(C::kRd, delays_->posticu.sample_one(eng_));
+      break;
+    default:
+      terminal();
+      break;
+  }
+}
+
+void AgentBasedModel::seed_exposed(std::int64_t n) {
+  if (n < 0 || n > counts_[epi::index(epi::Compartment::kS)]) {
+    throw std::invalid_argument("seed_exposed: count exceeds susceptibles");
+  }
+  std::int64_t seeded = 0;
+  while (seeded < n) {
+    const auto a = static_cast<std::size_t>(
+        rng::uniform_int(eng_, static_cast<std::uint64_t>(state_.size())));
+    if (static_cast<epi::Compartment>(state_[a]) != epi::Compartment::kS) {
+      continue;
+    }
+    counts_[epi::index(epi::Compartment::kS)] -= 1;
+    enter(a, epi::Compartment::kE);
+    ++seeded;
+  }
+}
+
+void AgentBasedModel::step() {
+  using C = epi::Compartment;
+  ++day_;
+  today_new_infections_ = 0;
+  today_new_detected_ = 0;
+  today_new_deaths_ = 0;
+
+  // 1. Apply due transitions.
+  for (std::size_t a = 0; a < state_.size(); ++a) {
+    if (next_day_[a] != day_) continue;
+    const auto from = static_cast<C>(state_[a]);
+    const auto to = static_cast<C>(next_state_[a]);
+    counts_[epi::index(from)] -= 1;
+    if (!epi::is_detected(from) && epi::is_detected(to)) {
+      today_new_detected_ += 1;
+    }
+    enter(a, to);
+  }
+
+  // 2. Infections: two-level mixing. Community pressure is homogeneous;
+  // household pressure is the infectiousness inside the agent's household
+  // normalized by household size.
+  const double w_comm = effective_infectious();
+  if (w_comm > 0.0) {
+    std::vector<double> hh_weight(household_count(), 0.0);
+    for (std::size_t a = 0; a < state_.size(); ++a) {
+      const double w = weight_of(static_cast<C>(state_[a]));
+      if (w > 0.0) hh_weight[household_[a]] += w;
+    }
+    const double theta = transmission_.value_at(day_);
+    const double share = config_.household_share;
+    const double comm_hazard =
+        theta * (1.0 - share) * w_comm /
+        static_cast<double>(config_.disease.population);
+    const double p_comm = 1.0 - std::exp(-comm_hazard);
+    for (std::size_t a = 0; a < state_.size(); ++a) {
+      if (static_cast<C>(state_[a]) != C::kS) continue;
+      const std::uint32_t hh = household_[a];
+      double p_inf = p_comm;
+      if (hh_weight[hh] > 0.0) {
+        const double size = household_offsets_[hh + 1] - household_offsets_[hh];
+        const double hazard =
+            comm_hazard + theta * share * hh_weight[hh] / size;
+        p_inf = 1.0 - std::exp(-hazard);
+      }
+      if (rng::uniform_double(eng_) < p_inf) {
+        counts_[epi::index(C::kS)] -= 1;
+        enter(a, C::kE);
+        today_new_infections_ += 1;
+      }
+    }
+  }
+
+  // 3. Record the day.
+  epi::DailyRecord rec;
+  rec.day = day_;
+  rec.new_infections = today_new_infections_;
+  rec.new_detected_cases = today_new_detected_;
+  rec.new_deaths = today_new_deaths_;
+  rec.hospital_census = count(C::kHu) + count(C::kHd) + count(C::kHpU) +
+                        count(C::kHpD);
+  rec.icu_census = count(C::kCu) + count(C::kCd);
+  double infectious = 0.0;
+  for (std::size_t c = 0; c < epi::kCompartmentCount; ++c) {
+    if (epi::is_infectious(static_cast<C>(c))) {
+      infectious += static_cast<double>(counts_[c]);
+    }
+  }
+  rec.infectious_census = static_cast<std::int64_t>(infectious);
+  rec.susceptible = count(C::kS);
+  trajectory_.append(rec);
+}
+
+void AgentBasedModel::run_until_day(std::int32_t day) {
+  if (day < day_) {
+    throw std::invalid_argument("run_until_day: target is in the past");
+  }
+  while (day_ < day) step();
+}
+
+std::int64_t AgentBasedModel::total_individuals() const noexcept {
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts_) total += c;
+  return total;
+}
+
+epi::Checkpoint AgentBasedModel::make_checkpoint() const {
+  io::BinaryWriter out(kAbmCheckpointVersion);
+  static_assert(std::is_trivially_copyable_v<epi::DiseaseParameters>);
+  out.write(config_.disease);
+  out.write(config_.mean_household_size);
+  out.write(config_.household_share);
+  out.write(config_.network_seed);
+  transmission_.serialize(out);
+  out.write(day_);
+  out.write(counts_);
+  out.write_vector(state_);
+  out.write_vector(next_state_);
+  out.write_vector(next_day_);
+  out.write(eng_.seed_value());
+  out.write(eng_.stream_value());
+  out.write(eng_.position());
+  trajectory_.serialize(out);
+
+  epi::Checkpoint ckpt;
+  ckpt.bytes = out.bytes();
+  ckpt.day = day_;
+  return ckpt;
+}
+
+AgentBasedModel AgentBasedModel::restore(const epi::Checkpoint& ckpt,
+                                         const epi::RestartOverrides& ovr) {
+  io::BinaryReader in{ckpt.bytes};
+  if (in.version() != kAbmCheckpointVersion) {
+    throw io::ArchiveError(
+        "AgentBasedModel::restore: unsupported checkpoint version");
+  }
+  AgentBasedModel m;
+  m.config_.disease = in.read<epi::DiseaseParameters>();
+  m.config_.mean_household_size = in.read<double>();
+  m.config_.household_share = in.read<double>();
+  m.config_.network_seed = in.read<std::uint64_t>();
+  m.transmission_ = epi::PiecewiseSchedule::deserialize(in);
+  m.day_ = in.read<std::int32_t>();
+  m.counts_ = in.read<epi::Census>();
+  m.state_ = in.read_vector<std::uint8_t>();
+  m.next_state_ = in.read_vector<std::uint8_t>();
+  m.next_day_ = in.read_vector<std::int32_t>();
+  const auto seed = in.read<std::uint64_t>();
+  const auto stream = in.read<std::uint64_t>();
+  const auto position = in.read<std::uint64_t>();
+  m.trajectory_ = epi::Trajectory::deserialize(in);
+
+  if (ovr.reseeds()) {
+    m.eng_.reseed(ovr.seed.value_or(seed), ovr.stream.value_or(stream));
+  } else {
+    m.eng_.reseed(seed, stream);
+    m.eng_.set_position(position);
+  }
+  if (ovr.fraction_symptomatic) {
+    m.config_.disease.fraction_symptomatic = *ovr.fraction_symptomatic;
+  }
+  if (ovr.fraction_mild) m.config_.disease.fraction_mild = *ovr.fraction_mild;
+  if (ovr.asymptomatic_infectiousness) {
+    m.config_.disease.asymptomatic_infectiousness =
+        *ovr.asymptomatic_infectiousness;
+  }
+  if (ovr.detected_infectiousness) {
+    m.config_.disease.detected_infectiousness = *ovr.detected_infectiousness;
+  }
+  if (ovr.transmission_rate) {
+    m.transmission_.override_from(m.day_ + 1, *ovr.transmission_rate);
+  }
+  m.config_.validate();
+  m.build_households();
+  m.acquire_delay_tables();
+  return m;
+}
+
+}  // namespace epismc::abm

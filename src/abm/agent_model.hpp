@@ -1,0 +1,116 @@
+#pragma once
+
+// Agent-based SEIR model -- the §VI extension.
+//
+// The paper argues its SMC framework "applies equally well to other
+// stochastic simulation models, such as ABMs", whose individual-level
+// "coordinate system" maps more readily to targeted interventions. This
+// module makes that concrete: an individual-based model with the same
+// disease natural history as the compartmental simulator (identical
+// DiseaseParameters, identical compartment labels), plus two-level mixing
+// (households + community), implementing the same trajectory, checkpoint
+// and restart-override contracts. The SMC core calibrates it unchanged.
+//
+// State per agent: current compartment and the pre-sampled next transition
+// (destination + due day) -- the agent-granular version of the cohort
+// model's future-event queue, which is what makes the state exactly
+// checkpointable.
+
+#include <cstdint>
+#include <vector>
+
+#include "epi/compartments.hpp"
+#include "epi/delay.hpp"
+#include "epi/parameters.hpp"
+#include "epi/schedule.hpp"
+#include "epi/seir_model.hpp"  // Checkpoint, RestartOverrides
+#include "epi/trajectory.hpp"
+#include "random/distributions.hpp"
+
+namespace epismc::abm {
+
+struct AbmConfig {
+  epi::DiseaseParameters disease;   // natural history, shared with epi::
+  double mean_household_size = 2.5; // household sizes ~ 1 + Poisson(mean-1)
+  /// Share of the transmission rate acting within households; the rest is
+  /// homogeneous community mixing.
+  double household_share = 0.3;
+  /// Seed for the (static) household topology. Not a calibration
+  /// parameter: the network is part of the model definition, so restarts
+  /// rebuild it deterministically instead of serializing it.
+  std::uint64_t network_seed = 17;
+
+  void validate() const;
+};
+
+class AgentBasedModel {
+ public:
+  AgentBasedModel(AbmConfig config, epi::PiecewiseSchedule transmission,
+                  std::uint64_t seed, std::uint64_t stream = 0);
+
+  /// Expose `count` randomly chosen susceptible agents to infection.
+  void seed_exposed(std::int64_t count);
+
+  void step();
+  void run_until_day(std::int32_t day);
+
+  [[nodiscard]] std::int32_t day() const noexcept { return day_; }
+  [[nodiscard]] const epi::Trajectory& trajectory() const noexcept {
+    return trajectory_;
+  }
+  [[nodiscard]] std::int64_t count(epi::Compartment c) const noexcept {
+    return counts_[epi::index(c)];
+  }
+  [[nodiscard]] const epi::Census& census() const noexcept { return counts_; }
+  [[nodiscard]] std::int64_t population() const noexcept {
+    return config_.disease.population;
+  }
+  [[nodiscard]] const AbmConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::int64_t total_individuals() const noexcept;
+  [[nodiscard]] std::size_t household_count() const noexcept {
+    return household_offsets_.size() - 1;
+  }
+  [[nodiscard]] double effective_infectious() const noexcept;
+
+  [[nodiscard]] epi::Checkpoint make_checkpoint() const;
+  [[nodiscard]] static AgentBasedModel restore(const epi::Checkpoint& ckpt,
+                                               const epi::RestartOverrides& ovr = {});
+
+ private:
+  AgentBasedModel() = default;
+
+  void build_households();
+  void acquire_delay_tables();
+
+  /// Move agent a into compartment c and pre-sample its next transition.
+  void enter(std::size_t a, epi::Compartment c);
+
+  /// Infectiousness weight of an agent's current state (0 if not
+  /// infectious).
+  [[nodiscard]] double weight_of(epi::Compartment c) const noexcept;
+
+  AbmConfig config_;
+  epi::PiecewiseSchedule transmission_;
+  rng::Engine eng_;
+  std::int32_t day_ = 0;
+  epi::Census counts_{};
+  epi::Trajectory trajectory_;
+
+  // Agent state (structure-of-arrays).
+  std::vector<std::uint8_t> state_;       // Compartment per agent
+  std::vector<std::uint8_t> next_state_;  // pre-sampled destination
+  std::vector<std::int32_t> next_day_;    // due day (INT32_MAX = terminal)
+  std::vector<std::uint32_t> household_;  // household id per agent
+
+  // Static topology (rebuilt from network_seed, never serialized).
+  std::vector<std::uint32_t> household_offsets_;  // CSR into members
+  std::vector<std::uint32_t> household_members_;
+
+  std::int64_t today_new_infections_ = 0;
+  std::int64_t today_new_detected_ = 0;
+  std::int64_t today_new_deaths_ = 0;
+
+  std::shared_ptr<const epi::DelayTables> delays_;
+};
+
+}  // namespace epismc::abm

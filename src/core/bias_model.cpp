@@ -1,0 +1,51 @@
+#include "core/bias_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epismc::core {
+
+std::vector<double> BinomialBias::apply(rng::Engine& eng,
+                                        std::span<const double> true_counts,
+                                        double rho) const {
+  if (!(rho >= 0.0 && rho <= 1.0)) {
+    throw std::invalid_argument("BinomialBias: rho must be in [0, 1]");
+  }
+  std::vector<double> out;
+  out.reserve(true_counts.size());
+  for (const double eta : true_counts) {
+    const auto n = static_cast<std::int64_t>(std::llround(std::max(eta, 0.0)));
+    out.push_back(static_cast<double>(rng::binomial(eng, n, rho)));
+  }
+  return out;
+}
+
+std::vector<double> IdentityBias::apply(rng::Engine& eng,
+                                        std::span<const double> true_counts,
+                                        double /*rho*/) const {
+  (void)eng;
+  return {true_counts.begin(), true_counts.end()};
+}
+
+std::vector<double> DeterministicThinning::apply(
+    rng::Engine& eng, std::span<const double> true_counts, double rho) const {
+  (void)eng;
+  if (!(rho >= 0.0 && rho <= 1.0)) {
+    throw std::invalid_argument("DeterministicThinning: rho must be in [0, 1]");
+  }
+  std::vector<double> out;
+  out.reserve(true_counts.size());
+  for (const double eta : true_counts) out.push_back(rho * eta);
+  return out;
+}
+
+std::unique_ptr<BiasModel> make_bias_model(const std::string& name) {
+  if (name == "binomial") return std::make_unique<BinomialBias>();
+  if (name == "identity") return std::make_unique<IdentityBias>();
+  if (name == "deterministic-thinning") {
+    return std::make_unique<DeterministicThinning>();
+  }
+  throw std::invalid_argument("make_bias_model: unknown model " + name);
+}
+
+}  // namespace epismc::core

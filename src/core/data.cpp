@@ -1,0 +1,60 @@
+#include "core/data.hpp"
+
+namespace epismc::core {
+
+ObservedData::ObservedData(std::int32_t first_day, std::vector<double> cases,
+                           std::vector<double> deaths)
+    : first_day_(first_day),
+      cases_(std::move(cases)),
+      deaths_(std::move(deaths)) {
+  if (cases_.empty()) {
+    throw std::invalid_argument("ObservedData: empty case series");
+  }
+  if (!deaths_.empty() && deaths_.size() != cases_.size()) {
+    throw std::invalid_argument(
+        "ObservedData: deaths must be empty or match cases length");
+  }
+}
+
+std::size_t ObservedData::checked_offset(std::int32_t day) const {
+  const std::int64_t off = day - first_day_;
+  if (off < 0 || off >= static_cast<std::int64_t>(cases_.size())) {
+    throw std::out_of_range("ObservedData: day out of range");
+  }
+  return static_cast<std::size_t>(off);
+}
+
+double ObservedData::deaths_at(std::int32_t day) const {
+  if (deaths_.empty()) {
+    throw std::logic_error("ObservedData: no death series");
+  }
+  return deaths_[checked_offset(day)];
+}
+
+std::vector<double> ObservedData::cases_window(std::int32_t from_day,
+                                               std::int32_t to_day) const {
+  if (to_day < from_day) {
+    throw std::invalid_argument("ObservedData: to_day < from_day");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(to_day - from_day + 1));
+  for (std::int32_t d = from_day; d <= to_day; ++d) {
+    out.push_back(cases_at(d));
+  }
+  return out;
+}
+
+std::vector<double> ObservedData::deaths_window(std::int32_t from_day,
+                                                std::int32_t to_day) const {
+  if (to_day < from_day) {
+    throw std::invalid_argument("ObservedData: to_day < from_day");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(to_day - from_day + 1));
+  for (std::int32_t d = from_day; d <= to_day; ++d) {
+    out.push_back(deaths_at(d));
+  }
+  return out;
+}
+
+}  // namespace epismc::core

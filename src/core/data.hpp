@@ -1,0 +1,58 @@
+#pragma once
+
+// Observed data streams used for calibration.
+//
+// Day-indexed series of reported cases and deaths (paper notation y^c, y^d).
+// Days are absolute simulation days; window extraction is by inclusive day
+// range to match the paper's calibration windows [t_{m-1}+1, t_m].
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace epismc::core {
+
+class ObservedData {
+ public:
+  ObservedData() = default;
+
+  /// `first_day` is the day of cases[0]; series must have equal length
+  /// (deaths may be empty when only cases are observed).
+  ObservedData(std::int32_t first_day, std::vector<double> cases,
+               std::vector<double> deaths);
+
+  [[nodiscard]] std::int32_t first_day() const noexcept { return first_day_; }
+  [[nodiscard]] std::int32_t last_day() const noexcept {
+    return first_day_ + static_cast<std::int32_t>(cases_.size()) - 1;
+  }
+  [[nodiscard]] bool has_deaths() const noexcept { return !deaths_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return cases_.size(); }
+
+  [[nodiscard]] double cases_at(std::int32_t day) const {
+    return cases_[checked_offset(day)];
+  }
+  [[nodiscard]] double deaths_at(std::int32_t day) const;
+
+  /// Inclusive-range slices used by window likelihoods.
+  [[nodiscard]] std::vector<double> cases_window(std::int32_t from_day,
+                                                 std::int32_t to_day) const;
+  [[nodiscard]] std::vector<double> deaths_window(std::int32_t from_day,
+                                                  std::int32_t to_day) const;
+
+  [[nodiscard]] std::span<const double> cases() const noexcept {
+    return cases_;
+  }
+  [[nodiscard]] std::span<const double> deaths() const noexcept {
+    return deaths_;
+  }
+
+ private:
+  [[nodiscard]] std::size_t checked_offset(std::int32_t day) const;
+
+  std::int32_t first_day_ = 1;
+  std::vector<double> cases_;
+  std::vector<double> deaths_;
+};
+
+}  // namespace epismc::core

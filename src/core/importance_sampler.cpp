@@ -1,0 +1,182 @@
+#include "core/importance_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "parallel/parallel.hpp"
+#include "random/seeding.hpp"
+#include "stats/weights.hpp"
+
+namespace epismc::core {
+
+namespace {
+
+// Domain tags keeping the model / bias / proposal / resampling stream
+// families disjoint within a window.
+constexpr std::uint64_t kModelTag = 0x4D4F44454Cull;     // "MODEL"
+constexpr std::uint64_t kBiasTag = 0x42494153ull;        // "BIAS"
+constexpr std::uint64_t kProposalTag = 0x50524F50ull;    // "PROP"
+constexpr std::uint64_t kResampleTag = 0x52455341ull;    // "RESA"
+
+}  // namespace
+
+WindowResult run_importance_window(const Simulator& sim,
+                                   const Likelihood& case_likelihood,
+                                   const Likelihood& death_likelihood,
+                                   const BiasModel& bias,
+                                   const ObservedData& data,
+                                   std::span<const epi::Checkpoint> parents,
+                                   const WindowSpec& spec,
+                                   const ParamProposal& propose) {
+  if (parents.empty()) {
+    throw std::invalid_argument("run_importance_window: no parent states");
+  }
+  if (spec.n_params == 0 || spec.replicates == 0 || spec.resample_size == 0) {
+    throw std::invalid_argument("run_importance_window: zero-sized spec");
+  }
+  if (spec.to_day < spec.from_day) {
+    throw std::invalid_argument("run_importance_window: bad window");
+  }
+
+  WindowResult result;
+  result.from_day = spec.from_day;
+  result.to_day = spec.to_day;
+
+  // --- 1. Draw proposals (sequential: cheap, reproducible). --------------
+  std::vector<ProposedParams> params(spec.n_params);
+  for (std::uint32_t j = 0; j < spec.n_params; ++j) {
+    auto eng = rng::make_engine(spec.seed,
+                                {kProposalTag, spec.window_index, j});
+    params[j] = propose(eng, j);
+    if (params[j].parent >= parents.size()) {
+      throw std::out_of_range("run_importance_window: bad parent index");
+    }
+  }
+
+  // --- 2. Propagate all n_params * replicates trajectories. --------------
+  const std::size_t n_sims = spec.n_params * spec.replicates;
+  result.sims.assign(n_sims, SimRecord{});
+
+  const std::vector<double> y_cases =
+      data.cases_window(spec.from_day, spec.to_day);
+  const std::vector<double> y_deaths =
+      spec.use_deaths ? data.deaths_window(spec.from_day, spec.to_day)
+                      : std::vector<double>{};
+
+  // Parent states may sit before the window (e.g. the day-0 state for
+  // window 1, so each particle owns its whole early path); the likelihood
+  // and stored series always cover exactly [from_day, to_day].
+  const std::size_t window_len =
+      static_cast<std::size_t>(spec.to_day - spec.from_day + 1);
+  const auto keep_window_tail = [window_len](std::vector<double>& v) {
+    if (v.size() < window_len) {
+      throw std::logic_error(
+          "run_importance_window: parent state inside the window");
+    }
+    if (v.size() > window_len) {
+      v.erase(v.begin(),
+              v.end() - static_cast<std::ptrdiff_t>(window_len));
+    }
+  };
+
+  parallel::Timer propagate_timer;
+  parallel::parallel_for(n_sims, [&](std::size_t s) {
+    const auto j = static_cast<std::uint32_t>(s / spec.replicates);
+    const auto r = static_cast<std::uint32_t>(s % spec.replicates);
+    const ProposedParams& pp = params[j];
+
+    SimRecord& rec = result.sims[s];
+    rec.param_index = j;
+    rec.replicate = r;
+    rec.parent = pp.parent;
+    rec.theta = pp.theta;
+    rec.rho = pp.rho;
+
+    // Common random numbers: the model/bias stream identity depends only
+    // on the replicate (all thetas see the same noise realization);
+    // otherwise it depends on (draw, replicate).
+    rec.seed = spec.seed;
+    rec.stream = spec.common_random_numbers
+                     ? rng::make_stream_id({kModelTag, spec.window_index, r}).key
+                     : rng::make_stream_id(
+                           {kModelTag, spec.window_index, j, r}).key;
+
+    WindowRun run = sim.run_window(parents[pp.parent], pp.theta, rec.seed,
+                                   rec.stream, spec.to_day,
+                                   /*want_checkpoint=*/false);
+    keep_window_tail(run.true_cases);
+    keep_window_tail(run.deaths);
+    rec.true_cases = std::move(run.true_cases);
+    rec.deaths = std::move(run.deaths);
+
+    auto bias_eng =
+        spec.common_random_numbers
+            ? rng::make_engine(spec.seed, {kBiasTag, spec.window_index, r})
+            : rng::make_engine(spec.seed, {kBiasTag, spec.window_index, j, r});
+    rec.obs_cases = bias.apply(bias_eng, rec.true_cases, rec.rho);
+
+    double logw = case_likelihood.logpdf(y_cases, rec.obs_cases);
+    if (spec.use_deaths) logw += death_likelihood.logpdf(y_deaths, rec.deaths);
+    rec.log_weight = logw;
+  });
+  result.diag.propagate_seconds = propagate_timer.seconds();
+
+  // --- 3. Normalize weights and compute diagnostics. ---------------------
+  std::vector<double> log_weights(n_sims);
+  for (std::size_t s = 0; s < n_sims; ++s) {
+    log_weights[s] = result.sims[s].log_weight;
+  }
+  result.weights = stats::normalize_log_weights(log_weights);
+  result.diag.n_sims = n_sims;
+  result.diag.ess = stats::effective_sample_size(result.weights);
+  result.diag.perplexity = stats::weight_perplexity(result.weights);
+  result.diag.max_weight =
+      *std::max_element(result.weights.begin(), result.weights.end());
+  result.diag.log_marginal =
+      stats::log_sum_exp(log_weights) -
+      std::log(static_cast<double>(n_sims));
+
+  // --- 4. Resample the posterior. ----------------------------------------
+  auto resample_eng =
+      rng::make_engine(spec.seed, {kResampleTag, spec.window_index});
+  result.resampled = stats::resample(spec.scheme, resample_eng,
+                                     result.weights, spec.resample_size);
+
+  // --- 5. Regenerate end-of-window checkpoints for unique survivors. -----
+  std::vector<std::uint32_t> unique(result.resampled.begin(),
+                                    result.resampled.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  result.diag.unique_resampled = unique.size();
+
+  result.sim_to_state.assign(n_sims, WindowResult::kNoState);
+  result.states.resize(unique.size());
+  for (std::size_t u = 0; u < unique.size(); ++u) {
+    result.sim_to_state[unique[u]] = static_cast<std::uint32_t>(u);
+  }
+
+  parallel::Timer checkpoint_timer;
+  parallel::parallel_for(unique.size(), [&](std::size_t u) {
+    const SimRecord& rec = result.sims[unique[u]];
+    WindowRun run =
+        sim.run_window(parents[rec.parent], rec.theta, rec.seed, rec.stream,
+                       spec.to_day, /*want_checkpoint=*/true);
+    keep_window_tail(run.true_cases);
+    // Counter-based streams make the re-run bit-identical to the weighted
+    // run; this assert is the cheap tail of that invariant (the full
+    // property is covered in tests/).
+    if (run.true_cases != rec.true_cases) {
+      throw std::logic_error(
+          "run_importance_window: non-deterministic replay; stream discipline "
+          "violated");
+    }
+    result.states[u] = std::move(run.end_state);
+  });
+  result.diag.checkpoint_seconds = checkpoint_timer.seconds();
+
+  return result;
+}
+
+}  // namespace epismc::core

@@ -1,0 +1,75 @@
+#pragma once
+
+// Single-window importance sampling (paper Algorithm 1).
+//
+//   1. Sample (theta_i, s_i, rho_i) from the window proposal.
+//   2. Run the simulator for each tuple over the window (OpenMP-parallel;
+//      every trajectory owns a counter-based RNG stream addressed by its
+//      identity, so results are independent of thread count).
+//   3. Weight each trajectory by the window likelihood of the observed
+//      case (and optionally death) counts.
+//   4. Resample to construct the posterior, then regenerate end-of-window
+//      checkpoints for the unique survivors only. Regeneration re-runs the
+//      deterministic (seed, stream)-addressed simulation instead of
+//      storing every candidate's state: checkpoints cost memory, re-runs
+//      cost one window of compute, and survivors are few.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "core/bias_model.hpp"
+#include "core/data.hpp"
+#include "core/likelihood.hpp"
+#include "core/particle.hpp"
+#include "core/simulator.hpp"
+#include "stats/resampling.hpp"
+
+namespace epismc::core {
+
+/// Parameters proposed for one particle.
+struct ProposedParams {
+  double theta = 0.0;
+  double rho = 1.0;
+  std::uint32_t parent = 0;  // index into the parent-state vector
+};
+
+/// Callable drawing the j-th proposal; receives a dedicated engine whose
+/// stream is derived from (window seed, j) so proposals are reproducible.
+using ParamProposal =
+    std::function<ProposedParams(rng::Engine& eng, std::uint32_t j)>;
+
+struct WindowSpec {
+  std::int32_t from_day = 0;
+  std::int32_t to_day = 0;
+  std::uint32_t window_index = 0;
+  std::size_t n_params = 1000;      // unique (theta, rho) draws
+  std::size_t replicates = 10;      // seeds per draw
+  std::size_t resample_size = 2000; // posterior draws
+  bool common_random_numbers = true;
+  bool use_deaths = false;
+  stats::ResamplingScheme scheme = stats::ResamplingScheme::kSystematic;
+  std::uint64_t seed = 0;  // base randomness identity for this window
+};
+
+/// Run one calibration window; `parents` must outlive the call.
+/// `case_likelihood` scores the reported-case stream, `death_likelihood`
+/// the death stream (paper eq. 4 composes the two as independent factors;
+/// the streams live on very different count magnitudes, so they get
+/// separate error models).
+[[nodiscard]] WindowResult run_importance_window(
+    const Simulator& sim, const Likelihood& case_likelihood,
+    const Likelihood& death_likelihood, const BiasModel& bias,
+    const ObservedData& data, std::span<const epi::Checkpoint> parents,
+    const WindowSpec& spec, const ParamProposal& propose);
+
+/// Convenience overload: one error model for both streams.
+[[nodiscard]] inline WindowResult run_importance_window(
+    const Simulator& sim, const Likelihood& likelihood, const BiasModel& bias,
+    const ObservedData& data, std::span<const epi::Checkpoint> parents,
+    const WindowSpec& spec, const ParamProposal& propose) {
+  return run_importance_window(sim, likelihood, likelihood, bias, data,
+                               parents, spec, propose);
+}
+
+}  // namespace epismc::core

@@ -1,0 +1,108 @@
+#include "core/likelihood.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/densities.hpp"
+
+namespace epismc::core {
+
+namespace {
+void check_lengths(std::size_t a, std::size_t b) {
+  if (a != b || a == 0) {
+    throw std::invalid_argument("Likelihood: series length mismatch or empty");
+  }
+}
+}  // namespace
+
+GaussianSqrtLikelihood::GaussianSqrtLikelihood(double sigma) : sigma_(sigma) {
+  if (!(sigma > 0.0)) {
+    throw std::invalid_argument("GaussianSqrtLikelihood: sigma must be > 0");
+  }
+}
+
+double GaussianSqrtLikelihood::logpdf(std::span<const double> observed,
+                                      std::span<const double> simulated) const {
+  check_lengths(observed.size(), simulated.size());
+  double acc = 0.0;
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    const double y = std::sqrt(std::max(observed[t], 0.0));
+    const double eta = std::sqrt(std::max(simulated[t], 0.0));
+    acc += stats::normal_logpdf(y, eta, sigma_);
+  }
+  return acc;
+}
+
+PoissonLikelihood::PoissonLikelihood(double rate_floor)
+    : rate_floor_(rate_floor) {
+  if (!(rate_floor > 0.0)) {
+    throw std::invalid_argument("PoissonLikelihood: rate_floor must be > 0");
+  }
+}
+
+double PoissonLikelihood::logpdf(std::span<const double> observed,
+                                 std::span<const double> simulated) const {
+  check_lengths(observed.size(), simulated.size());
+  double acc = 0.0;
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    const auto y = static_cast<std::int64_t>(
+        std::llround(std::max(observed[t], 0.0)));
+    const double rate = std::max(simulated[t], rate_floor_);
+    acc += stats::poisson_logpmf(y, rate);
+  }
+  return acc;
+}
+
+NegBinSqrtLikelihood::NegBinSqrtLikelihood(double dispersion_k)
+    : k_(dispersion_k) {
+  if (!(dispersion_k > 0.0)) {
+    throw std::invalid_argument("NegBinSqrtLikelihood: k must be > 0");
+  }
+}
+
+double NegBinSqrtLikelihood::logpdf(std::span<const double> observed,
+                                    std::span<const double> simulated) const {
+  check_lengths(observed.size(), simulated.size());
+  double acc = 0.0;
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    const double eta = std::max(simulated[t], 0.0);
+    const double sd = 0.5 * std::sqrt(1.0 + eta / k_);
+    acc += stats::normal_logpdf(std::sqrt(std::max(observed[t], 0.0)),
+                                std::sqrt(eta), sd);
+  }
+  return acc;
+}
+
+GaussianCountLikelihood::GaussianCountLikelihood(double phi) : phi_(phi) {
+  if (!(phi > 0.0)) {
+    throw std::invalid_argument("GaussianCountLikelihood: phi must be > 0");
+  }
+}
+
+double GaussianCountLikelihood::logpdf(std::span<const double> observed,
+                                       std::span<const double> simulated) const {
+  check_lengths(observed.size(), simulated.size());
+  double acc = 0.0;
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    const double sd = phi_ * std::sqrt(std::max(simulated[t], 1.0));
+    acc += stats::normal_logpdf(observed[t], simulated[t], sd);
+  }
+  return acc;
+}
+
+std::unique_ptr<Likelihood> make_likelihood(const std::string& name,
+                                            double parameter) {
+  if (name == "gaussian-sqrt") {
+    return std::make_unique<GaussianSqrtLikelihood>(parameter);
+  }
+  if (name == "poisson") return std::make_unique<PoissonLikelihood>();
+  if (name == "nb-sqrt") {
+    return std::make_unique<NegBinSqrtLikelihood>(parameter);
+  }
+  if (name == "gaussian-count") {
+    return std::make_unique<GaussianCountLikelihood>(parameter);
+  }
+  throw std::invalid_argument("make_likelihood: unknown likelihood " + name);
+}
+
+}  // namespace epismc::core

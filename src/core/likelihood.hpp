@@ -1,0 +1,94 @@
+#pragma once
+
+// Window likelihoods (paper eq. 3).
+//
+// The paper scores simulated against observed series with an independent
+// Gaussian on square-root transformed counts, sigma_t = sigma (a variance
+// stabilizing transform for counts):
+//   log l = sum_t log N( sqrt(y_t) | sqrt(eta_obs_t), sigma^2 ).
+// A Poisson likelihood is provided as an alternative error model for the
+// likelihood-robustness ablation.
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace epismc::core {
+
+class Likelihood {
+ public:
+  virtual ~Likelihood() = default;
+
+  /// Log-likelihood of `observed` given `simulated` (equal lengths).
+  [[nodiscard]] virtual double logpdf(std::span<const double> observed,
+                                      std::span<const double> simulated)
+      const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Gaussian on sqrt-counts with constant sd (the paper's choice, sigma=1).
+class GaussianSqrtLikelihood final : public Likelihood {
+ public:
+  explicit GaussianSqrtLikelihood(double sigma = 1.0);
+
+  [[nodiscard]] double logpdf(std::span<const double> observed,
+                              std::span<const double> simulated) const override;
+  [[nodiscard]] std::string name() const override { return "gaussian-sqrt"; }
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+/// Independent Poisson error: y_t ~ Poisson(max(eta_obs_t, floor)).
+class PoissonLikelihood final : public Likelihood {
+ public:
+  explicit PoissonLikelihood(double rate_floor = 0.5);
+
+  [[nodiscard]] double logpdf(std::span<const double> observed,
+                              std::span<const double> simulated) const override;
+  [[nodiscard]] std::string name() const override { return "poisson"; }
+
+ private:
+  double rate_floor_;
+};
+
+/// Gaussian on sqrt-counts whose sd grows with the count magnitude the way
+/// a negative-binomial observation's would: sd_t = 0.5 * sqrt(1 + eta_t/k)
+/// where k is the NB dispersion. At window-1 magnitudes (counts of a few
+/// hundred, k = 500) this matches the paper's sigma ~ 1; at the 30000+
+/// counts of the final window it relaxes to sd ~ 4, which keeps the
+/// ensemble from degenerating to a single trajectory (see EXPERIMENTS.md,
+/// substitution note for Figs. 4/5).
+class NegBinSqrtLikelihood final : public Likelihood {
+ public:
+  explicit NegBinSqrtLikelihood(double dispersion_k = 500.0);
+
+  [[nodiscard]] double logpdf(std::span<const double> observed,
+                              std::span<const double> simulated) const override;
+  [[nodiscard]] std::string name() const override { return "nb-sqrt"; }
+  [[nodiscard]] double dispersion() const noexcept { return k_; }
+
+ private:
+  double k_;
+};
+
+/// Gaussian on raw counts with sd proportional to sqrt(counts)
+/// (overdispersion factor `phi`); another robustness comparator.
+class GaussianCountLikelihood final : public Likelihood {
+ public:
+  explicit GaussianCountLikelihood(double phi = 1.0);
+
+  [[nodiscard]] double logpdf(std::span<const double> observed,
+                              std::span<const double> simulated) const override;
+  [[nodiscard]] std::string name() const override { return "gaussian-count"; }
+
+ private:
+  double phi_;
+};
+
+[[nodiscard]] std::unique_ptr<Likelihood> make_likelihood(
+    const std::string& name, double parameter);
+
+}  // namespace epismc::core

@@ -1,0 +1,48 @@
+#include "core/particle.hpp"
+
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+
+namespace epismc::core {
+
+std::vector<double> WindowResult::posterior_thetas() const {
+  std::vector<double> out;
+  out.reserve(resampled.size());
+  for (const std::uint32_t s : resampled) out.push_back(sims[s].theta);
+  return out;
+}
+
+std::vector<double> WindowResult::posterior_rhos() const {
+  std::vector<double> out;
+  out.reserve(resampled.size());
+  for (const std::uint32_t s : resampled) out.push_back(sims[s].rho);
+  return out;
+}
+
+std::vector<double> WindowResult::posterior_quantile(Series field,
+                                                     double q) const {
+  if (resampled.empty()) {
+    throw std::logic_error("posterior_quantile: window not yet resampled");
+  }
+  const auto series_of = [&](const SimRecord& rec) -> const std::vector<double>& {
+    switch (field) {
+      case Series::kTrueCases: return rec.true_cases;
+      case Series::kObsCases: return rec.obs_cases;
+      case Series::kDeaths: return rec.deaths;
+    }
+    throw std::logic_error("posterior_quantile: bad series");
+  };
+  const std::size_t days = window_length();
+  std::vector<double> out(days);
+  std::vector<double> column(resampled.size());
+  for (std::size_t d = 0; d < days; ++d) {
+    for (std::size_t i = 0; i < resampled.size(); ++i) {
+      column[i] = series_of(sims[resampled[i]])[d];
+    }
+    out[d] = stats::quantile(column, q);
+  }
+  return out;
+}
+
+}  // namespace epismc::core

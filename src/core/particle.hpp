@@ -1,0 +1,78 @@
+#pragma once
+
+// Particle bookkeeping for one calibration window.
+//
+// A "particle" is the paper's (theta, s, rho) tuple: transmission rate,
+// random seed, reporting probability. Each unique (theta, rho) draw is
+// replicated over R seeds (with common random numbers across draws, as in
+// §V-B), so a window propagates n_params * R simulated trajectories.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "epi/seir_model.hpp"
+
+namespace epismc::core {
+
+/// One simulated trajectory within a window.
+struct SimRecord {
+  std::uint32_t param_index = 0;  // which (theta, rho) draw
+  std::uint32_t replicate = 0;    // which replicate seed
+  std::uint32_t parent = 0;       // index into the parent-state vector
+  double theta = 0.0;
+  double rho = 1.0;
+  std::uint64_t seed = 0;    // RNG identity used for the model run
+  std::uint64_t stream = 0;
+  double log_weight = 0.0;
+  std::vector<double> true_cases;  // simulated daily infections in window
+  std::vector<double> obs_cases;   // after the reporting-bias model
+  std::vector<double> deaths;      // simulated daily deaths in window
+};
+
+/// Health metrics of one importance-sampling window.
+struct WindowDiagnostics {
+  double ess = 0.0;             // Kish effective sample size
+  double perplexity = 0.0;      // exp(entropy)/N in (0, 1]
+  double max_weight = 0.0;      // largest normalized weight
+  double log_marginal = 0.0;    // log (1/N sum w): evidence increment
+  std::size_t unique_resampled = 0;
+  std::size_t n_sims = 0;
+  double propagate_seconds = 0.0;   // wall time of the parallel sweep
+  double checkpoint_seconds = 0.0;  // wall time regenerating end states
+};
+
+/// Everything produced by calibrating one window.
+struct WindowResult {
+  std::int32_t from_day = 0;
+  std::int32_t to_day = 0;
+
+  std::vector<SimRecord> sims;      // all propagated trajectories
+  std::vector<double> weights;      // normalized importance weights per sim
+  std::vector<std::uint32_t> resampled;  // posterior draws: sim indices
+
+  /// End-of-window checkpoints for the *unique* resampled sims
+  /// (regenerated deterministically; see importance_sampler.cpp).
+  std::vector<epi::Checkpoint> states;
+  static constexpr std::uint32_t kNoState =
+      std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> sim_to_state;  // sim index -> slot in states
+
+  WindowDiagnostics diag;
+
+  /// Posterior parameter samples, expanded over the resampled draws.
+  [[nodiscard]] std::vector<double> posterior_thetas() const;
+  [[nodiscard]] std::vector<double> posterior_rhos() const;
+
+  /// Per-day posterior quantile band over a resampled output series.
+  /// `field` selects which series of SimRecord to summarize.
+  enum class Series { kTrueCases, kObsCases, kDeaths };
+  [[nodiscard]] std::vector<double> posterior_quantile(Series field,
+                                                       double q) const;
+
+  [[nodiscard]] std::size_t window_length() const {
+    return static_cast<std::size_t>(to_day - from_day + 1);
+  }
+};
+
+}  // namespace epismc::core

@@ -1,0 +1,131 @@
+#include "core/pmmh.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel.hpp"
+#include "random/seeding.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/weights.hpp"
+
+namespace epismc::core {
+
+namespace {
+constexpr std::uint64_t kChainTag = 0x504D4D48ull;  // "PMMH"
+constexpr std::uint64_t kEstimateTag = 0x45535449ull;
+constexpr std::uint64_t kBiasTag = 0x42ull;
+}  // namespace
+
+void PmmhConfig::validate() const {
+  if (to_day < from_day) throw std::invalid_argument("PmmhConfig: bad window");
+  if (iterations == 0 || replicates == 0) {
+    throw std::invalid_argument("PmmhConfig: zero iterations or replicates");
+  }
+  if (burnin >= iterations) {
+    throw std::invalid_argument("PmmhConfig: burnin >= iterations");
+  }
+  if (!(theta_step > 0.0) || !(rho_step > 0.0)) {
+    throw std::invalid_argument("PmmhConfig: step sizes must be > 0");
+  }
+  if (!theta_prior || !rho_prior) {
+    throw std::invalid_argument("PmmhConfig: null prior");
+  }
+}
+
+double PmmhResult::theta_mean() const { return stats::mean(theta_chain); }
+double PmmhResult::theta_sd() const { return stats::std_dev(theta_chain); }
+double PmmhResult::rho_mean() const { return stats::mean(rho_chain); }
+
+PmmhResult run_pmmh(const Simulator& sim, const Likelihood& likelihood,
+                    const BiasModel& bias, const ObservedData& data,
+                    const epi::Checkpoint& init, const PmmhConfig& config) {
+  config.validate();
+  const std::vector<double> y_cases =
+      data.cases_window(config.from_day, config.to_day);
+  const std::vector<double> y_deaths =
+      config.use_deaths ? data.deaths_window(config.from_day, config.to_day)
+                        : std::vector<double>{};
+  const auto window_len = y_cases.size();
+
+  // Unbiased likelihood estimate: (1/R) sum_r exp(loglik_r) over replicate
+  // trajectories, each with its own (iteration, replicate)-addressed
+  // stream. Replicates propagate in parallel; the chain itself is
+  // inherently sequential -- that asymmetry is the point of the comparison.
+  std::size_t sims_used = 0;
+  const auto estimate_loglik = [&](double theta, double rho,
+                                   std::uint64_t iteration) {
+    std::vector<double> logliks(config.replicates);
+    parallel::parallel_for(config.replicates, [&](std::size_t r) {
+      const auto stream =
+          rng::make_stream_id({kEstimateTag, iteration, r}).key;
+      WindowRun run = sim.run_window(init, theta, config.seed, stream,
+                                     config.to_day, /*want_checkpoint=*/false);
+      // Likelihood over the window tail (init may sit before the window).
+      std::vector<double> cases(run.true_cases.end() -
+                                    static_cast<std::ptrdiff_t>(window_len),
+                                run.true_cases.end());
+      auto bias_eng =
+          rng::make_engine(config.seed, {kBiasTag, iteration, r});
+      const std::vector<double> obs = bias.apply(bias_eng, cases, rho);
+      double ll = likelihood.logpdf(y_cases, obs);
+      if (config.use_deaths) {
+        std::vector<double> deaths(run.deaths.end() -
+                                       static_cast<std::ptrdiff_t>(window_len),
+                                   run.deaths.end());
+        ll += likelihood.logpdf(y_deaths, deaths);
+      }
+      logliks[r] = ll;
+    });
+    sims_used += config.replicates;
+    return stats::log_sum_exp(logliks) -
+           std::log(static_cast<double>(config.replicates));
+  };
+
+  auto chain_eng = rng::make_engine(config.seed, {kChainTag});
+  const Prior& theta_prior = *config.theta_prior;
+  const Prior& rho_prior = *config.rho_prior;
+
+  // Start at a prior draw with a finite likelihood estimate.
+  double theta = theta_prior.sample(chain_eng);
+  double rho = rho_prior.sample(chain_eng);
+  double log_post = estimate_loglik(theta, rho, 0) + theta_prior.logpdf(theta) +
+                    rho_prior.logpdf(rho);
+
+  PmmhResult result;
+  result.theta_chain.reserve(config.iterations - config.burnin);
+  result.rho_chain.reserve(config.iterations - config.burnin);
+  result.loglik_chain.reserve(config.iterations - config.burnin);
+  std::size_t accepted = 0;
+
+  for (std::size_t it = 1; it <= config.iterations; ++it) {
+    const double theta_prop =
+        theta + config.theta_step * rng::normal(chain_eng);
+    const double rho_prop = rho + config.rho_step * rng::normal(chain_eng);
+
+    double log_post_prop = -std::numeric_limits<double>::infinity();
+    const double prior_prop =
+        theta_prior.logpdf(theta_prop) + rho_prior.logpdf(rho_prop);
+    if (std::isfinite(prior_prop)) {
+      log_post_prop = estimate_loglik(theta_prop, rho_prop, it) + prior_prop;
+    }
+
+    const double log_alpha = log_post_prop - log_post;
+    if (std::log(rng::uniform_double_oo(chain_eng)) < log_alpha) {
+      theta = theta_prop;
+      rho = rho_prop;
+      log_post = log_post_prop;
+      ++accepted;
+    }
+    if (it > config.burnin) {
+      result.theta_chain.push_back(theta);
+      result.rho_chain.push_back(rho);
+      result.loglik_chain.push_back(log_post);
+    }
+  }
+  result.acceptance_rate =
+      static_cast<double>(accepted) / static_cast<double>(config.iterations);
+  result.simulations_used = sims_used;
+  return result;
+}
+
+}  // namespace epismc::core

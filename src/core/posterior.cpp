@@ -1,0 +1,123 @@
+#include "core/posterior.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "parallel/parallel.hpp"
+#include "random/seeding.hpp"
+
+namespace epismc::core {
+
+ParameterSummary summarize_parameter(const std::vector<double>& draws) {
+  if (draws.size() < 2) {
+    throw std::invalid_argument("summarize_parameter: need >= 2 draws");
+  }
+  ParameterSummary s;
+  s.mean = stats::mean(draws);
+  s.sd = stats::std_dev(draws);
+  s.median = stats::quantile(draws, 0.5);
+  s.ci50 = stats::credible_interval(draws, 0.5);
+  s.ci90 = stats::credible_interval(draws, 0.9);
+  return s;
+}
+
+WindowPosteriorSummary summarize_window(const WindowResult& window) {
+  WindowPosteriorSummary s;
+  s.from_day = window.from_day;
+  s.to_day = window.to_day;
+  s.theta = summarize_parameter(window.posterior_thetas());
+  s.rho = summarize_parameter(window.posterior_rhos());
+  return s;
+}
+
+stats::Kde2dResult joint_posterior_kde(const WindowResult& window,
+                                       double theta_lo, double theta_hi,
+                                       double rho_lo, double rho_hi,
+                                       std::size_t grid) {
+  const auto thetas = window.posterior_thetas();
+  const auto rhos = window.posterior_rhos();
+  // Floor the bandwidths at one grid cell: a (near-)degenerate posterior
+  // otherwise produces a kernel narrower than the grid spacing and the
+  // density surface evaluates to zero everywhere.
+  const double cell_x = (theta_hi - theta_lo) / static_cast<double>(grid);
+  const double cell_y = (rho_hi - rho_lo) / static_cast<double>(grid);
+  const double bw_x =
+      std::max(stats::silverman_bandwidth(thetas, {}), cell_x);
+  const double bw_y = std::max(stats::silverman_bandwidth(rhos, {}), cell_y);
+  return stats::kde_2d(thetas, rhos, {}, theta_lo, theta_hi, grid, rho_lo,
+                       rho_hi, grid, bw_x, bw_y);
+}
+
+Ribbon posterior_ribbon(const WindowResult& window,
+                        WindowResult::Series series, double level) {
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("posterior_ribbon: level must be in (0,1)");
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  Ribbon r;
+  r.lo = window.posterior_quantile(series, alpha);
+  r.mid = window.posterior_quantile(series, 0.5);
+  r.hi = window.posterior_quantile(series, 1.0 - alpha);
+  return r;
+}
+
+Forecast posterior_forecast(const Simulator& sim, const WindowResult& window,
+                            std::int32_t horizon_day, std::size_t n_draws,
+                            std::uint64_t seed) {
+  if (window.resampled.empty() || window.states.empty()) {
+    throw std::invalid_argument("posterior_forecast: window has no posterior");
+  }
+  if (horizon_day <= window.to_day) {
+    throw std::invalid_argument("posterior_forecast: horizon inside window");
+  }
+  constexpr std::uint64_t kForecastTag = 0x464F5245ull;  // "FORE"
+
+  Forecast fc;
+  fc.from_day = window.to_day + 1;
+  fc.to_day = horizon_day;
+  fc.true_cases.assign(n_draws, {});
+  fc.deaths.assign(n_draws, {});
+
+  parallel::parallel_for(n_draws, [&](std::size_t i) {
+    // Cycle over posterior draws; fresh seeds branch new futures.
+    const std::uint32_t draw =
+        window.resampled[i % window.resampled.size()];
+    const SimRecord& rec = window.sims[draw];
+    const std::uint32_t state = window.sim_to_state[draw];
+    if (state == WindowResult::kNoState) {
+      throw std::logic_error("posterior_forecast: draw lacks a checkpoint");
+    }
+    const auto stream = rng::make_stream_id({kForecastTag, i}).key;
+    WindowRun run = sim.run_window(window.states[state], rec.theta, seed,
+                                   stream, horizon_day,
+                                   /*want_checkpoint=*/false);
+    fc.true_cases[i] = std::move(run.true_cases);
+    fc.deaths[i] = std::move(run.deaths);
+  });
+  return fc;
+}
+
+Ribbon Forecast::case_ribbon(double level) const {
+  if (true_cases.empty()) {
+    throw std::logic_error("Forecast: empty");
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  const std::size_t days = true_cases.front().size();
+  Ribbon r;
+  r.lo.resize(days);
+  r.mid.resize(days);
+  r.hi.resize(days);
+  std::vector<double> column(true_cases.size());
+  for (std::size_t d = 0; d < days; ++d) {
+    for (std::size_t i = 0; i < true_cases.size(); ++i) {
+      column[i] = true_cases[i][d];
+    }
+    r.lo[d] = stats::quantile(column, alpha);
+    r.mid[d] = stats::quantile(column, 0.5);
+    r.hi[d] = stats::quantile(column, 1.0 - alpha);
+  }
+  return r;
+}
+
+}  // namespace epismc::core

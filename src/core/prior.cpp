@@ -1,0 +1,59 @@
+#include "core/prior.hpp"
+
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/densities.hpp"
+
+namespace epismc::core {
+
+UniformPrior::UniformPrior(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(hi > lo)) throw std::invalid_argument("UniformPrior: hi must be > lo");
+}
+
+double UniformPrior::sample(rng::Engine& eng) const {
+  return rng::uniform_range(eng, lo_, hi_);
+}
+
+double UniformPrior::logpdf(double x) const {
+  return stats::uniform_logpdf(x, lo_, hi_);
+}
+
+std::string UniformPrior::describe() const {
+  std::ostringstream os;
+  os << "Uniform(" << lo_ << ", " << hi_ << ")";
+  return os.str();
+}
+
+BetaPrior::BetaPrior(double a, double b) : a_(a), b_(b) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("BetaPrior: a and b must be > 0");
+  }
+}
+
+double BetaPrior::sample(rng::Engine& eng) const {
+  return rng::beta(eng, a_, b_);
+}
+
+double BetaPrior::logpdf(double x) const {
+  return stats::beta_logpdf(x, a_, b_);
+}
+
+std::string BetaPrior::describe() const {
+  std::ostringstream os;
+  os << "Beta(" << a_ << ", " << b_ << ")";
+  return os.str();
+}
+
+double PointPrior::logpdf(double x) const {
+  return x == value_ ? 0.0 : -std::numeric_limits<double>::infinity();
+}
+
+std::string PointPrior::describe() const {
+  std::ostringstream os;
+  os << "Point(" << value_ << ")";
+  return os.str();
+}
+
+}  // namespace epismc::core

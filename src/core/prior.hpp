@@ -1,0 +1,79 @@
+#pragma once
+
+// Priors and posterior-jitter proposals for the (theta, rho) parameters.
+//
+// Window 1 samples from fixed priors: theta ~ Uniform(0.1, 0.5), rho ~
+// Beta(4, 1) in the paper. Later windows sample "a uniform distribution
+// centered around each posterior value" -- a jitter kernel, symmetric for
+// theta and asymmetric (upward-shifted) for rho to encode improving case
+// ascertainment.
+
+#include <memory>
+#include <string>
+
+#include "random/distributions.hpp"
+
+namespace epismc::core {
+
+class Prior {
+ public:
+  virtual ~Prior() = default;
+  [[nodiscard]] virtual double sample(rng::Engine& eng) const = 0;
+  [[nodiscard]] virtual double logpdf(double x) const = 0;
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+class UniformPrior final : public Prior {
+ public:
+  UniformPrior(double lo, double hi);
+  [[nodiscard]] double sample(rng::Engine& eng) const override;
+  [[nodiscard]] double logpdf(double x) const override;
+  [[nodiscard]] std::string describe() const override;
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+class BetaPrior final : public Prior {
+ public:
+  BetaPrior(double a, double b);
+  [[nodiscard]] double sample(rng::Engine& eng) const override;
+  [[nodiscard]] double logpdf(double x) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double a_;
+  double b_;
+};
+
+class PointPrior final : public Prior {
+ public:
+  explicit PointPrior(double value) : value_(value) {}
+  [[nodiscard]] double sample(rng::Engine&) const override { return value_; }
+  [[nodiscard]] double logpdf(double x) const override;
+  [[nodiscard]] std::string describe() const override;
+
+ private:
+  double value_;
+};
+
+/// Uniform jitter window applied to a posterior draw: the proposal for
+/// window m > 1. `down`/`up` are the half-widths below/above the center;
+/// results are clamped to [lo, hi].
+struct JitterKernel {
+  double down = 0.05;
+  double up = 0.05;
+  double lo = 0.0;
+  double hi = 1.0;
+
+  [[nodiscard]] double sample(rng::Engine& eng, double center) const {
+    const double x = rng::uniform_range(eng, center - down, center + up);
+    return std::min(std::max(x, lo), hi);
+  }
+  [[nodiscard]] bool symmetric() const noexcept { return down == up; }
+};
+
+}  // namespace epismc::core

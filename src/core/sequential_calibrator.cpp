@@ -1,0 +1,149 @@
+#include "core/sequential_calibrator.hpp"
+
+#include <stdexcept>
+
+#include "random/engines.hpp"
+
+namespace epismc::core {
+
+void CalibrationConfig::validate() const {
+  if (windows.empty()) {
+    throw std::invalid_argument("CalibrationConfig: no windows");
+  }
+  for (std::size_t m = 0; m < windows.size(); ++m) {
+    if (windows[m].second < windows[m].first) {
+      throw std::invalid_argument("CalibrationConfig: window ends before start");
+    }
+    if (m > 0 && windows[m].first != windows[m - 1].second + 1) {
+      throw std::invalid_argument(
+          "CalibrationConfig: windows must be contiguous");
+    }
+  }
+  if (n_params == 0 || replicates == 0 || resample_size == 0) {
+    throw std::invalid_argument("CalibrationConfig: zero-sized budget");
+  }
+  if (!(defensive_fraction >= 0.0 && defensive_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "CalibrationConfig: defensive_fraction must be in [0, 1]");
+  }
+  if (burnin_day < 0 || burnin_day >= windows.front().first) {
+    throw std::invalid_argument(
+        "CalibrationConfig: burnin_day must be in [0, first window start)");
+  }
+  if (!theta_prior || !rho_prior) {
+    throw std::invalid_argument("CalibrationConfig: null prior");
+  }
+}
+
+SequentialCalibrator::SequentialCalibrator(const Simulator& sim,
+                                           ObservedData data,
+                                           CalibrationConfig config)
+    : sim_(sim), data_(std::move(data)), config_(std::move(config)) {
+  config_.validate();
+  likelihood_ =
+      make_likelihood(config_.likelihood_name, config_.likelihood_parameter);
+  death_likelihood_ = make_likelihood(config_.death_likelihood_name,
+                                      config_.death_likelihood_parameter);
+  bias_ = make_bias_model(config_.bias_name);
+
+  const auto [first_from, first_to] = config_.windows.front();
+  const auto [last_from, last_to] = config_.windows.back();
+  if (data_.first_day() > first_from || data_.last_day() < last_to) {
+    throw std::invalid_argument(
+        "SequentialCalibrator: observed data does not cover the windows");
+  }
+  if (config_.use_deaths && !data_.has_deaths()) {
+    throw std::invalid_argument(
+        "SequentialCalibrator: use_deaths set but no death series");
+  }
+}
+
+const epi::Checkpoint& SequentialCalibrator::initial_state() const {
+  if (initial_.empty()) {
+    throw std::logic_error("SequentialCalibrator: no window has run yet");
+  }
+  return initial_.front();
+}
+
+const WindowResult& SequentialCalibrator::run_next_window() {
+  const std::size_t m = results_.size();
+  if (m >= config_.windows.size()) {
+    throw std::logic_error("SequentialCalibrator: all windows already run");
+  }
+  const auto [from_day, to_day] = config_.windows[m];
+
+  WindowSpec spec;
+  spec.from_day = from_day;
+  spec.to_day = to_day;
+  spec.window_index = static_cast<std::uint32_t>(m);
+  spec.n_params = config_.n_params;
+  spec.replicates = config_.replicates;
+  spec.resample_size = config_.resample_size;
+  spec.common_random_numbers = config_.common_random_numbers;
+  spec.use_deaths = config_.use_deaths;
+  spec.scheme = config_.scheme;
+  spec.seed = rng::hash_combine(config_.seed, m);
+
+  if (m == 0) {
+    // Shared initial state; with the default burnin_day = 0 every particle
+    // simulates its own early path and only the seeding is shared.
+    initial_.clear();
+    initial_.push_back(sim_.initial_state(
+        config_.burnin_day, rng::hash_combine(config_.seed, 0x494E4954ull)));
+
+    const Prior& theta_prior = *config_.theta_prior;
+    const Prior& rho_prior = *config_.rho_prior;
+    const bool needs_rho = bias_->uses_rho();
+    const ParamProposal propose = [&](rng::Engine& eng, std::uint32_t) {
+      ProposedParams p;
+      p.theta = theta_prior.sample(eng);
+      p.rho = needs_rho ? rho_prior.sample(eng) : 1.0;
+      p.parent = 0;
+      return p;
+    };
+    results_.push_back(run_importance_window(sim_, *likelihood_,
+                                             *death_likelihood_, *bias_,
+                                             data_, initial_, spec, propose));
+    return results_.back();
+  }
+
+  // Later windows: posterior draws of window m-1 are the proposal centers,
+  // and their checkpointed end states are the restart points.
+  const WindowResult& prev = results_[m - 1];
+  if (prev.states.empty()) {
+    throw std::logic_error("SequentialCalibrator: previous window kept no states");
+  }
+  const bool needs_rho = bias_->uses_rho();
+  const ParamProposal propose = [&, needs_rho](rng::Engine& eng,
+                                               std::uint32_t j) {
+    const std::uint32_t draw =
+        prev.resampled[j % prev.resampled.size()];
+    const SimRecord& center = prev.sims[draw];
+    ProposedParams p;
+    if (rng::uniform_double(eng) < config_.defensive_fraction) {
+      // Defensive component: fresh draw from the window-1 priors so that
+      // parameter jumps beyond the jitter width stay reachable.
+      p.theta = config_.theta_prior->sample(eng);
+      p.rho = needs_rho ? config_.rho_prior->sample(eng) : 1.0;
+    } else {
+      p.theta = config_.theta_jitter.sample(eng, center.theta);
+      p.rho = needs_rho ? config_.rho_jitter.sample(eng, center.rho) : 1.0;
+    }
+    p.parent = prev.sim_to_state[draw];
+    if (p.parent == WindowResult::kNoState) {
+      throw std::logic_error(
+          "SequentialCalibrator: resampled draw lacks a checkpoint");
+    }
+    return p;
+  };
+  results_.push_back(run_importance_window(sim_, *likelihood_,
+                                           *death_likelihood_, *bias_, data_,
+                                           prev.states, spec, propose));
+  return results_.back();
+}
+
+void SequentialCalibrator::run_all() {
+  while (!finished()) run_next_window();
+}
+
+}  // namespace epismc::core

@@ -1,0 +1,78 @@
+#include "core/simulator.hpp"
+
+#include <stdexcept>
+
+namespace epismc::core {
+
+namespace {
+
+/// Extract the window output series [from_day, to_day] from a model
+/// trajectory after the run.
+template <typename Model>
+WindowRun extract_window(const Model& model, std::int32_t from_day,
+                         std::int32_t to_day, bool want_checkpoint) {
+  WindowRun run;
+  run.true_cases = model.trajectory().new_infections(from_day, to_day);
+  run.deaths = model.trajectory().new_deaths(from_day, to_day);
+  if (want_checkpoint) run.end_state = model.make_checkpoint();
+  return run;
+}
+
+}  // namespace
+
+epi::Checkpoint SeirSimulator::initial_state(std::int32_t day,
+                                             std::uint64_t seed) const {
+  epi::SeirModel model(config_.params,
+                       epi::PiecewiseSchedule(config_.burnin_theta), seed,
+                       /*stream=*/0);
+  model.seed_exposed(config_.initial_exposed);
+  model.run_until_day(day);
+  return model.make_checkpoint();
+}
+
+WindowRun SeirSimulator::run_window(const epi::Checkpoint& state, double theta,
+                                    std::uint64_t seed, std::uint64_t stream,
+                                    std::int32_t to_day,
+                                    bool want_checkpoint) const {
+  epi::RestartOverrides ovr;
+  ovr.seed = seed;
+  ovr.stream = stream;
+  ovr.transmission_rate = theta;
+  epi::SeirModel model = epi::SeirModel::restore(state, ovr);
+  const std::int32_t from_day = model.day() + 1;
+  if (to_day < from_day) {
+    throw std::invalid_argument("run_window: to_day before checkpoint day");
+  }
+  model.run_until_day(to_day);
+  return extract_window(model, from_day, to_day, want_checkpoint);
+}
+
+epi::Checkpoint ChainBinomialSimulator::initial_state(std::int32_t day,
+                                                      std::uint64_t seed) const {
+  epi::ChainBinomialModel model(config_.params,
+                                epi::PiecewiseSchedule(config_.burnin_theta),
+                                seed, /*stream=*/0);
+  model.seed_exposed(config_.initial_exposed);
+  model.run_until_day(day);
+  return model.make_checkpoint();
+}
+
+WindowRun ChainBinomialSimulator::run_window(const epi::Checkpoint& state,
+                                             double theta, std::uint64_t seed,
+                                             std::uint64_t stream,
+                                             std::int32_t to_day,
+                                             bool want_checkpoint) const {
+  epi::RestartOverrides ovr;
+  ovr.seed = seed;
+  ovr.stream = stream;
+  ovr.transmission_rate = theta;
+  epi::ChainBinomialModel model = epi::ChainBinomialModel::restore(state, ovr);
+  const std::int32_t from_day = model.day() + 1;
+  if (to_day < from_day) {
+    throw std::invalid_argument("run_window: to_day before checkpoint day");
+  }
+  model.run_until_day(to_day);
+  return extract_window(model, from_day, to_day, want_checkpoint);
+}
+
+}  // namespace epismc::core

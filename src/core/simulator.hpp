@@ -1,0 +1,101 @@
+#pragma once
+
+// Simulator abstraction consumed by the SMC machinery.
+//
+// The calibration loop needs three things from a disease simulator:
+//  (1) a common initial state at the calibration start (shared burn-in),
+//  (2) "branch from this checkpointed state with a new (theta, seed) and
+//      run through day T", returning the window's output series,
+//  (3) optionally the end-of-window checkpoint for the next window.
+//
+// Anything meeting this contract can be calibrated -- the event-driven SEIR
+// model, the chain-binomial baseline, and the agent-based model extension
+// all implement it, which is the paper's claim that the approach "applies
+// equally well to other stochastic simulation models".
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "epi/chain_binomial.hpp"
+#include "epi/parameters.hpp"
+#include "epi/schedule.hpp"
+#include "epi/seir_model.hpp"
+
+namespace epismc::core {
+
+/// Output of one branched window run.
+struct WindowRun {
+  std::vector<double> true_cases;  // daily new infections, window days
+  std::vector<double> deaths;      // daily new deaths, window days
+  epi::Checkpoint end_state;       // filled iff want_checkpoint
+};
+
+class Simulator {
+ public:
+  virtual ~Simulator() = default;
+
+  /// Build the shared initial state: seed the epidemic, burn in to
+  /// `day` (exclusive of the first calibration day) and checkpoint.
+  [[nodiscard]] virtual epi::Checkpoint initial_state(
+      std::int32_t day, std::uint64_t seed) const = 0;
+
+  /// Branch from `state`: apply (theta from the next day, new RNG
+  /// identity), simulate through `to_day` inclusive, extract the series
+  /// for days [state.day + 1, to_day].
+  [[nodiscard]] virtual WindowRun run_window(const epi::Checkpoint& state,
+                                             double theta, std::uint64_t seed,
+                                             std::uint64_t stream,
+                                             std::int32_t to_day,
+                                             bool want_checkpoint) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Shared configuration for the concrete epi-model simulators.
+struct EpiSimulatorConfig {
+  epi::DiseaseParameters params;
+  double burnin_theta = 0.3;          // transmission during shared burn-in
+  std::int64_t initial_exposed = 400; // seeding at day 0
+};
+
+/// Simulator backed by the event-driven SeirModel.
+class SeirSimulator final : public Simulator {
+ public:
+  explicit SeirSimulator(EpiSimulatorConfig config) : config_(config) {
+    config_.params.validate();
+  }
+
+  [[nodiscard]] epi::Checkpoint initial_state(std::int32_t day,
+                                              std::uint64_t seed) const override;
+  [[nodiscard]] WindowRun run_window(const epi::Checkpoint& state, double theta,
+                                     std::uint64_t seed, std::uint64_t stream,
+                                     std::int32_t to_day,
+                                     bool want_checkpoint) const override;
+  [[nodiscard]] std::string name() const override { return "seir-event"; }
+
+ private:
+  EpiSimulatorConfig config_;
+};
+
+/// Simulator backed by the memoryless chain-binomial baseline.
+class ChainBinomialSimulator final : public Simulator {
+ public:
+  explicit ChainBinomialSimulator(EpiSimulatorConfig config) : config_(config) {
+    config_.params.validate();
+  }
+
+  [[nodiscard]] epi::Checkpoint initial_state(std::int32_t day,
+                                              std::uint64_t seed) const override;
+  [[nodiscard]] WindowRun run_window(const epi::Checkpoint& state, double theta,
+                                     std::uint64_t seed, std::uint64_t stream,
+                                     std::int32_t to_day,
+                                     bool want_checkpoint) const override;
+  [[nodiscard]] std::string name() const override { return "chain-binomial"; }
+
+ private:
+  EpiSimulatorConfig config_;
+};
+
+}  // namespace epismc::core

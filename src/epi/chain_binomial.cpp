@@ -1,0 +1,261 @@
+#include "epi/chain_binomial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epismc::epi {
+
+namespace {
+constexpr std::uint32_t kChainCheckpointVersion = 102;
+}
+
+ChainBinomialModel::ChainBinomialModel(DiseaseParameters params,
+                                       PiecewiseSchedule transmission,
+                                       std::uint64_t seed,
+                                       std::uint64_t stream)
+    : params_(params),
+      transmission_(std::move(transmission)),
+      eng_(seed, stream) {
+  params_.validate();
+  counts_[index(Compartment::kS)] = params_.population;
+}
+
+double ChainBinomialModel::exit_prob(double mean_days) {
+  return 1.0 - std::exp(-1.0 / mean_days);
+}
+
+void ChainBinomialModel::seed_exposed(std::int64_t n) {
+  auto& susceptible = counts_[index(Compartment::kS)];
+  if (n < 0 || n > susceptible) {
+    throw std::invalid_argument("seed_exposed: count exceeds susceptibles");
+  }
+  susceptible -= n;
+  counts_[index(Compartment::kE)] += n;
+}
+
+double ChainBinomialModel::effective_infectious() const noexcept {
+  const double asym = params_.asymptomatic_infectiousness;
+  const double det = params_.detected_infectiousness;
+  const auto n = [&](Compartment c) {
+    return static_cast<double>(counts_[index(c)]);
+  };
+  using C = Compartment;
+  return n(C::kAu) * asym + n(C::kAd) * asym * det +  //
+         n(C::kPu) + n(C::kPd) * det +                //
+         n(C::kSmU) + n(C::kSmD) * det +              //
+         n(C::kSsU) + n(C::kSsD) * det;
+}
+
+double ChainBinomialModel::force_of_infection() const noexcept {
+  return transmission_.value_at(day_) * effective_infectious() /
+         static_cast<double>(params_.population);
+}
+
+void ChainBinomialModel::step() {
+  ++day_;
+  const DiseaseParameters& p = params_;
+  using C = Compartment;
+  const auto n = [&](C c) { return counts_[index(c)]; };
+  const auto move = [&](C from, C to, std::int64_t k) {
+    counts_[index(from)] -= k;
+    counts_[index(to)] += k;
+  };
+
+  // Draw every outflow from the start-of-day census before applying any of
+  // them, so transitions are simultaneous (no within-day pass-through).
+  struct Flow {
+    C from;
+    C to;
+    std::int64_t count;
+  };
+  std::vector<Flow> flows;
+  flows.reserve(32);
+
+  const auto leave = [&](C from, double mean) {
+    return rng::binomial(eng_, n(from), exit_prob(mean));
+  };
+  const auto split = [&](std::int64_t total, double frac) {
+    return rng::binomial(eng_, total, frac);
+  };
+  // Per-day detection hazard approximating an overall detection fraction
+  // over the state's mean duration.
+  const auto detect_hazard = [&](double frac_detected, double mean) {
+    return 1.0 - std::pow(1.0 - frac_detected, 1.0 / mean);
+  };
+
+  // E -> A/P.
+  {
+    const std::int64_t out = leave(C::kE, p.latent_period);
+    const std::int64_t to_p = split(out, p.fraction_symptomatic);
+    flows.push_back({C::kE, C::kPu, to_p});
+    flows.push_back({C::kE, C::kAu, out - to_p});
+  }
+  // A_u -> R_u plus detection A_u -> A_d.
+  {
+    const std::int64_t out = leave(C::kAu, p.asymptomatic_period);
+    flows.push_back({C::kAu, C::kRu, out});
+    const std::int64_t det = rng::binomial(
+        eng_, n(C::kAu) - out,
+        detect_hazard(p.detect_asymptomatic, p.asymptomatic_period));
+    flows.push_back({C::kAu, C::kAd, det});
+  }
+  flows.push_back({C::kAd, C::kRd, leave(C::kAd, p.asymptomatic_period)});
+  // P_u -> Sm_u/Ss_u plus detection.
+  {
+    const std::int64_t out = leave(C::kPu, p.presymptomatic_period);
+    const std::int64_t mild = split(out, p.fraction_mild);
+    flows.push_back({C::kPu, C::kSmU, mild});
+    flows.push_back({C::kPu, C::kSsU, out - mild});
+    const std::int64_t det = rng::binomial(
+        eng_, n(C::kPu) - out,
+        detect_hazard(p.detect_presymptomatic, p.presymptomatic_period));
+    flows.push_back({C::kPu, C::kPd, det});
+  }
+  {
+    const std::int64_t out = leave(C::kPd, p.presymptomatic_period);
+    const std::int64_t mild = split(out, p.fraction_mild);
+    flows.push_back({C::kPd, C::kSmD, mild});
+    flows.push_back({C::kPd, C::kSsD, out - mild});
+  }
+  // Sm -> R plus detection.
+  {
+    const std::int64_t out = leave(C::kSmU, p.mild_period);
+    flows.push_back({C::kSmU, C::kRu, out});
+    const std::int64_t det =
+        rng::binomial(eng_, n(C::kSmU) - out,
+                      detect_hazard(p.detect_mild, p.mild_period));
+    flows.push_back({C::kSmU, C::kSmD, det});
+  }
+  flows.push_back({C::kSmD, C::kRd, leave(C::kSmD, p.mild_period)});
+  // Ss -> H plus detection.
+  {
+    const std::int64_t out = leave(C::kSsU, p.severe_period);
+    flows.push_back({C::kSsU, C::kHu, out});
+    const std::int64_t det =
+        rng::binomial(eng_, n(C::kSsU) - out,
+                      detect_hazard(p.detect_severe, p.severe_period));
+    flows.push_back({C::kSsU, C::kSsD, det});
+  }
+  flows.push_back({C::kSsD, C::kHd, leave(C::kSsD, p.severe_period)});
+  // H -> C / R.
+  for (const auto& [h, icu, rec] :
+       {std::tuple{C::kHu, C::kCu, C::kRu}, std::tuple{C::kHd, C::kCd, C::kRd}}) {
+    const std::int64_t out = leave(h, p.hospital_period);
+    const std::int64_t crit = split(out, p.fraction_critical);
+    flows.push_back({h, icu, crit});
+    flows.push_back({h, rec, out - crit});
+  }
+  // C -> D / Hp.
+  for (const auto& [icu, dead, ward] :
+       {std::tuple{C::kCu, C::kDu, C::kHpU}, std::tuple{C::kCd, C::kDd, C::kHpD}}) {
+    const std::int64_t out = leave(icu, p.icu_period);
+    const std::int64_t dying = split(out, p.fraction_death);
+    flows.push_back({icu, dead, dying});
+    flows.push_back({icu, ward, out - dying});
+  }
+  // Hp -> R.
+  flows.push_back({C::kHpU, C::kRu, leave(C::kHpU, p.post_icu_period)});
+  flows.push_back({C::kHpD, C::kRd, leave(C::kHpD, p.post_icu_period)});
+
+  // New infections from the start-of-day census as well.
+  const double p_inf = 1.0 - std::exp(-force_of_infection());
+  const std::int64_t infected = rng::binomial(eng_, n(C::kS), p_inf);
+  flows.push_back({C::kS, C::kE, infected});
+
+  std::int64_t new_deaths = 0;
+  std::int64_t new_detected = 0;
+  for (const Flow& f : flows) {
+    move(f.from, f.to, f.count);
+    if (f.to == C::kDu || f.to == C::kDd) new_deaths += f.count;
+    if (!is_detected(f.from) && is_detected(f.to)) new_detected += f.count;
+  }
+
+  DailyRecord rec;
+  rec.day = day_;
+  rec.new_infections = infected;
+  rec.new_detected_cases = new_detected;
+  rec.new_deaths = new_deaths;
+  rec.hospital_census =
+      n(C::kHu) + n(C::kHd) + n(C::kHpU) + n(C::kHpD);
+  rec.icu_census = n(C::kCu) + n(C::kCd);
+  double infectious = 0.0;
+  for (std::size_t c = 0; c < kCompartmentCount; ++c) {
+    if (is_infectious(static_cast<Compartment>(c))) {
+      infectious += static_cast<double>(counts_[c]);
+    }
+  }
+  rec.infectious_census = static_cast<std::int64_t>(infectious);
+  rec.susceptible = n(C::kS);
+  trajectory_.append(rec);
+}
+
+void ChainBinomialModel::run_until_day(std::int32_t day) {
+  if (day < day_) {
+    throw std::invalid_argument("run_until_day: target is in the past");
+  }
+  while (day_ < day) step();
+}
+
+std::int64_t ChainBinomialModel::total_individuals() const noexcept {
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts_) total += c;
+  return total;
+}
+
+Checkpoint ChainBinomialModel::make_checkpoint() const {
+  io::BinaryWriter out(kChainCheckpointVersion);
+  out.write(params_);
+  transmission_.serialize(out);
+  out.write(day_);
+  out.write(counts_);
+  out.write(eng_.seed_value());
+  out.write(eng_.stream_value());
+  out.write(eng_.position());
+  trajectory_.serialize(out);
+  Checkpoint ckpt;
+  ckpt.bytes = out.bytes();
+  ckpt.day = day_;
+  return ckpt;
+}
+
+ChainBinomialModel ChainBinomialModel::restore(const Checkpoint& ckpt,
+                                               const RestartOverrides& ovr) {
+  io::BinaryReader in{ckpt.bytes};
+  if (in.version() != kChainCheckpointVersion) {
+    throw io::ArchiveError(
+        "ChainBinomialModel::restore: unsupported checkpoint version");
+  }
+  ChainBinomialModel m;
+  m.params_ = in.read<DiseaseParameters>();
+  m.transmission_ = PiecewiseSchedule::deserialize(in);
+  m.day_ = in.read<std::int32_t>();
+  m.counts_ = in.read<Census>();
+  const auto seed = in.read<std::uint64_t>();
+  const auto stream = in.read<std::uint64_t>();
+  const auto position = in.read<std::uint64_t>();
+  m.trajectory_ = Trajectory::deserialize(in);
+
+  if (ovr.reseeds()) {
+    m.eng_.reseed(ovr.seed.value_or(seed), ovr.stream.value_or(stream));
+  } else {
+    m.eng_.reseed(seed, stream);
+    m.eng_.set_position(position);
+  }
+  if (ovr.fraction_symptomatic) {
+    m.params_.fraction_symptomatic = *ovr.fraction_symptomatic;
+  }
+  if (ovr.fraction_mild) m.params_.fraction_mild = *ovr.fraction_mild;
+  if (ovr.asymptomatic_infectiousness) {
+    m.params_.asymptomatic_infectiousness = *ovr.asymptomatic_infectiousness;
+  }
+  if (ovr.detected_infectiousness) {
+    m.params_.detected_infectiousness = *ovr.detected_infectiousness;
+  }
+  if (ovr.transmission_rate) {
+    m.transmission_.override_from(m.day_ + 1, *ovr.transmission_rate);
+  }
+  m.params_.validate();
+  return m;
+}
+
+}  // namespace epismc::epi

@@ -1,0 +1,69 @@
+#pragma once
+
+// Memoryless chain-binomial baseline engine.
+//
+// Same compartment topology and observables as SeirModel, but sojourn times
+// are geometric (a per-day exit hazard 1 - exp(-1/mean)) and nothing is
+// scheduled ahead of time: the entire state is the census vector. This is
+// the classical discrete-time formulation most SMC epidemic papers use; it
+// exists here as the ablation baseline (E10/E11 discuss how Erlang sojourns
+// and the event queue change calibration), and as a cross-check oracle for
+// SeirModel's aggregate behaviour.
+
+#include <cstdint>
+
+#include "epi/compartments.hpp"
+#include "epi/parameters.hpp"
+#include "epi/schedule.hpp"
+#include "epi/seir_model.hpp"
+#include "epi/trajectory.hpp"
+#include "random/distributions.hpp"
+
+namespace epismc::epi {
+
+class ChainBinomialModel {
+ public:
+  ChainBinomialModel(DiseaseParameters params, PiecewiseSchedule transmission,
+                     std::uint64_t seed, std::uint64_t stream = 0);
+
+  void seed_exposed(std::int64_t count);
+  void step();
+  void run_until_day(std::int32_t day);
+
+  [[nodiscard]] std::int32_t day() const noexcept { return day_; }
+  [[nodiscard]] const Trajectory& trajectory() const noexcept {
+    return trajectory_;
+  }
+  [[nodiscard]] std::int64_t count(Compartment c) const noexcept {
+    return counts_[index(c)];
+  }
+  [[nodiscard]] const Census& census() const noexcept { return counts_; }
+  [[nodiscard]] std::int64_t population() const noexcept {
+    return params_.population;
+  }
+  [[nodiscard]] const DiseaseParameters& parameters() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] double effective_infectious() const noexcept;
+  [[nodiscard]] double force_of_infection() const noexcept;
+  [[nodiscard]] std::int64_t total_individuals() const noexcept;
+
+  [[nodiscard]] Checkpoint make_checkpoint() const;
+  [[nodiscard]] static ChainBinomialModel restore(const Checkpoint& ckpt,
+                                                  const RestartOverrides& ovr = {});
+
+ private:
+  ChainBinomialModel() = default;
+
+  /// Per-day exit probability for a mean sojourn (exponential hazard).
+  [[nodiscard]] static double exit_prob(double mean_days);
+
+  DiseaseParameters params_;
+  PiecewiseSchedule transmission_;
+  rng::Engine eng_;
+  std::int32_t day_ = 0;
+  Census counts_{};
+  Trajectory trajectory_;
+};
+
+}  // namespace epismc::epi

@@ -1,0 +1,82 @@
+#include "epi/compartments.hpp"
+
+namespace epismc::epi {
+
+std::string_view name(Compartment c) noexcept {
+  switch (c) {
+    case Compartment::kS: return "S";
+    case Compartment::kE: return "E";
+    case Compartment::kAu: return "A_u";
+    case Compartment::kAd: return "A_d";
+    case Compartment::kPu: return "P_u";
+    case Compartment::kPd: return "P_d";
+    case Compartment::kSmU: return "Sm_u";
+    case Compartment::kSmD: return "Sm_d";
+    case Compartment::kSsU: return "Ss_u";
+    case Compartment::kSsD: return "Ss_d";
+    case Compartment::kHu: return "H_u";
+    case Compartment::kHd: return "H_d";
+    case Compartment::kCu: return "C_u";
+    case Compartment::kCd: return "C_d";
+    case Compartment::kHpU: return "Hp_u";
+    case Compartment::kHpD: return "Hp_d";
+    case Compartment::kRu: return "R_u";
+    case Compartment::kRd: return "R_d";
+    case Compartment::kDu: return "D_u";
+    case Compartment::kDd: return "D_d";
+    case Compartment::kCount: break;
+  }
+  return "?";
+}
+
+int edge_index(Compartment from, Compartment to) noexcept {
+  // Dense lookup built once from the transition table.
+  static const auto kLookup = [] {
+    std::array<std::array<std::int8_t, kCompartmentCount>, kCompartmentCount>
+        table{};
+    for (auto& row : table) row.fill(-1);
+    const auto& edges = transition_table();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      table[index(edges[e].from)][index(edges[e].to)] =
+          static_cast<std::int8_t>(e);
+    }
+    return table;
+  }();
+  return kLookup[index(from)][index(to)];
+}
+
+const std::array<TransitionEdge, kEdgeCount>& transition_table() noexcept {
+  using C = Compartment;
+  static const std::array<TransitionEdge, 27> kTable = {{
+      {C::kS, C::kE, "infection (rate theta * I_eff / N)"},
+      {C::kE, C::kAu, "latent period, asymptomatic course"},
+      {C::kE, C::kPu, "latent period, symptomatic course"},
+      {C::kAu, C::kAd, "detection of asymptomatic infection"},
+      {C::kAu, C::kRu, "recovery"},
+      {C::kAd, C::kRd, "recovery"},
+      {C::kPu, C::kPd, "detection of presymptomatic infection"},
+      {C::kPu, C::kSmU, "incubation complete, mild symptoms"},
+      {C::kPu, C::kSsU, "incubation complete, severe symptoms"},
+      {C::kPd, C::kSmD, "incubation complete, mild symptoms"},
+      {C::kPd, C::kSsD, "incubation complete, severe symptoms"},
+      {C::kSmU, C::kSmD, "detection of mild infection"},
+      {C::kSmU, C::kRu, "recovery"},
+      {C::kSmD, C::kRd, "recovery"},
+      {C::kSsU, C::kSsD, "detection of severe infection"},
+      {C::kSsU, C::kHu, "hospital admission"},
+      {C::kSsD, C::kHd, "hospital admission"},
+      {C::kHu, C::kCu, "progression to critical illness"},
+      {C::kHu, C::kRu, "recovery without complications"},
+      {C::kHd, C::kCd, "progression to critical illness"},
+      {C::kHd, C::kRd, "recovery without complications"},
+      {C::kCu, C::kDu, "death"},
+      {C::kCu, C::kHpU, "ICU discharge to post-ICU ward"},
+      {C::kCd, C::kDd, "death"},
+      {C::kCd, C::kHpD, "ICU discharge to post-ICU ward"},
+      {C::kHpU, C::kRu, "recovery"},
+      {C::kHpD, C::kRd, "recovery"},
+  }};
+  return kTable;
+}
+
+}  // namespace epismc::epi

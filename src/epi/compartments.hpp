@@ -1,0 +1,114 @@
+#pragma once
+
+// Compartment topology of the stochastic SEIR simulator (paper Fig. 1).
+//
+// S = susceptible, E = exposed/latent, A = asymptomatic, P = presymptomatic,
+// Sm = mild symptomatic, Ss = severe symptomatic, H = hospitalized,
+// C = critically ill (ICU), Hp = post-ICU hospitalization, R = recovered,
+// D = dead. The u/d suffix distinguishes undetected from detected
+// infections; detected individuals are isolated and less infectious.
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace epismc::epi {
+
+enum class Compartment : std::uint8_t {
+  kS = 0,
+  kE,
+  kAu, kAd,    // asymptomatic
+  kPu, kPd,    // presymptomatic
+  kSmU, kSmD,  // mild symptomatic
+  kSsU, kSsD,  // severe symptomatic
+  kHu, kHd,    // hospitalized
+  kCu, kCd,    // critical (ICU)
+  kHpU, kHpD,  // post-ICU hospitalization
+  kRu, kRd,    // recovered
+  kDu, kDd,    // dead
+  kCount,
+};
+
+inline constexpr std::size_t kCompartmentCount =
+    static_cast<std::size_t>(Compartment::kCount);
+
+[[nodiscard]] constexpr std::size_t index(Compartment c) noexcept {
+  return static_cast<std::size_t>(c);
+}
+
+[[nodiscard]] std::string_view name(Compartment c) noexcept;
+
+/// True for compartments whose occupants can transmit infection.
+[[nodiscard]] constexpr bool is_infectious(Compartment c) noexcept {
+  switch (c) {
+    case Compartment::kAu:
+    case Compartment::kAd:
+    case Compartment::kPu:
+    case Compartment::kPd:
+    case Compartment::kSmU:
+    case Compartment::kSmD:
+    case Compartment::kSsU:
+    case Compartment::kSsD:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True for detected (isolated) disease states.
+[[nodiscard]] constexpr bool is_detected(Compartment c) noexcept {
+  switch (c) {
+    case Compartment::kAd:
+    case Compartment::kPd:
+    case Compartment::kSmD:
+    case Compartment::kSsD:
+    case Compartment::kHd:
+    case Compartment::kCd:
+    case Compartment::kHpD:
+    case Compartment::kRd:
+    case Compartment::kDd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The detected twin of an undetected disease state (kS/kE map to
+/// themselves; detected states are fixed points).
+[[nodiscard]] constexpr Compartment detected_twin(Compartment c) noexcept {
+  switch (c) {
+    case Compartment::kAu: return Compartment::kAd;
+    case Compartment::kPu: return Compartment::kPd;
+    case Compartment::kSmU: return Compartment::kSmD;
+    case Compartment::kSsU: return Compartment::kSsD;
+    case Compartment::kHu: return Compartment::kHd;
+    case Compartment::kCu: return Compartment::kCd;
+    case Compartment::kHpU: return Compartment::kHpD;
+    case Compartment::kRu: return Compartment::kRd;
+    case Compartment::kDu: return Compartment::kDd;
+    default: return c;
+  }
+}
+
+/// Census vector type: one count per compartment.
+using Census = std::array<std::int64_t, kCompartmentCount>;
+
+/// One directed edge of the disease progression graph, for introspection
+/// and the Fig. 1 schematic dump.
+struct TransitionEdge {
+  Compartment from;
+  Compartment to;
+  std::string_view label;
+};
+
+inline constexpr std::size_t kEdgeCount = 27;
+
+/// Full transition table of the model (static topology).
+[[nodiscard]] const std::array<TransitionEdge, kEdgeCount>&
+transition_table() noexcept;
+
+/// Index of (from, to) in transition_table(), or -1 if the edge does not
+/// exist. O(1); backs the edge-aggregated future-event queue.
+[[nodiscard]] int edge_index(Compartment from, Compartment to) noexcept;
+
+}  // namespace epismc::epi

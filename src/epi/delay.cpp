@@ -1,0 +1,83 @@
+#include "epi/delay.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace epismc::epi {
+
+double erlang_cdf(int shape, double scale, double x) {
+  if (shape < 1) throw std::invalid_argument("erlang_cdf: shape must be >= 1");
+  if (!(scale > 0.0)) throw std::invalid_argument("erlang_cdf: scale must be > 0");
+  if (x <= 0.0) return 0.0;
+  const double z = x / scale;
+  // 1 - exp(-z) * sum_{j=0}^{k-1} z^j / j!
+  double term = 1.0;
+  double sum = 1.0;
+  for (int j = 1; j < shape; ++j) {
+    term *= z / static_cast<double>(j);
+    sum += term;
+  }
+  return 1.0 - std::exp(-z) * sum;
+}
+
+DelayDistribution::DelayDistribution(double mean_days, int erlang_shape,
+                                     int max_delay) {
+  if (!(mean_days > 0.0)) {
+    throw std::invalid_argument("DelayDistribution: mean must be > 0");
+  }
+  if (erlang_shape < 1) {
+    throw std::invalid_argument("DelayDistribution: shape must be >= 1");
+  }
+  if (max_delay < 2) {
+    throw std::invalid_argument("DelayDistribution: max_delay must be >= 2");
+  }
+  const double scale = mean_days / static_cast<double>(erlang_shape);
+  pmf_.resize(static_cast<std::size_t>(max_delay));
+  double prev = 0.0;  // CDF at 0.5 folded into day 1 (min sojourn is 1 day)
+  for (int d = 1; d <= max_delay; ++d) {
+    const double upper = d == max_delay
+                             ? 1.0  // fold the tail into the last bin
+                             : erlang_cdf(erlang_shape, scale,
+                                          static_cast<double>(d) + 0.5);
+    pmf_[static_cast<std::size_t>(d - 1)] = upper - prev;
+    prev = upper;
+  }
+  cdf_.resize(pmf_.size());
+  std::partial_sum(pmf_.begin(), pmf_.end(), cdf_.begin());
+  cdf_.back() = 1.0;
+}
+
+std::vector<std::int64_t> DelayDistribution::split(rng::Engine& eng,
+                                                   std::int64_t count) const {
+  if (pmf_.empty()) throw std::logic_error("DelayDistribution: not built");
+  if (count <= 16) {
+    // Per-individual sampling beats a full multinomial sweep for the small
+    // cohorts that dominate late-pipeline compartments (ICU, deaths).
+    std::vector<std::int64_t> out(pmf_.size(), 0);
+    for (std::int64_t i = 0; i < count; ++i) {
+      out[static_cast<std::size_t>(sample_one(eng) - 1)] += 1;
+    }
+    return out;
+  }
+  return rng::multinomial(eng, count, pmf_);
+}
+
+int DelayDistribution::sample_one(rng::Engine& eng) const {
+  if (cdf_.empty()) throw std::logic_error("DelayDistribution: not built");
+  const double u = rng::uniform_double(eng);
+  for (std::size_t i = 0; i < cdf_.size(); ++i) {
+    if (u <= cdf_[i]) return static_cast<int>(i) + 1;
+  }
+  return static_cast<int>(cdf_.size());
+}
+
+double DelayDistribution::mean() const noexcept {
+  double m = 0.0;
+  for (std::size_t i = 0; i < pmf_.size(); ++i) {
+    m += static_cast<double>(i + 1) * pmf_[i];
+  }
+  return m;
+}
+
+}  // namespace epismc::epi

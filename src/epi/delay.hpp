@@ -1,0 +1,54 @@
+#pragma once
+
+// Discretized sojourn-time distributions.
+//
+// Cohorts entering a compartment have their future exit *scheduled at entry
+// time* -- this is what makes the model state checkpointable as "counts +
+// future transition events". Sojourn times follow Erlang(shape, mean)
+// distributions discretized to whole days: pmf[d] = P(d - 0.5 < X <= d +
+// 0.5) for d = 1..max_delay (day 1 absorbs all mass below 1.5 so every
+// transition takes at least one day, which rules out same-day event
+// cascades).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "random/distributions.hpp"
+
+namespace epismc::epi {
+
+class DelayDistribution {
+ public:
+  DelayDistribution() = default;
+
+  /// Build from an Erlang(shape, mean) sojourn law truncated at max_delay.
+  DelayDistribution(double mean_days, int erlang_shape, int max_delay);
+
+  /// Split a cohort of `count` individuals across delays 1..max_delay.
+  /// out[d] = number of individuals leaving after exactly d+1 days.
+  /// Small cohorts are sampled individually (O(count) cdf lookups), large
+  /// ones via conditional-binomial multinomial (O(max_delay) draws) --
+  /// identical distribution, different constants.
+  [[nodiscard]] std::vector<std::int64_t> split(rng::Engine& eng,
+                                                std::int64_t count) const;
+
+  /// Sample a single delay in days (>= 1).
+  [[nodiscard]] int sample_one(rng::Engine& eng) const;
+
+  [[nodiscard]] std::span<const double> pmf() const noexcept { return pmf_; }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] int max_delay() const noexcept {
+    return static_cast<int>(pmf_.size());
+  }
+
+ private:
+  std::vector<double> pmf_;  // pmf_[i] = P(delay == i + 1 days)
+  std::vector<double> cdf_;
+};
+
+/// Regularized lower incomplete gamma P(k, x) for integer k >= 1
+/// (the Erlang CDF): P(X <= x) with X ~ Erlang(k, scale 1).
+[[nodiscard]] double erlang_cdf(int shape, double scale, double x);
+
+}  // namespace epismc::epi

@@ -1,0 +1,124 @@
+#include "epi/reproduction.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "epi/delay.hpp"
+
+namespace epismc::epi {
+
+double effective_infectious_duration(const DiseaseParameters& p) {
+  p.validate();
+  const double a = p.asymptomatic_infectiousness;
+  const double det = p.detected_infectiousness;
+  const double dd = static_cast<double>(p.detection_delay);
+
+  // Asymptomatic course: detected individuals transmit at full asymptomatic
+  // weight for the detection delay, then at the isolated weight for a fresh
+  // asymptomatic period (mirrors the simulator's re-sampling on entry to
+  // the detected compartment).
+  const double d_asym = p.detect_asymptomatic;
+  const double contrib_a =
+      a * ((1.0 - d_asym) * p.asymptomatic_period +
+           d_asym * (dd + det * p.asymptomatic_period));
+
+  // Mild symptomatic tail (entered undetected).
+  const double d_mild = p.detect_mild;
+  const double tail_mild = (1.0 - d_mild) * p.mild_period +
+                           d_mild * (dd + det * p.mild_period);
+  // Severe symptomatic tail (entered undetected); transmission stops at
+  // hospital admission.
+  const double d_sev = p.detect_severe;
+  const double tail_severe = (1.0 - d_sev) * p.severe_period +
+                             d_sev * (dd + det * p.severe_period);
+
+  // Presymptomatic course.
+  const double d_pre = p.detect_presymptomatic;
+  const double detected_pre =
+      dd + det * (p.presymptomatic_period +
+                  p.fraction_mild * p.mild_period +
+                  (1.0 - p.fraction_mild) * p.severe_period);
+  const double undetected_pre =
+      p.presymptomatic_period + p.fraction_mild * tail_mild +
+      (1.0 - p.fraction_mild) * tail_severe;
+  const double contrib_p =
+      d_pre * detected_pre + (1.0 - d_pre) * undetected_pre;
+
+  return (1.0 - p.fraction_symptomatic) * contrib_a +
+         p.fraction_symptomatic * contrib_p;
+}
+
+double basic_reproduction_number(const DiseaseParameters& params,
+                                 double theta) {
+  if (theta < 0.0) {
+    throw std::invalid_argument("basic_reproduction_number: theta < 0");
+  }
+  return theta * effective_infectious_duration(params);
+}
+
+std::vector<double> instantaneous_rt(const Trajectory& trajectory,
+                                     const DiseaseParameters& params,
+                                     const PiecewiseSchedule& transmission) {
+  const double d_eff = effective_infectious_duration(params);
+  const auto n = static_cast<double>(params.population);
+  std::vector<double> rt;
+  rt.reserve(trajectory.size());
+  for (const DailyRecord& rec : trajectory.records()) {
+    const double theta = transmission.value_at(rec.day);
+    rt.push_back(theta * d_eff * static_cast<double>(rec.susceptible) / n);
+  }
+  return rt;
+}
+
+std::vector<double> generation_interval_pmf(const DiseaseParameters& p) {
+  // Mean generation time: full latent period plus roughly half of the
+  // (unweighted) transmitting period; Erlang shape 3 gives a realistic
+  // right-skewed interval. This is the standard moment-matched
+  // approximation; the exact interval would require integrating over the
+  // branching courses.
+  const double transmitting =
+      p.fraction_symptomatic *
+          (p.presymptomatic_period +
+           p.fraction_mild * p.mild_period +
+           (1.0 - p.fraction_mild) * p.severe_period) +
+      (1.0 - p.fraction_symptomatic) * p.asymptomatic_period;
+  const double mean_gen = p.latent_period + 0.5 * transmitting;
+
+  const DelayDistribution d(mean_gen, /*erlang_shape=*/3, /*max_delay=*/32);
+  return {d.pmf().begin(), d.pmf().end()};
+}
+
+std::vector<double> cori_rt(std::span<const double> incidence,
+                            std::span<const double> gen_interval,
+                            int window) {
+  if (gen_interval.empty()) {
+    throw std::invalid_argument("cori_rt: empty generation interval");
+  }
+  if (window < 1) throw std::invalid_argument("cori_rt: window must be >= 1");
+
+  const std::size_t n = incidence.size();
+  // Total infectiousness Lambda_t = sum_s w_s I_{t-s} (s >= 1).
+  std::vector<double> lambda(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t s = 1; s <= gen_interval.size() && s <= t; ++s) {
+      lambda[t] += gen_interval[s - 1] * incidence[t - s];
+    }
+  }
+  std::vector<double> rt(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    double num = 0.0;
+    double den = 0.0;
+    const std::size_t begin =
+        t + 1 >= static_cast<std::size_t>(window)
+            ? t + 1 - static_cast<std::size_t>(window)
+            : 0;
+    for (std::size_t u = begin; u <= t; ++u) {
+      num += incidence[u];
+      den += lambda[u];
+    }
+    rt[t] = den > 1e-9 ? num / den : 0.0;
+  }
+  return rt;
+}
+
+}  // namespace epismc::epi

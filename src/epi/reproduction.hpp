@@ -1,0 +1,54 @@
+#pragma once
+
+// Reproduction-number machinery.
+//
+// The paper's related work centers on estimating the effective reproduction
+// number R_t from imperfect data (Gostic et al., White et al., ...). Given
+// the simulator's explicit natural history we can compute R_0 exactly from
+// the parameters (expected infectiousness-weighted time an infected
+// individual spends transmitting, times theta), track the instantaneous
+// R_t = R_0(theta_t) * S_t / N along any trajectory, and cross-check with
+// the Cori-style empirical estimator driven only by incidence.
+
+#include <span>
+#include <vector>
+
+#include "epi/parameters.hpp"
+#include "epi/schedule.hpp"
+#include "epi/trajectory.hpp"
+
+namespace epismc::epi {
+
+/// Expected infectiousness-weighted transmitting time of one infected
+/// individual (days): the sum over the disease course of (relative
+/// infectiousness x expected duration), marginalized over the asymptomatic/
+/// mild/severe branches and the detection process. R_0 = theta * this.
+[[nodiscard]] double effective_infectious_duration(
+    const DiseaseParameters& params);
+
+/// Basic reproduction number at transmission rate theta.
+[[nodiscard]] double basic_reproduction_number(const DiseaseParameters& params,
+                                               double theta);
+
+/// Instantaneous (susceptible-adjusted) R_t along a simulated trajectory:
+/// R_t = theta(t) * D_eff * S_t / N. One value per trajectory day.
+[[nodiscard]] std::vector<double> instantaneous_rt(
+    const Trajectory& trajectory, const DiseaseParameters& params,
+    const PiecewiseSchedule& transmission);
+
+/// Discretized generation-interval pmf implied by the parameters: time from
+/// infection of an index case to the infections it causes, approximated as
+/// latent period plus the infectiousness-weighted midpoint of the
+/// transmitting period, discretized like the sojourn laws.
+[[nodiscard]] std::vector<double> generation_interval_pmf(
+    const DiseaseParameters& params);
+
+/// Cori et al. (2013) instantaneous R_t from incidence alone:
+/// R_t = I_t / sum_s w_s I_{t-s}, with w the generation-interval pmf and a
+/// trailing smoothing window of `window` days. Returns one value per input
+/// day (leading days without enough history yield 0).
+[[nodiscard]] std::vector<double> cori_rt(std::span<const double> incidence,
+                                          std::span<const double> gen_interval,
+                                          int window = 7);
+
+}  // namespace epismc::epi

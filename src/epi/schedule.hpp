@@ -1,0 +1,57 @@
+#pragma once
+
+// Piecewise-constant time schedules for time-varying parameters.
+//
+// The paper's experiments vary the transmission rate (and the reporting
+// bias used to simulate observations) at discrete "horizons": theta(t) is
+// 0.3 on days [0, 34), 0.27 on [34, 48), 0.25 on [48, 62) and 0.4 from day
+// 62 on. A schedule is an ordered list of (start_day, value) segments; the
+// value at day t is that of the last segment with start_day <= t.
+
+#include <cstdint>
+#include <vector>
+
+#include "io/binary_archive.hpp"
+
+namespace epismc::epi {
+
+class PiecewiseSchedule {
+ public:
+  struct Segment {
+    std::int32_t start_day;
+    double value;
+  };
+
+  /// Constant schedule.
+  explicit PiecewiseSchedule(double value) { set(0, value); }
+  PiecewiseSchedule() : PiecewiseSchedule(0.0) {}
+
+  /// Schedule from (start_day, value) pairs; days must be unique.
+  explicit PiecewiseSchedule(std::vector<Segment> segments);
+
+  /// Set the value from `start_day` onward (replaces any later segments'
+  /// precedence at that exact day).
+  void set(std::int32_t start_day, double value);
+
+  /// Replace everything from `start_day` onward with a single value: this
+  /// is the checkpoint-restart override ("rate of persons moving from S to
+  /// E" along a new trajectory).
+  void override_from(std::int32_t start_day, double value);
+
+  [[nodiscard]] double value_at(std::int32_t day) const;
+
+  [[nodiscard]] const std::vector<Segment>& segments() const noexcept {
+    return segments_;
+  }
+
+  void serialize(io::BinaryWriter& out) const;
+  static PiecewiseSchedule deserialize(io::BinaryReader& in);
+
+  friend bool operator==(const PiecewiseSchedule& a,
+                         const PiecewiseSchedule& b);
+
+ private:
+  std::vector<Segment> segments_;  // sorted by start_day, unique
+};
+
+}  // namespace epismc::epi

@@ -1,0 +1,51 @@
+#include "epi/trajectory.hpp"
+
+#include <stdexcept>
+
+namespace epismc::epi {
+
+const DailyRecord& Trajectory::at_day(std::int32_t day) const {
+  if (records_.empty()) throw std::out_of_range("Trajectory: empty");
+  const std::int64_t offset = day - records_.front().day;
+  if (offset < 0 || offset >= static_cast<std::int64_t>(records_.size())) {
+    throw std::out_of_range("Trajectory: day out of range");
+  }
+  return records_[static_cast<std::size_t>(offset)];
+}
+
+std::int32_t Trajectory::first_day() const {
+  if (records_.empty()) throw std::out_of_range("Trajectory: empty");
+  return records_.front().day;
+}
+
+std::int32_t Trajectory::last_day() const {
+  if (records_.empty()) throw std::out_of_range("Trajectory: empty");
+  return records_.back().day;
+}
+
+std::vector<double> Trajectory::series(std::int64_t DailyRecord::* field,
+                                       std::int32_t from_day,
+                                       std::int32_t to_day) const {
+  if (to_day < from_day) {
+    throw std::invalid_argument("Trajectory::series: to_day < from_day");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(to_day - from_day + 1));
+  for (std::int32_t d = from_day; d <= to_day; ++d) {
+    out.push_back(static_cast<double>(at_day(d).*field));
+  }
+  return out;
+}
+
+void Trajectory::serialize(io::BinaryWriter& out) const {
+  static_assert(std::is_trivially_copyable_v<DailyRecord>);
+  out.write_vector(records_);
+}
+
+Trajectory Trajectory::deserialize(io::BinaryReader& in) {
+  Trajectory t;
+  t.records_ = in.read_vector<DailyRecord>();
+  return t;
+}
+
+}  // namespace epismc::epi

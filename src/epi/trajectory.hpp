@@ -1,0 +1,67 @@
+#pragma once
+
+// Daily simulator outputs.
+//
+// The calibration uses daily new infections ("true cases" eta^c) and daily
+// deaths (eta^d); hospital and ICU census are recorded because the source
+// model was tuned against them and the examples display them.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "io/binary_archive.hpp"
+
+namespace epismc::epi {
+
+struct DailyRecord {
+  std::int32_t day = 0;
+  std::int64_t new_infections = 0;      // S -> E transitions this day
+  std::int64_t new_detected_cases = 0;  // *_u -> *_d transitions this day
+  std::int64_t new_deaths = 0;          // entries into D_u/D_d this day
+  std::int64_t hospital_census = 0;     // H + Hp occupancy at end of day
+  std::int64_t icu_census = 0;          // C occupancy at end of day
+  std::int64_t infectious_census = 0;   // occupants of infectious states
+  std::int64_t susceptible = 0;         // S at end of day
+};
+
+class Trajectory {
+ public:
+  void append(const DailyRecord& rec) { records_.push_back(rec); }
+
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+  [[nodiscard]] const DailyRecord& at_day(std::int32_t day) const;
+  [[nodiscard]] const DailyRecord& operator[](std::size_t i) const {
+    return records_[i];
+  }
+  [[nodiscard]] std::int32_t first_day() const;
+  [[nodiscard]] std::int32_t last_day() const;
+
+  /// Extract one field over an inclusive day window as doubles (the shape
+  /// likelihoods consume).
+  [[nodiscard]] std::vector<double> series(
+      std::int64_t DailyRecord::* field, std::int32_t from_day,
+      std::int32_t to_day) const;
+
+  [[nodiscard]] std::vector<double> new_infections(std::int32_t from_day,
+                                                   std::int32_t to_day) const {
+    return series(&DailyRecord::new_infections, from_day, to_day);
+  }
+  [[nodiscard]] std::vector<double> new_deaths(std::int32_t from_day,
+                                               std::int32_t to_day) const {
+    return series(&DailyRecord::new_deaths, from_day, to_day);
+  }
+
+  [[nodiscard]] const std::vector<DailyRecord>& records() const noexcept {
+    return records_;
+  }
+
+  void serialize(io::BinaryWriter& out) const;
+  static Trajectory deserialize(io::BinaryReader& in);
+
+ private:
+  std::vector<DailyRecord> records_;
+};
+
+}  // namespace epismc::epi

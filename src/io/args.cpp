@@ -1,0 +1,59 @@
+#include "io/args.hpp"
+
+#include <stdexcept>
+
+namespace epismc::io {
+
+Args::Args(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("Args: expected --key[=value], got " + arg);
+    }
+    const std::string body = arg.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+std::string Args::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Args::get_int(const std::string& key, std::int64_t fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool Args::get_flag(const std::string& key) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it != values_.end() && it->second != "false" && it->second != "0";
+}
+
+void Args::check_unused() const {
+  for (const auto& [key, value] : values_) {
+    if (used_.find(key) == used_.end()) {
+      throw std::invalid_argument("Args: unknown argument --" + key);
+    }
+  }
+}
+
+}  // namespace epismc::io

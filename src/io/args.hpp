@@ -1,0 +1,38 @@
+#pragma once
+
+// Tiny CLI argument parser shared by bench binaries and examples.
+// Accepts --key=value and --flag forms; anything unknown is an error so
+// typos in experiment sweeps fail loudly instead of silently using defaults.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace epismc::io {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+  [[nodiscard]] bool get_flag(const std::string& key) const;
+
+  /// Throws if any provided argument was never queried; call last.
+  void check_unused() const;
+
+  [[nodiscard]] const std::string& program() const noexcept { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace epismc::io

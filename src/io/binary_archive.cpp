@@ -1,0 +1,39 @@
+#include "io/binary_archive.hpp"
+
+#include <fstream>
+
+namespace epismc::io {
+
+void BinaryWriter::save(const std::filesystem::path& path) const {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw ArchiveError("BinaryWriter: cannot open " + tmp.string());
+    out.write(reinterpret_cast<const char*>(buffer_.data()),
+              static_cast<std::streamsize>(buffer_.size()));
+    if (!out) throw ArchiveError("BinaryWriter: write failed " + tmp.string());
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+BinaryReader::BinaryReader(std::vector<std::byte> bytes)
+    : buffer_(std::move(bytes)) {
+  const auto magic = read<std::uint32_t>();
+  if (magic != BinaryWriter::kMagic) {
+    throw ArchiveError("BinaryReader: bad magic (not an epismc archive)");
+  }
+  version_ = read<std::uint32_t>();
+}
+
+BinaryReader BinaryReader::load(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw ArchiveError("BinaryReader: cannot open " + path.string());
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(bytes.data()), size);
+  if (!in) throw ArchiveError("BinaryReader: read failed " + path.string());
+  return BinaryReader(std::move(bytes));
+}
+
+}  // namespace epismc::io

@@ -1,0 +1,138 @@
+#pragma once
+
+// Versioned binary serialization for simulator checkpoints.
+//
+// The paper's framework depends on serializing the *exact* state of the
+// disease simulator ("the number of persons in each state, the future state
+// transition events, the current simulated time") so calibration windows can
+// restart from stored states instead of day zero. This archive provides the
+// byte-level substrate: little-endian on-wire layout, magic/version header,
+// and primitives for trivially-copyable types, strings and vectors.
+//
+// Checkpoints travel between runs of the same binary on the same cluster, so
+// the format targets x86-64/little-endian; a static_assert guards the
+// assumption rather than paying for byte swaps in the hot path.
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace epismc::io {
+
+static_assert(std::endian::native == std::endian::little,
+              "checkpoint archives assume a little-endian host");
+
+class ArchiveError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Append-only byte sink.
+class BinaryWriter {
+ public:
+  static constexpr std::uint32_t kMagic = 0x45534D43u;  // "ESMC"
+
+  explicit BinaryWriter(std::uint32_t version = 1) { write_header(version); }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buffer_.insert(buffer_.end(), p, p + sizeof(T));
+  }
+
+  void write_string(const std::string& s) {
+    write(static_cast<std::uint64_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buffer_.insert(buffer_.end(), p, p + s.size());
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write_vector(const std::vector<T>& v) {
+    write(static_cast<std::uint64_t>(v.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(v.data());
+    buffer_.insert(buffer_.end(), p, p + v.size() * sizeof(T));
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& bytes() const noexcept {
+    return buffer_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+  /// Persist the archive to disk (atomically via rename).
+  void save(const std::filesystem::path& path) const;
+
+ private:
+  void write_header(std::uint32_t version) {
+    write(kMagic);
+    write(version);
+  }
+
+  std::vector<std::byte> buffer_;
+};
+
+/// Sequential byte source with bounds checking.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::vector<std::byte> bytes);
+  static BinaryReader load(const std::filesystem::path& path);
+
+  [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    T value;
+    require(sizeof(T));
+    std::memcpy(&value, buffer_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return value;
+  }
+
+  std::string read_string() {
+    const auto n = read<std::uint64_t>();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(buffer_.data() + cursor_), n);
+    cursor_ += n;
+    return s;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  std::vector<T> read_vector() {
+    const auto n = read<std::uint64_t>();
+    require(n * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), buffer_.data() + cursor_, n * sizeof(T));
+    cursor_ += n * sizeof(T);
+    return v;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept {
+    return cursor_ == buffer_.size();
+  }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return buffer_.size() - cursor_;
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (cursor_ + n > buffer_.size()) {
+      throw ArchiveError("BinaryReader: truncated archive");
+    }
+  }
+
+  std::vector<std::byte> buffer_;
+  std::size_t cursor_ = 0;
+  std::uint32_t version_ = 0;
+};
+
+}  // namespace epismc::io

@@ -1,0 +1,73 @@
+#include "io/csv.hpp"
+
+#include <stdexcept>
+
+namespace epismc::io {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  }
+  if (header.empty()) {
+    throw std::invalid_argument("CsvWriter: empty header");
+  }
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    out_ << header[i] << (i + 1 < header.size() ? "," : "\n");
+  }
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != columns_) {
+    throw std::invalid_argument("CsvWriter: field count mismatch");
+  }
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    out_ << fields[i] << (i + 1 < fields.size() ? "," : "\n");
+  }
+  ++rows_;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cell;
+  std::istringstream ss(line);
+  while (std::getline(ss, cell, ',')) fields.push_back(cell);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  throw std::out_of_range("CsvTable: no column named " + name);
+}
+
+std::vector<double> CsvTable::column_as_double(const std::string& name) const {
+  const std::size_t idx = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& r : rows) {
+    if (idx >= r.size()) {
+      throw std::out_of_range("CsvTable: ragged row while reading " + name);
+    }
+    out.push_back(std::stod(r[idx]));
+  }
+  return out;
+}
+
+CsvTable read_csv(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path.string());
+  CsvTable table;
+  std::string line;
+  if (std::getline(in, line)) table.header = split_csv_line(line);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    table.rows.push_back(split_csv_line(line));
+  }
+  return table;
+}
+
+}  // namespace epismc::io

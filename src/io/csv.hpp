@@ -1,0 +1,62 @@
+#pragma once
+
+// Minimal CSV emission/parsing for experiment artifacts. Every bench binary
+// dumps its series as CSV next to the console output so figures can be
+// re-plotted without re-running the experiment.
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace epismc::io {
+
+class CsvWriter {
+ public:
+  CsvWriter(const std::filesystem::path& path,
+            const std::vector<std::string>& header);
+
+  /// Write one row; the field count must match the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: format arbitrary streamable values.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(format(values)), ...);
+    row(fields);
+  }
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string format(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Parsed CSV: header plus string cells (numeric parsing left to the caller).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+  [[nodiscard]] std::vector<double> column_as_double(
+      const std::string& name) const;
+};
+
+[[nodiscard]] CsvTable read_csv(const std::filesystem::path& path);
+
+/// Split one CSV line on commas (no quoting support; writers never quote).
+[[nodiscard]] std::vector<std::string> split_csv_line(const std::string& line);
+
+}  // namespace epismc::io

@@ -1,0 +1,149 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace epismc::io {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << '\n';
+  };
+  const auto rule = [&]() {
+    os << "+";
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  rule();
+  print_row(header_);
+  rule();
+  for (const auto& row : rows_) print_row(row);
+  rule();
+}
+
+namespace {
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(1.0 + std::max(v, 0.0)) : v;
+}
+
+}  // namespace
+
+std::string ascii_chart(std::span<const double> series, std::size_t width,
+                        std::size_t height, bool log_scale) {
+  std::vector<double> mid(series.begin(), series.end());
+  return ascii_band_chart(mid, mid, mid, {}, width, height, log_scale);
+}
+
+std::string ascii_band_chart(std::span<const double> lo,
+                             std::span<const double> mid,
+                             std::span<const double> hi,
+                             std::span<const double> observed,
+                             std::size_t width, std::size_t height,
+                             bool log_scale) {
+  if (mid.empty() || lo.size() != mid.size() || hi.size() != mid.size()) {
+    throw std::invalid_argument("ascii_band_chart: bad series sizes");
+  }
+  const std::size_t n = mid.size();
+  const std::size_t cols = std::min(width, n);
+
+  // Column c covers samples [c*n/cols, (c+1)*n/cols); aggregate min/max/mid.
+  std::vector<double> clo(cols), cmid(cols), chi(cols), cobs(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t b = c * n / cols;
+    const std::size_t e = std::max(b + 1, (c + 1) * n / cols);
+    double vlo = transform(lo[b], log_scale);
+    double vhi = transform(hi[b], log_scale);
+    double vmid = 0.0;
+    double vobs = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = b; i < e && i < n; ++i) {
+      vlo = std::min(vlo, transform(lo[i], log_scale));
+      vhi = std::max(vhi, transform(hi[i], log_scale));
+      vmid += transform(mid[i], log_scale);
+      if (!observed.empty()) vobs += transform(observed[i], log_scale);
+      ++count;
+    }
+    clo[c] = vlo;
+    chi[c] = vhi;
+    cmid[c] = vmid / static_cast<double>(count);
+    cobs[c] = observed.empty() ? 0.0 : vobs / static_cast<double>(count);
+  }
+
+  double vmin = clo[0];
+  double vmax = chi[0];
+  for (std::size_t c = 0; c < cols; ++c) {
+    vmin = std::min({vmin, clo[c], observed.empty() ? clo[c] : cobs[c]});
+    vmax = std::max({vmax, chi[c], observed.empty() ? chi[c] : cobs[c]});
+  }
+  if (vmax <= vmin) vmax = vmin + 1.0;
+
+  const auto level = [&](double v) {
+    const double f = (v - vmin) / (vmax - vmin);
+    return std::min(height - 1,
+                    static_cast<std::size_t>(f * static_cast<double>(height)));
+  };
+
+  std::vector<std::string> canvas(height, std::string(cols, ' '));
+  for (std::size_t c = 0; c < cols; ++c) {
+    const std::size_t llo = level(clo[c]);
+    const std::size_t lhi = level(chi[c]);
+    for (std::size_t r = llo; r <= lhi; ++r) canvas[r][c] = ':';
+    canvas[level(cmid[c])][c] = '#';
+    if (!observed.empty()) {
+      const std::size_t lobs = level(cobs[c]);
+      canvas[lobs][c] = canvas[lobs][c] == '#' ? '@' : 'o';
+    }
+  }
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  for (std::size_t r = height; r-- > 0;) {
+    const double axis =
+        vmin + (vmax - vmin) * (static_cast<double>(r) + 0.5) /
+                   static_cast<double>(height);
+    os << std::setw(8) << axis << " |" << canvas[r] << '\n';
+  }
+  os << std::string(9, ' ') << '+' << std::string(cols, '-') << '\n';
+  if (log_scale) {
+    os << "          (y axis: log10(1+y); '#' median, ':' band, 'o' observed)\n";
+  } else {
+    os << "          ('#' median, ':' band, 'o' observed)\n";
+  }
+  return os.str();
+}
+
+}  // namespace epismc::io

@@ -1,0 +1,68 @@
+#pragma once
+
+// Console table and ASCII chart rendering for the bench harness. The paper's
+// figures are re-emitted as aligned numeric tables plus coarse ASCII series
+// so results are inspectable straight from the terminal or CI log.
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace epismc::io {
+
+/// Aligned fixed-width console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  template <typename... Ts>
+  void add_row_values(const Ts&... values) {
+    std::vector<std::string> row;
+    row.reserve(sizeof...(values));
+    (row.push_back(to_cell(values)), ...);
+    add_row(std::move(row));
+  }
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Format a double with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      return num(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a single series as an ASCII line chart (rows = height levels).
+/// `log_scale` plots log10(1 + y), matching the paper's log-count axes.
+[[nodiscard]] std::string ascii_chart(std::span<const double> series,
+                                      std::size_t width = 72,
+                                      std::size_t height = 16,
+                                      bool log_scale = false);
+
+/// Render a band (lo/mid/hi series) as an ASCII ribbon chart; used for the
+/// credible-interval panels of Figures 4 and 5.
+[[nodiscard]] std::string ascii_band_chart(std::span<const double> lo,
+                                           std::span<const double> mid,
+                                           std::span<const double> hi,
+                                           std::span<const double> observed,
+                                           std::size_t width = 72,
+                                           std::size_t height = 18,
+                                           bool log_scale = true);
+
+}  // namespace epismc::io

@@ -1,0 +1,81 @@
+#pragma once
+
+// OpenMP utilities for the particle-parallel hot paths.
+//
+// The SMC workload is embarrassingly parallel over particles; these helpers
+// keep the OpenMP surface small and auditable: an indexed parallel_for with
+// dynamic scheduling (particle costs vary with rejection sampling), thread
+// introspection, and a scoped wall-clock timer for the scaling benches.
+//
+// Determinism contract: loop bodies receive only the index; any randomness
+// must come from a stream derived from that index (see random/seeding.hpp),
+// never from thread id. All library code follows this rule, which is what
+// makes results independent of the thread count.
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace epismc::parallel {
+
+[[nodiscard]] inline int max_threads() noexcept {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+[[nodiscard]] inline int thread_id() noexcept {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
+
+inline void set_threads(int n) noexcept {
+#ifdef _OPENMP
+  if (n > 0) omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+/// Parallel loop over [0, count) with dynamic chunking. `body` must be
+/// thread-safe and index-deterministic (see header comment).
+template <typename Body>
+void parallel_for(std::size_t count, Body&& body, int chunk = 16) {
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic, chunk)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(count); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  (void)chunk;
+  for (std::size_t i = 0; i < count; ++i) body(i);
+#endif
+}
+
+/// Wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace epismc::parallel

@@ -1,0 +1,67 @@
+#include "random/alias_table.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace epismc::rng {
+
+void AliasTable::build(std::span<const double> weights) {
+  const std::size_t k = weights.size();
+  if (k == 0) throw std::invalid_argument("AliasTable: empty weight vector");
+
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("AliasTable: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("AliasTable: weights sum to zero");
+  }
+
+  probability_.assign(k, 0.0);
+  alias_.assign(k, 0);
+
+  // Scaled probabilities; columns with mass < 1 are "small", others "large".
+  std::vector<double> scaled(k);
+  const double scale = static_cast<double>(k) / total;
+  for (std::size_t i = 0; i < k; ++i) scaled[i] = weights[i] * scale;
+
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  small.reserve(k);
+  large.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;  // stable form of l - (1 - s)
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Residual columns have mass 1 up to rounding.
+  for (const std::uint32_t l : large) probability_[l] = 1.0;
+  for (const std::uint32_t s : small) probability_[s] = 1.0;
+}
+
+std::vector<double> AliasTable::implied_probabilities() const {
+  const std::size_t k = probability_.size();
+  std::vector<double> p(k, 0.0);
+  const double column_mass = 1.0 / static_cast<double>(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    p[i] += column_mass * probability_[i];
+    p[alias_[i]] += column_mass * (1.0 - probability_[i]);
+  }
+  return p;
+}
+
+}  // namespace epismc::rng

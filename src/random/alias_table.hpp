@@ -1,0 +1,44 @@
+#pragma once
+
+// Walker/Vose alias method for O(1) categorical sampling.
+//
+// Used by multinomial resampling when drawing many ancestors from one fixed
+// weight vector: O(K) build, O(1) per draw, versus O(log K) for binary
+// search on the CDF.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "random/distributions.hpp"
+
+namespace epismc::rng {
+
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Build from unnormalized non-negative weights.
+  explicit AliasTable(std::span<const double> weights) { build(weights); }
+
+  void build(std::span<const double> weights);
+
+  /// Draw one category index; requires a built, non-empty table.
+  [[nodiscard]] std::uint32_t sample(Engine& eng) const {
+    const auto k =
+        static_cast<std::uint32_t>(uniform_int(eng, probability_.size()));
+    return uniform_double(eng) < probability_[k] ? k : alias_[k];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return probability_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return probability_.empty(); }
+
+  /// Exact per-category probability implied by the table (for testing).
+  [[nodiscard]] std::vector<double> implied_probabilities() const;
+
+ private:
+  std::vector<double> probability_;   // acceptance threshold per column
+  std::vector<std::uint32_t> alias_;  // fallback category per column
+};
+
+}  // namespace epismc::rng

@@ -1,0 +1,103 @@
+#pragma once
+
+// Conventional sequential PRNG engines.
+//
+// PhiloxEngine (philox.hpp) is the canonical engine for all simulation code
+// because its streams are counter-addressable and trivially serializable.
+// The engines here serve two purposes: splitmix64 is the standard seed/hash
+// mixer used to derive stream identifiers, and xoshiro256++ is a fast
+// sequential baseline used by the microbenchmarks to quantify the cost of
+// counter-based generation.
+
+#include <array>
+#include <cstdint>
+
+namespace epismc::rng {
+
+/// SplitMix64 (Steele, Lea, Flood 2014). Used both as a tiny PRNG and as the
+/// canonical 64-bit finalizer/hash when deriving stream keys from ids.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed = 0) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot SplitMix64 finalizer: a good 64->64 bit mixing function.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Combine two 64-bit values into one well-mixed value (order-sensitive).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return mix64(a ^ (mix64(b) + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2)));
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna 2019).
+class Xoshiro256pp {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256pp(std::uint64_t seed = 1) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Jump ahead 2^128 steps: partitions the period into parallel streams.
+  void jump() noexcept {
+    static constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180EC6D33CFD0ABAull, 0xD5A61266F0C9392Cull, 0xA9582618E03FC9AAull,
+        0x39ABDC4529B1661Cull};
+    std::array<std::uint64_t, 4> acc{};
+    for (const std::uint64_t word : kJump) {
+      for (int b = 0; b < 64; ++b) {
+        if ((word & (1ull << b)) != 0) {
+          for (std::size_t i = 0; i < 4; ++i) acc[i] ^= state_[i];
+        }
+        (*this)();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace epismc::rng

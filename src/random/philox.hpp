@@ -1,0 +1,150 @@
+#pragma once
+
+// Philox4x32-10 counter-based pseudo-random number generator.
+//
+// Counter-based generators (Salmon, Moraes, Dror, Shaw: "Parallel random
+// numbers: as easy as 1, 2, 3", SC'11) map a (key, counter) pair to random
+// bits with a stateless bijection. They are the natural fit for particle
+// methods on shared-memory machines: every particle owns an independent
+// stream keyed by its identity, so results are bit-identical for any thread
+// count or scheduling order, and serializing a stream is just two integers.
+
+#include <array>
+#include <cstdint>
+
+namespace epismc::rng {
+
+/// Stateless Philox4x32 block function (10 rounds).
+struct Philox4x32 {
+  using counter_type = std::array<std::uint32_t, 4>;
+  using key_type = std::array<std::uint32_t, 2>;
+
+  static constexpr std::uint32_t kMult0 = 0xD2511F53u;
+  static constexpr std::uint32_t kMult1 = 0xCD9E8D57u;
+  static constexpr std::uint32_t kWeyl0 = 0x9E3779B9u;  // golden ratio
+  static constexpr std::uint32_t kWeyl1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+  /// One 32x32 -> 64 bit multiply split into (hi, lo).
+  static constexpr void mulhilo(std::uint32_t a, std::uint32_t b,
+                                std::uint32_t& hi, std::uint32_t& lo) noexcept {
+    const std::uint64_t prod = static_cast<std::uint64_t>(a) * b;
+    hi = static_cast<std::uint32_t>(prod >> 32);
+    lo = static_cast<std::uint32_t>(prod);
+  }
+
+  static constexpr counter_type round(counter_type ctr, key_type key) noexcept {
+    std::uint32_t hi0 = 0, lo0 = 0, hi1 = 0, lo1 = 0;
+    mulhilo(kMult0, ctr[0], hi0, lo0);
+    mulhilo(kMult1, ctr[2], hi1, lo1);
+    return {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+  }
+
+  static constexpr key_type bump(key_type key) noexcept {
+    return {key[0] + kWeyl0, key[1] + kWeyl1};
+  }
+
+  /// Full 10-round block transform.
+  static constexpr counter_type block(counter_type ctr, key_type key) noexcept {
+    for (int r = 0; r < 9; ++r) {
+      ctr = round(ctr, key);
+      key = bump(key);
+    }
+    return round(ctr, key);
+  }
+};
+
+/// UniformRandomBitGenerator facade over Philox4x32-10.
+///
+/// The 128-bit counter is split as (block_index_lo, block_index_hi,
+/// stream_lo, stream_hi); the 64-bit key carries the seed. Each generated
+/// block yields two 64-bit outputs. The full generator state is
+/// (seed, stream, block index, phase) and is trivially serializable --
+/// a requirement for bit-faithful simulator checkpoints.
+class PhiloxEngine {
+ public:
+  using result_type = std::uint64_t;
+
+  PhiloxEngine() : PhiloxEngine(0, 0) {}
+  explicit PhiloxEngine(std::uint64_t seed, std::uint64_t stream = 0) {
+    reseed(seed, stream);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  void reseed(std::uint64_t seed, std::uint64_t stream = 0) noexcept {
+    seed_ = seed;
+    stream_ = stream;
+    block_ = 0;
+    phase_ = 2;  // force block generation on next call
+  }
+
+  result_type operator()() {
+    if (phase_ >= 2) {
+      refill();
+    }
+    return buffer_[phase_++];
+  }
+
+  /// Skip ahead n draws in O(1): counter-based generators support random
+  /// access by construction.
+  void discard(std::uint64_t n) noexcept {
+    const std::uint64_t pos = position() + n;
+    block_ = pos / 2;
+    const std::uint64_t rem = pos % 2;
+    if (rem == 0) {
+      phase_ = 2;  // next call regenerates block `block_`
+    } else {
+      refill();
+      phase_ = 1;
+    }
+  }
+
+  /// Number of 64-bit outputs consumed since construction/reseed.
+  [[nodiscard]] std::uint64_t position() const noexcept {
+    if (phase_ >= 2) return block_ * 2;
+    return (block_ - 1) * 2 + phase_;
+  }
+
+  /// Jump directly to an absolute draw position (used by checkpoint restore).
+  void set_position(std::uint64_t pos) noexcept {
+    block_ = pos / 2;
+    phase_ = 2;
+    if (pos % 2 != 0) {
+      refill();
+      phase_ = 1;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t seed_value() const noexcept { return seed_; }
+  [[nodiscard]] std::uint64_t stream_value() const noexcept { return stream_; }
+
+  friend bool operator==(const PhiloxEngine& a, const PhiloxEngine& b) {
+    return a.seed_ == b.seed_ && a.stream_ == b.stream_ &&
+           a.position() == b.position();
+  }
+
+ private:
+  void refill() noexcept {
+    const Philox4x32::counter_type ctr = {
+        static_cast<std::uint32_t>(block_),
+        static_cast<std::uint32_t>(block_ >> 32),
+        static_cast<std::uint32_t>(stream_),
+        static_cast<std::uint32_t>(stream_ >> 32)};
+    const Philox4x32::key_type key = {static_cast<std::uint32_t>(seed_),
+                                      static_cast<std::uint32_t>(seed_ >> 32)};
+    const auto out = Philox4x32::block(ctr, key);
+    buffer_[0] = (static_cast<std::uint64_t>(out[1]) << 32) | out[0];
+    buffer_[1] = (static_cast<std::uint64_t>(out[3]) << 32) | out[2];
+    ++block_;
+    phase_ = 0;
+  }
+
+  std::uint64_t seed_ = 0;
+  std::uint64_t stream_ = 0;
+  std::uint64_t block_ = 0;  // counter of *generated* blocks (post-increment)
+  std::array<std::uint64_t, 2> buffer_{};
+  unsigned phase_ = 2;
+};
+
+}  // namespace epismc::rng

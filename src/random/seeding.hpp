@@ -1,0 +1,54 @@
+#pragma once
+
+// Stream derivation for particle-parallel Monte Carlo.
+//
+// The SMC framework runs up to millions of trajectories concurrently; every
+// trajectory must own a statistically independent, reproducible random
+// stream addressed purely by *what* it is (experiment seed, particle id,
+// replicate id, window index), never by *where* it runs. These helpers give
+// a single place that defines the mapping identity -> (seed, stream) for
+// PhiloxEngine so that the mapping is stable across the whole code base.
+
+#include <cstdint>
+#include <initializer_list>
+
+#include "random/engines.hpp"
+#include "random/philox.hpp"
+
+namespace epismc::rng {
+
+/// Identity of a random stream. Hashing is order-sensitive, so
+/// (a, b) and (b, a) produce unrelated streams.
+struct StreamId {
+  std::uint64_t key = 0;
+
+  constexpr StreamId() = default;
+  constexpr explicit StreamId(std::uint64_t k) : key(k) {}
+
+  /// Derive a child stream id, e.g. per-particle from per-experiment.
+  [[nodiscard]] constexpr StreamId child(std::uint64_t index) const noexcept {
+    return StreamId{hash_combine(key, index)};
+  }
+};
+
+/// Build the stream id for a tuple of identity components.
+[[nodiscard]] constexpr StreamId make_stream_id(
+    std::initializer_list<std::uint64_t> components) noexcept {
+  StreamId id{0x2545F4914F6CDD1Dull};  // arbitrary non-zero root
+  for (const std::uint64_t c : components) id = id.child(c);
+  return id;
+}
+
+/// Construct the canonical engine for (seed, stream identity).
+[[nodiscard]] inline PhiloxEngine make_engine(std::uint64_t seed,
+                                              StreamId id) noexcept {
+  return PhiloxEngine(seed, id.key);
+}
+
+/// Convenience: engine for (seed, components...).
+[[nodiscard]] inline PhiloxEngine make_engine(
+    std::uint64_t seed, std::initializer_list<std::uint64_t> components) {
+  return make_engine(seed, make_stream_id(components));
+}
+
+}  // namespace epismc::rng

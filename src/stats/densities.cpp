@@ -1,0 +1,98 @@
+#include "stats/densities.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace epismc::stats {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kLogSqrt2Pi = 0.91893853320467274178;  // log(sqrt(2*pi))
+}  // namespace
+
+double normal_logpdf(double x, double mean, double sd) {
+  if (!(sd > 0.0)) throw std::invalid_argument("normal_logpdf: sd must be > 0");
+  const double z = (x - mean) / sd;
+  return -0.5 * z * z - std::log(sd) - kLogSqrt2Pi;
+}
+
+double diag_normal_logpdf(std::span<const double> x,
+                          std::span<const double> mean, double sd) {
+  if (x.size() != mean.size()) {
+    throw std::invalid_argument("diag_normal_logpdf: size mismatch");
+  }
+  if (!(sd > 0.0)) {
+    throw std::invalid_argument("diag_normal_logpdf: sd must be > 0");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double z = (x[i] - mean[i]) / sd;
+    acc += -0.5 * z * z;
+  }
+  return acc - static_cast<double>(x.size()) * (std::log(sd) + kLogSqrt2Pi);
+}
+
+double uniform_logpdf(double x, double lo, double hi) {
+  if (!(hi > lo)) throw std::invalid_argument("uniform_logpdf: hi must be > lo");
+  if (x < lo || x > hi) return kNegInf;
+  return -std::log(hi - lo);
+}
+
+double beta_logpdf(double x, double a, double b) {
+  if (!(a > 0.0) || !(b > 0.0)) {
+    throw std::invalid_argument("beta_logpdf: a and b must be > 0");
+  }
+  if (x < 0.0 || x > 1.0) return kNegInf;
+  if (x == 0.0) return a < 1.0 ? std::numeric_limits<double>::infinity()
+               : (a == 1.0 ? std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b)
+                           : kNegInf);
+  if (x == 1.0) return b < 1.0 ? std::numeric_limits<double>::infinity()
+               : (b == 1.0 ? std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b)
+                           : kNegInf);
+  const double log_beta =
+      std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  return (a - 1.0) * std::log(x) + (b - 1.0) * std::log1p(-x) - log_beta;
+}
+
+double gamma_logpdf(double x, double shape, double scale) {
+  if (!(shape > 0.0) || !(scale > 0.0)) {
+    throw std::invalid_argument("gamma_logpdf: shape and scale must be > 0");
+  }
+  if (x < 0.0) return kNegInf;
+  if (x == 0.0) {
+    if (shape < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape == 1.0) return -std::log(scale);
+    return kNegInf;
+  }
+  return (shape - 1.0) * std::log(x) - x / scale - std::lgamma(shape) -
+         shape * std::log(scale);
+}
+
+double log_choose(std::int64_t n, std::int64_t k) {
+  if (n < 0 || k < 0 || k > n) return kNegInf;
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_logpmf(std::int64_t k, std::int64_t n, double p) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    throw std::invalid_argument("binomial_logpmf: p must be in [0, 1]");
+  }
+  if (k < 0 || k > n || n < 0) return kNegInf;
+  if (p == 0.0) return k == 0 ? 0.0 : kNegInf;
+  if (p == 1.0) return k == n ? 0.0 : kNegInf;
+  return log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+double poisson_logpmf(std::int64_t k, double mean) {
+  if (mean < 0.0) throw std::invalid_argument("poisson_logpmf: mean < 0");
+  if (k < 0) return kNegInf;
+  if (mean == 0.0) return k == 0 ? 0.0 : kNegInf;
+  return static_cast<double>(k) * std::log(mean) - mean -
+         std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+}  // namespace epismc::stats

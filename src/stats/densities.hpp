@@ -1,0 +1,40 @@
+#pragma once
+
+// Log-densities and log-pmfs used by likelihoods and priors.
+//
+// Everything returns natural-log values and -inf outside the support, so
+// likelihood products become sums that can be fed straight into
+// log_sum_exp-based weight normalization.
+
+#include <cstdint>
+#include <span>
+
+namespace epismc::stats {
+
+/// log N(x | mean, sd), sd > 0.
+[[nodiscard]] double normal_logpdf(double x, double mean, double sd);
+
+/// log of the product of independent normals along two equal-length spans.
+[[nodiscard]] double diag_normal_logpdf(std::span<const double> x,
+                                        std::span<const double> mean,
+                                        double sd);
+
+/// log Uniform(x | lo, hi).
+[[nodiscard]] double uniform_logpdf(double x, double lo, double hi);
+
+/// log Beta(x | a, b).
+[[nodiscard]] double beta_logpdf(double x, double a, double b);
+
+/// log Gamma(x | shape, scale).
+[[nodiscard]] double gamma_logpdf(double x, double shape, double scale);
+
+/// log C(n, k): log binomial coefficient via lgamma.
+[[nodiscard]] double log_choose(std::int64_t n, std::int64_t k);
+
+/// log Binomial(k | n, p).
+[[nodiscard]] double binomial_logpmf(std::int64_t k, std::int64_t n, double p);
+
+/// log Poisson(k | mean).
+[[nodiscard]] double poisson_logpmf(std::int64_t k, double mean);
+
+}  // namespace epismc::stats

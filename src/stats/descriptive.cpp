@@ -1,0 +1,158 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace epismc::stats {
+
+double mean(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("mean: empty input");
+  return std::accumulate(x.begin(), x.end(), 0.0) /
+         static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  if (x.size() < 2) throw std::invalid_argument("variance: need >= 2 values");
+  const double m = mean(x);
+  double acc = 0.0;
+  for (const double v : x) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(x.size() - 1);
+}
+
+double std_dev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double weighted_mean(std::span<const double> x, std::span<const double> w) {
+  if (x.size() != w.size() || x.empty()) {
+    throw std::invalid_argument("weighted_mean: size mismatch or empty");
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += w[i] * x[i];
+    den += w[i];
+  }
+  if (den <= 0.0) throw std::domain_error("weighted_mean: zero total weight");
+  return num / den;
+}
+
+double weighted_variance(std::span<const double> x, std::span<const double> w) {
+  const double m = weighted_mean(x, w);
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    num += w[i] * (x[i] - m) * (x[i] - m);
+    den += w[i];
+  }
+  return num / den;
+}
+
+double quantile(std::span<const double> x, double q) {
+  const double qs[] = {q};
+  return quantiles(x, qs)[0];
+}
+
+std::vector<double> quantiles(std::span<const double> x,
+                              std::span<const double> qs) {
+  if (x.empty()) throw std::invalid_argument("quantiles: empty input");
+  std::vector<double> sorted(x.begin(), x.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (const double q : qs) {
+    if (!(q >= 0.0 && q <= 1.0)) {
+      throw std::invalid_argument("quantiles: q must be in [0, 1]");
+    }
+    // R type-7: h = (n-1)q, linear interpolation between order statistics.
+    const double h = static_cast<double>(sorted.size() - 1) * q;
+    const auto lo = static_cast<std::size_t>(std::floor(h));
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    out.push_back(sorted[lo] + frac * (sorted[hi] - sorted[lo]));
+  }
+  return out;
+}
+
+double weighted_quantile(std::span<const double> x, std::span<const double> w,
+                         double q) {
+  if (x.size() != w.size() || x.empty()) {
+    throw std::invalid_argument("weighted_quantile: size mismatch or empty");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("weighted_quantile: q must be in [0, 1]");
+  }
+  std::vector<std::size_t> order(x.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+  double total = 0.0;
+  for (const double wi : w) {
+    if (wi < 0.0) throw std::invalid_argument("weighted_quantile: w < 0");
+    total += wi;
+  }
+  if (total <= 0.0) {
+    throw std::domain_error("weighted_quantile: zero total weight");
+  }
+  const double target = q * total;
+  double cum = 0.0;
+  for (const std::size_t i : order) {
+    cum += w[i];
+    if (cum >= target) return x[i];
+  }
+  return x[order.back()];
+}
+
+Interval credible_interval(std::span<const double> x, double level) {
+  const double alpha = (1.0 - level) / 2.0;
+  const double qs[] = {alpha, 1.0 - alpha};
+  const auto v = quantiles(x, qs);
+  return {v[0], v[1]};
+}
+
+Interval weighted_credible_interval(std::span<const double> x,
+                                    std::span<const double> w, double level) {
+  const double alpha = (1.0 - level) / 2.0;
+  return {weighted_quantile(x, w, alpha), weighted_quantile(x, w, 1.0 - alpha)};
+}
+
+void RunningStats::push(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1)
+                : std::numeric_limits<double>::quiet_NaN();
+}
+
+double RunningStats::std_dev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace epismc::stats

@@ -1,0 +1,68 @@
+#pragma once
+
+// Descriptive statistics: plain and importance-weighted.
+
+#include <span>
+#include <vector>
+
+namespace epismc::stats {
+
+[[nodiscard]] double mean(std::span<const double> x);
+[[nodiscard]] double variance(std::span<const double> x);  // sample (n-1)
+[[nodiscard]] double std_dev(std::span<const double> x);
+
+/// Weighted mean with unnormalized non-negative weights.
+[[nodiscard]] double weighted_mean(std::span<const double> x,
+                                   std::span<const double> w);
+
+/// Weighted variance (population form under normalized weights).
+[[nodiscard]] double weighted_variance(std::span<const double> x,
+                                       std::span<const double> w);
+
+/// Linear-interpolation quantile (R type 7) of unsorted data, q in [0, 1].
+[[nodiscard]] double quantile(std::span<const double> x, double q);
+
+/// Several quantiles in one sort.
+[[nodiscard]] std::vector<double> quantiles(std::span<const double> x,
+                                            std::span<const double> qs);
+
+/// Weighted quantile: inverse of the weighted empirical CDF.
+[[nodiscard]] double weighted_quantile(std::span<const double> x,
+                                       std::span<const double> w, double q);
+
+/// Equal-tailed credible interval [lo, hi] with mass `level` (e.g. 0.9).
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+  [[nodiscard]] double width() const { return hi - lo; }
+  [[nodiscard]] bool contains(double v) const { return v >= lo && v <= hi; }
+};
+
+[[nodiscard]] Interval credible_interval(std::span<const double> x,
+                                         double level);
+[[nodiscard]] Interval weighted_credible_interval(std::span<const double> x,
+                                                  std::span<const double> w,
+                                                  double level);
+
+/// Welford online accumulator; mergeable for parallel reductions.
+class RunningStats {
+ public:
+  void push(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // sample (n-1)
+  [[nodiscard]] double std_dev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace epismc::stats

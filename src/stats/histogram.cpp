@@ -1,0 +1,59 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace epismc::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must be > lo");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  counts_.assign(bins, 0.0);
+}
+
+void Histogram::add(double x, double weight) {
+  if (x < lo_ || x >= hi_) {
+    // Clamp boundary hits of hi into the last bin; drop true outliers.
+    if (x == hi_) {
+      counts_.back() += weight;
+      total_ += weight;
+    }
+    return;
+  }
+  const auto bin = std::min(
+      static_cast<std::size_t>((x - lo_) / width_), counts_.size() - 1);
+  counts_[bin] += weight;
+  total_ += weight;
+}
+
+void Histogram::add_all(std::span<const double> xs,
+                        std::span<const double> ws) {
+  if (!ws.empty() && ws.size() != xs.size()) {
+    throw std::invalid_argument("Histogram::add_all: weight size mismatch");
+  }
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    add(xs[i], ws.empty() ? 1.0 : ws[i]);
+  }
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_center");
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+std::vector<double> Histogram::density() const {
+  std::vector<double> d(counts_.size(), 0.0);
+  if (total_ <= 0.0) return d;
+  const double norm = 1.0 / (total_ * width_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) d[i] = counts_[i] * norm;
+  return d;
+}
+
+std::size_t Histogram::mode_bin() const {
+  return static_cast<std::size_t>(std::distance(
+      counts_.begin(), std::max_element(counts_.begin(), counts_.end())));
+}
+
+}  // namespace epismc::stats

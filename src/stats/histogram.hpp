@@ -1,0 +1,40 @@
+#pragma once
+
+// Fixed-bin weighted histogram; backs the prior/posterior density panels of
+// Figure 3 and the ASCII density renderings in the bench harness.
+
+#include <span>
+#include <vector>
+
+namespace epismc::stats {
+
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  void add_all(std::span<const double> xs, std::span<const double> ws = {});
+
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+  [[nodiscard]] double bin_center(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double total() const noexcept { return total_; }
+
+  /// Probability density per bin (integrates to ~1 over [lo, hi]).
+  [[nodiscard]] std::vector<double> density() const;
+
+  /// Index of the fullest bin.
+  [[nodiscard]] std::size_t mode_bin() const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  double total_ = 0.0;
+  std::vector<double> counts_;
+};
+
+}  // namespace epismc::stats

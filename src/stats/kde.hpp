@@ -1,0 +1,58 @@
+#pragma once
+
+// Weighted Gaussian kernel density estimation, 1-D and 2-D.
+//
+// The 2-D estimator reproduces the joint (theta, rho) posterior contour
+// panels of Figures 4b/5b: evaluate the weighted KDE on a grid, then find
+// highest-posterior-density thresholds that enclose 50% / 90% of the mass.
+
+#include <span>
+#include <vector>
+
+namespace epismc::stats {
+
+/// Silverman's rule-of-thumb bandwidth for weighted samples; uses the
+/// effective sample size in place of n.
+[[nodiscard]] double silverman_bandwidth(std::span<const double> x,
+                                         std::span<const double> w);
+
+/// Evaluate the weighted 1-D KDE at each grid point.
+[[nodiscard]] std::vector<double> kde_1d(std::span<const double> samples,
+                                         std::span<const double> weights,
+                                         std::span<const double> grid,
+                                         double bandwidth = 0.0);
+
+/// Dense 2-D density surface on a regular grid.
+struct Kde2dResult {
+  std::vector<double> x_grid;
+  std::vector<double> y_grid;
+  std::vector<double> density;  // row-major: density[iy * nx + ix]
+  double cell_area = 0.0;
+
+  [[nodiscard]] double at(std::size_t ix, std::size_t iy) const {
+    return density[iy * x_grid.size() + ix];
+  }
+  /// Total mass on the grid (should be ~1 if the grid covers the support).
+  [[nodiscard]] double total_mass() const;
+  /// Grid coordinates of the density mode.
+  [[nodiscard]] std::pair<double, double> mode() const;
+};
+
+[[nodiscard]] Kde2dResult kde_2d(std::span<const double> xs,
+                                 std::span<const double> ys,
+                                 std::span<const double> weights,
+                                 double x_lo, double x_hi, std::size_t nx,
+                                 double y_lo, double y_hi, std::size_t ny,
+                                 double bandwidth_x = 0.0,
+                                 double bandwidth_y = 0.0);
+
+/// Highest-density thresholds: for each requested mass level, the density
+/// value t such that cells with density >= t enclose that mass.
+[[nodiscard]] std::vector<double> hpd_levels(const Kde2dResult& kde,
+                                             std::span<const double> masses);
+
+/// Probability mass enclosed by the axis-aligned box [x0,x1]x[y0,y1].
+[[nodiscard]] double box_mass(const Kde2dResult& kde, double x0, double x1,
+                              double y0, double y1);
+
+}  // namespace epismc::stats

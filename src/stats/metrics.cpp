@@ -1,0 +1,73 @@
+#include "stats/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace epismc::stats {
+
+namespace {
+void check_sizes(std::size_t a, std::size_t b, const char* what) {
+  if (a != b || a == 0) throw std::invalid_argument(what);
+}
+}  // namespace
+
+double rmse(std::span<const double> estimate, std::span<const double> truth) {
+  check_sizes(estimate.size(), truth.size(), "rmse: size mismatch or empty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < estimate.size(); ++i) {
+    const double d = estimate[i] - truth[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(estimate.size()));
+}
+
+double mae(std::span<const double> estimate, std::span<const double> truth) {
+  check_sizes(estimate.size(), truth.size(), "mae: size mismatch or empty");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < estimate.size(); ++i) {
+    acc += std::fabs(estimate[i] - truth[i]);
+  }
+  return acc / static_cast<double>(estimate.size());
+}
+
+double interval_coverage(std::span<const Interval> intervals,
+                         std::span<const double> truth) {
+  check_sizes(intervals.size(), truth.size(),
+              "interval_coverage: size mismatch or empty");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    if (intervals[i].contains(truth[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(intervals.size());
+}
+
+double mean_interval_width(std::span<const Interval> intervals) {
+  if (intervals.empty()) {
+    throw std::invalid_argument("mean_interval_width: empty");
+  }
+  double acc = 0.0;
+  for (const auto& iv : intervals) acc += iv.width();
+  return acc / static_cast<double>(intervals.size());
+}
+
+double crps_ensemble(std::span<const double> ensemble, double observation) {
+  if (ensemble.empty()) throw std::invalid_argument("crps_ensemble: empty");
+  // O(n log n) form: CRPS = mean|x_i - y| + mean(x_i) - 2/n^2 * sum i*x_(i)
+  // using the identity E|X-X'| = 2/n^2 * sum_i (2i - n - 1) x_(i) on sorted x.
+  std::vector<double> sorted(ensemble.begin(), ensemble.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto n = static_cast<double>(sorted.size());
+  double term1 = 0.0;
+  double gini = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    term1 += std::fabs(sorted[i] - observation);
+    gini += (2.0 * static_cast<double>(i + 1) - n - 1.0) * sorted[i];
+  }
+  term1 /= n;
+  const double term2 = gini / (n * n);
+  return term1 - term2;
+}
+
+}  // namespace epismc::stats

@@ -1,0 +1,31 @@
+#pragma once
+
+// Calibration-quality metrics used by EXPERIMENTS.md and the ablation
+// benches: pointwise error of posterior summaries against known truth,
+// and frequentist coverage of credible intervals.
+
+#include <span>
+
+#include "stats/descriptive.hpp"
+
+namespace epismc::stats {
+
+[[nodiscard]] double rmse(std::span<const double> estimate,
+                          std::span<const double> truth);
+
+[[nodiscard]] double mae(std::span<const double> estimate,
+                         std::span<const double> truth);
+
+/// Fraction of truth values falling inside the matching interval.
+[[nodiscard]] double interval_coverage(std::span<const Interval> intervals,
+                                       std::span<const double> truth);
+
+/// Mean interval width (sharpness; lower is better at fixed coverage).
+[[nodiscard]] double mean_interval_width(std::span<const Interval> intervals);
+
+/// Sample-based continuous ranked probability score for one observation:
+/// CRPS = E|X - y| - 0.5 E|X - X'| estimated from an ensemble.
+[[nodiscard]] double crps_ensemble(std::span<const double> ensemble,
+                                   double observation);
+
+}  // namespace epismc::stats

@@ -1,0 +1,158 @@
+#include "stats/resampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "random/alias_table.hpp"
+
+namespace epismc::stats {
+
+namespace {
+
+double validated_total(std::span<const double> weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("resample: empty weight vector");
+  }
+  double total = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("resample: weights must be finite and >= 0");
+    }
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("resample: zero total weight");
+  return total;
+}
+
+/// Walk the cumulative weight function against a sorted sequence of points
+/// in [0, total); shared by stratified and systematic schemes.
+std::vector<std::uint32_t> resample_comb(std::span<const double> weights,
+                                         std::span<const double> points) {
+  std::vector<std::uint32_t> idx(points.size());
+  std::size_t j = 0;
+  double cum = weights[0];
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    while (points[k] > cum && j + 1 < weights.size()) {
+      ++j;
+      cum += weights[j];
+    }
+    idx[k] = static_cast<std::uint32_t>(j);
+  }
+  return idx;
+}
+
+}  // namespace
+
+const char* to_string(ResamplingScheme scheme) {
+  switch (scheme) {
+    case ResamplingScheme::kMultinomial: return "multinomial";
+    case ResamplingScheme::kStratified: return "stratified";
+    case ResamplingScheme::kSystematic: return "systematic";
+    case ResamplingScheme::kResidual: return "residual";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint32_t> resample_multinomial(rng::Engine& eng,
+                                                std::span<const double> weights,
+                                                std::size_t count) {
+  validated_total(weights);
+  const rng::AliasTable table(weights);
+  std::vector<std::uint32_t> idx(count);
+  for (auto& i : idx) i = table.sample(eng);
+  return idx;
+}
+
+std::vector<std::uint32_t> resample_stratified(rng::Engine& eng,
+                                               std::span<const double> weights,
+                                               std::size_t count) {
+  const double total = validated_total(weights);
+  if (count == 0) return {};
+  std::vector<double> points(count);
+  const double stride = total / static_cast<double>(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    points[k] =
+        (static_cast<double>(k) + rng::uniform_double(eng)) * stride;
+  }
+  return resample_comb(weights, points);
+}
+
+std::vector<std::uint32_t> resample_systematic(rng::Engine& eng,
+                                               std::span<const double> weights,
+                                               std::size_t count) {
+  const double total = validated_total(weights);
+  if (count == 0) return {};
+  std::vector<double> points(count);
+  const double stride = total / static_cast<double>(count);
+  const double offset = rng::uniform_double(eng) * stride;
+  for (std::size_t k = 0; k < count; ++k) {
+    points[k] = offset + static_cast<double>(k) * stride;
+  }
+  return resample_comb(weights, points);
+}
+
+std::vector<std::uint32_t> resample_residual(rng::Engine& eng,
+                                             std::span<const double> weights,
+                                             std::size_t count) {
+  const double total = validated_total(weights);
+  if (count == 0) return {};
+  std::vector<std::uint32_t> idx;
+  idx.reserve(count);
+
+  // Deterministic part: floor(count * w_i / total) copies of particle i.
+  std::vector<double> residual(weights.size());
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double expected =
+        static_cast<double>(count) * weights[i] / total;
+    const auto copies = static_cast<std::size_t>(std::floor(expected));
+    for (std::size_t c = 0; c < copies; ++c) {
+      idx.push_back(static_cast<std::uint32_t>(i));
+    }
+    assigned += copies;
+    residual[i] = expected - static_cast<double>(copies);
+  }
+
+  // Random part: multinomial on the fractional residuals.
+  if (assigned < count) {
+    const double res_total =
+        std::accumulate(residual.begin(), residual.end(), 0.0);
+    if (res_total > 0.0) {
+      const auto rest =
+          resample_multinomial(eng, residual, count - assigned);
+      idx.insert(idx.end(), rest.begin(), rest.end());
+    } else {
+      // All mass was integral; pad with the heaviest particle.
+      const auto heaviest = static_cast<std::uint32_t>(std::distance(
+          weights.begin(), std::max_element(weights.begin(), weights.end())));
+      idx.resize(count, heaviest);
+    }
+  }
+  return idx;
+}
+
+std::vector<std::uint32_t> resample(ResamplingScheme scheme, rng::Engine& eng,
+                                    std::span<const double> weights,
+                                    std::size_t count) {
+  switch (scheme) {
+    case ResamplingScheme::kMultinomial:
+      return resample_multinomial(eng, weights, count);
+    case ResamplingScheme::kStratified:
+      return resample_stratified(eng, weights, count);
+    case ResamplingScheme::kSystematic:
+      return resample_systematic(eng, weights, count);
+    case ResamplingScheme::kResidual:
+      return resample_residual(eng, weights, count);
+  }
+  throw std::invalid_argument("resample: unknown scheme");
+}
+
+std::size_t unique_ancestors(std::span<const std::uint32_t> idx) {
+  const std::unordered_set<std::uint32_t> s(idx.begin(), idx.end());
+  return s.size();
+}
+
+}  // namespace epismc::stats

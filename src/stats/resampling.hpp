@@ -1,0 +1,51 @@
+#pragma once
+
+// Resampling schemes for particle methods.
+//
+// Each scheme draws `count` ancestor indices i with P(i) proportional to
+// weights[i], differing in the variance they add on top of the weights.
+// Systematic is the library default (single uniform, lowest variance in
+// practice); the alternatives back the resampling ablation (E10).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "random/distributions.hpp"
+
+namespace epismc::stats {
+
+enum class ResamplingScheme : std::uint8_t {
+  kMultinomial,
+  kStratified,
+  kSystematic,
+  kResidual,
+};
+
+[[nodiscard]] const char* to_string(ResamplingScheme scheme);
+
+/// IID draws from the categorical distribution (highest variance).
+[[nodiscard]] std::vector<std::uint32_t> resample_multinomial(
+    rng::Engine& eng, std::span<const double> weights, std::size_t count);
+
+/// One uniform per stratum [k/N, (k+1)/N).
+[[nodiscard]] std::vector<std::uint32_t> resample_stratified(
+    rng::Engine& eng, std::span<const double> weights, std::size_t count);
+
+/// Single uniform offset, comb of N equally spaced points.
+[[nodiscard]] std::vector<std::uint32_t> resample_systematic(
+    rng::Engine& eng, std::span<const double> weights, std::size_t count);
+
+/// Deterministic copies of floor(N*w) plus multinomial on the residuals.
+[[nodiscard]] std::vector<std::uint32_t> resample_residual(
+    rng::Engine& eng, std::span<const double> weights, std::size_t count);
+
+/// Dispatch on scheme.
+[[nodiscard]] std::vector<std::uint32_t> resample(
+    ResamplingScheme scheme, rng::Engine& eng, std::span<const double> weights,
+    std::size_t count);
+
+/// Number of distinct ancestors in an index vector (degeneracy diagnostic).
+[[nodiscard]] std::size_t unique_ancestors(std::span<const std::uint32_t> idx);
+
+}  // namespace epismc::stats

@@ -1,0 +1,84 @@
+#include "stats/weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace epismc::stats {
+
+double log_sum_exp(std::span<const double> x) {
+  if (x.empty()) return -std::numeric_limits<double>::infinity();
+  const double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;  // all -inf (or a stray +inf/nan dominates)
+  double acc = 0.0;
+  for (const double v : x) acc += std::exp(v - m);
+  return m + std::log(acc);
+}
+
+void normalize_log_weights(std::span<const double> log_weights,
+                           std::span<double> out) {
+  if (log_weights.size() != out.size()) {
+    throw std::invalid_argument("normalize_log_weights: size mismatch");
+  }
+  const double lse = log_sum_exp(log_weights);
+  if (!std::isfinite(lse)) {
+    throw std::domain_error(
+        "normalize_log_weights: total weight is zero or non-finite");
+  }
+  for (std::size_t i = 0; i < log_weights.size(); ++i) {
+    out[i] = std::exp(log_weights[i] - lse);
+  }
+}
+
+std::vector<double> normalize_log_weights(std::span<const double> log_weights) {
+  std::vector<double> out(log_weights.size());
+  normalize_log_weights(log_weights, out);
+  return out;
+}
+
+double effective_sample_size(std::span<const double> weights) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("effective_sample_size: w < 0");
+    sum += w;
+    sum_sq += w * w;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return (sum * sum) / sum_sq;
+}
+
+double effective_sample_size_log(std::span<const double> log_weights) {
+  // ESS = exp(2*lse(x) - lse(2x)); avoids materializing linear weights.
+  const double lse1 = log_sum_exp(log_weights);
+  if (!std::isfinite(lse1)) return 0.0;
+  std::vector<double> doubled(log_weights.size());
+  for (std::size_t i = 0; i < log_weights.size(); ++i) {
+    doubled[i] = 2.0 * log_weights[i];
+  }
+  const double lse2 = log_sum_exp(doubled);
+  return std::exp(2.0 * lse1 - lse2);
+}
+
+double weight_entropy(std::span<const double> weights) {
+  double sum = 0.0;
+  for (const double w : weights) sum += w;
+  if (sum <= 0.0) throw std::domain_error("weight_entropy: zero total weight");
+  double h = 0.0;
+  for (const double w : weights) {
+    if (w > 0.0) {
+      const double p = w / sum;
+      h -= p * std::log(p);
+    }
+  }
+  return h;
+}
+
+double weight_perplexity(std::span<const double> weights) {
+  if (weights.empty()) return 0.0;
+  return std::exp(weight_entropy(weights)) /
+         static_cast<double>(weights.size());
+}
+
+}  // namespace epismc::stats

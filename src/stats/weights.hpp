@@ -1,0 +1,42 @@
+#pragma once
+
+// Importance-weight handling in log space.
+//
+// SMC weights span hundreds of orders of magnitude once a window of
+// Gaussian log-likelihoods has been accumulated; all normalization runs
+// through log-sum-exp, and degeneracy is monitored with effective sample
+// size and weight entropy.
+
+#include <span>
+#include <vector>
+
+namespace epismc::stats {
+
+/// log(sum_i exp(x_i)) with the usual max-shift stabilization.
+/// Returns -inf for an empty span or all -inf entries.
+[[nodiscard]] double log_sum_exp(std::span<const double> x);
+
+/// Convert log-weights to normalized linear weights (sum == 1).
+/// Entries of -inf map to 0. Throws if all weights vanish.
+[[nodiscard]] std::vector<double> normalize_log_weights(
+    std::span<const double> log_weights);
+
+/// In-place variant writing into `out` (same size as `log_weights`).
+void normalize_log_weights(std::span<const double> log_weights,
+                           std::span<double> out);
+
+/// Kish effective sample size: (sum w)^2 / sum w^2 for normalized weights.
+[[nodiscard]] double effective_sample_size(std::span<const double> weights);
+
+/// ESS computed directly from unnormalized log-weights.
+[[nodiscard]] double effective_sample_size_log(
+    std::span<const double> log_weights);
+
+/// Shannon entropy of the normalized weight distribution, in nats.
+/// Max entropy log(N) means uniform weights; 0 means full degeneracy.
+[[nodiscard]] double weight_entropy(std::span<const double> weights);
+
+/// Perplexity = exp(entropy) / N in (0, 1]; a scale-free degeneracy gauge.
+[[nodiscard]] double weight_perplexity(std::span<const double> weights);
+
+}  // namespace epismc::stats

@@ -1,0 +1,148 @@
+// Bias models (paper eq. 2) and window likelihoods (paper eq. 3).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/bias_model.hpp"
+#include "core/likelihood.hpp"
+#include "stats/densities.hpp"
+
+namespace {
+
+using namespace epismc::core;
+using epismc::rng::Engine;
+
+// --- Bias models -------------------------------------------------------------
+
+TEST(BinomialBias, MeanIsRhoTimesTruth) {
+  const BinomialBias bias;
+  Engine eng(20240050);
+  const std::vector<double> truth = {1000.0, 5000.0, 0.0, 250.0};
+  const double rho = 0.6;
+  std::vector<double> mean(truth.size(), 0.0);
+  constexpr int kReps = 2000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto obs = bias.apply(eng, truth, rho);
+    for (std::size_t i = 0; i < obs.size(); ++i) mean[i] += obs[i];
+  }
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(mean[i] / kReps, rho * truth[i], 0.02 * truth[i] + 0.5);
+  }
+}
+
+TEST(BinomialBias, BoundsRespected) {
+  const BinomialBias bias;
+  Engine eng(20240051);
+  const std::vector<double> truth = {100.0};
+  for (int i = 0; i < 500; ++i) {
+    const auto obs = bias.apply(eng, truth, 0.5);
+    ASSERT_GE(obs[0], 0.0);
+    ASSERT_LE(obs[0], 100.0);
+  }
+  // Degenerate rho.
+  EXPECT_DOUBLE_EQ(bias.apply(eng, truth, 0.0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(bias.apply(eng, truth, 1.0)[0], 100.0);
+  EXPECT_THROW((void)bias.apply(eng, truth, 1.5), std::invalid_argument);
+}
+
+TEST(IdentityBias, PassThrough) {
+  const IdentityBias bias;
+  Engine eng(1);
+  const std::vector<double> truth = {10.0, 20.0};
+  EXPECT_EQ(bias.apply(eng, truth, 0.1), truth);
+  EXPECT_FALSE(bias.uses_rho());
+}
+
+TEST(DeterministicThinning, ScalesExactly) {
+  const DeterministicThinning bias;
+  Engine eng(1);
+  const std::vector<double> truth = {10.0, 20.0};
+  const auto obs = bias.apply(eng, truth, 0.5);
+  EXPECT_DOUBLE_EQ(obs[0], 5.0);
+  EXPECT_DOUBLE_EQ(obs[1], 10.0);
+}
+
+TEST(BiasFactory, ResolvesNames) {
+  EXPECT_EQ(make_bias_model("binomial")->name(), "binomial");
+  EXPECT_EQ(make_bias_model("identity")->name(), "identity");
+  EXPECT_EQ(make_bias_model("deterministic-thinning")->name(),
+            "deterministic-thinning");
+  EXPECT_THROW((void)make_bias_model("nope"), std::invalid_argument);
+}
+
+// --- Likelihoods -------------------------------------------------------------
+
+TEST(GaussianSqrt, MatchesManualComputation) {
+  const GaussianSqrtLikelihood lik(1.0);
+  const std::vector<double> y = {100.0, 400.0};
+  const std::vector<double> eta = {121.0, 361.0};
+  // sqrt: y = {10, 20}, eta = {11, 19} -> two unit-sd normals at z = -1, 1.
+  const double expected = epismc::stats::normal_logpdf(10.0, 11.0, 1.0) +
+                          epismc::stats::normal_logpdf(20.0, 19.0, 1.0);
+  EXPECT_NEAR(lik.logpdf(y, eta), expected, 1e-12);
+}
+
+TEST(GaussianSqrt, PerfectMatchIsMaximal) {
+  const GaussianSqrtLikelihood lik(1.0);
+  const std::vector<double> y = {50.0, 75.0, 100.0};
+  const double at_truth = lik.logpdf(y, y);
+  const std::vector<double> off = {55.0, 80.0, 90.0};
+  EXPECT_GT(at_truth, lik.logpdf(y, off));
+}
+
+TEST(GaussianSqrt, SigmaControlsTightness) {
+  const GaussianSqrtLikelihood tight(0.5);
+  const GaussianSqrtLikelihood loose(5.0);
+  const std::vector<double> y = {100.0};
+  const std::vector<double> eta = {144.0};
+  // Mismatch costs more under the tighter likelihood.
+  EXPECT_LT(tight.logpdf(y, eta) - tight.logpdf(y, y),
+            loose.logpdf(y, eta) - loose.logpdf(y, y));
+  EXPECT_THROW(GaussianSqrtLikelihood(0.0), std::invalid_argument);
+}
+
+TEST(GaussianSqrt, HandlesZeroCounts) {
+  const GaussianSqrtLikelihood lik(1.0);
+  const std::vector<double> y = {0.0};
+  const std::vector<double> eta = {0.0};
+  EXPECT_TRUE(std::isfinite(lik.logpdf(y, eta)));
+}
+
+TEST(Poisson, MatchesPmf) {
+  const PoissonLikelihood lik;
+  const std::vector<double> y = {3.0};
+  const std::vector<double> eta = {2.5};
+  EXPECT_NEAR(lik.logpdf(y, eta), epismc::stats::poisson_logpmf(3, 2.5),
+              1e-12);
+  // Zero simulated rate is floored, not -inf.
+  const std::vector<double> zero = {0.0};
+  EXPECT_TRUE(std::isfinite(lik.logpdf(y, zero)));
+}
+
+TEST(GaussianCount, OverdispersionScales) {
+  const GaussianCountLikelihood lik(2.0);
+  const std::vector<double> y = {110.0};
+  const std::vector<double> eta = {100.0};
+  // sd = 2 * 10 = 20 -> z = 0.5.
+  EXPECT_NEAR(lik.logpdf(y, eta),
+              epismc::stats::normal_logpdf(110.0, 100.0, 20.0), 1e-12);
+}
+
+TEST(Likelihoods, LengthMismatchRejected) {
+  const GaussianSqrtLikelihood lik(1.0);
+  const std::vector<double> y = {1.0, 2.0};
+  const std::vector<double> eta = {1.0};
+  EXPECT_THROW((void)lik.logpdf(y, eta), std::invalid_argument);
+  EXPECT_THROW((void)lik.logpdf({}, {}), std::invalid_argument);
+}
+
+TEST(LikelihoodFactory, ResolvesNames) {
+  EXPECT_EQ(make_likelihood("gaussian-sqrt", 1.0)->name(), "gaussian-sqrt");
+  EXPECT_EQ(make_likelihood("poisson", 0.0)->name(), "poisson");
+  EXPECT_EQ(make_likelihood("gaussian-count", 1.0)->name(), "gaussian-count");
+  EXPECT_THROW((void)make_likelihood("nope", 1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Sequential calibrator (paper §IV-C): multi-window runs track a
+// time-varying transmission rate, posterior->prior carry-over restarts from
+// checkpoints (never day zero), death data tightens the posterior, and
+// configuration errors are caught up front.
+
+#include <gtest/gtest.h>
+
+#include "core/posterior.hpp"
+#include "core/scenario.hpp"
+#include "core/sequential_calibrator.hpp"
+
+namespace {
+
+using namespace epismc::core;
+
+ScenarioConfig test_scenario() {
+  ScenarioConfig cfg;
+  cfg.params.population = 300000;
+  cfg.initial_exposed = 150;
+  cfg.total_days = 80;
+  // Sharper theta drop than the paper's to make two-window tracking
+  // detectable at small particle counts.
+  cfg.theta_segments = {{0, 0.30}, {34, 0.45}};
+  cfg.rho_segments = {{0, 0.60}, {34, 0.80}};
+  return cfg;
+}
+
+CalibrationConfig small_config() {
+  CalibrationConfig cfg;
+  cfg.windows = {{20, 33}, {34, 47}};
+  cfg.n_params = 120;
+  cfg.replicates = 4;
+  cfg.resample_size = 240;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+TEST(Calibrator, TracksTimeVaryingTheta) {
+  const ScenarioConfig scenario = test_scenario();
+  const GroundTruth truth = simulate_ground_truth(scenario);
+  const SeirSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+  SequentialCalibrator cal(sim, truth.observed(), small_config());
+  cal.run_all();
+  ASSERT_TRUE(cal.finished());
+  ASSERT_EQ(cal.results().size(), 2u);
+
+  const auto w1 = summarize_window(cal.results()[0]);
+  const auto w2 = summarize_window(cal.results()[1]);
+  EXPECT_NEAR(w1.theta.mean, 0.30, 0.06);
+  EXPECT_NEAR(w2.theta.mean, 0.45, 0.08);
+  // The calibrator noticed the change point.
+  EXPECT_GT(w2.theta.mean, w1.theta.mean + 0.05);
+}
+
+TEST(Calibrator, WindowsRestartFromCheckpoints) {
+  const ScenarioConfig scenario = test_scenario();
+  const GroundTruth truth = simulate_ground_truth(scenario);
+  const SeirSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+  SequentialCalibrator cal(sim, truth.observed(), small_config());
+
+  const WindowResult& w1 = cal.run_next_window();
+  // All first-window end states sit at the window boundary...
+  for (const auto& state : w1.states) EXPECT_EQ(state.day, 33);
+  // ...and the shared initial state sits at burnin_day (default 0: each
+  // particle owns its full early path).
+  EXPECT_EQ(cal.initial_state().day, 0);
+
+  const WindowResult& w2 = cal.run_next_window();
+  // ...and second-window sims branch from those states (parent indices
+  // reference w1.states).
+  for (const auto& rec : w2.sims) {
+    ASSERT_LT(rec.parent, w1.states.size());
+  }
+  for (const auto& state : w2.states) EXPECT_EQ(state.day, 47);
+}
+
+TEST(Calibrator, DeathsTightenPosterior) {
+  const ScenarioConfig scenario = [] {
+    ScenarioConfig cfg = test_scenario();
+    cfg.initial_exposed = 600;  // enough deaths to be informative
+    return cfg;
+  }();
+  const GroundTruth truth = simulate_ground_truth(scenario);
+  const SeirSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+
+  CalibrationConfig cases_only = small_config();
+  cases_only.windows = {{20, 33}};
+  CalibrationConfig with_deaths = cases_only;
+  with_deaths.use_deaths = true;
+
+  SequentialCalibrator cal_a(sim, truth.observed(), cases_only);
+  SequentialCalibrator cal_b(sim, truth.observed(), with_deaths);
+  cal_a.run_all();
+  cal_b.run_all();
+
+  const auto a = summarize_window(cal_a.results()[0]);
+  const auto b = summarize_window(cal_b.results()[0]);
+  // Joint (theta, rho) uncertainty volume must not grow when a second
+  // data stream is added.
+  const double vol_a = a.theta.ci90.width() * a.rho.ci90.width();
+  const double vol_b = b.theta.ci90.width() * b.rho.ci90.width();
+  EXPECT_LE(vol_b, vol_a * 1.10);
+}
+
+TEST(Calibrator, ReproducibleAcrossRuns) {
+  const ScenarioConfig scenario = test_scenario();
+  const GroundTruth truth = simulate_ground_truth(scenario);
+  const SeirSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+  const auto run = [&] {
+    SequentialCalibrator cal(sim, truth.observed(), small_config());
+    cal.run_all();
+    return cal.results()[1].posterior_thetas();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Calibrator, RunNextWindowBeyondEndThrows) {
+  const ScenarioConfig scenario = test_scenario();
+  const GroundTruth truth = simulate_ground_truth(scenario);
+  const SeirSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+  CalibrationConfig cfg = small_config();
+  cfg.windows = {{20, 33}};
+  SequentialCalibrator cal(sim, truth.observed(), cfg);
+  EXPECT_THROW((void)cal.initial_state(), std::logic_error);
+  (void)cal.run_next_window();
+  EXPECT_TRUE(cal.finished());
+  EXPECT_THROW((void)cal.run_next_window(), std::logic_error);
+}
+
+TEST(Calibrator, ConfigValidation) {
+  CalibrationConfig cfg;
+  cfg.windows = {};
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = CalibrationConfig{};
+  cfg.windows = {{20, 33}, {35, 40}};  // gap
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = CalibrationConfig{};
+  cfg.windows = {{20, 19}};  // inverted
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = CalibrationConfig{};
+  cfg.n_params = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = CalibrationConfig{};
+  cfg.theta_prior = nullptr;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(CalibrationConfig{}.validate());
+}
+
+TEST(Calibrator, DataCoverageChecked) {
+  const ScenarioConfig scenario = [] {
+    ScenarioConfig cfg = test_scenario();
+    cfg.total_days = 30;  // too short for the default windows
+    return cfg;
+  }();
+  const GroundTruth truth = simulate_ground_truth(scenario);
+  const SeirSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+  EXPECT_THROW(
+      SequentialCalibrator(sim, truth.observed(), small_config()),
+      std::invalid_argument);
+}
+
+TEST(Calibrator, UseDeathsRequiresDeathSeries) {
+  const ScenarioConfig scenario = test_scenario();
+  const GroundTruth truth = simulate_ground_truth(scenario);
+  const SeirSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+  CalibrationConfig cfg = small_config();
+  cfg.use_deaths = true;
+  const ObservedData no_deaths(1, truth.observed_cases, {});
+  EXPECT_THROW(SequentialCalibrator(sim, no_deaths, cfg),
+               std::invalid_argument);
+}
+
+TEST(Calibrator, ChainBinomialSimulatorWorksToo) {
+  // The calibrator is simulator-agnostic: swap in the baseline engine.
+  ScenarioConfig scenario = test_scenario();
+  scenario.use_chain_binomial = true;
+  const GroundTruth truth = simulate_ground_truth(scenario);
+  const ChainBinomialSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+  CalibrationConfig cfg = small_config();
+  cfg.windows = {{20, 33}};
+  SequentialCalibrator cal(sim, truth.observed(), cfg);
+  const auto& w = cal.run_next_window();
+  const auto summary = summarize_window(w);
+  EXPECT_NEAR(summary.theta.mean, 0.30, 0.08);
+}
+
+}  // namespace

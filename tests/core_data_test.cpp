@@ -1,0 +1,49 @@
+// ObservedData day-indexed access and window slicing.
+
+#include <gtest/gtest.h>
+
+#include "core/data.hpp"
+
+namespace {
+
+using epismc::core::ObservedData;
+
+TEST(ObservedData, DayIndexing) {
+  const ObservedData d(10, {1.0, 2.0, 3.0}, {0.1, 0.2, 0.3});
+  EXPECT_EQ(d.first_day(), 10);
+  EXPECT_EQ(d.last_day(), 12);
+  EXPECT_DOUBLE_EQ(d.cases_at(10), 1.0);
+  EXPECT_DOUBLE_EQ(d.cases_at(12), 3.0);
+  EXPECT_DOUBLE_EQ(d.deaths_at(11), 0.2);
+  EXPECT_THROW((void)d.cases_at(9), std::out_of_range);
+  EXPECT_THROW((void)d.cases_at(13), std::out_of_range);
+}
+
+TEST(ObservedData, WindowSlices) {
+  const ObservedData d(1, {1.0, 2.0, 3.0, 4.0, 5.0}, {});
+  const auto w = d.cases_window(2, 4);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0], 2.0);
+  EXPECT_DOUBLE_EQ(w[2], 4.0);
+  EXPECT_THROW((void)d.cases_window(4, 2), std::invalid_argument);
+  // Single-day window.
+  EXPECT_EQ(d.cases_window(3, 3).size(), 1u);
+}
+
+TEST(ObservedData, DeathsOptional) {
+  const ObservedData no_deaths(1, {1.0, 2.0}, {});
+  EXPECT_FALSE(no_deaths.has_deaths());
+  EXPECT_THROW((void)no_deaths.deaths_at(1), std::logic_error);
+  EXPECT_THROW((void)no_deaths.deaths_window(1, 2), std::logic_error);
+
+  const ObservedData with_deaths(1, {1.0, 2.0}, {0.0, 1.0});
+  EXPECT_TRUE(with_deaths.has_deaths());
+  EXPECT_EQ(with_deaths.deaths_window(1, 2).size(), 2u);
+}
+
+TEST(ObservedData, Validation) {
+  EXPECT_THROW(ObservedData(1, {}, {}), std::invalid_argument);
+  EXPECT_THROW(ObservedData(1, {1.0, 2.0}, {0.5}), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Priors and jitter kernels: sampling within support, density consistency,
+// and the asymmetric-upward rho kernel from §V-B.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/prior.hpp"
+#include "random/seeding.hpp"
+
+namespace {
+
+using namespace epismc::core;
+using epismc::rng::Engine;
+
+TEST(UniformPrior, SamplesWithinSupport) {
+  const UniformPrior prior(0.1, 0.5);
+  Engine eng(20240060);
+  double mn = 1.0;
+  double mx = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = prior.sample(eng);
+    ASSERT_GE(x, 0.1);
+    ASSERT_LT(x, 0.5);
+    mn = std::min(mn, x);
+    mx = std::max(mx, x);
+  }
+  // Support is actually explored.
+  EXPECT_LT(mn, 0.12);
+  EXPECT_GT(mx, 0.48);
+}
+
+TEST(UniformPrior, Density) {
+  const UniformPrior prior(0.0, 4.0);
+  EXPECT_NEAR(prior.logpdf(1.0), -std::log(4.0), 1e-14);
+  EXPECT_EQ(prior.logpdf(5.0), -std::numeric_limits<double>::infinity());
+  EXPECT_THROW(UniformPrior(1.0, 1.0), std::invalid_argument);
+  EXPECT_NE(prior.describe().find("Uniform"), std::string::npos);
+}
+
+TEST(BetaPrior, MeanMatches) {
+  const BetaPrior prior(4.0, 1.0);
+  Engine eng(20240061);
+  double acc = 0.0;
+  constexpr int kDraws = 30000;
+  for (int i = 0; i < kDraws; ++i) acc += prior.sample(eng);
+  EXPECT_NEAR(acc / kDraws, 0.8, 0.005);
+  EXPECT_THROW(BetaPrior(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(PointPrior, Degenerate) {
+  const PointPrior prior(0.42);
+  Engine eng(1);
+  EXPECT_DOUBLE_EQ(prior.sample(eng), 0.42);
+  EXPECT_DOUBLE_EQ(prior.logpdf(0.42), 0.0);
+  EXPECT_EQ(prior.logpdf(0.4), -std::numeric_limits<double>::infinity());
+}
+
+TEST(JitterKernel, SymmetricWindow) {
+  const JitterKernel k{0.05, 0.05, 0.0, 1.0};
+  EXPECT_TRUE(k.symmetric());
+  Engine eng(20240062);
+  double acc = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = k.sample(eng, 0.5);
+    ASSERT_GE(x, 0.45);
+    ASSERT_LE(x, 0.55);
+    acc += x;
+  }
+  EXPECT_NEAR(acc / kDraws, 0.5, 0.002);
+}
+
+TEST(JitterKernel, AsymmetricShiftsUpward) {
+  // The paper's rho proposal: more mass above the center.
+  const JitterKernel k{0.08, 0.12, 0.0, 1.0};
+  EXPECT_FALSE(k.symmetric());
+  Engine eng(20240063);
+  double acc = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) acc += k.sample(eng, 0.6);
+  EXPECT_NEAR(acc / kDraws, 0.6 + (0.12 - 0.08) / 2.0, 0.003);
+}
+
+TEST(JitterKernel, ClampsToBounds) {
+  const JitterKernel k{0.2, 0.2, 0.0, 1.0};
+  Engine eng(20240064);
+  for (int i = 0; i < 5000; ++i) {
+    const double near_one = k.sample(eng, 0.95);
+    ASSERT_LE(near_one, 1.0);
+    const double near_zero = k.sample(eng, 0.05);
+    ASSERT_GE(near_zero, 0.0);
+  }
+}
+
+}  // namespace

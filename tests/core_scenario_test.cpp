@@ -1,0 +1,111 @@
+// Ground-truth scenario generator (paper §V-A): schedules, thinning
+// relationship between true and observed cases, and reproducibility.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/scenario.hpp"
+
+namespace {
+
+using namespace epismc::core;
+
+ScenarioConfig small_scenario() {
+  ScenarioConfig cfg;
+  cfg.params.population = 200000;
+  cfg.initial_exposed = 100;
+  cfg.total_days = 80;
+  return cfg;
+}
+
+TEST(Scenario, SchedulesMatchPaper) {
+  const ScenarioConfig cfg;
+  const GroundTruth truth = simulate_ground_truth(small_scenario());
+  EXPECT_DOUBLE_EQ(truth.theta_at(0), 0.30);
+  EXPECT_DOUBLE_EQ(truth.theta_at(33), 0.30);
+  EXPECT_DOUBLE_EQ(truth.theta_at(34), 0.27);
+  EXPECT_DOUBLE_EQ(truth.theta_at(48), 0.25);
+  EXPECT_DOUBLE_EQ(truth.theta_at(62), 0.40);
+  EXPECT_DOUBLE_EQ(truth.rho_at(0), 0.60);
+  EXPECT_DOUBLE_EQ(truth.rho_at(34), 0.70);
+  EXPECT_DOUBLE_EQ(truth.rho_at(48), 0.85);
+  EXPECT_DOUBLE_EQ(truth.rho_at(62), 0.80);
+  (void)cfg;
+}
+
+TEST(Scenario, SeriesHaveExpectedLength) {
+  const auto cfg = small_scenario();
+  const GroundTruth truth = simulate_ground_truth(cfg);
+  EXPECT_EQ(truth.true_cases.size(), 80u);
+  EXPECT_EQ(truth.observed_cases.size(), 80u);
+  EXPECT_EQ(truth.deaths.size(), 80u);
+  EXPECT_EQ(truth.trajectory.last_day(), 80);
+}
+
+TEST(Scenario, ObservedNeverExceedsTrue) {
+  const GroundTruth truth = simulate_ground_truth(small_scenario());
+  for (std::size_t i = 0; i < truth.true_cases.size(); ++i) {
+    ASSERT_LE(truth.observed_cases[i], truth.true_cases[i]) << "day " << i + 1;
+    ASSERT_GE(truth.observed_cases[i], 0.0);
+  }
+}
+
+TEST(Scenario, ThinningRatioNearRho) {
+  const GroundTruth truth = simulate_ground_truth(small_scenario());
+  // Days 10..33 all have rho = 0.6; the aggregate ratio converges there.
+  double obs = 0.0;
+  double tru = 0.0;
+  for (std::size_t i = 9; i < 33; ++i) {
+    obs += truth.observed_cases[i];
+    tru += truth.true_cases[i];
+  }
+  ASSERT_GT(tru, 100.0);
+  EXPECT_NEAR(obs / tru, 0.6, 0.08);
+}
+
+TEST(Scenario, ReproducibleForSameSeed) {
+  const auto a = simulate_ground_truth(small_scenario());
+  const auto b = simulate_ground_truth(small_scenario());
+  EXPECT_EQ(a.true_cases, b.true_cases);
+  EXPECT_EQ(a.observed_cases, b.observed_cases);
+  EXPECT_EQ(a.deaths, b.deaths);
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  auto cfg = small_scenario();
+  const auto a = simulate_ground_truth(cfg);
+  cfg.seed = 999;
+  const auto b = simulate_ground_truth(cfg);
+  EXPECT_NE(a.true_cases, b.true_cases);
+}
+
+TEST(Scenario, ChainBinomialEngineWorksToo) {
+  auto cfg = small_scenario();
+  cfg.use_chain_binomial = true;
+  const auto truth = simulate_ground_truth(cfg);
+  const double total =
+      std::accumulate(truth.true_cases.begin(), truth.true_cases.end(), 0.0);
+  EXPECT_GT(total, 100.0);
+}
+
+TEST(Scenario, ObservedDataPackaging) {
+  const auto truth = simulate_ground_truth(small_scenario());
+  const ObservedData data = truth.observed();
+  EXPECT_EQ(data.first_day(), 1);
+  EXPECT_EQ(data.last_day(), 80);
+  EXPECT_TRUE(data.has_deaths());
+  EXPECT_DOUBLE_EQ(data.cases_at(5), truth.observed_cases[4]);
+}
+
+TEST(Scenario, EpidemicActuallyGrows) {
+  const auto truth = simulate_ground_truth(small_scenario());
+  // Mean daily infections in the last quarter exceed the first quarter.
+  const double early = std::accumulate(truth.true_cases.begin(),
+                                       truth.true_cases.begin() + 20, 0.0);
+  const double late = std::accumulate(truth.true_cases.end() - 20,
+                                      truth.true_cases.end(), 0.0);
+  EXPECT_GT(late, early);
+}
+
+}  // namespace

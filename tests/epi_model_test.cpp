@@ -1,0 +1,263 @@
+// Event-driven SEIR model: conservation of individuals, epidemic dynamics
+// responding to the transmission schedule, detection plumbing, terminal
+// state monotonicity, and determinism under identical (seed, stream).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "epi/compartments.hpp"
+#include "epi/seir_model.hpp"
+
+namespace {
+
+using namespace epismc::epi;
+
+DiseaseParameters small_pop_params() {
+  DiseaseParameters p;
+  p.population = 200000;
+  return p;
+}
+
+TEST(SeirModel, StartsAllSusceptible) {
+  const SeirModel m(small_pop_params(), PiecewiseSchedule(0.3), 1);
+  EXPECT_EQ(m.count(Compartment::kS), 200000);
+  EXPECT_EQ(m.total_individuals(), 200000);
+  EXPECT_EQ(m.day(), 0);
+  EXPECT_TRUE(m.trajectory().empty());
+}
+
+TEST(SeirModel, ConservationHoldsOverTime) {
+  SeirModel m(small_pop_params(), PiecewiseSchedule(0.35), 2);
+  m.seed_exposed(100);
+  for (int day = 1; day <= 120; ++day) {
+    m.step();
+    ASSERT_EQ(m.total_individuals(), 200000) << "day " << day;
+  }
+}
+
+TEST(SeirModel, NoInfectionsWithoutSeeding) {
+  SeirModel m(small_pop_params(), PiecewiseSchedule(0.5), 3);
+  m.run_until_day(30);
+  EXPECT_EQ(m.count(Compartment::kS), 200000);
+  for (const auto& rec : m.trajectory().records()) {
+    EXPECT_EQ(rec.new_infections, 0);
+  }
+}
+
+TEST(SeirModel, ZeroTransmissionEpidemicDiesOut) {
+  SeirModel m(small_pop_params(), PiecewiseSchedule(0.0), 4);
+  m.seed_exposed(500);
+  m.run_until_day(150);
+  for (const auto& rec : m.trajectory().records()) {
+    EXPECT_EQ(rec.new_infections, 0);
+  }
+  // Everyone seeded has resolved to R or D by day 150.
+  const auto resolved = m.count(Compartment::kRu) + m.count(Compartment::kRd) +
+                        m.count(Compartment::kDu) + m.count(Compartment::kDd);
+  EXPECT_EQ(resolved, 500);
+  EXPECT_EQ(m.count(Compartment::kE), 0);
+}
+
+TEST(SeirModel, HigherThetaGrowsFaster) {
+  const auto total_infections = [](double theta) {
+    SeirModel m(small_pop_params(), PiecewiseSchedule(theta), 5);
+    m.seed_exposed(100);
+    m.run_until_day(60);
+    const auto cases = m.trajectory().new_infections(1, 60);
+    return std::accumulate(cases.begin(), cases.end(), 0.0);
+  };
+  const double slow = total_infections(0.2);
+  const double fast = total_infections(0.4);
+  EXPECT_GT(fast, 2.0 * slow);
+}
+
+TEST(SeirModel, TransmissionDropMidRunSlowsEpidemic) {
+  // theta collapses to ~0 at day 40; incidence afterwards must decay well
+  // below its pre-change level.
+  SeirModel m(small_pop_params(),
+              PiecewiseSchedule(std::vector<PiecewiseSchedule::Segment>{
+                  {0, 0.45}, {40, 0.01}}),
+              6);
+  m.seed_exposed(200);
+  m.run_until_day(90);
+  const auto before = m.trajectory().new_infections(35, 40);
+  const auto after = m.trajectory().new_infections(80, 90);
+  const double mean_before =
+      std::accumulate(before.begin(), before.end(), 0.0) /
+      static_cast<double>(before.size());
+  const double mean_after =
+      std::accumulate(after.begin(), after.end(), 0.0) /
+      static_cast<double>(after.size());
+  EXPECT_LT(mean_after, 0.25 * mean_before);
+}
+
+TEST(SeirModel, DeterministicForSameSeedAndStream) {
+  const auto run = [] {
+    SeirModel m(small_pop_params(), PiecewiseSchedule(0.3), 42, 13);
+    m.seed_exposed(150);
+    m.run_until_day(80);
+    return m;
+  };
+  const SeirModel a = run();
+  const SeirModel b = run();
+  EXPECT_EQ(a.census(), b.census());
+  ASSERT_EQ(a.trajectory().size(), b.trajectory().size());
+  for (std::size_t i = 0; i < a.trajectory().size(); ++i) {
+    ASSERT_EQ(a.trajectory()[i].new_infections,
+              b.trajectory()[i].new_infections);
+    ASSERT_EQ(a.trajectory()[i].new_deaths, b.trajectory()[i].new_deaths);
+  }
+}
+
+TEST(SeirModel, DifferentSeedsDiverge) {
+  const auto run = [](std::uint64_t seed) {
+    SeirModel m(small_pop_params(), PiecewiseSchedule(0.3), seed);
+    m.seed_exposed(150);
+    m.run_until_day(60);
+    return m.trajectory().new_infections(1, 60);
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(SeirModel, DeathsAreMonotoneCumulative) {
+  SeirModel m(small_pop_params(), PiecewiseSchedule(0.4), 7);
+  m.seed_exposed(500);
+  std::int64_t last_dead = 0;
+  for (int day = 1; day <= 120; ++day) {
+    m.step();
+    const auto dead = m.count(Compartment::kDu) + m.count(Compartment::kDd);
+    ASSERT_GE(dead, last_dead);
+    ASSERT_GE(m.trajectory().at_day(day).new_deaths, 0);
+    last_dead = dead;
+  }
+  EXPECT_GT(last_dead, 0);  // a 0.4-theta epidemic kills some
+}
+
+TEST(SeirModel, DetectionProducesDetectedCompartments) {
+  SeirModel m(small_pop_params(), PiecewiseSchedule(0.4), 8);
+  m.seed_exposed(1000);
+  m.run_until_day(40);
+  std::int64_t detected = 0;
+  for (const auto& rec : m.trajectory().records()) {
+    detected += rec.new_detected_cases;
+  }
+  EXPECT_GT(detected, 0);
+  // With detect_severe = 0.7, detected hospitalizations should exist.
+  const auto h_total = m.count(Compartment::kHd) + m.count(Compartment::kCd) +
+                       m.count(Compartment::kRd);
+  EXPECT_GT(h_total, 0);
+}
+
+TEST(SeirModel, NoDetectionWhenProbabilitiesZero) {
+  DiseaseParameters p = small_pop_params();
+  p.detect_asymptomatic = 0.0;
+  p.detect_presymptomatic = 0.0;
+  p.detect_mild = 0.0;
+  p.detect_severe = 0.0;
+  SeirModel m(p, PiecewiseSchedule(0.4), 9);
+  m.seed_exposed(1000);
+  m.run_until_day(60);
+  for (const auto& rec : m.trajectory().records()) {
+    ASSERT_EQ(rec.new_detected_cases, 0);
+  }
+  for (const Compartment c :
+       {Compartment::kAd, Compartment::kPd, Compartment::kSmD,
+        Compartment::kSsD, Compartment::kHd, Compartment::kCd,
+        Compartment::kRd, Compartment::kDd}) {
+    ASSERT_EQ(m.count(c), 0) << name(c);
+  }
+}
+
+TEST(SeirModel, EffectiveInfectiousRespectsMultipliers) {
+  // With detected infectiousness 0, detected cases contribute nothing.
+  DiseaseParameters p = small_pop_params();
+  p.detected_infectiousness = 0.0;
+  SeirModel m(p, PiecewiseSchedule(0.3), 10);
+  m.seed_exposed(100);
+  m.run_until_day(30);
+  double undetected = 0.0;
+  using C = Compartment;
+  undetected += p.asymptomatic_infectiousness *
+                static_cast<double>(m.count(C::kAu));
+  undetected += static_cast<double>(m.count(C::kPu));
+  undetected += static_cast<double>(m.count(C::kSmU));
+  undetected += static_cast<double>(m.count(C::kSsU));
+  EXPECT_DOUBLE_EQ(m.effective_infectious(), undetected);
+}
+
+TEST(SeirModel, ForceOfInfectionTracksSchedule) {
+  SeirModel m(small_pop_params(), PiecewiseSchedule(0.25), 11);
+  m.seed_exposed(1000);
+  m.run_until_day(10);
+  const double expected = 0.25 * m.effective_infectious() /
+                          static_cast<double>(m.population());
+  EXPECT_DOUBLE_EQ(m.force_of_infection(), expected);
+}
+
+TEST(SeirModel, SeedValidation) {
+  SeirModel m(small_pop_params(), PiecewiseSchedule(0.3), 12);
+  EXPECT_THROW(m.seed_exposed(-1), std::invalid_argument);
+  EXPECT_THROW(m.seed_exposed(200001), std::invalid_argument);
+  EXPECT_THROW(m.run_until_day(-1), std::invalid_argument);
+}
+
+TEST(SeirModel, HospitalAndIcuCensusConsistent) {
+  SeirModel m(small_pop_params(), PiecewiseSchedule(0.4), 13);
+  m.seed_exposed(2000);
+  m.run_until_day(50);
+  const auto& rec = m.trajectory().at_day(50);
+  EXPECT_EQ(rec.hospital_census,
+            m.count(Compartment::kHu) + m.count(Compartment::kHd) +
+                m.count(Compartment::kHpU) + m.count(Compartment::kHpD));
+  EXPECT_EQ(rec.icu_census,
+            m.count(Compartment::kCu) + m.count(Compartment::kCd));
+  EXPECT_EQ(rec.susceptible, m.count(Compartment::kS));
+}
+
+TEST(TransitionTable, TopologyIsClosed) {
+  // Every edge references valid compartments; terminal states have no
+  // outgoing edges; S only transitions to E.
+  for (const auto& edge : transition_table()) {
+    ASSERT_LT(index(edge.from), kCompartmentCount);
+    ASSERT_LT(index(edge.to), kCompartmentCount);
+    ASSERT_NE(edge.from, edge.to);
+    if (edge.from == Compartment::kS) {
+      EXPECT_EQ(edge.to, Compartment::kE);
+    }
+    EXPECT_NE(edge.from, Compartment::kRu);
+    EXPECT_NE(edge.from, Compartment::kRd);
+    EXPECT_NE(edge.from, Compartment::kDu);
+    EXPECT_NE(edge.from, Compartment::kDd);
+  }
+}
+
+TEST(Compartments, DetectedTwinMapping) {
+  EXPECT_EQ(detected_twin(Compartment::kAu), Compartment::kAd);
+  EXPECT_EQ(detected_twin(Compartment::kSmU), Compartment::kSmD);
+  EXPECT_EQ(detected_twin(Compartment::kAd), Compartment::kAd);
+  EXPECT_EQ(detected_twin(Compartment::kS), Compartment::kS);
+  EXPECT_TRUE(is_detected(Compartment::kHd));
+  EXPECT_FALSE(is_detected(Compartment::kHu));
+  EXPECT_TRUE(is_infectious(Compartment::kPu));
+  EXPECT_FALSE(is_infectious(Compartment::kHu));  // hospitalized isolated
+}
+
+TEST(Parameters, ValidationCatchesBadValues) {
+  DiseaseParameters p;
+  p.population = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DiseaseParameters{};
+  p.fraction_mild = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DiseaseParameters{};
+  p.latent_period = -1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DiseaseParameters{};
+  p.erlang_shape = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = DiseaseParameters{};
+  EXPECT_NO_THROW(p.validate());
+}
+
+}  // namespace

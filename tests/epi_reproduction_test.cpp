@@ -1,0 +1,166 @@
+// Reproduction-number machinery: closed-form R0 sanity, parameter
+// monotonicity, agreement between the analytic R_t and (a) realized
+// epidemic growth and (b) the incidence-only Cori estimator.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "epi/reproduction.hpp"
+#include "epi/seir_model.hpp"
+
+namespace {
+
+using namespace epismc::epi;
+
+TEST(Reproduction, DurationIsPlausible) {
+  const DiseaseParameters p;
+  const double d = effective_infectious_duration(p);
+  // Between the presymptomatic period alone and the longest full course.
+  EXPECT_GT(d, p.presymptomatic_period);
+  EXPECT_LT(d, p.asymptomatic_period + p.mild_period + 4.0);
+}
+
+TEST(Reproduction, R0LinearInTheta) {
+  const DiseaseParameters p;
+  const double r1 = basic_reproduction_number(p, 0.2);
+  const double r2 = basic_reproduction_number(p, 0.4);
+  EXPECT_NEAR(r2, 2.0 * r1, 1e-12);
+  EXPECT_THROW((void)basic_reproduction_number(p, -0.1),
+               std::invalid_argument);
+}
+
+TEST(Reproduction, DetectionReducesDuration) {
+  DiseaseParameters fast_detect;
+  fast_detect.detect_mild = 0.95;
+  fast_detect.detect_severe = 0.95;
+  fast_detect.detect_asymptomatic = 0.9;
+  fast_detect.detect_presymptomatic = 0.9;
+  fast_detect.detection_delay = 1;
+  const DiseaseParameters baseline;
+  EXPECT_LT(effective_infectious_duration(fast_detect),
+            effective_infectious_duration(baseline));
+}
+
+TEST(Reproduction, IsolationStrengthMatters) {
+  DiseaseParameters leaky;
+  leaky.detected_infectiousness = 0.9;
+  DiseaseParameters strict;
+  strict.detected_infectiousness = 0.05;
+  EXPECT_GT(effective_infectious_duration(leaky),
+            effective_infectious_duration(strict));
+}
+
+TEST(Reproduction, GrowthMatchesR0Threshold) {
+  // theta giving R0 < 1 must produce a dying epidemic; R0 > 1.5 a growing
+  // one.
+  DiseaseParameters p;
+  p.population = 300000;
+  const double d_eff = effective_infectious_duration(p);
+  const double theta_sub = 0.8 / d_eff;   // R0 = 0.8
+  const double theta_super = 1.8 / d_eff; // R0 = 1.8
+
+  const auto epidemic_size = [&](double theta) {
+    SeirModel m(p, PiecewiseSchedule(theta), 5);
+    m.seed_exposed(2000);
+    m.run_until_day(120);
+    const auto c = m.trajectory().new_infections(1, 120);
+    return std::accumulate(c.begin(), c.end(), 0.0);
+  };
+  const double sub = epidemic_size(theta_sub);
+  const double super = epidemic_size(theta_super);
+  EXPECT_GT(super, 5.0 * sub);
+  // Subcritical: total infections stay within a few multiples of seeding.
+  EXPECT_LT(sub, 20000.0);
+}
+
+TEST(Reproduction, InstantaneousRtTracksSchedule) {
+  DiseaseParameters p;
+  p.population = 500000;
+  const PiecewiseSchedule theta(std::vector<PiecewiseSchedule::Segment>{
+      {0, 0.30}, {40, 0.15}});
+  SeirModel m(p, theta, 9);
+  m.seed_exposed(500);
+  m.run_until_day(60);
+  const auto rt = instantaneous_rt(m.trajectory(), p, theta);
+  ASSERT_EQ(rt.size(), 60u);
+  const double d_eff = effective_infectious_duration(p);
+  // Early epidemic: S/N ~ 1, so R_t ~ theta * D_eff.
+  EXPECT_NEAR(rt[5], 0.30 * d_eff, 0.02);
+  // After the schedule change R_t halves, modulated by susceptible
+  // depletion between the two days.
+  const double depletion =
+      static_cast<double>(m.trajectory().at_day(46).susceptible) /
+      static_cast<double>(m.trajectory().at_day(6).susceptible);
+  EXPECT_NEAR(rt[45] / rt[5], 0.5 * depletion, 0.02);
+  // R_t never increases while theta is constant (S only shrinks).
+  for (std::size_t t = 1; t < 39; ++t) ASSERT_LE(rt[t], rt[t - 1] + 1e-12);
+}
+
+TEST(Reproduction, GenerationIntervalIsAProperPmf) {
+  const DiseaseParameters p;
+  const auto w = generation_interval_pmf(p);
+  double total = 0.0;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    ASSERT_GE(w[i], 0.0);
+    total += w[i];
+    mean += static_cast<double>(i + 1) * w[i];
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // Mean generation time between the latent period and the full course.
+  EXPECT_GT(mean, p.latent_period);
+  EXPECT_LT(mean, 14.0);
+}
+
+TEST(Reproduction, CoriEstimatorRecoversConstantR) {
+  // Deterministic renewal process with known R: I_t = R * Lambda_t.
+  const std::vector<double> w = {0.2, 0.5, 0.3};
+  const double r_true = 1.4;
+  std::vector<double> incidence = {100.0, 110.0, 120.0};
+  for (std::size_t t = 3; t < 60; ++t) {
+    double lambda = 0.0;
+    for (std::size_t s = 1; s <= w.size(); ++s) {
+      lambda += w[s - 1] * incidence[t - s];
+    }
+    incidence.push_back(r_true * lambda);
+  }
+  const auto rt = cori_rt(incidence, w, 5);
+  for (std::size_t t = 10; t < rt.size(); ++t) {
+    ASSERT_NEAR(rt[t], r_true, 0.05) << "day " << t;
+  }
+}
+
+TEST(Reproduction, CoriOnSimulatedEpidemicMatchesAnalyticRt) {
+  DiseaseParameters p;
+  p.population = 1000000;
+  const PiecewiseSchedule theta(0.3);
+  SeirModel m(p, theta, 11);
+  m.seed_exposed(1000);
+  m.run_until_day(60);
+  const auto incidence = m.trajectory().new_infections(1, 60);
+  const auto w = generation_interval_pmf(p);
+  const auto empirical = cori_rt(incidence, w, 7);
+  const auto analytic = instantaneous_rt(m.trajectory(), p, theta);
+  // Compare in the settled exponential phase; the discretized generation
+  // interval makes this approximate.
+  double emp_mean = 0.0;
+  double ana_mean = 0.0;
+  for (std::size_t t = 30; t < 55; ++t) {
+    emp_mean += empirical[t];
+    ana_mean += analytic[t];
+  }
+  emp_mean /= 25.0;
+  ana_mean /= 25.0;
+  EXPECT_NEAR(emp_mean, ana_mean, 0.35 * ana_mean);
+  EXPECT_GT(emp_mean, 1.0);  // growing epidemic
+}
+
+TEST(Reproduction, CoriValidation) {
+  const std::vector<double> incidence = {1.0, 2.0};
+  EXPECT_THROW((void)cori_rt(incidence, {}, 7), std::invalid_argument);
+  const std::vector<double> w = {1.0};
+  EXPECT_THROW((void)cori_rt(incidence, w, 0), std::invalid_argument);
+}
+
+}  // namespace

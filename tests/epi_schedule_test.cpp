@@ -1,0 +1,87 @@
+// Piecewise-constant schedules: lookup semantics, override_from (the
+// checkpoint-restart transmission override), and serialization.
+
+#include <gtest/gtest.h>
+
+#include "epi/schedule.hpp"
+
+namespace {
+
+using epismc::epi::PiecewiseSchedule;
+
+TEST(Schedule, ConstantValue) {
+  const PiecewiseSchedule s(0.3);
+  EXPECT_DOUBLE_EQ(s.value_at(0), 0.3);
+  EXPECT_DOUBLE_EQ(s.value_at(1000), 0.3);
+  EXPECT_DOUBLE_EQ(s.value_at(-5), 0.3);
+}
+
+TEST(Schedule, PaperThetaSchedule) {
+  const PiecewiseSchedule s(std::vector<PiecewiseSchedule::Segment>{
+      {0, 0.30}, {34, 0.27}, {48, 0.25}, {62, 0.40}});
+  EXPECT_DOUBLE_EQ(s.value_at(0), 0.30);
+  EXPECT_DOUBLE_EQ(s.value_at(33), 0.30);
+  EXPECT_DOUBLE_EQ(s.value_at(34), 0.27);
+  EXPECT_DOUBLE_EQ(s.value_at(47), 0.27);
+  EXPECT_DOUBLE_EQ(s.value_at(48), 0.25);
+  EXPECT_DOUBLE_EQ(s.value_at(61), 0.25);
+  EXPECT_DOUBLE_EQ(s.value_at(62), 0.40);
+  EXPECT_DOUBLE_EQ(s.value_at(100), 0.40);
+}
+
+TEST(Schedule, UnsortedSegmentsAreSorted) {
+  const PiecewiseSchedule s(std::vector<PiecewiseSchedule::Segment>{
+      {50, 2.0}, {0, 1.0}, {10, 1.5}});
+  EXPECT_DOUBLE_EQ(s.value_at(5), 1.0);
+  EXPECT_DOUBLE_EQ(s.value_at(10), 1.5);
+  EXPECT_DOUBLE_EQ(s.value_at(60), 2.0);
+}
+
+TEST(Schedule, DuplicateDaysRejected) {
+  EXPECT_THROW(PiecewiseSchedule(std::vector<PiecewiseSchedule::Segment>{
+                   {0, 1.0}, {0, 2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(PiecewiseSchedule(std::vector<PiecewiseSchedule::Segment>{}),
+               std::invalid_argument);
+}
+
+TEST(Schedule, SetReplacesExactDay) {
+  PiecewiseSchedule s(0.3);
+  s.set(10, 0.5);
+  s.set(10, 0.6);
+  EXPECT_DOUBLE_EQ(s.value_at(9), 0.3);
+  EXPECT_DOUBLE_EQ(s.value_at(10), 0.6);
+  EXPECT_EQ(s.segments().size(), 2u);
+}
+
+TEST(Schedule, OverrideFromDropsLaterSegments) {
+  PiecewiseSchedule s(std::vector<PiecewiseSchedule::Segment>{
+      {0, 0.30}, {34, 0.27}, {48, 0.25}, {62, 0.40}});
+  s.override_from(40, 0.99);
+  EXPECT_DOUBLE_EQ(s.value_at(39), 0.27);
+  EXPECT_DOUBLE_EQ(s.value_at(40), 0.99);
+  EXPECT_DOUBLE_EQ(s.value_at(62), 0.99);  // old day-62 segment removed
+  EXPECT_DOUBLE_EQ(s.value_at(100), 0.99);
+}
+
+TEST(Schedule, OverrideFromBeforeEverything) {
+  PiecewiseSchedule s(std::vector<PiecewiseSchedule::Segment>{
+      {0, 0.30}, {34, 0.27}});
+  s.override_from(-10, 0.5);
+  EXPECT_DOUBLE_EQ(s.value_at(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.value_at(50), 0.5);
+  EXPECT_EQ(s.segments().size(), 1u);
+}
+
+TEST(Schedule, SerializationRoundTrip) {
+  const PiecewiseSchedule s(std::vector<PiecewiseSchedule::Segment>{
+      {0, 0.30}, {34, 0.27}, {48, 0.25}});
+  epismc::io::BinaryWriter out;
+  s.serialize(out);
+  epismc::io::BinaryReader in(out.bytes());
+  const auto restored = PiecewiseSchedule::deserialize(in);
+  EXPECT_TRUE(restored == s);
+  EXPECT_DOUBLE_EQ(restored.value_at(40), 0.27);
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Trajectory container: day-indexed access, series extraction,
+// serialization round-trip, and error paths.
+
+#include <gtest/gtest.h>
+
+#include "epi/compartments.hpp"
+#include "epi/trajectory.hpp"
+
+namespace {
+
+using epismc::epi::DailyRecord;
+using epismc::epi::Trajectory;
+
+Trajectory make_trajectory(std::int32_t first_day, int days) {
+  Trajectory t;
+  for (int i = 0; i < days; ++i) {
+    DailyRecord rec;
+    rec.day = first_day + i;
+    rec.new_infections = 10 * (i + 1);
+    rec.new_deaths = i;
+    rec.hospital_census = 100 + i;
+    rec.susceptible = 1000 - i;
+    t.append(rec);
+  }
+  return t;
+}
+
+TEST(Trajectory, EmptyBehaviour) {
+  const Trajectory t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_THROW((void)t.first_day(), std::out_of_range);
+  EXPECT_THROW((void)t.last_day(), std::out_of_range);
+  EXPECT_THROW((void)t.at_day(0), std::out_of_range);
+}
+
+TEST(Trajectory, DayIndexedAccess) {
+  const Trajectory t = make_trajectory(5, 10);
+  EXPECT_EQ(t.first_day(), 5);
+  EXPECT_EQ(t.last_day(), 14);
+  EXPECT_EQ(t.at_day(5).new_infections, 10);
+  EXPECT_EQ(t.at_day(14).new_infections, 100);
+  EXPECT_THROW((void)t.at_day(4), std::out_of_range);
+  EXPECT_THROW((void)t.at_day(15), std::out_of_range);
+}
+
+TEST(Trajectory, SeriesExtraction) {
+  const Trajectory t = make_trajectory(1, 20);
+  const auto cases = t.new_infections(5, 8);
+  ASSERT_EQ(cases.size(), 4u);
+  EXPECT_DOUBLE_EQ(cases[0], 50.0);
+  EXPECT_DOUBLE_EQ(cases[3], 80.0);
+  const auto deaths = t.new_deaths(1, 3);
+  EXPECT_DOUBLE_EQ(deaths[0], 0.0);
+  EXPECT_DOUBLE_EQ(deaths[2], 2.0);
+  // Arbitrary field via pointer-to-member.
+  const auto hosp = t.series(&DailyRecord::hospital_census, 10, 10);
+  ASSERT_EQ(hosp.size(), 1u);
+  EXPECT_DOUBLE_EQ(hosp[0], 109.0);
+  EXPECT_THROW((void)t.new_infections(8, 5), std::invalid_argument);
+  EXPECT_THROW((void)t.new_infections(15, 25), std::out_of_range);
+}
+
+TEST(Trajectory, SerializationRoundTrip) {
+  const Trajectory t = make_trajectory(3, 7);
+  epismc::io::BinaryWriter out;
+  t.serialize(out);
+  epismc::io::BinaryReader in(out.bytes());
+  const Trajectory restored = Trajectory::deserialize(in);
+  ASSERT_EQ(restored.size(), t.size());
+  EXPECT_EQ(restored.first_day(), 3);
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(restored[i].day, t[i].day);
+    EXPECT_EQ(restored[i].new_infections, t[i].new_infections);
+    EXPECT_EQ(restored[i].susceptible, t[i].susceptible);
+  }
+}
+
+TEST(Trajectory, EmptySerializationRoundTrip) {
+  const Trajectory t;
+  epismc::io::BinaryWriter out;
+  t.serialize(out);
+  epismc::io::BinaryReader in(out.bytes());
+  EXPECT_TRUE(Trajectory::deserialize(in).empty());
+}
+
+TEST(EdgeIndex, MatchesTransitionTable) {
+  using namespace epismc::epi;
+  const auto& table = transition_table();
+  for (std::size_t e = 0; e < table.size(); ++e) {
+    EXPECT_EQ(edge_index(table[e].from, table[e].to), static_cast<int>(e));
+  }
+  // Non-edges map to -1.
+  EXPECT_EQ(edge_index(Compartment::kS, Compartment::kRu), -1);
+  EXPECT_EQ(edge_index(Compartment::kDu, Compartment::kS), -1);
+  EXPECT_EQ(edge_index(Compartment::kE, Compartment::kE), -1);
+}
+
+}  // namespace

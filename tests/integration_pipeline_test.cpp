@@ -1,0 +1,198 @@
+// End-to-end integration of the full paper pipeline at reduced scale:
+// ground truth -> four-window sequential calibration -> posterior
+// reconstruction -> forecast, plus cross-module contracts (calibrator
+// checkpoints restore as live models; posterior transmission estimates
+// translate into reproduction numbers; the whole pipeline is bit-stable
+// across thread counts).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/posterior.hpp"
+#include "core/scenario.hpp"
+#include "core/sequential_calibrator.hpp"
+#include "epi/reproduction.hpp"
+#include "parallel/parallel.hpp"
+
+namespace {
+
+using namespace epismc;
+using namespace epismc::core;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioConfig scenario;
+    scenario.params.population = 400000;
+    scenario.initial_exposed = 200;
+    scenario.total_days = 90;
+    truth_ = new GroundTruth(simulate_ground_truth(scenario));
+    sim_ = new SeirSimulator(
+        EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+
+    CalibrationConfig config;
+    config.windows = {{20, 33}, {34, 47}, {48, 61}, {62, 75}};
+    config.n_params = 250;
+    config.replicates = 6;
+    config.resample_size = 500;
+    config.likelihood_name = "nb-sqrt";
+    config.likelihood_parameter = 500.0;
+    config.seed = 1234;
+    calibrator_ = new SequentialCalibrator(*sim_, truth_->observed(), config);
+    calibrator_->run_all();
+  }
+
+  static void TearDownTestSuite() {
+    delete calibrator_;
+    delete sim_;
+    delete truth_;
+    calibrator_ = nullptr;
+    sim_ = nullptr;
+    truth_ = nullptr;
+  }
+
+  static GroundTruth* truth_;
+  static SeirSimulator* sim_;
+  static SequentialCalibrator* calibrator_;
+};
+
+GroundTruth* PipelineTest::truth_ = nullptr;
+SeirSimulator* PipelineTest::sim_ = nullptr;
+SequentialCalibrator* PipelineTest::calibrator_ = nullptr;
+
+TEST_F(PipelineTest, ThetaTracksTheFullSchedule) {
+  ASSERT_EQ(calibrator_->results().size(), 4u);
+  const double tolerances[] = {0.05, 0.05, 0.05, 0.08};
+  for (std::size_t m = 0; m < 4; ++m) {
+    const auto& w = calibrator_->results()[m];
+    const auto s = summarize_window(w);
+    const double truth_theta = truth_->theta_at(w.from_day);
+    EXPECT_NEAR(s.theta.mean, truth_theta, tolerances[m])
+        << "window " << m + 1;
+  }
+  // The day-62 upswing is detected: window 4 estimate clearly above
+  // window 3's.
+  const auto s3 = summarize_window(calibrator_->results()[2]);
+  const auto s4 = summarize_window(calibrator_->results()[3]);
+  EXPECT_GT(s4.theta.mean, s3.theta.mean + 0.05);
+}
+
+TEST_F(PipelineTest, WindowsChainThroughCheckpoints) {
+  const auto& results = calibrator_->results();
+  for (std::size_t m = 0; m < results.size(); ++m) {
+    const auto [from, to] = calibrator_->config().windows[m];
+    EXPECT_EQ(results[m].from_day, from);
+    EXPECT_EQ(results[m].to_day, to);
+    for (const auto& state : results[m].states) {
+      ASSERT_EQ(state.day, to);
+    }
+    if (m > 0) {
+      for (const auto& rec : results[m].sims) {
+        ASSERT_LT(rec.parent, results[m - 1].states.size());
+      }
+    }
+  }
+}
+
+TEST_F(PipelineTest, PosteriorStatesRestoreAsLiveModels) {
+  // Any checkpointed posterior state is a fully functional simulator:
+  // restorable, conservative, and advanceable.
+  const auto& last = calibrator_->results().back();
+  const epi::Checkpoint& state = last.states.front();
+  epi::SeirModel model = epi::SeirModel::restore(state);
+  EXPECT_EQ(model.day(), 75);
+  EXPECT_EQ(model.total_individuals(), 400000);
+  model.run_until_day(90);
+  EXPECT_EQ(model.total_individuals(), 400000);
+  EXPECT_EQ(model.trajectory().last_day(), 90);
+}
+
+TEST_F(PipelineTest, ReconstructedTrueCasesTrackActuals) {
+  // Posterior median of the unobserved true-case curve lands within 40%
+  // of the realized truth in every window (the paper's Fig 4a right
+  // panel).
+  for (const auto& w : calibrator_->results()) {
+    const auto mid = w.posterior_quantile(WindowResult::Series::kTrueCases, 0.5);
+    double post_total = 0.0;
+    double actual_total = 0.0;
+    for (std::int32_t d = w.from_day; d <= w.to_day; ++d) {
+      post_total += mid[static_cast<std::size_t>(d - w.from_day)];
+      actual_total += truth_->true_cases[static_cast<std::size_t>(d - 1)];
+    }
+    EXPECT_NEAR(post_total / actual_total, 1.0, 0.4)
+        << "window " << w.from_day << "-" << w.to_day;
+  }
+}
+
+TEST_F(PipelineTest, PosteriorImpliesPlausibleReproductionNumbers) {
+  // Translate each window's posterior theta into R0 and compare with the
+  // truth's R0 for that window: the epidemiologically meaningful readout.
+  const epi::DiseaseParameters params;  // matches scenario natural history
+  for (const auto& w : calibrator_->results()) {
+    const auto s = summarize_window(w);
+    const double r_est = epi::basic_reproduction_number(params, s.theta.mean);
+    const double r_true = epi::basic_reproduction_number(
+        params, truth_->theta_at(w.from_day));
+    EXPECT_NEAR(r_est, r_true, 0.35 * r_true + 0.1)
+        << "window " << w.from_day;
+  }
+}
+
+TEST_F(PipelineTest, ForecastFromFinalWindowIsCoherent) {
+  const Forecast fc =
+      posterior_forecast(*sim_, calibrator_->results().back(), 90, 60, 4242);
+  ASSERT_EQ(fc.true_cases.size(), 60u);
+  const Ribbon rib = fc.case_ribbon(0.8);
+  ASSERT_EQ(rib.mid.size(), 15u);  // days 76..90
+  // Forecast scale is within an order of magnitude of the realized truth.
+  double fc_total = 0.0;
+  double actual_total = 0.0;
+  for (std::size_t d = 0; d < rib.mid.size(); ++d) {
+    fc_total += rib.mid[d];
+    actual_total += truth_->true_cases[75 + d];
+  }
+  EXPECT_GT(fc_total, 0.1 * actual_total);
+  EXPECT_LT(fc_total, 10.0 * actual_total);
+}
+
+TEST_F(PipelineTest, EvidenceIsFiniteAndOrdered) {
+  for (const auto& w : calibrator_->results()) {
+    ASSERT_TRUE(std::isfinite(w.diag.log_marginal));
+    ASSERT_GT(w.diag.ess, 1.0);
+    ASSERT_GE(w.diag.unique_resampled, 1u);
+    ASSERT_LE(w.diag.max_weight, 1.0 + 1e-12);
+  }
+}
+
+TEST(PipelineThreading, WholePipelineIsThreadCountInvariant) {
+  ScenarioConfig scenario;
+  scenario.params.population = 200000;
+  scenario.initial_exposed = 120;
+  scenario.total_days = 50;
+  const GroundTruth truth = simulate_ground_truth(scenario);
+  const SeirSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+
+  const auto run_with = [&](int threads) {
+    parallel::set_threads(threads);
+    CalibrationConfig config;
+    config.windows = {{20, 33}, {34, 47}};
+    config.n_params = 60;
+    config.replicates = 3;
+    config.resample_size = 120;
+    SequentialCalibrator cal(sim, truth.observed(), config);
+    cal.run_all();
+    std::vector<double> fingerprint = cal.results().back().posterior_thetas();
+    const auto rhos = cal.results().back().posterior_rhos();
+    fingerprint.insert(fingerprint.end(), rhos.begin(), rhos.end());
+    return fingerprint;
+  };
+  const auto serial = run_with(1);
+  const auto parallel_run = run_with(parallel::max_threads());
+  parallel::set_threads(parallel::max_threads());
+  EXPECT_EQ(serial, parallel_run);
+}
+
+}  // namespace

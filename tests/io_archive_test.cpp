@@ -1,0 +1,122 @@
+// Binary archive: round-trips for PODs, strings and vectors; header
+// validation; truncation detection; atomic file save/load.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/binary_archive.hpp"
+
+namespace {
+
+using epismc::io::ArchiveError;
+using epismc::io::BinaryReader;
+using epismc::io::BinaryWriter;
+
+TEST(Archive, PodRoundTrip) {
+  BinaryWriter out(3);
+  out.write(std::int32_t{-42});
+  out.write(std::uint64_t{123456789012345ull});
+  out.write(3.14159);
+  out.write(true);
+
+  BinaryReader in(out.bytes());
+  EXPECT_EQ(in.version(), 3u);
+  EXPECT_EQ(in.read<std::int32_t>(), -42);
+  EXPECT_EQ(in.read<std::uint64_t>(), 123456789012345ull);
+  EXPECT_DOUBLE_EQ(in.read<double>(), 3.14159);
+  EXPECT_EQ(in.read<bool>(), true);
+  EXPECT_TRUE(in.exhausted());
+}
+
+TEST(Archive, StructRoundTrip) {
+  struct Pod {
+    std::int32_t a;
+    double b;
+    std::uint8_t c;
+  };
+  BinaryWriter out;
+  out.write(Pod{7, 2.5, 255});
+  BinaryReader in(out.bytes());
+  const auto p = in.read<Pod>();
+  EXPECT_EQ(p.a, 7);
+  EXPECT_DOUBLE_EQ(p.b, 2.5);
+  EXPECT_EQ(p.c, 255);
+}
+
+TEST(Archive, StringRoundTrip) {
+  BinaryWriter out;
+  out.write_string("hello, archive");
+  out.write_string("");
+  out.write_string(std::string("embedded\0null", 13));
+  BinaryReader in(out.bytes());
+  EXPECT_EQ(in.read_string(), "hello, archive");
+  EXPECT_EQ(in.read_string(), "");
+  EXPECT_EQ(in.read_string(), std::string("embedded\0null", 13));
+}
+
+TEST(Archive, VectorRoundTrip) {
+  BinaryWriter out;
+  const std::vector<double> doubles = {1.0, -2.5, 1e300};
+  const std::vector<std::int64_t> empty;
+  out.write_vector(doubles);
+  out.write_vector(empty);
+  BinaryReader in(out.bytes());
+  EXPECT_EQ(in.read_vector<double>(), doubles);
+  EXPECT_TRUE(in.read_vector<std::int64_t>().empty());
+}
+
+TEST(Archive, BadMagicRejected) {
+  std::vector<std::byte> garbage(16, std::byte{0x5A});
+  EXPECT_THROW(BinaryReader{garbage}, ArchiveError);
+}
+
+TEST(Archive, TruncationDetected) {
+  BinaryWriter out;
+  out.write(std::uint64_t{1});
+  std::vector<std::byte> bytes = out.bytes();
+  bytes.resize(bytes.size() - 4);
+  BinaryReader in(std::move(bytes));
+  EXPECT_THROW((void)in.read<std::uint64_t>(), ArchiveError);
+}
+
+TEST(Archive, TruncatedVectorLengthDetected) {
+  BinaryWriter out;
+  out.write(std::uint64_t{1000000});  // claims 10^6 doubles follow
+  BinaryReader in(out.bytes());
+  EXPECT_THROW((void)in.read_vector<double>(), ArchiveError);
+}
+
+TEST(Archive, RemainingTracksCursor) {
+  BinaryWriter out;
+  out.write(std::uint32_t{5});
+  BinaryReader in(out.bytes());
+  EXPECT_EQ(in.remaining(), 4u);
+  (void)in.read<std::uint32_t>();
+  EXPECT_EQ(in.remaining(), 0u);
+}
+
+TEST(Archive, FileSaveLoad) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "epismc_archive_test.bin";
+  BinaryWriter out(9);
+  out.write_string("persisted");
+  out.write(std::int64_t{-99});
+  out.save(path);
+
+  BinaryReader in = BinaryReader::load(path);
+  EXPECT_EQ(in.version(), 9u);
+  EXPECT_EQ(in.read_string(), "persisted");
+  EXPECT_EQ(in.read<std::int64_t>(), -99);
+  std::filesystem::remove(path);
+}
+
+TEST(Archive, LoadMissingFileThrows) {
+  EXPECT_THROW((void)BinaryReader::load("/nonexistent/epismc.bin"),
+               ArchiveError);
+}
+
+}  // namespace

@@ -1,0 +1,84 @@
+// OpenMP utilities: full index coverage, exactly-once execution, and the
+// determinism contract -- identical results for any thread count when loop
+// bodies derive randomness from the index.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "parallel/parallel.hpp"
+#include "random/distributions.hpp"
+#include "random/seeding.hpp"
+
+namespace {
+
+using namespace epismc;
+
+TEST(ParallelFor, EveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel::parallel_for(kN, [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingle) {
+  std::atomic<int> count{0};
+  parallel::parallel_for(0, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  parallel::parallel_for(1, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, IndexDerivedRandomnessIsThreadCountInvariant) {
+  constexpr std::size_t kN = 2000;
+  const auto run_with = [&](int threads) {
+    std::vector<double> out(kN);
+    const int old = parallel::max_threads();
+    parallel::set_threads(threads);
+    parallel::parallel_for(kN, [&](std::size_t i) {
+      auto eng = rng::make_engine(123, {i});
+      out[i] = rng::normal(eng) + static_cast<double>(rng::binomial(eng, 100, 0.3));
+    });
+    parallel::set_threads(old);
+    return out;
+  };
+  const auto serial = run_with(1);
+  const auto two = run_with(2);
+  const auto many = run_with(parallel::max_threads());
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, many);
+}
+
+TEST(ParallelFor, ChunkSizeDoesNotChangeResults) {
+  constexpr std::size_t kN = 512;
+  const auto run_chunk = [&](int chunk) {
+    std::vector<std::uint64_t> out(kN);
+    parallel::parallel_for(
+        kN, [&](std::size_t i) { out[i] = rng::mix64(i); }, chunk);
+    return out;
+  };
+  EXPECT_EQ(run_chunk(1), run_chunk(64));
+}
+
+TEST(Threads, IntrospectionSane) {
+  EXPECT_GE(parallel::max_threads(), 1);
+  EXPECT_GE(parallel::thread_id(), 0);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  parallel::Timer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + static_cast<double>(i);
+  const double s = t.seconds();
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 10.0);
+  EXPECT_NEAR(t.milliseconds(), t.seconds() * 1000.0, 50.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Alias-table correctness: the table's implied probabilities must equal the
+// normalized input weights exactly (the Vose construction is exact), and
+// empirical frequencies must converge to them.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "random/alias_table.hpp"
+
+namespace {
+
+using epismc::rng::AliasTable;
+using epismc::rng::Engine;
+
+TEST(AliasTable, ImpliedProbabilitiesMatchWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0, 0.0, 10.0};
+  const AliasTable table(weights);
+  const auto implied = table.implied_probabilities();
+  const double total = 20.0;
+  ASSERT_EQ(implied.size(), weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(implied[i], weights[i] / total, 1e-12) << "category " << i;
+  }
+}
+
+TEST(AliasTable, SingleCategory) {
+  const std::vector<double> weights = {3.5};
+  const AliasTable table(weights);
+  Engine eng(1);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(table.sample(eng), 0u);
+}
+
+TEST(AliasTable, UniformWeights) {
+  const std::vector<double> weights(8, 1.0);
+  const AliasTable table(weights);
+  const auto implied = table.implied_probabilities();
+  for (const double p : implied) EXPECT_NEAR(p, 0.125, 1e-12);
+}
+
+TEST(AliasTable, EmpiricalFrequencies) {
+  const std::vector<double> weights = {0.7, 0.1, 0.2};
+  const AliasTable table(weights);
+  Engine eng(20240012);
+  std::array<int, 3> counts{};
+  constexpr int kDraws = 90000;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.sample(eng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.7, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.2, 0.01);
+}
+
+TEST(AliasTable, ZeroWeightNeverSampled) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 1.0};
+  const AliasTable table(weights);
+  Engine eng(20240013);
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = table.sample(eng);
+    ASSERT_TRUE(k == 1 || k == 3);
+  }
+}
+
+TEST(AliasTable, Validation) {
+  EXPECT_THROW(AliasTable(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, -1.0}),
+               std::invalid_argument);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(AliasTable(std::vector<double>{1.0, inf}),
+               std::invalid_argument);
+}
+
+TEST(AliasTable, LargeSkewedTable) {
+  // One heavy category among many light ones; implied probabilities must
+  // still be exact.
+  std::vector<double> weights(1000, 1e-4);
+  weights[137] = 10.0;
+  const AliasTable table(weights);
+  const auto implied = table.implied_probabilities();
+  const double total = 10.0 + 999 * 1e-4;
+  EXPECT_NEAR(implied[137], 10.0 / total, 1e-9);
+  EXPECT_NEAR(implied[0], 1e-4 / total, 1e-9);
+}
+
+}  // namespace

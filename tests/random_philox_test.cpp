@@ -1,0 +1,155 @@
+// Counter-based RNG invariants: determinism, random access (discard /
+// set_position), stream independence, and serializability of the state.
+// These properties underpin the whole calibration framework -- checkpoint
+// restore and the thread-count-independence of SMC results both reduce to
+// them.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "random/engines.hpp"
+#include "random/philox.hpp"
+#include "random/seeding.hpp"
+
+namespace {
+
+using epismc::rng::PhiloxEngine;
+
+TEST(Philox, SameSeedSameSequence) {
+  PhiloxEngine a(42, 7);
+  PhiloxEngine b(42, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b()) << "diverged at draw " << i;
+  }
+}
+
+TEST(Philox, DifferentSeedsDiffer) {
+  PhiloxEngine a(1);
+  PhiloxEngine b(2);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Philox, DifferentStreamsDiffer) {
+  PhiloxEngine a(42, 0);
+  PhiloxEngine b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Philox, PositionTracksDraws) {
+  PhiloxEngine eng(9, 3);
+  EXPECT_EQ(eng.position(), 0u);
+  for (std::uint64_t i = 1; i <= 17; ++i) {
+    (void)eng();
+    EXPECT_EQ(eng.position(), i);
+  }
+}
+
+TEST(Philox, DiscardMatchesDrawing) {
+  for (const std::uint64_t skip : {0ull, 1ull, 2ull, 3ull, 7ull, 100ull}) {
+    PhiloxEngine drawn(5, 11);
+    for (std::uint64_t i = 0; i < skip; ++i) (void)drawn();
+    PhiloxEngine skipped(5, 11);
+    skipped.discard(skip);
+    EXPECT_EQ(skipped.position(), drawn.position());
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(skipped(), drawn()) << "skip=" << skip << " draw " << i;
+    }
+  }
+}
+
+TEST(Philox, SetPositionRestoresExactState) {
+  PhiloxEngine eng(123, 456);
+  std::vector<std::uint64_t> reference;
+  for (int i = 0; i < 64; ++i) reference.push_back(eng());
+
+  for (const std::uint64_t pos : {0ull, 1ull, 2ull, 31ull, 32ull, 63ull}) {
+    PhiloxEngine restored(123, 456);
+    restored.set_position(pos);
+    for (std::uint64_t i = pos; i < 64; ++i) {
+      ASSERT_EQ(restored(), reference[i]) << "restore at " << pos;
+    }
+  }
+}
+
+TEST(Philox, SerializationTripleIsSufficient) {
+  PhiloxEngine eng(77, 88);
+  for (int i = 0; i < 13; ++i) (void)eng();
+  // (seed, stream, position) fully reconstructs the generator.
+  PhiloxEngine copy(eng.seed_value(), eng.stream_value());
+  copy.set_position(eng.position());
+  EXPECT_EQ(copy, eng);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(copy(), eng());
+}
+
+TEST(Philox, UniformBitsLookUniform) {
+  // Crude equidistribution check: each of the 64 bit positions should be
+  // set in roughly half of the draws.
+  PhiloxEngine eng(2024);
+  constexpr int kDraws = 20000;
+  std::array<int, 64> ones{};
+  for (int i = 0; i < kDraws; ++i) {
+    const std::uint64_t x = eng();
+    for (int b = 0; b < 64; ++b) ones[static_cast<std::size_t>(b)] += static_cast<int>((x >> b) & 1u);
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(ones[static_cast<std::size_t>(b)], kDraws / 2, 5 * std::sqrt(kDraws) / 2)
+        << "bit " << b;
+  }
+}
+
+TEST(Philox, KnownBlockChangesWithKey) {
+  // The block function must be sensitive to every key word.
+  using P = epismc::rng::Philox4x32;
+  const P::counter_type ctr = {1, 2, 3, 4};
+  const auto base = P::block(ctr, {0, 0});
+  EXPECT_NE(base, P::block(ctr, {1, 0}));
+  EXPECT_NE(base, P::block(ctr, {0, 1}));
+  EXPECT_NE(P::block(ctr, {1, 0}), P::block(ctr, {0, 1}));
+}
+
+TEST(StreamId, ChildDerivationIsOrderSensitive) {
+  using epismc::rng::make_stream_id;
+  EXPECT_NE(make_stream_id({1, 2}).key, make_stream_id({2, 1}).key);
+  EXPECT_NE(make_stream_id({1}).key, make_stream_id({1, 0}).key);
+  EXPECT_EQ(make_stream_id({3, 4, 5}).key, make_stream_id({3, 4, 5}).key);
+}
+
+TEST(StreamId, ManyChildrenAreDistinct) {
+  using epismc::rng::StreamId;
+  StreamId root{0xABCD};
+  std::set<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 10000; ++i) keys.insert(root.child(i).key);
+  EXPECT_EQ(keys.size(), 10000u);
+}
+
+TEST(SplitMix, MixIsBijectiveish) {
+  // mix64 must not collide on a small dense range (it is a bijection; a
+  // collision would indicate a transcription bug).
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10000; ++i) out.insert(epismc::rng::mix64(i));
+  EXPECT_EQ(out.size(), 10000u);
+}
+
+TEST(Xoshiro, JumpDecorrelates) {
+  epismc::rng::Xoshiro256pp a(99);
+  epismc::rng::Xoshiro256pp b(99);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// Log-density reference values (hand-computed / cross-checked against
+// textbook formulas) and support/validation behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "stats/densities.hpp"
+
+namespace {
+
+using namespace epismc::stats;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(NormalLogPdf, ReferenceValues) {
+  EXPECT_NEAR(normal_logpdf(0.0, 0.0, 1.0), -0.9189385332046727, 1e-12);
+  EXPECT_NEAR(normal_logpdf(1.0, 0.0, 1.0), -1.4189385332046727, 1e-12);
+  // mean 1, sd 2 at x = 2: -log(2) - 1/8 - log(sqrt(2pi))
+  EXPECT_NEAR(normal_logpdf(2.0, 1.0, 2.0),
+              -0.9189385332046727 - std::log(2.0) - 0.125, 1e-12);
+  EXPECT_THROW((void)normal_logpdf(0.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(NormalLogPdf, SymmetricAroundMean) {
+  EXPECT_NEAR(normal_logpdf(3.0, 1.0, 0.5), normal_logpdf(-1.0, 1.0, 0.5),
+              1e-12);
+}
+
+TEST(DiagNormalLogPdf, SumsUnivariates) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> mu = {0.0, 2.5, 2.0};
+  double expected = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    expected += normal_logpdf(x[i], mu[i], 1.5);
+  }
+  EXPECT_NEAR(diag_normal_logpdf(x, mu, 1.5), expected, 1e-12);
+  const std::vector<double> short_mu = {0.0};
+  EXPECT_THROW((void)diag_normal_logpdf(x, short_mu, 1.0),
+               std::invalid_argument);
+}
+
+TEST(UniformLogPdf, InsideAndOutside) {
+  EXPECT_NEAR(uniform_logpdf(1.0, 0.0, 2.0), -std::log(2.0), 1e-14);
+  EXPECT_EQ(uniform_logpdf(-0.1, 0.0, 2.0), -kInf);
+  EXPECT_EQ(uniform_logpdf(2.1, 0.0, 2.0), -kInf);
+  EXPECT_THROW((void)uniform_logpdf(0.0, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(BetaLogPdf, ReferenceValues) {
+  // Beta(2,2) at 0.5: pdf = 6 * 0.25 = 1.5.
+  EXPECT_NEAR(beta_logpdf(0.5, 2.0, 2.0), std::log(1.5), 1e-12);
+  // Beta(4,1) at 0.3: pdf = 4 * 0.3^3 = 0.108 (the paper's rho prior).
+  EXPECT_NEAR(beta_logpdf(0.3, 4.0, 1.0), std::log(0.108), 1e-12);
+  // Uniform special case Beta(1,1).
+  EXPECT_NEAR(beta_logpdf(0.77, 1.0, 1.0), 0.0, 1e-12);
+  EXPECT_EQ(beta_logpdf(-0.01, 2.0, 2.0), -kInf);
+  EXPECT_EQ(beta_logpdf(1.01, 2.0, 2.0), -kInf);
+  EXPECT_THROW((void)beta_logpdf(0.5, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(BetaLogPdf, IntegratesToOne) {
+  // Trapezoid integral of exp(logpdf) over a fine grid.
+  const double a = 4.0;
+  const double b = 1.5;
+  const int n = 20000;
+  double acc = 0.0;
+  for (int i = 0; i <= n; ++i) {
+    const double x = static_cast<double>(i) / n;
+    const double f = std::exp(beta_logpdf(x, a, b));
+    acc += (i == 0 || i == n) ? f / 2.0 : f;
+  }
+  EXPECT_NEAR(acc / n, 1.0, 1e-3);
+}
+
+TEST(GammaLogPdf, ReferenceValues) {
+  // Gamma(shape 3, scale 1) at 2: x^2 e^-x / 2 = 2 e^-2.
+  EXPECT_NEAR(gamma_logpdf(2.0, 3.0, 1.0), std::log(2.0) - 2.0, 1e-12);
+  EXPECT_EQ(gamma_logpdf(-1.0, 2.0, 1.0), -kInf);
+  EXPECT_THROW((void)gamma_logpdf(1.0, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(LogChoose, SmallValues) {
+  EXPECT_NEAR(log_choose(10, 3), std::log(120.0), 1e-10);
+  EXPECT_NEAR(log_choose(5, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log_choose(5, 5), 0.0, 1e-12);
+  EXPECT_EQ(log_choose(3, 5), -kInf);
+  EXPECT_EQ(log_choose(-1, 0), -kInf);
+}
+
+TEST(BinomialLogPmf, ReferenceValues) {
+  // C(10,3) 0.3^3 0.7^7 = 0.2668279320.
+  EXPECT_NEAR(binomial_logpmf(3, 10, 0.3), std::log(0.266827932), 1e-9);
+  EXPECT_NEAR(binomial_logpmf(0, 10, 0.0), 0.0, 1e-14);
+  EXPECT_NEAR(binomial_logpmf(10, 10, 1.0), 0.0, 1e-14);
+  EXPECT_EQ(binomial_logpmf(1, 10, 0.0), -kInf);
+  EXPECT_EQ(binomial_logpmf(11, 10, 0.5), -kInf);
+  EXPECT_EQ(binomial_logpmf(-1, 10, 0.5), -kInf);
+}
+
+TEST(BinomialLogPmf, SumsToOne) {
+  const std::int64_t n = 25;
+  const double p = 0.37;
+  double acc = 0.0;
+  for (std::int64_t k = 0; k <= n; ++k) {
+    acc += std::exp(binomial_logpmf(k, n, p));
+  }
+  EXPECT_NEAR(acc, 1.0, 1e-10);
+}
+
+TEST(PoissonLogPmf, ReferenceValues) {
+  // P(2; 3) = 9/2 e^-3.
+  EXPECT_NEAR(poisson_logpmf(2, 3.0), std::log(4.5) - 3.0, 1e-12);
+  EXPECT_NEAR(poisson_logpmf(0, 0.0), 0.0, 1e-14);
+  EXPECT_EQ(poisson_logpmf(1, 0.0), -kInf);
+  EXPECT_EQ(poisson_logpmf(-1, 2.0), -kInf);
+  EXPECT_THROW((void)poisson_logpmf(0, -1.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Descriptive statistics: plain/weighted moments, type-7 quantiles,
+// weighted quantiles, credible intervals, and the mergeable Welford
+// accumulator (merge must equal bulk).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace {
+
+using namespace epismc::stats;
+
+TEST(Mean, Basic) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(mean(x), 2.5, 1e-14);
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+}
+
+TEST(Variance, MatchesHandComputation) {
+  const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(variance(x), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(std_dev(x), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_THROW((void)variance(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(WeightedMean, MatchesHandComputation) {
+  const std::vector<double> x = {1.0, 10.0};
+  const std::vector<double> w = {3.0, 1.0};
+  EXPECT_NEAR(weighted_mean(x, w), (3.0 + 10.0) / 4.0, 1e-14);
+}
+
+TEST(WeightedMean, UniformWeightsEqualPlainMean) {
+  const std::vector<double> x = {4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+  const std::vector<double> w(x.size(), 0.7);
+  EXPECT_NEAR(weighted_mean(x, w), mean(x), 1e-12);
+}
+
+TEST(WeightedVariance, DegenerateWeightIsZero) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> w = {0.0, 1.0, 0.0};
+  EXPECT_NEAR(weighted_variance(x, w), 0.0, 1e-14);
+}
+
+TEST(Quantile, Type7Interpolation) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0};  // sorted
+  EXPECT_NEAR(quantile(x, 0.0), 1.0, 1e-14);
+  EXPECT_NEAR(quantile(x, 1.0), 4.0, 1e-14);
+  EXPECT_NEAR(quantile(x, 0.5), 2.5, 1e-14);
+  EXPECT_NEAR(quantile(x, 1.0 / 3.0), 2.0, 1e-12);  // h = 1 exactly
+  EXPECT_NEAR(quantile(x, 0.25), 1.75, 1e-14);      // R type-7 value
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> x = {9.0, 1.0, 5.0};
+  EXPECT_NEAR(quantile(x, 0.5), 5.0, 1e-14);
+}
+
+TEST(Quantiles, ManyAtOnceMatchSingles) {
+  const std::vector<double> x = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const std::vector<double> qs = {0.1, 0.5, 0.9};
+  const auto many = quantiles(x, qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_NEAR(many[i], quantile(x, qs[i]), 1e-14);
+  }
+  EXPECT_THROW((void)quantile(x, 1.5), std::invalid_argument);
+}
+
+TEST(WeightedQuantile, StepCdfInversion) {
+  const std::vector<double> x = {10.0, 20.0, 30.0};
+  const std::vector<double> w = {1.0, 1.0, 2.0};
+  EXPECT_NEAR(weighted_quantile(x, w, 0.25), 10.0, 1e-14);
+  EXPECT_NEAR(weighted_quantile(x, w, 0.5), 20.0, 1e-14);
+  EXPECT_NEAR(weighted_quantile(x, w, 0.75), 30.0, 1e-14);
+  EXPECT_NEAR(weighted_quantile(x, w, 1.0), 30.0, 1e-14);
+}
+
+TEST(WeightedQuantile, IgnoresZeroWeightValues) {
+  const std::vector<double> x = {1000.0, 1.0, 2.0};
+  const std::vector<double> w = {0.0, 1.0, 1.0};
+  EXPECT_LE(weighted_quantile(x, w, 0.99), 2.0);
+}
+
+TEST(CredibleInterval, CoversCentralMass) {
+  std::vector<double> x;
+  for (int i = 0; i <= 1000; ++i) x.push_back(static_cast<double>(i));
+  const auto ci = credible_interval(x, 0.9);
+  EXPECT_NEAR(ci.lo, 50.0, 1.0);
+  EXPECT_NEAR(ci.hi, 950.0, 1.0);
+  EXPECT_NEAR(ci.width(), 900.0, 2.0);
+  EXPECT_TRUE(ci.contains(500.0));
+  EXPECT_FALSE(ci.contains(10.0));
+}
+
+TEST(RunningStats, MatchesBulk) {
+  const std::vector<double> x = {1.5, -2.0, 3.25, 0.0, 10.0, -7.5};
+  RunningStats rs;
+  for (const double v : x) rs.push(v);
+  EXPECT_EQ(rs.count(), x.size());
+  EXPECT_NEAR(rs.mean(), mean(x), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(x), 1e-12);
+  EXPECT_NEAR(rs.min(), -7.5, 1e-14);
+  EXPECT_NEAR(rs.max(), 10.0, 1e-14);
+}
+
+TEST(RunningStats, MergeEqualsBulk) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0};
+  RunningStats a;
+  RunningStats b;
+  for (std::size_t i = 0; i < 3; ++i) a.push(x[i]);
+  for (std::size_t i = 3; i < x.size(); ++i) b.push(x[i]);
+  a.merge(b);
+  EXPECT_EQ(a.count(), x.size());
+  EXPECT_NEAR(a.mean(), mean(x), 1e-12);
+  EXPECT_NEAR(a.variance(), variance(x), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.push(5.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_NEAR(empty.mean(), 5.0, 1e-14);
+}
+
+}  // namespace

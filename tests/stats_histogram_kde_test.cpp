@@ -1,0 +1,159 @@
+// Histogram binning/density normalization and kernel density estimation:
+// mass conservation, mode recovery, HPD level monotonicity, and the
+// weighted-sample path used for posterior contours.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "random/distributions.hpp"
+#include "stats/histogram.hpp"
+#include "stats/kde.hpp"
+
+namespace {
+
+using namespace epismc::stats;
+using epismc::rng::Engine;
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);
+  h.add(0.999);
+  h.add(5.5);
+  h.add(9.999);
+  h.add(10.0);   // boundary folds into the last bin
+  h.add(-0.01);  // dropped
+  h.add(10.01);  // dropped
+  EXPECT_NEAR(h.count(0), 2.0, 1e-14);
+  EXPECT_NEAR(h.count(5), 1.0, 1e-14);
+  EXPECT_NEAR(h.count(9), 2.0, 1e-14);
+  EXPECT_NEAR(h.total(), 5.0, 1e-14);
+}
+
+TEST(Histogram, DensityIntegratesToOne) {
+  Histogram h(0.0, 1.0, 20);
+  Engine eng(20240030);
+  for (int i = 0; i < 5000; ++i) h.add(epismc::rng::uniform_double(eng));
+  const auto d = h.density();
+  const double mass =
+      std::accumulate(d.begin(), d.end(), 0.0) * h.bin_width();
+  EXPECT_NEAR(mass, 1.0, 1e-12);
+}
+
+TEST(Histogram, WeightedAdds) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 3.0);
+  h.add(0.75, 1.0);
+  EXPECT_NEAR(h.count(0), 3.0, 1e-14);
+  EXPECT_NEAR(h.count(1), 1.0, 1e-14);
+  EXPECT_EQ(h.mode_bin(), 0u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(1.0, 3.0, 4);
+  EXPECT_NEAR(h.bin_center(0), 1.25, 1e-14);
+  EXPECT_NEAR(h.bin_center(3), 2.75, 1e-14);
+  EXPECT_THROW((void)h.bin_center(4), std::out_of_range);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(SilvermanBandwidth, PositiveAndScales) {
+  Engine eng(20240031);
+  std::vector<double> narrow;
+  std::vector<double> wide;
+  for (int i = 0; i < 2000; ++i) {
+    const double z = epismc::rng::normal(eng);
+    narrow.push_back(z);
+    wide.push_back(10.0 * z);
+  }
+  const double h_narrow = silverman_bandwidth(narrow, {});
+  const double h_wide = silverman_bandwidth(wide, {});
+  EXPECT_GT(h_narrow, 0.0);
+  EXPECT_NEAR(h_wide / h_narrow, 10.0, 0.5);
+}
+
+TEST(Kde1d, MassAndModeOfGaussianSample) {
+  Engine eng(20240032);
+  std::vector<double> xs;
+  for (int i = 0; i < 4000; ++i) {
+    xs.push_back(epismc::rng::normal(eng, 2.0, 0.5));
+  }
+  std::vector<double> grid;
+  for (double g = -1.0; g <= 5.0; g += 0.02) grid.push_back(g);
+  const auto density = kde_1d(xs, {}, grid);
+  // Mass on the grid ~ 1.
+  double mass = 0.0;
+  for (const double d : density) mass += d * 0.02;
+  EXPECT_NEAR(mass, 1.0, 0.02);
+  // Mode near 2.
+  const auto it = std::max_element(density.begin(), density.end());
+  const double mode = grid[static_cast<std::size_t>(
+      std::distance(density.begin(), it))];
+  EXPECT_NEAR(mode, 2.0, 0.15);
+}
+
+TEST(Kde1d, WeightsShiftTheEstimate) {
+  // Two point clouds; weighting one to ~zero must move the KDE mass.
+  std::vector<double> xs;
+  std::vector<double> ws;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(0.0 + 0.001 * i);
+    ws.push_back(1.0);
+    xs.push_back(10.0 + 0.001 * i);
+    ws.push_back(1e-9);
+  }
+  const std::vector<double> grid = {0.1, 10.1};
+  const auto density = kde_1d(xs, ws, grid, 0.5);
+  EXPECT_GT(density[0], 100.0 * density[1]);
+}
+
+TEST(Kde2d, MassModeAndBoxMass) {
+  Engine eng(20240033);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 3000; ++i) {
+    xs.push_back(epismc::rng::normal(eng, 0.3, 0.03));
+    ys.push_back(epismc::rng::normal(eng, 0.7, 0.05));
+  }
+  const auto kde =
+      kde_2d(xs, ys, {}, 0.1, 0.5, 64, 0.4, 1.0, 64);
+  EXPECT_NEAR(kde.total_mass(), 1.0, 0.03);
+  const auto [mx, my] = kde.mode();
+  EXPECT_NEAR(mx, 0.3, 0.03);
+  EXPECT_NEAR(my, 0.7, 0.05);
+  // A generous box around the truth holds nearly all mass.
+  EXPECT_GT(box_mass(kde, 0.2, 0.4, 0.5, 0.9), 0.95);
+  // A far-away box holds nearly none.
+  EXPECT_LT(box_mass(kde, 0.45, 0.5, 0.4, 0.45), 0.01);
+}
+
+TEST(Kde2d, HpdLevelsMonotone) {
+  Engine eng(20240034);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 2000; ++i) {
+    xs.push_back(epismc::rng::normal(eng, 0.0, 1.0));
+    ys.push_back(epismc::rng::normal(eng, 0.0, 1.0));
+  }
+  const auto kde = kde_2d(xs, ys, {}, -4.0, 4.0, 48, -4.0, 4.0, 48);
+  const std::vector<double> masses = {0.5, 0.9};
+  const auto levels = hpd_levels(kde, masses);
+  ASSERT_EQ(levels.size(), 2u);
+  // Enclosing more mass requires dropping to a lower density threshold.
+  EXPECT_GT(levels[0], levels[1]);
+  EXPECT_GT(levels[1], 0.0);
+  const std::vector<double> bad = {1.5};
+  EXPECT_THROW((void)hpd_levels(kde, bad), std::invalid_argument);
+}
+
+TEST(Kde2d, Validation) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW((void)kde_2d(xs, ys, {}, 0, 1, 8, 0, 1, 8),
+               std::invalid_argument);
+}
+
+}  // namespace

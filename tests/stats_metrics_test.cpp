@@ -1,0 +1,77 @@
+// Calibration-quality metrics: RMSE/MAE identities, interval coverage
+// accounting, and the ensemble CRPS (checked against its two defining
+// properties: zero for a point mass on the observation, and the closed-form
+// value for simple ensembles).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/metrics.hpp"
+
+namespace {
+
+using namespace epismc::stats;
+
+TEST(Rmse, KnownValue) {
+  const std::vector<double> est = {1.0, 2.0, 3.0};
+  const std::vector<double> truth = {1.0, 4.0, 1.0};
+  // errors 0, -2, 2 -> rmse = sqrt(8/3).
+  EXPECT_NEAR(rmse(est, truth), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mae(est, truth), 4.0 / 3.0, 1e-12);
+  EXPECT_THROW((void)rmse(est, {}), std::invalid_argument);
+}
+
+TEST(Rmse, ZeroForPerfectEstimate) {
+  const std::vector<double> x = {5.0, -1.0, 0.0};
+  EXPECT_EQ(rmse(x, x), 0.0);
+  EXPECT_EQ(mae(x, x), 0.0);
+}
+
+TEST(Coverage, CountsHits) {
+  const std::vector<Interval> ivs = {{0.0, 1.0}, {2.0, 3.0}, {-1.0, 1.0}};
+  const std::vector<double> truth = {0.5, 5.0, 1.0};  // in, out, boundary-in
+  EXPECT_NEAR(interval_coverage(ivs, truth), 2.0 / 3.0, 1e-14);
+  EXPECT_NEAR(mean_interval_width(ivs), (1.0 + 1.0 + 2.0) / 3.0, 1e-14);
+}
+
+TEST(Crps, PointMassEqualsAbsoluteError) {
+  const std::vector<double> ens(100, 2.0);
+  EXPECT_NEAR(crps_ensemble(ens, 2.0), 0.0, 1e-12);
+  EXPECT_NEAR(crps_ensemble(ens, 5.0), 3.0, 1e-12);
+}
+
+TEST(Crps, TwoMemberClosedForm) {
+  // Ensemble {0, 2}, obs 1: E|X-y| = 1, E|X-X'| = half of pairs differ by 2
+  // -> with the standard n^2 normalization E|X-X'| = (0+2+2+0)/4 = 1.
+  // CRPS = 1 - 0.5 = 0.5.
+  const std::vector<double> ens = {0.0, 2.0};
+  EXPECT_NEAR(crps_ensemble(ens, 1.0), 0.5, 1e-12);
+}
+
+TEST(Crps, RewardsSharpness) {
+  // Two ensembles centered on the observation; the tighter one wins.
+  std::vector<double> tight;
+  std::vector<double> loose;
+  for (int i = 0; i < 100; ++i) {
+    const double offset = (i - 49.5) / 49.5;  // in (-1, 1)
+    tight.push_back(1.0 + 0.1 * offset);
+    loose.push_back(1.0 + 2.0 * offset);
+  }
+  EXPECT_LT(crps_ensemble(tight, 1.0), crps_ensemble(loose, 1.0));
+}
+
+TEST(Crps, PenalizesBias) {
+  std::vector<double> centered;
+  std::vector<double> biased;
+  for (int i = 0; i < 100; ++i) {
+    const double offset = (i - 49.5) / 49.5;
+    centered.push_back(0.0 + offset);
+    biased.push_back(3.0 + offset);
+  }
+  EXPECT_LT(crps_ensemble(centered, 0.0), crps_ensemble(biased, 0.0));
+  EXPECT_THROW((void)crps_ensemble({}, 0.0), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// Resampling schemes, parameterized: every scheme must (a) produce counts
+// proportional to weights in expectation, (b) preserve the weighted mean of
+// any statistic (unbiasedness), and (c) respect support (never select a
+// zero-weight particle). Scheme-specific tests pin down the deterministic
+// structure of systematic/residual resampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "random/distributions.hpp"
+#include "stats/resampling.hpp"
+
+namespace {
+
+using namespace epismc::stats;
+using epismc::rng::Engine;
+
+class SchemeTest : public ::testing::TestWithParam<ResamplingScheme> {};
+
+TEST_P(SchemeTest, CountsProportionalToWeights) {
+  const auto scheme = GetParam();
+  const std::vector<double> weights = {0.1, 0.4, 0.25, 0.25};
+  Engine eng(20240020);
+  std::vector<double> counts(weights.size(), 0.0);
+  constexpr int kReps = 400;
+  constexpr std::size_t kN = 1000;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const auto idx : resample(scheme, eng, weights, kN)) {
+      counts[idx] += 1.0;
+    }
+  }
+  const double total = kReps * static_cast<double>(kN);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    EXPECT_NEAR(counts[i] / total, weights[i], 0.01)
+        << to_string(scheme) << " category " << i;
+  }
+}
+
+TEST_P(SchemeTest, WeightedMeanPreserved) {
+  const auto scheme = GetParam();
+  const std::vector<double> values = {1.0, 5.0, -2.0, 10.0, 0.5};
+  const std::vector<double> weights = {0.3, 0.1, 0.2, 0.15, 0.25};
+  double target = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    target += values[i] * weights[i];
+  }
+  Engine eng(20240021);
+  double acc = 0.0;
+  constexpr int kReps = 600;
+  constexpr std::size_t kN = 500;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const auto idx : resample(scheme, eng, weights, kN)) {
+      acc += values[idx];
+    }
+  }
+  EXPECT_NEAR(acc / (kReps * static_cast<double>(kN)), target, 0.05)
+      << to_string(scheme);
+}
+
+TEST_P(SchemeTest, ZeroWeightNeverSelected) {
+  const auto scheme = GetParam();
+  const std::vector<double> weights = {0.0, 1.0, 0.0, 2.0, 0.0};
+  Engine eng(20240022);
+  for (int rep = 0; rep < 50; ++rep) {
+    for (const auto idx : resample(scheme, eng, weights, 200)) {
+      ASSERT_TRUE(idx == 1 || idx == 3) << to_string(scheme);
+    }
+  }
+}
+
+TEST_P(SchemeTest, RequestedCountReturned) {
+  const auto scheme = GetParam();
+  const std::vector<double> weights = {0.2, 0.8};
+  Engine eng(20240023);
+  for (const std::size_t n : {1u, 7u, 100u, 1001u}) {
+    EXPECT_EQ(resample(scheme, eng, weights, n).size(), n);
+  }
+}
+
+TEST_P(SchemeTest, Validation) {
+  const auto scheme = GetParam();
+  Engine eng(1);
+  EXPECT_THROW((void)resample(scheme, eng, {}, 10), std::invalid_argument);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW((void)resample(scheme, eng, zero, 10), std::invalid_argument);
+  const std::vector<double> neg = {1.0, -0.5};
+  EXPECT_THROW((void)resample(scheme, eng, neg, 10), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, SchemeTest,
+                         ::testing::Values(ResamplingScheme::kMultinomial,
+                                           ResamplingScheme::kStratified,
+                                           ResamplingScheme::kSystematic,
+                                           ResamplingScheme::kResidual),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param));
+                         });
+
+TEST(Systematic, LowVarianceOnUniformWeights) {
+  // With uniform weights and count == size, systematic resampling must
+  // return every index exactly once.
+  const std::vector<double> weights(100, 1.0);
+  Engine eng(20240024);
+  const auto idx = resample_systematic(eng, weights, 100);
+  std::vector<int> counts(100, 0);
+  for (const auto i : idx) ++counts[i];
+  for (const int c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(Residual, DeterministicPartGuaranteed) {
+  // w = {0.5, 0.3, 0.2}, N = 10: at least {5, 3, 2} copies.
+  const std::vector<double> weights = {0.5, 0.3, 0.2};
+  Engine eng(20240025);
+  for (int rep = 0; rep < 100; ++rep) {
+    const auto idx = resample_residual(eng, weights, 10);
+    std::vector<int> counts(3, 0);
+    for (const auto i : idx) ++counts[i];
+    EXPECT_GE(counts[0], 5);
+    EXPECT_GE(counts[1], 3);
+    EXPECT_GE(counts[2], 2);
+  }
+}
+
+TEST(Residual, ExactIntegerWeights) {
+  // All mass integral: no random residual stage at all.
+  const std::vector<double> weights = {0.25, 0.75};
+  Engine eng(20240026);
+  const auto idx = resample_residual(eng, weights, 4);
+  std::vector<int> counts(2, 0);
+  for (const auto i : idx) ++counts[i];
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 3);
+}
+
+TEST(UniqueAncestors, CountsDistinct) {
+  const std::vector<std::uint32_t> idx = {1, 1, 2, 5, 5, 5, 9};
+  EXPECT_EQ(unique_ancestors(idx), 4u);
+  EXPECT_EQ(unique_ancestors({}), 0u);
+}
+
+TEST(SchemeVarianceOrdering, SystematicBeatsMultinomial) {
+  // The variance of category counts under systematic resampling is no
+  // larger than under multinomial (the reason it is the default).
+  const std::vector<double> weights = {0.37, 0.21, 0.17, 0.25};
+  Engine eng(20240027);
+  constexpr int kReps = 500;
+  constexpr std::size_t kN = 200;
+  const auto count_variance = [&](ResamplingScheme scheme) {
+    std::vector<double> first_counts;
+    first_counts.reserve(kReps);
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto idx = resample(scheme, eng, weights, kN);
+      double c = 0.0;
+      for (const auto i : idx) c += (i == 0) ? 1.0 : 0.0;
+      first_counts.push_back(c);
+    }
+    const double m =
+        std::accumulate(first_counts.begin(), first_counts.end(), 0.0) / kReps;
+    double v = 0.0;
+    for (const double c : first_counts) v += (c - m) * (c - m);
+    return v / (kReps - 1);
+  };
+  EXPECT_LT(count_variance(ResamplingScheme::kSystematic),
+            count_variance(ResamplingScheme::kMultinomial));
+}
+
+}  // namespace

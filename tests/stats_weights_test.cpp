@@ -1,0 +1,112 @@
+// Log-space weight handling: log-sum-exp stability, normalization, ESS and
+// entropy diagnostics across degenerate and uniform extremes.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "stats/weights.hpp"
+
+namespace {
+
+using namespace epismc::stats;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(LogSumExp, KnownValues) {
+  const std::vector<double> x = {0.0, 0.0};
+  EXPECT_NEAR(log_sum_exp(x), std::log(2.0), 1e-14);
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(log_sum_exp(y),
+              std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0)), 1e-12);
+}
+
+TEST(LogSumExp, StableUnderHugeShifts) {
+  const std::vector<double> x = {-100000.0, -100000.0 + std::log(3.0)};
+  EXPECT_NEAR(log_sum_exp(x), -100000.0 + std::log(4.0), 1e-9);
+  const std::vector<double> y = {100000.0, 100000.0};
+  EXPECT_NEAR(log_sum_exp(y), 100000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExp, Extremes) {
+  EXPECT_EQ(log_sum_exp({}), -kInf);
+  const std::vector<double> allneg = {-kInf, -kInf};
+  EXPECT_EQ(log_sum_exp(allneg), -kInf);
+  const std::vector<double> mixed = {-kInf, 0.0};
+  EXPECT_NEAR(log_sum_exp(mixed), 0.0, 1e-14);
+}
+
+TEST(NormalizeLogWeights, SumsToOne) {
+  const std::vector<double> lw = {-3000.0, -3001.0, -2999.5, -3010.0};
+  const auto w = normalize_log_weights(lw);
+  double total = 0.0;
+  for (const double wi : w) {
+    EXPECT_GE(wi, 0.0);
+    total += wi;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Ratios preserved: w[2]/w[0] = exp(0.5).
+  EXPECT_NEAR(w[2] / w[0], std::exp(0.5), 1e-9);
+}
+
+TEST(NormalizeLogWeights, NegInfMapsToZero) {
+  const std::vector<double> lw = {0.0, -kInf};
+  const auto w = normalize_log_weights(lw);
+  EXPECT_NEAR(w[0], 1.0, 1e-14);
+  EXPECT_EQ(w[1], 0.0);
+}
+
+TEST(NormalizeLogWeights, ThrowsWhenAllVanish) {
+  const std::vector<double> lw = {-kInf, -kInf};
+  EXPECT_THROW((void)normalize_log_weights(lw), std::domain_error);
+}
+
+TEST(Ess, UniformIsN) {
+  const std::vector<double> w(50, 0.02);
+  EXPECT_NEAR(effective_sample_size(w), 50.0, 1e-9);
+}
+
+TEST(Ess, DegenerateIsOne) {
+  std::vector<double> w(50, 0.0);
+  w[7] = 1.0;
+  EXPECT_NEAR(effective_sample_size(w), 1.0, 1e-12);
+}
+
+TEST(Ess, ScaleInvariant) {
+  const std::vector<double> w = {1.0, 2.0, 3.0};
+  std::vector<double> w10 = {10.0, 20.0, 30.0};
+  EXPECT_NEAR(effective_sample_size(w), effective_sample_size(w10), 1e-9);
+}
+
+TEST(Ess, LogVariantAgrees) {
+  const std::vector<double> lw = {-5.0, -4.0, -6.0, -4.5};
+  const auto w = normalize_log_weights(lw);
+  EXPECT_NEAR(effective_sample_size_log(lw), effective_sample_size(w), 1e-9);
+}
+
+TEST(Ess, RejectsNegative) {
+  const std::vector<double> w = {0.5, -0.5};
+  EXPECT_THROW((void)effective_sample_size(w), std::invalid_argument);
+}
+
+TEST(Entropy, UniformIsLogN) {
+  const std::vector<double> w(16, 1.0);
+  EXPECT_NEAR(weight_entropy(w), std::log(16.0), 1e-12);
+  EXPECT_NEAR(weight_perplexity(w), 1.0, 1e-12);
+}
+
+TEST(Entropy, DegenerateIsZero) {
+  std::vector<double> w(16, 0.0);
+  w[3] = 5.0;
+  EXPECT_NEAR(weight_entropy(w), 0.0, 1e-12);
+  EXPECT_NEAR(weight_perplexity(w), 1.0 / 16.0, 1e-12);
+}
+
+TEST(Entropy, ThrowsOnZeroTotal) {
+  const std::vector<double> w = {0.0, 0.0};
+  EXPECT_THROW((void)weight_entropy(w), std::domain_error);
+}
+
+}  // namespace
