@@ -19,10 +19,7 @@ int main(int argc, char** argv) {
   const bench::BenchBudget budget = bench::parse_budget(args, 800, 8, 1600);
   args.check_unused();
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
+  const core::GroundTruth& truth = bench::paper_truth();
   const double theta_true = truth.theta_at(20);
 
   std::cout << "=== Ablation: reporting-bias model (window days 20-33, true "
@@ -40,7 +37,7 @@ int main(int argc, char** argv) {
     core::CalibrationConfig config = bench::paper_calibration(budget, false);
     config.windows = {{20, 33}};
     config.bias_name = bias;
-    core::SequentialCalibrator cal(simulator, truth.observed(), config);
+    api::CalibrationSession cal = bench::paper_session(config);
     const core::WindowResult& w = cal.run_next_window();
     const auto s = core::summarize_window(w);
     const bool covers = s.theta.ci90.contains(theta_true);

@@ -18,10 +18,7 @@ int main(int argc, char** argv) {
   const bench::BenchBudget budget = bench::parse_budget(args, 1200, 8, 2400);
   args.check_unused();
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
+  const core::GroundTruth& truth = bench::paper_truth();
 
   struct Candidate {
     const char* name;
@@ -47,7 +44,7 @@ int main(int argc, char** argv) {
     core::CalibrationConfig config = bench::paper_calibration(budget, false);
     config.likelihood_name = cand.name;
     config.likelihood_parameter = cand.parameter;
-    core::SequentialCalibrator cal(simulator, truth.observed(), config);
+    api::CalibrationSession cal = bench::paper_session(config);
     cal.run_all();
 
     const auto& w1 = cal.results().front();

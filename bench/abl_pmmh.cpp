@@ -19,13 +19,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("budget", 12000));
   const auto out_dir =
       std::filesystem::path(args.get_string("out-dir", "bench_results"));
+  api::apply_threads_flag(args);
   args.check_unused();
   std::filesystem::create_directories(out_dir);
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
+  const core::GroundTruth& truth = bench::paper_truth();
+  const std::unique_ptr<core::Simulator> simulator = api::simulators().create(
+      "seir-event", bench::paper_preset().simulator_spec());
   const double theta_true = truth.theta_at(20);
 
   std::cout << "=== IS (Algorithm 1) vs PMMH at ~" << budget_sims
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
     config.replicates = 10;
     config.n_params = budget_sims / config.replicates;
     config.resample_size = budget_sims / 4;
-    core::SequentialCalibrator cal(simulator, truth.observed(), config);
+    api::CalibrationSession cal = bench::paper_session(config);
     parallel::Timer timer;
     const core::WindowResult& w = cal.run_next_window();
     const double wall = timer.seconds();
@@ -66,12 +66,12 @@ int main(int argc, char** argv) {
     config.replicates = 10;
     config.iterations = budget_sims / config.replicates - 1;
     config.burnin = config.iterations / 4;
-    const core::GaussianSqrtLikelihood lik(1.0);
-    const core::BinomialBias bias;
-    const epi::Checkpoint init = simulator.initial_state(0, 4321);
+    const auto lik = api::likelihoods().create("gaussian-sqrt", 1.0);
+    const auto bias = api::bias_models().create("binomial");
+    const epi::Checkpoint init = simulator->initial_state(0, 4321);
     parallel::Timer timer;
     const core::PmmhResult res =
-        run_pmmh(simulator, lik, bias, truth.observed(), init, config);
+        run_pmmh(*simulator, *lik, *bias, truth.observed(), init, config);
     const double wall = timer.seconds();
     table.add_row_values(
         "PMMH", io::Table::num(res.theta_mean(), 4),

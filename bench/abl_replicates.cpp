@@ -16,13 +16,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("budget", 6400));
   const auto out_dir =
       std::filesystem::path(args.get_string("out-dir", "bench_results"));
+  api::apply_threads_flag(args);
   args.check_unused();
   std::filesystem::create_directories(out_dir);
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
+  const core::GroundTruth& truth = bench::paper_truth();
   const double theta_true = truth.theta_at(20);
 
   std::cout << "=== Ablation: replicates & common random numbers (fixed "
@@ -43,7 +41,7 @@ int main(int argc, char** argv) {
       config.n_params = total_budget / replicates;
       config.resample_size = total_budget / 4;
       config.common_random_numbers = crn;
-      core::SequentialCalibrator cal(simulator, truth.observed(), config);
+      api::CalibrationSession cal = bench::paper_session(config);
       const core::WindowResult& w = cal.run_next_window();
       const auto s = core::summarize_window(w);
       table.add_row_values(
@@ -72,7 +70,7 @@ int main(int argc, char** argv) {
     config.replicates = 8;
     config.resample_size = total_budget / 4;
     config.defensive_fraction = frac;
-    core::SequentialCalibrator cal(simulator, truth.observed(), config);
+    api::CalibrationSession cal = bench::paper_session(config);
     cal.run_all();
     const auto s = core::summarize_window(cal.results().back());
     def_table.add_row_values(io::Table::num(frac, 2),

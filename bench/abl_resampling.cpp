@@ -20,10 +20,7 @@ int main(int argc, char** argv) {
   const auto repeats = static_cast<std::size_t>(args.get_int("repeats", 8));
   args.check_unused();
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
+  const core::GroundTruth& truth = bench::paper_truth();
   const double theta_true = truth.theta_at(20);
 
   std::cout << "=== Ablation: resampling scheme (window days 20-33, "
@@ -48,7 +45,7 @@ int main(int argc, char** argv) {
       config.windows = {{20, 33}};
       config.scheme = scheme;
       config.seed = 9000 + rep;  // new randomness each repeat
-      core::SequentialCalibrator cal(simulator, truth.observed(), config);
+      api::CalibrationSession cal = bench::paper_session(config);
       const core::WindowResult& w = cal.run_next_window();
       means.push_back(stats::mean(w.posterior_thetas()));
       uniq_acc += static_cast<double>(w.diag.unique_resampled);

@@ -1,31 +1,39 @@
 #pragma once
 
-// Shared plumbing for the experiment binaries: the paper's §V-A scenario,
-// standard calibration configs, CSV output location, and report helpers.
+// Shared plumbing for the experiment binaries, on top of the epismc::api
+// facade: the paper's §V-A scenario preset, standard calibration configs,
+// session construction, CSV output location, and report helpers.
 //
-// Every binary accepts --n-params / --replicates / --resample to rescale
-// the simulation budget (paper scale: --n-params=25000 --replicates=20
-// --resample=10000), plus --out-dir for CSV artifacts.
+// Binaries that parse a budget accept --n-params / --replicates /
+// --resample to rescale the simulation load (paper scale: --n-params=25000
+// --replicates=20 --resample=10000), plus --threads and --out-dir for CSV
+// artifacts. Binaries with bespoke flags (fig1/fig2, abl_pmmh,
+// abl_replicates, abl_abm_generality) apply --threads themselves.
 
 #include <filesystem>
 #include <iostream>
 #include <string>
 
-#include "core/posterior.hpp"
-#include "core/scenario.hpp"
-#include "core/sequential_calibrator.hpp"
-#include "core/simulator.hpp"
-#include "io/args.hpp"
+#include "api/api.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
+#include "parallel/parallel.hpp"
 
 namespace epismc::bench {
 
-/// The paper's evaluation scenario: Chicago-scale population, theta and rho
-/// switching at days 34/48/62, observations through day 100.
-inline core::ScenarioConfig paper_scenario() {
-  core::ScenarioConfig cfg;
-  return cfg;  // defaults in ScenarioConfig are the §V-A values
+/// The paper's evaluation scenario preset: Chicago-scale population, theta
+/// and rho switching at days 34/48/62, observations through day 100.
+inline const api::ScenarioPreset& paper_preset() {
+  static const api::ScenarioPreset preset =
+      api::scenarios().create("paper-baseline");
+  return preset;
+}
+
+/// The preset's ground-truth realization, simulated once per process and
+/// shared by every calibration a bench runs.
+inline const core::GroundTruth& paper_truth() {
+  static const core::GroundTruth truth = paper_preset().make_truth();
+  return truth;
 }
 
 /// The four calibration windows of Figures 4 and 5.
@@ -40,9 +48,9 @@ struct BenchBudget {
   std::filesystem::path out_dir;
 };
 
-/// Parse the common budget flags. Defaults keep each experiment binary in
-/// the a-few-seconds range; pass the paper-scale values to reproduce the
-/// full 500k-trajectory runs.
+/// Parse the common budget flags (and apply --threads). Defaults keep each
+/// experiment binary in the a-few-seconds range; pass the paper-scale
+/// values to reproduce the full 500k-trajectory runs.
 inline BenchBudget parse_budget(const io::Args& args,
                                 std::size_t default_params = 2500,
                                 std::size_t default_replicates = 10,
@@ -55,6 +63,7 @@ inline BenchBudget parse_budget(const io::Args& args,
   b.resample = static_cast<std::size_t>(
       args.get_int("resample", static_cast<std::int64_t>(default_resample)));
   b.out_dir = args.get_string("out-dir", "bench_results");
+  api::apply_threads_flag(args);
   std::filesystem::create_directories(b.out_dir);
   return b;
 }
@@ -74,6 +83,17 @@ inline core::CalibrationConfig paper_calibration(const BenchBudget& b,
   cfg.likelihood_name = "nb-sqrt";
   cfg.likelihood_parameter = 500.0;
   return cfg;
+}
+
+/// A calibration session against the shared paper truth: `simulator` is a
+/// registry name, `config` the (possibly bench-tweaked) calibration config.
+inline api::CalibrationSession paper_session(
+    core::CalibrationConfig config, const std::string& simulator = "seir-event") {
+  api::CalibrationSession session;
+  session.with_simulator(simulator, paper_preset().simulator_spec())
+      .with_data(paper_truth().observed())
+      .with_config(std::move(config));
+  return session;
 }
 
 /// Print one window's (theta, rho) posterior next to the truth.

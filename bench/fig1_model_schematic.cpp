@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace epismc;
   const io::Args args(argc, argv);
+  api::apply_threads_flag(args);
   args.check_unused();
 
   std::cout << "=== Figure 1: SEIR compartment topology ===\n\n";

@@ -12,11 +12,12 @@ int main(int argc, char** argv) {
   const io::Args args(argc, argv);
   const auto out_dir =
       std::filesystem::path(args.get_string("out-dir", "bench_results"));
+  api::apply_threads_flag(args);
   args.check_unused();
   std::filesystem::create_directories(out_dir);
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
+  const core::ScenarioConfig& scenario = bench::paper_preset().scenario;
+  const core::GroundTruth& truth = bench::paper_truth();
 
   std::cout << "=== Figure 2: simulated ground truth (theta: 0.30/0.27/0.25/"
                "0.40 at days 0/34/48/62; rho: 0.60/0.70/0.85/0.80) ===\n\n";

@@ -18,10 +18,7 @@ int main(int argc, char** argv) {
   const bench::BenchBudget budget = bench::parse_budget(args, 2000, 10, 4000);
   args.check_unused();
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
+  const core::GroundTruth& truth = bench::paper_truth();
 
   core::CalibrationConfig config = bench::paper_calibration(budget, false);
   config.windows = {{20, 33}};
@@ -30,8 +27,8 @@ int main(int argc, char** argv) {
             << budget.n_params << " x " << budget.replicates << " = "
             << budget.n_params * budget.replicates << " trajectories ===\n\n";
 
-  core::SequentialCalibrator calibrator(simulator, truth.observed(), config);
-  const core::WindowResult& window = calibrator.run_next_window();
+  api::CalibrationSession session = bench::paper_session(config);
+  const core::WindowResult& window = session.run_next_window();
 
   // --- Left panel: prior (all sims) vs posterior (resampled) envelopes. ---
   const auto envelope = [&](bool posterior_only) {

@@ -27,10 +27,7 @@ int main(int argc, char** argv) {
 #endif
   args.check_unused();
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
+  const core::GroundTruth& truth = bench::paper_truth();
   const core::CalibrationConfig config =
       bench::paper_calibration(budget, use_deaths);
 
@@ -40,7 +37,7 @@ int main(int argc, char** argv) {
             << budget.n_params * budget.replicates
             << " trajectories/window ===\n\n";
 
-  core::SequentialCalibrator calibrator(simulator, truth.observed(), config);
+  api::CalibrationSession calibrator = bench::paper_session(config);
   parallel::Timer total;
   calibrator.run_all();
   const double wall = total.seconds();

@@ -17,10 +17,7 @@ int main(int argc, char** argv) {
   const std::string thread_list = args.get_string("threads", "1,2,4,8,16,24");
   args.check_unused();
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
+  (void)bench::paper_truth();  // simulate once, outside the timed loops
 
   std::vector<int> thread_counts;
   {
@@ -49,9 +46,9 @@ int main(int argc, char** argv) {
   for (const int threads : thread_counts) {
     if (threads > hw) continue;
     parallel::set_threads(threads);
-    core::SequentialCalibrator calibrator(simulator, truth.observed(), config);
+    api::CalibrationSession session = bench::paper_session(config);
     parallel::Timer timer;
-    const core::WindowResult& w = calibrator.run_next_window();
+    const core::WindowResult& w = session.run_next_window();
     const double total = timer.seconds();
     const double propagate = w.diag.propagate_seconds;
     if (reference_thetas.empty()) {

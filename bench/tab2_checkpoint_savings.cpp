@@ -16,11 +16,6 @@ int main(int argc, char** argv) {
   const bench::BenchBudget budget = bench::parse_budget(args, 400, 5, 800);
   args.check_unused();
 
-  const core::ScenarioConfig scenario = bench::paper_scenario();
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
-
   const std::size_t n_sims = budget.n_params * budget.replicates;
   std::cout << "=== Checkpoint-restart savings: " << n_sims
             << " trajectories per window ===\n\n";
@@ -28,7 +23,8 @@ int main(int argc, char** argv) {
   // Run the real sequential calibration (checkpointed restarts).
   const core::CalibrationConfig config =
       bench::paper_calibration(budget, false);
-  core::SequentialCalibrator calibrator(simulator, truth.observed(), config);
+  api::CalibrationSession calibrator = bench::paper_session(config);
+  const core::Simulator& simulator = calibrator.simulator();
 
   io::Table table({"window", "ckpt-restart (s)", "from-day-0 (s)", "speedup",
                    "sim-days saved", "ckpt bytes"});

@@ -1,66 +1,55 @@
-// Calibrating an agent-based model with the SMC core (paper §VI).
+// Calibrating an agent-based model with the SMC core (paper §VI), driven
+// entirely through the epismc::api facade: the "abm-truth" scenario preset
+// generates the individual-based ground truth and the "abm" registry entry
+// supplies the matching simulator backend -- the same two strings any other
+// backend uses.
 //
 // Individual-based models carry a "coordinate system" that maps to reality:
-// households, individuals, detected/undetected status. This example
-// calibrates the ABM's transmission rate from biased case reports and then
-// uses the calibrated, checkpointed agent states to answer an
-// individual-level question no compartmental model can: how much of the
-// remaining transmission risk sits inside households with an active
-// undetected infection?
+// households, individuals, detected/undetected status. After calibration
+// the checkpointed posterior agent states answer an individual-level
+// question no compartmental model can: how much of the remaining
+// transmission risk sits inside households with an active undetected
+// infection?
 
 #include <iostream>
 
-#include "abm/abm_simulator.hpp"
-#include "core/posterior.hpp"
-#include "core/sequential_calibrator.hpp"
-#include "io/args.hpp"
+#include "abm/agent_model.hpp"
+#include "api/api.hpp"
 #include "io/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace epismc;
   const io::Args args(argc, argv);
-  const auto population = args.get_int("population", 50000);
-  const auto n_params = static_cast<std::size_t>(args.get_int("n-params", 200));
+  if (api::handle_list_flag(args, std::cout)) return 0;
+
+  api::CalibrationSession session;
+  api::CliDefaults defaults;
+  defaults.simulator = "abm";
+  defaults.scenario = "abm-truth";
+  defaults.n_params = 200;
+  defaults.replicates = 5;
+  api::configure_session_from_args(session, args, defaults);
+  session.with_windows({{20, 33}});
   args.check_unused();
 
-  // --- Ground truth from the ABM itself. ----------------------------------
-  abm::AbmSimulatorConfig cfg;
-  cfg.abm.disease.population = population;
-  cfg.initial_exposed = 150;
-  const double theta_true = 0.34;
-  const double rho_true = 0.65;
-
-  abm::AgentBasedModel truth(cfg.abm, epi::PiecewiseSchedule(theta_true), 99);
-  truth.seed_exposed(cfg.initial_exposed);
-  truth.run_until_day(40);
-  auto thin_eng = rng::PhiloxEngine(5, 0);
-  std::vector<double> observed;
-  for (const double v : truth.trajectory().new_infections(1, 40)) {
-    observed.push_back(static_cast<double>(
-        rng::binomial(thin_eng, static_cast<std::int64_t>(v), rho_true)));
-  }
-  std::cout << "ABM ground truth: " << population << " agents in "
-            << truth.household_count() << " households, theta* = "
-            << theta_true << ", reporting rho* = " << rho_true << "\n";
+  // --- Ground truth from the ABM itself (the "abm-truth" preset). ----------
+  const core::GroundTruth& truth = session.truth();
+  const auto& cfg = session.config();
+  std::cout << "ABM ground truth: theta* = " << truth.theta_at(20)
+            << ", reporting rho* = " << truth.rho_at(20) << "\n";
 
   // --- Calibrate with the unchanged SMC core. ------------------------------
-  const abm::AbmSimulator simulator(cfg);
-  core::CalibrationConfig config;
-  config.windows = {{20, 33}};
-  config.n_params = n_params;
-  config.replicates = 5;
-  config.resample_size = 2 * n_params;
-  core::SequentialCalibrator calibrator(
-      simulator, core::ObservedData(1, observed, {}), config);
-  std::cout << "Calibrating days 20-33 with " << n_params * 5
+  std::cout << "Calibrating days 20-33 with "
+            << cfg.n_params * cfg.replicates
             << " agent-based trajectories...\n";
-  const core::WindowResult& window = calibrator.run_next_window();
-  const auto posterior = core::summarize_window(window);
+  const core::WindowResult& window = session.run_next_window();
+  const auto posterior = session.posterior_summary(0);
 
   io::Table table({"parameter", "truth", "posterior mean", "sd"});
-  table.add_row_values("theta", theta_true, posterior.theta.mean,
+  table.add_row_values("theta", truth.theta_at(20), posterior.theta.mean,
                        posterior.theta.sd);
-  table.add_row_values("rho", rho_true, posterior.rho.mean, posterior.rho.sd);
+  table.add_row_values("rho", truth.rho_at(20), posterior.rho.mean,
+                       posterior.rho.sd);
   table.print(std::cout);
   std::cout << "ESS " << io::Table::num(window.diag.ess, 1) << ", "
             << window.diag.unique_resampled << " unique posterior states\n\n";
@@ -68,26 +57,31 @@ int main(int argc, char** argv) {
   // --- Individual-level posterior query. -----------------------------------
   // Restore a posterior agent state and inspect household-level risk:
   // fraction of susceptibles living with an undetected infectious agent.
+  // The checkpoint bytes round-trip through the generic epi::Checkpoint, so
+  // the ABM-specific restore is the only agent-aware part of this program
+  // -- and the only one that requires the agent-based backend.
+  if (session.simulator().name() != "agent-based") {
+    std::cout << "Simulator '" << session.simulator().name()
+              << "' has no agent-level state; skipping the household-risk "
+                 "query (use --simulator=abm).\n";
+    return 0;
+  }
   const std::uint32_t draw = window.resampled.front();
   const abm::AgentBasedModel state = abm::AgentBasedModel::restore(
       window.states[window.sim_to_state[draw]]);
-  std::int64_t susceptible = 0;
-  std::int64_t exposed_households = 0;
-  // Count via public census + a fresh branched run is possible, but the
-  // checkpoint itself carries every agent; here we use aggregate censuses.
   using C = epi::Compartment;
-  susceptible = state.count(C::kS);
+  const std::int64_t susceptible = state.count(C::kS);
   const std::int64_t undetected_infectious =
       state.count(C::kAu) + state.count(C::kPu) + state.count(C::kSmU) +
       state.count(C::kSsU);
-  exposed_households = undetected_infectious;  // <= one per household bound
+  const std::int64_t exposed_households = undetected_infectious;  // <= one per household bound
   std::cout << "Posterior day-" << state.day() << " agent state: "
-            << susceptible << " susceptible agents, "
-            << undetected_infectious
+            << state.household_count() << " households, " << susceptible
+            << " susceptible agents, " << undetected_infectious
             << " undetected infectious agents spread over at most "
             << exposed_households << " households ("
             << io::Table::num(100.0 * static_cast<double>(undetected_infectious) /
-                                  static_cast<double>(population), 2)
+                                  static_cast<double>(state.population()), 2)
             << "% of the population is an undetected source).\n";
   return 0;
 }

@@ -14,18 +14,26 @@
 #include <iostream>
 #include <numeric>
 
+#include "api/api.hpp"
 #include "epi/seir_model.hpp"
-#include "io/args.hpp"
 #include "io/table.hpp"
 #include "parallel/parallel.hpp"
 
 int main(int argc, char** argv) {
   using namespace epismc;
   const io::Args args(argc, argv);
+  if (api::handle_list_flag(args, std::cout)) return 0;
   const auto replays = static_cast<std::size_t>(args.get_int("replays", 500));
-  args.check_unused();
+  api::apply_threads_flag(args);
 
-  epi::DiseaseParameters params;  // Chicago-scale defaults
+  // This example works below the calibration facade -- it exercises the
+  // epi-level checkpoint contract the whole SMC machinery is built on --
+  // but its disease parameters still come from the scenario registry so
+  // the demo stays in sync with the presets everything else runs.
+  const api::ScenarioPreset preset =
+      api::scenarios().create(args.get_string("scenario", "paper-baseline"));
+  args.check_unused();
+  const epi::DiseaseParameters params = preset.scenario.params;
   const epi::PiecewiseSchedule theta(0.3);
 
   // --- 1. Run to day 40 and checkpoint to disk. ---------------------------

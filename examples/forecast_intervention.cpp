@@ -4,17 +4,16 @@
 // plausible outcomes that allow direct, probabilistic assessment of
 // different intervention strategies."
 //
-// Calibrates through day 75, then branches the posterior ensemble forward
-// to day 100 under (a) status quo, (b) a transmission-reducing intervention
-// from day 76, and reports probabilistic outcome summaries for both.
+// Calibrates through day 75 via a CalibrationSession, then branches the
+// posterior ensemble forward to day 100 under (a) status quo
+// (session.forecast: each draw keeps its own theta) and (b) a
+// transmission-reducing intervention from day 76
+// (session.forecast_with_theta), and reports probabilistic outcome
+// summaries for both.
 
 #include <iostream>
 
-#include "core/posterior.hpp"
-#include "core/scenario.hpp"
-#include "core/sequential_calibrator.hpp"
-#include "core/simulator.hpp"
-#include "io/args.hpp"
+#include "api/api.hpp"
 #include "io/table.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/metrics.hpp"
@@ -22,29 +21,28 @@
 int main(int argc, char** argv) {
   using namespace epismc;
   const io::Args args(argc, argv);
-  const auto n_params = static_cast<std::size_t>(args.get_int("n-params", 800));
+  if (api::handle_list_flag(args, std::cout)) return 0;
+
   const auto draws = static_cast<std::size_t>(args.get_int("draws", 400));
   const double intervention_theta = args.get_double("intervention-theta", 0.15);
-  args.check_unused();
 
   // Calibrate all four windows on cases + deaths.
-  const core::ScenarioConfig scenario;
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-  const core::SeirSimulator simulator(
-      {scenario.params, 0.3, scenario.initial_exposed});
-  core::CalibrationConfig config;
-  config.n_params = n_params;
-  config.replicates = 8;
-  config.resample_size = 2 * n_params;
-  config.use_deaths = true;
-  config.likelihood_name = "nb-sqrt";
-  config.likelihood_parameter = 500.0;
+  api::CalibrationSession session;
+  api::CliDefaults defaults;
+  defaults.likelihood = "nb-sqrt";
+  defaults.likelihood_parameter = 500.0;
+  defaults.n_params = 800;
+  defaults.replicates = 8;
+  session.with_deaths(true);  // this example's default; --use-deaths=false overrides
+  api::configure_session_from_args(session, args, defaults);
+  args.check_unused();
 
-  std::cout << "Calibrating days 20-75 (cases + deaths)...\n";
-  core::SequentialCalibrator calibrator(simulator, truth.observed(), config);
-  calibrator.run_all();
-  const core::WindowResult& last = calibrator.results().back();
-  const auto s = core::summarize_window(last);
+  const core::GroundTruth& truth = session.truth();
+  std::cout << "Calibrating days 20-75 ("
+            << (session.config().use_deaths ? "cases + deaths" : "cases only")
+            << ")...\n";
+  session.run_all();
+  const auto s = session.posterior_summary(session.results().size() - 1);
   std::cout << "Final-window posterior: theta = " << io::Table::num(s.theta.mean)
             << " +/- " << io::Table::num(s.theta.sd) << " (truth "
             << truth.theta_at(70) << ")\n\n";
@@ -52,25 +50,11 @@ int main(int argc, char** argv) {
   // Forecast day 76-100 under the posterior theta (status quo).
   std::cout << "Forecasting days 76-100 with " << draws
             << " posterior-predictive draws...\n";
-  const core::Forecast status_quo =
-      core::posterior_forecast(simulator, last, 100, draws, /*seed=*/777);
+  const core::Forecast status_quo = session.forecast(100, draws, /*seed=*/777);
 
   // Intervention branch: restart every posterior state with reduced theta.
-  // (posterior_forecast keeps each draw's own theta; here we override it.)
-  core::Forecast intervention;
-  intervention.from_day = 76;
-  intervention.to_day = 100;
-  intervention.true_cases.assign(draws, {});
-  intervention.deaths.assign(draws, {});
-  for (std::size_t i = 0; i < draws; ++i) {
-    const std::uint32_t draw = last.resampled[i % last.resampled.size()];
-    const std::uint32_t state = last.sim_to_state[draw];
-    core::WindowRun run =
-        simulator.run_window(last.states[state], intervention_theta, 777,
-                             0xABCD0000 + i, 100, false);
-    intervention.true_cases[i] = std::move(run.true_cases);
-    intervention.deaths[i] = std::move(run.deaths);
-  }
+  const core::Forecast intervention =
+      session.forecast_with_theta(intervention_theta, 100, draws, /*seed=*/777);
 
   // Probabilistic outcome comparison.
   const auto summarize = [&](const core::Forecast& fc, const char* label,

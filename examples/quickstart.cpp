@@ -1,38 +1,48 @@
 // Quickstart: the smallest end-to-end use of the epismc public API.
 //
-//   1. Simulate a synthetic epidemic with time-varying transmission and a
-//      time-varying case-reporting bias (the paper's §V-A ground truth).
+//   1. Pick a ground-truth scenario and a simulator backend by registry
+//      name (the §V-A synthetic epidemic and the event-driven SEIR engine
+//      by default).
 //   2. Calibrate the first time window against the *reported* cases with
 //      single-window importance sampling (paper Algorithm 1).
 //   3. Print the recovered posterior for (theta, rho) next to the truth.
 //
-// Build & run:  ./build/examples/quickstart [--n-params=N] [--replicates=R]
+// Build & run:  ./build/examples/quickstart [--simulator=seir-event]
+//               [--scenario=paper-baseline] [--likelihood=gaussian-sqrt]
+//               [--n-params=N] [--replicates=R] [--threads=T] [--list]
 
+#include <algorithm>
 #include <iostream>
 
-#include "core/posterior.hpp"
-#include "core/scenario.hpp"
-#include "core/sequential_calibrator.hpp"
-#include "core/simulator.hpp"
-#include "io/args.hpp"
+#include "api/api.hpp"
 #include "io/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace epismc;
 
   const io::Args args(argc, argv);
-  const auto n_params = static_cast<std::size_t>(args.get_int("n-params", 400));
-  const auto replicates =
-      static_cast<std::size_t>(args.get_int("replicates", 5));
+  if (api::handle_list_flag(args, std::cout)) return 0;
+
+  api::CalibrationSession session;
+  api::CliDefaults defaults;
+  defaults.n_params = 400;
+  defaults.replicates = 5;
+  api::configure_session_from_args(session, args, defaults);
+  // Quickstart only reads days 1-40: trim the truth horizon so the
+  // smallest example never simulates the preset's unused later days.
+  api::ScenarioPreset preset =
+      api::scenarios().create(args.get_string("scenario", defaults.scenario));
+  preset.scenario.total_days =
+      std::min<std::int32_t>(preset.scenario.total_days, 40);
+  session.with_scenario(std::move(preset));
+  session.with_windows({{20, 33}});
   args.check_unused();
 
   // --- 1. Ground truth -----------------------------------------------------
-  core::ScenarioConfig scenario;
-  scenario.total_days = 40;
-  core::GroundTruth truth = core::simulate_ground_truth(scenario);
-
-  std::cout << "Synthetic epidemic (population "
-            << scenario.params.population << ", theta=0.30, rho=0.60):\n";
+  const core::GroundTruth& truth = session.truth();
+  std::cout << "Synthetic epidemic (simulator " << session.simulator().name()
+            << ", theta*=" << truth.theta_at(20)
+            << ", rho*=" << truth.rho_at(20) << "):\n";
   io::Table head({"day", "true cases", "reported cases", "deaths",
                   "hospital census"});
   for (std::int32_t day = 5; day <= 40; day += 5) {
@@ -45,20 +55,12 @@ int main(int argc, char** argv) {
   head.print(std::cout);
 
   // --- 2. Calibrate window days 20-33 on reported cases --------------------
-  core::SeirSimulator simulator({scenario.params});
-  core::CalibrationConfig config;
-  config.windows = {{20, 33}};
-  config.n_params = n_params;
-  config.replicates = replicates;
-  config.resample_size = 2 * n_params;
-
-  core::SequentialCalibrator calibrator(simulator, truth.observed(), config);
-  std::cout << "\nCalibrating days 20-33 with " << n_params << " x "
-            << replicates << " = " << n_params * replicates
+  const auto& cfg = session.config();
+  std::cout << "\nCalibrating days 20-33 with " << cfg.n_params << " x "
+            << cfg.replicates << " = " << cfg.n_params * cfg.replicates
             << " trajectories...\n";
-  const core::WindowResult& window = calibrator.run_next_window();
-  const core::WindowPosteriorSummary posterior =
-      core::summarize_window(window);
+  const core::WindowResult& window = session.run_next_window();
+  const core::WindowPosteriorSummary posterior = session.posterior_summary(0);
 
   // --- 3. Report -----------------------------------------------------------
   io::Table out({"parameter", "truth", "posterior mean", "sd", "90% CI"});

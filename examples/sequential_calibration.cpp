@@ -1,71 +1,49 @@
 // Sequential multi-window calibration -- the paper's full workflow, as a
-// configurable application.
+// configurable application on top of the epismc::api facade.
 //
 // Simulates a ground-truth epidemic with time-varying transmission theta(t)
 // and reporting bias rho(t), then calibrates the model window by window
 // against the reported data, carrying each window's posterior (parameters
 // *and* checkpointed simulator states) into the next window's prior.
 //
-// Usage:
-//   sequential_calibration                         # cases only, 4 windows
-//   sequential_calibration --use-deaths            # + death stream (eq. 4)
+// Every component is selected by registry name:
+//   sequential_calibration                          # defaults, 4 windows
+//   sequential_calibration --use-deaths             # + death stream (eq. 4)
 //   sequential_calibration --n-params=25000 --replicates=20  # paper scale
-//   sequential_calibration --engine=chain-binomial # baseline simulator
+//   sequential_calibration --simulator=chain-binomial        # baseline engine
+//   sequential_calibration --scenario=sharp-jump --jitter=wide
+//   sequential_calibration --threads=8 --list
 
 #include <iostream>
-#include <memory>
 
-#include "core/posterior.hpp"
-#include "core/scenario.hpp"
-#include "core/sequential_calibrator.hpp"
-#include "core/simulator.hpp"
-#include "io/args.hpp"
+#include "api/api.hpp"
 #include "io/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace epismc;
 
   const io::Args args(argc, argv);
-  core::CalibrationConfig config;
-  config.n_params = static_cast<std::size_t>(args.get_int("n-params", 1000));
-  config.replicates =
-      static_cast<std::size_t>(args.get_int("replicates", 10));
-  config.resample_size =
-      static_cast<std::size_t>(args.get_int("resample", 2000));
-  config.use_deaths = args.get_flag("use-deaths");
-  config.seed = static_cast<std::uint64_t>(args.get_int("seed", 20240306));
-  config.likelihood_name = args.get_string("likelihood", "nb-sqrt");
-  config.likelihood_parameter = args.get_double("likelihood-param", 500.0);
-  const std::string engine = args.get_string("engine", "seir-event");
+  if (api::handle_list_flag(args, std::cout)) return 0;
+
+  api::CalibrationSession session;
+  api::CliDefaults defaults;
+  defaults.likelihood = "nb-sqrt";
+  defaults.likelihood_parameter = 500.0;
+  api::configure_session_from_args(session, args, defaults);
   args.check_unused();
 
-  // Ground truth per paper §V-A.
-  const core::ScenarioConfig scenario;
-  const core::GroundTruth truth = core::simulate_ground_truth(scenario);
-
-  const core::EpiSimulatorConfig sim_config{scenario.params, 0.3,
-                                            scenario.initial_exposed};
-  std::unique_ptr<core::Simulator> simulator;
-  if (engine == "seir-event") {
-    simulator = std::make_unique<core::SeirSimulator>(sim_config);
-  } else if (engine == "chain-binomial") {
-    simulator = std::make_unique<core::ChainBinomialSimulator>(sim_config);
-  } else {
-    std::cerr << "unknown --engine=" << engine
-              << " (use seir-event or chain-binomial)\n";
-    return 1;
-  }
-
-  std::cout << "Sequential SMC calibration: engine=" << simulator->name()
-            << ", data=" << (config.use_deaths ? "cases+deaths" : "cases")
-            << ", " << config.n_params << " x " << config.replicates
+  const core::GroundTruth& truth = session.truth();
+  const auto& cfg = session.config();
+  std::cout << "Sequential SMC calibration: engine="
+            << session.simulator().name()
+            << ", data=" << (cfg.use_deaths ? "cases+deaths" : "cases")
+            << ", " << cfg.n_params << " x " << cfg.replicates
             << " trajectories per window\n\n";
 
-  core::SequentialCalibrator calibrator(*simulator, truth.observed(), config);
   io::Table table({"window", "theta truth", "theta posterior", "rho truth",
                    "rho posterior", "ESS", "log-evidence"});
-  while (!calibrator.finished()) {
-    const core::WindowResult& w = calibrator.run_next_window();
+  while (!session.finished()) {
+    const core::WindowResult& w = session.run_next_window();
     const auto s = core::summarize_window(w);
     table.add_row_values(
         "days " + std::to_string(w.from_day) + "-" + std::to_string(w.to_day),
@@ -88,7 +66,7 @@ int main(int argc, char** argv) {
                "vs actual truth:\n";
   io::Table recon({"window", "posterior median true cases (window total)",
                    "actual (window total)", "ratio"});
-  for (const auto& w : calibrator.results()) {
+  for (const auto& w : session.results()) {
     const auto mid = w.posterior_quantile(
         core::WindowResult::Series::kTrueCases, 0.5);
     double post_total = 0.0;

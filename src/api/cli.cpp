@@ -1,0 +1,75 @@
+#include "api/cli.hpp"
+
+#include <ostream>
+
+#include "api/scenarios.hpp"
+#include "parallel/parallel.hpp"
+
+namespace epismc::api {
+
+void apply_threads_flag(const io::Args& args) {
+  const std::string threads = args.get_string("threads", "");
+  // Digits-only and short enough to fit an int: anything else (tab1's
+  // comma list, absurd magnitudes) is deliberately ignored, not fatal.
+  if (!threads.empty() && threads.size() <= 6 &&
+      threads.find_first_not_of("0123456789") == std::string::npos) {
+    const int n = std::stoi(threads);
+    if (n > 0) parallel::set_threads(n);
+  }
+}
+
+void configure_session_from_args(CalibrationSession& session,
+                                 const io::Args& args,
+                                 const CliDefaults& defaults) {
+  apply_threads_flag(args);
+
+  session.with_simulator(args.get_string("simulator", defaults.simulator));
+  session.with_scenario(args.get_string("scenario", defaults.scenario));
+  session.with_likelihood(
+      args.get_string("likelihood", defaults.likelihood),
+      args.get_double("likelihood-param", defaults.likelihood_parameter));
+  if (args.has("bias")) {
+    session.with_bias(args.get_string("bias", "binomial"));
+  }
+  if (args.has("jitter")) {
+    session.with_jitter(args.get_string("jitter", "paper-default"));
+  }
+  const auto n_params = static_cast<std::size_t>(args.get_int(
+      "n-params", static_cast<std::int64_t>(defaults.n_params)));
+  const std::size_t resample_default =
+      defaults.resample != 0 ? defaults.resample : 2 * n_params;
+  session.with_budget(
+      n_params,
+      static_cast<std::size_t>(args.get_int(
+          "replicates", static_cast<std::int64_t>(defaults.replicates))),
+      static_cast<std::size_t>(args.get_int(
+          "resample", static_cast<std::int64_t>(resample_default))));
+  if (args.has("seed")) {
+    session.with_seed(static_cast<std::uint64_t>(args.get_int("seed", 0)));
+  }
+  if (args.has("use-deaths")) {
+    session.with_deaths(args.get_flag("use-deaths"));
+  }
+}
+
+void print_registries(std::ostream& os) {
+  const auto list = [&os](const std::string& label,
+                          const std::vector<std::string>& names) {
+    os << label << ":";
+    for (const auto& n : names) os << " " << n;
+    os << "\n";
+  };
+  list("simulators", simulators().names());
+  list("scenarios", scenarios().names());
+  list("likelihoods", likelihoods().names());
+  list("bias-models", bias_models().names());
+  list("jitter-policies", jitter_policies().names());
+}
+
+bool handle_list_flag(const io::Args& args, std::ostream& os) {
+  if (!args.get_flag("list")) return false;
+  print_registries(os);
+  return true;
+}
+
+}  // namespace epismc::api

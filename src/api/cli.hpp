@@ -1,0 +1,64 @@
+#pragma once
+
+// Standard CLI wiring for api-driven binaries.
+//
+// Every example/bench selects components by registry name; this helper
+// centralizes the flag vocabulary so binaries stay one-liner thin:
+//
+//   --simulator=NAME    simulator backend      (simulators() registry)
+//   --scenario=NAME     ground-truth preset    (scenarios() registry)
+//   --likelihood=NAME   window likelihood      (likelihoods() registry)
+//   --likelihood-param=X  likelihood parameter (sigma / dispersion / phi)
+//   --bias=NAME         reporting-bias model   (bias_models() registry)
+//   --jitter=NAME       posterior-jitter preset (jitter_policies() registry)
+//   --threads=N         OpenMP thread count    (parallel::set_threads)
+//   --n-params / --replicates / --resample     simulation budget
+//   --use-deaths        add the death stream (paper eq. 4)
+//   --seed=N            base randomness identity
+//
+// Unknown registry names fail with the registry's listing; `--list`
+// prints every registry's names and returns true (caller should exit 0).
+
+#include <iosfwd>
+#include <string>
+
+#include "api/session.hpp"
+#include "io/args.hpp"
+
+namespace epismc::api {
+
+/// Query the standard flags (so Args::check_unused accepts them), apply
+/// --threads, and stage them onto `session`. The core selections --
+/// simulator, scenario, likelihood, budget -- always apply, falling back
+/// to `defaults` when the flag is absent; the optional overrides (--bias,
+/// --jitter, --seed, --use-deaths) apply only when passed, so values the
+/// caller staged for those beforehand survive.
+struct CliDefaults {
+  std::string simulator = "seir-event";
+  std::string scenario = "paper-baseline";
+  std::string likelihood = "gaussian-sqrt";
+  double likelihood_parameter = 1.0;
+  std::size_t n_params = 1000;
+  std::size_t replicates = 10;
+  /// 0 means "2 * n_params" (the pre-facade examples' coupling), so
+  /// scaling --n-params scales the posterior sample with it.
+  std::size_t resample = 0;
+};
+
+void configure_session_from_args(CalibrationSession& session,
+                                 const io::Args& args,
+                                 const CliDefaults& defaults = {});
+
+/// Apply --threads=N via parallel::set_threads. Values that are not a
+/// plain positive integer are ignored (tab1_scaling reuses the flag as a
+/// comma-separated sweep list and manages threads itself).
+void apply_threads_flag(const io::Args& args);
+
+/// Print every registry's names (simulators, scenarios, likelihoods, bias
+/// models, jitter policies) -- the `--list` flag.
+void print_registries(std::ostream& os);
+
+/// True when --list was passed (after printing); callers exit early.
+[[nodiscard]] bool handle_list_flag(const io::Args& args, std::ostream& os);
+
+}  // namespace epismc::api

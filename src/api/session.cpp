@@ -1,0 +1,285 @@
+#include "api/session.hpp"
+
+#include <stdexcept>
+
+namespace epismc::api {
+
+void CalibrationSession::require_unbuilt(const char* call) const {
+  if (calibrator_) {
+    throw std::logic_error(std::string("CalibrationSession::") + call +
+                           ": session already materialized; configure before "
+                           "the first run_*/results call");
+  }
+}
+
+CalibrationSession& CalibrationSession::with_simulator(std::string name) {
+  require_unbuilt("with_simulator");
+  // Eager: a typo'd backend name must fail here, not after the scenario's
+  // ground truth (possibly a full agent-based run) has been simulated.
+  if (!simulators().contains(name)) {
+    throw UnknownComponentError(simulators().kind(), name,
+                                simulators().names());
+  }
+  simulator_name_ = std::move(name);
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_simulator(std::string name,
+                                                       SimulatorSpec spec) {
+  with_simulator(std::move(name));
+  spec_override_ = spec;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_scenario(
+    const std::string& preset_name) {
+  return with_scenario(scenarios().create(preset_name));
+}
+
+CalibrationSession& CalibrationSession::with_scenario(ScenarioPreset preset) {
+  require_unbuilt("with_scenario");
+  preset_ = std::move(preset);
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_data(core::ObservedData data) {
+  require_unbuilt("with_data");
+  data_ = std::move(data);
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_windows(
+    std::vector<std::pair<std::int32_t, std::int32_t>> windows) {
+  require_unbuilt("with_windows");
+  config_.windows = std::move(windows);
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_budget(std::size_t n_params,
+                                                    std::size_t replicates,
+                                                    std::size_t resample_size) {
+  require_unbuilt("with_budget");
+  config_.n_params = n_params;
+  config_.replicates = replicates;
+  config_.resample_size = resample_size;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_likelihood(const std::string& name,
+                                                        double parameter) {
+  require_unbuilt("with_likelihood");
+  config_.likelihood_name = name;
+  config_.likelihood_parameter = parameter;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_death_likelihood(
+    const std::string& name, double parameter) {
+  require_unbuilt("with_death_likelihood");
+  config_.death_likelihood_name = name;
+  config_.death_likelihood_parameter = parameter;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_bias(const std::string& name) {
+  require_unbuilt("with_bias");
+  config_.bias_name = name;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_deaths(bool use) {
+  require_unbuilt("with_deaths");
+  config_.use_deaths = use;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_seed(std::uint64_t seed) {
+  require_unbuilt("with_seed");
+  config_.seed = seed;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_resampling(
+    stats::ResamplingScheme scheme) {
+  require_unbuilt("with_resampling");
+  config_.scheme = scheme;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_common_random_numbers(bool crn) {
+  require_unbuilt("with_common_random_numbers");
+  config_.common_random_numbers = crn;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_defensive_fraction(
+    double fraction) {
+  require_unbuilt("with_defensive_fraction");
+  config_.defensive_fraction = fraction;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_jitter(
+    const std::string& policy_name) {
+  require_unbuilt("with_jitter");
+  const JitterPolicy policy = jitter_policies().create(policy_name);
+  config_.theta_jitter = policy.theta;
+  config_.rho_jitter = policy.rho;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_jitter(core::JitterKernel theta,
+                                                    core::JitterKernel rho) {
+  require_unbuilt("with_jitter");
+  config_.theta_jitter = theta;
+  config_.rho_jitter = rho;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_burnin_day(std::int32_t day) {
+  require_unbuilt("with_burnin_day");
+  config_.burnin_day = day;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_priors(
+    std::shared_ptr<const core::Prior> theta,
+    std::shared_ptr<const core::Prior> rho) {
+  require_unbuilt("with_priors");
+  config_.theta_prior = std::move(theta);
+  config_.rho_prior = std::move(rho);
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_config(
+    core::CalibrationConfig config) {
+  require_unbuilt("with_config");
+  config_ = std::move(config);
+  return *this;
+}
+
+void CalibrationSession::build() {
+  if (calibrator_) return;
+  // Validate the staged config (windows, budget, component names) before
+  // simulating any ground truth: a typo'd likelihood must not cost a full
+  // agent-based truth run first. SequentialCalibrator validates again on
+  // construction; the duplicate check is cheap.
+  config_.validate();
+  if (preset_ && !data_) {
+    truth_ = preset_->make_truth();
+    data_ = truth_->observed();
+  }
+  if (!data_) {
+    throw std::logic_error(
+        "CalibrationSession: no data -- call with_scenario() or with_data() "
+        "before running");
+  }
+  const SimulatorSpec spec = spec_override_ ? *spec_override_
+                             : preset_      ? preset_->simulator_spec()
+                                            : SimulatorSpec{};
+  simulator_ = simulators().create(simulator_name_, spec);
+  calibrator_ = std::make_unique<core::SequentialCalibrator>(*simulator_,
+                                                             *data_, config_);
+}
+
+const core::WindowResult& CalibrationSession::run_next_window() {
+  build();
+  return calibrator_->run_next_window();
+}
+
+CalibrationSession& CalibrationSession::run_all() {
+  build();
+  calibrator_->run_all();
+  return *this;
+}
+
+bool CalibrationSession::finished() {
+  build();
+  return calibrator_->finished();
+}
+
+core::SequentialCalibrator& CalibrationSession::calibrator() {
+  build();
+  return *calibrator_;
+}
+
+const core::Simulator& CalibrationSession::simulator() {
+  build();
+  return *simulator_;
+}
+
+const std::vector<core::WindowResult>& CalibrationSession::results() {
+  build();
+  return calibrator_->results();
+}
+
+core::WindowPosteriorSummary CalibrationSession::posterior_summary(
+    std::size_t window) {
+  const auto& all = results();
+  if (window >= all.size()) {
+    throw std::out_of_range("CalibrationSession: window " +
+                            std::to_string(window) + " has not run (" +
+                            std::to_string(all.size()) + " completed)");
+  }
+  return core::summarize_window(all[window]);
+}
+
+std::vector<core::WindowPosteriorSummary>
+CalibrationSession::posterior_summaries() {
+  std::vector<core::WindowPosteriorSummary> out;
+  for (const auto& w : results()) out.push_back(core::summarize_window(w));
+  return out;
+}
+
+const epi::Checkpoint& CalibrationSession::initial_state() {
+  build();
+  return calibrator_->initial_state();
+}
+
+const core::GroundTruth& CalibrationSession::truth() {
+  build();
+  if (!truth_) {
+    throw std::logic_error(
+        "CalibrationSession: no ground truth -- session was built from user "
+        "data, not a scenario preset");
+  }
+  return *truth_;
+}
+
+bool CalibrationSession::has_truth() {
+  build();
+  return truth_.has_value();
+}
+
+const core::ObservedData& CalibrationSession::data() {
+  build();
+  return *data_;
+}
+
+core::Forecast CalibrationSession::forecast(std::int32_t horizon_day,
+                                            std::size_t n_draws,
+                                            std::uint64_t seed) {
+  build();
+  if (calibrator_->results().empty()) {
+    throw std::logic_error("CalibrationSession::forecast: no window has run");
+  }
+  return core::posterior_forecast(*simulator_, calibrator_->results().back(),
+                                  horizon_day, n_draws, seed);
+}
+
+core::Forecast CalibrationSession::forecast_with_theta(double theta,
+                                                       std::int32_t horizon_day,
+                                                       std::size_t n_draws,
+                                                       std::uint64_t seed) {
+  build();
+  if (calibrator_->results().empty()) {
+    throw std::logic_error(
+        "CalibrationSession::forecast_with_theta: no window has run");
+  }
+  // Shares forecast() streams, so (status quo, intervention) pairs with the
+  // same seed are common-random-number comparisons.
+  return core::posterior_forecast(*simulator_, calibrator_->results().back(),
+                                  horizon_day, n_draws, seed, theta);
+}
+
+}  // namespace epismc::api

@@ -1,0 +1,139 @@
+#pragma once
+
+// CalibrationSession: the fluent single entry point for calibration runs.
+//
+// A session owns the whole wiring that call sites used to assemble by hand
+// -- simulator backend, ground-truth scenario (or user data), calibration
+// config, and the SequentialCalibrator -- behind registry names:
+//
+//   auto session = api::CalibrationSession()
+//                      .with_simulator("seir-event")
+//                      .with_scenario("paper-baseline")
+//                      .with_windows({{20, 33}, {34, 47}})
+//                      .with_likelihood("gaussian-sqrt", 1.0)
+//                      .with_budget(1000, 10, 2000);
+//   session.run_all();
+//   for (const auto& s : session.posterior_summaries()) ...
+//
+// Builder calls stage configuration; the first call that needs results
+// (run_*, calibrator(), simulator(), results(), ...) materializes the
+// simulator and calibrator. After that point further with_* calls throw --
+// a session is one run, not a mutable sweep (ScenarioSweep does sweeps).
+//
+// Wiring is value-identical to hand construction: a session with the same
+// config and seed reproduces a hand-wired SequentialCalibrator bit for bit
+// (api_session_test locks this in).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/components.hpp"
+#include "api/scenarios.hpp"
+#include "core/data.hpp"
+#include "core/posterior.hpp"
+#include "core/scenario.hpp"
+#include "core/sequential_calibrator.hpp"
+#include "core/simulator.hpp"
+
+namespace epismc::api {
+
+class CalibrationSession {
+ public:
+  CalibrationSession() = default;
+  CalibrationSession(const CalibrationSession&) = delete;
+  CalibrationSession& operator=(const CalibrationSession&) = delete;
+  CalibrationSession(CalibrationSession&&) = default;
+  CalibrationSession& operator=(CalibrationSession&&) = default;
+
+  // --- Component selection (registry names). -------------------------------
+  CalibrationSession& with_simulator(std::string name);
+  CalibrationSession& with_simulator(std::string name, SimulatorSpec spec);
+  /// Generate ground truth from a named preset; the observed data and
+  /// (unless overridden) the simulator spec come from the preset.
+  CalibrationSession& with_scenario(const std::string& preset_name);
+  CalibrationSession& with_scenario(ScenarioPreset preset);
+  /// Calibrate against user-provided data instead of a synthetic scenario.
+  CalibrationSession& with_data(core::ObservedData data);
+
+  // --- Calibration knobs (mirror core::CalibrationConfig). -----------------
+  CalibrationSession& with_windows(
+      std::vector<std::pair<std::int32_t, std::int32_t>> windows);
+  CalibrationSession& with_budget(std::size_t n_params, std::size_t replicates,
+                                  std::size_t resample_size);
+  CalibrationSession& with_likelihood(const std::string& name,
+                                      double parameter);
+  CalibrationSession& with_death_likelihood(const std::string& name,
+                                            double parameter);
+  CalibrationSession& with_bias(const std::string& name);
+  CalibrationSession& with_deaths(bool use = true);
+  CalibrationSession& with_seed(std::uint64_t seed);
+  CalibrationSession& with_resampling(stats::ResamplingScheme scheme);
+  CalibrationSession& with_common_random_numbers(bool crn);
+  CalibrationSession& with_defensive_fraction(double fraction);
+  CalibrationSession& with_jitter(const std::string& policy_name);
+  CalibrationSession& with_jitter(core::JitterKernel theta,
+                                  core::JitterKernel rho);
+  CalibrationSession& with_burnin_day(std::int32_t day);
+  CalibrationSession& with_priors(std::shared_ptr<const core::Prior> theta,
+                                  std::shared_ptr<const core::Prior> rho);
+  /// Wholesale config replacement (escape hatch for ported call sites).
+  CalibrationSession& with_config(core::CalibrationConfig config);
+
+  // --- Running. ------------------------------------------------------------
+  /// Calibrate the next window (materializes the pipeline on first call).
+  const core::WindowResult& run_next_window();
+  /// Calibrate all remaining windows.
+  CalibrationSession& run_all();
+  [[nodiscard]] bool finished();
+
+  // --- Results and introspection. ------------------------------------------
+  [[nodiscard]] core::SequentialCalibrator& calibrator();
+  [[nodiscard]] const core::Simulator& simulator();
+  [[nodiscard]] const core::CalibrationConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::vector<core::WindowResult>& results();
+  [[nodiscard]] core::WindowPosteriorSummary posterior_summary(
+      std::size_t window);
+  [[nodiscard]] std::vector<core::WindowPosteriorSummary>
+  posterior_summaries();
+  /// Shared burn-in checkpoint (valid once the first window has run).
+  [[nodiscard]] const epi::Checkpoint& initial_state();
+
+  /// Ground truth backing the session; throws std::logic_error when the
+  /// session was fed user data instead of a scenario.
+  [[nodiscard]] const core::GroundTruth& truth();
+  [[nodiscard]] bool has_truth();
+  [[nodiscard]] const core::ObservedData& data();
+
+  // --- Posterior-predictive forecasting. -----------------------------------
+  /// Branch the last completed window's posterior ensemble through
+  /// `horizon_day`, each draw keeping its own theta.
+  [[nodiscard]] core::Forecast forecast(std::int32_t horizon_day,
+                                        std::size_t n_draws,
+                                        std::uint64_t seed);
+  /// Same, but every branch runs under `theta` -- intervention what-ifs.
+  [[nodiscard]] core::Forecast forecast_with_theta(double theta,
+                                                   std::int32_t horizon_day,
+                                                   std::size_t n_draws,
+                                                   std::uint64_t seed);
+
+ private:
+  void require_unbuilt(const char* call) const;
+  void build();  // idempotent
+
+  std::string simulator_name_ = "seir-event";
+  std::optional<SimulatorSpec> spec_override_;
+  std::optional<ScenarioPreset> preset_;
+  std::optional<core::GroundTruth> truth_;
+  std::optional<core::ObservedData> data_;
+  core::CalibrationConfig config_;
+  std::unique_ptr<core::Simulator> simulator_;
+  std::unique_ptr<core::SequentialCalibrator> calibrator_;
+};
+
+}  // namespace epismc::api

@@ -1,0 +1,162 @@
+#include "api/sweep.hpp"
+
+#include <exception>
+
+#include "parallel/parallel.hpp"
+#include "random/seeding.hpp"
+
+namespace epismc::api {
+
+ScenarioSweep& ScenarioSweep::add_scenario(const std::string& preset_name) {
+  if (!scenarios().contains(preset_name)) {
+    throw UnknownComponentError(scenarios().kind(), preset_name,
+                                scenarios().names());
+  }
+  scenario_names_.push_back(preset_name);
+  return *this;
+}
+
+ScenarioSweep& ScenarioSweep::add_scenarios(
+    const std::vector<std::string>& preset_names) {
+  for (const auto& name : preset_names) add_scenario(name);
+  return *this;
+}
+
+ScenarioSweep& ScenarioSweep::add_simulator(const std::string& name) {
+  if (!simulators().contains(name)) {
+    throw UnknownComponentError(simulators().kind(), name,
+                                simulators().names());
+  }
+  simulator_names_.push_back(name);
+  return *this;
+}
+
+ScenarioSweep& ScenarioSweep::add_simulators(
+    const std::vector<std::string>& names) {
+  for (const auto& name : names) add_simulator(name);
+  return *this;
+}
+
+ScenarioSweep& ScenarioSweep::with_windows(
+    std::vector<std::pair<std::int32_t, std::int32_t>> windows) {
+  windows_ = std::move(windows);
+  return *this;
+}
+
+ScenarioSweep& ScenarioSweep::with_budget(std::size_t n_params,
+                                          std::size_t replicates,
+                                          std::size_t resample_size) {
+  n_params_ = n_params;
+  replicates_ = replicates;
+  resample_size_ = resample_size;
+  return *this;
+}
+
+ScenarioSweep& ScenarioSweep::with_likelihood(const std::string& name,
+                                              double parameter) {
+  likelihood_name_ = name;
+  likelihood_parameter_ = parameter;
+  return *this;
+}
+
+ScenarioSweep& ScenarioSweep::with_deaths(bool use) {
+  use_deaths_ = use;
+  return *this;
+}
+
+ScenarioSweep& ScenarioSweep::with_seed(std::uint64_t seed) {
+  seed_ = seed;
+  return *this;
+}
+
+ScenarioSweep& ScenarioSweep::with_session_setup(
+    std::function<void(CalibrationSession&)> hook) {
+  session_setup_ = std::move(hook);
+  return *this;
+}
+
+std::vector<SweepRun> ScenarioSweep::run_all() const {
+  if (scenario_names_.empty() || simulator_names_.empty()) {
+    throw std::logic_error(
+        "ScenarioSweep: need at least one scenario and one simulator");
+  }
+
+  // Ground truths once per scenario, shared read-only by every backend cell.
+  struct ScenarioTruth {
+    ScenarioPreset preset;
+    core::GroundTruth truth;
+  };
+  std::vector<ScenarioTruth> truths;
+  truths.reserve(scenario_names_.size());
+  for (const auto& name : scenario_names_) {
+    ScenarioPreset preset = scenarios().create(name);
+    core::GroundTruth truth = preset.make_truth();
+    truths.push_back({std::move(preset), std::move(truth)});
+  }
+
+  const std::size_t n_sims = simulator_names_.size();
+  std::vector<SweepRun> runs(cell_count());
+
+  // One cell per (scenario, simulator), scenario-major. Seeds derive from
+  // (sweep seed, scenario *name*), never from list position or thread id,
+  // so reordering scenarios or simulators reproduces every cell exactly
+  // and the same backend sees the same randomness in every scenario.
+  //
+  // Parallelism placement: with fewer cells than threads, an outer
+  // parallel region would leave cores idle *and* (OpenMP nesting being off
+  // by default) serialize each calibrator's inner particle loop -- so run
+  // the cells sequentially and let the particle sweep own the machine.
+  // With many cells, parallelize across them instead. Either placement
+  // yields identical results: both loops are index-deterministic.
+  const bool parallel_over_cells =
+      runs.size() >= static_cast<std::size_t>(parallel::max_threads());
+  const auto scenario_seed = [this](std::size_t si) {
+    std::uint64_t h = seed_;
+    for (const char c : scenario_names_[si]) {
+      h = rng::hash_combine(h, static_cast<std::uint64_t>(c));
+    }
+    return h;
+  };
+  const auto run_cell = [&](std::size_t cell) {
+        const std::size_t si = cell / n_sims;   // scenario index
+        const std::size_t bi = cell % n_sims;   // backend index
+        const ScenarioTruth& st = truths[si];
+        SweepRun& out = runs[cell];
+        out.scenario = scenario_names_[si];
+        out.simulator = simulator_names_[bi];
+
+        parallel::Timer timer;
+        try {
+          CalibrationSession session;
+          session.with_simulator(simulator_names_[bi], st.preset.simulator_spec())
+              .with_data(st.truth.observed())
+              .with_windows(windows_)
+              .with_budget(n_params_, replicates_, resample_size_)
+              .with_likelihood(likelihood_name_, likelihood_parameter_)
+              .with_deaths(use_deaths_)
+              .with_seed(scenario_seed(si));
+          if (session_setup_) session_setup_(session);
+          session.run_all();
+
+          for (const auto& w : session.results()) {
+            out.windows.push_back(core::summarize_window(w));
+            out.diagnostics.push_back(w.diag);
+            out.truth_theta.push_back(st.truth.theta_at(w.from_day));
+            out.truth_rho.push_back(st.truth.rho_at(w.from_day));
+          }
+        } catch (const std::exception& e) {
+          out.error = e.what();
+        }
+        out.wall_seconds = timer.seconds();
+  };
+
+  if (parallel_over_cells) {
+    parallel::parallel_for(runs.size(), run_cell, /*chunk=*/1);
+  } else {
+    for (std::size_t cell = 0; cell < runs.size(); ++cell) run_cell(cell);
+  }
+
+  return runs;
+}
+
+}  // namespace epismc::api

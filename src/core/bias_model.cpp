@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "api/components.hpp"
+
 namespace epismc::core {
 
 std::vector<double> BinomialBias::apply(rng::Engine& eng,
@@ -40,12 +42,8 @@ std::vector<double> DeterministicThinning::apply(
 }
 
 std::unique_ptr<BiasModel> make_bias_model(const std::string& name) {
-  if (name == "binomial") return std::make_unique<BinomialBias>();
-  if (name == "identity") return std::make_unique<IdentityBias>();
-  if (name == "deterministic-thinning") {
-    return std::make_unique<DeterministicThinning>();
-  }
-  throw std::invalid_argument("make_bias_model: unknown model " + name);
+  // Resolution lives in the api-layer registry; see make_likelihood.
+  return api::bias_models().create(name);
 }
 
 }  // namespace epismc::core

@@ -68,6 +68,10 @@ class DeterministicThinning final : public BiasModel {
   }
 };
 
+/// Resolve a bias model by registry name ("binomial", "identity",
+/// "deterministic-thinning", plus anything registered at startup).
+/// Delegates to api::bias_models(); kept for config-name resolution and
+/// source compatibility.
 [[nodiscard]] std::unique_ptr<BiasModel> make_bias_model(
     const std::string& name);
 

@@ -22,6 +22,31 @@ constexpr std::uint64_t kResampleTag = 0x52455341ull;    // "RESA"
 
 }  // namespace
 
+void WindowSpec::validate(const ObservedData* data) const {
+  if (to_day < from_day) {
+    throw std::invalid_argument(
+        "WindowSpec: window [" + std::to_string(from_day) + ", " +
+        std::to_string(to_day) + "] ends before it starts");
+  }
+  if (n_params == 0 || replicates == 0 || resample_size == 0) {
+    throw std::invalid_argument("WindowSpec: zero-sized simulation budget");
+  }
+  if (data != nullptr) {
+    if (data->first_day() > from_day || data->last_day() < to_day) {
+      throw std::invalid_argument(
+          "WindowSpec: observed data covers days [" +
+          std::to_string(data->first_day()) + ", " +
+          std::to_string(data->last_day()) + "] but the window needs [" +
+          std::to_string(from_day) + ", " + std::to_string(to_day) + "]");
+    }
+    if (use_deaths && !data->has_deaths()) {
+      throw std::invalid_argument(
+          "WindowSpec: use_deaths set but the observed data has no death "
+          "series");
+    }
+  }
+}
+
 WindowResult run_importance_window(const Simulator& sim,
                                    const Likelihood& case_likelihood,
                                    const Likelihood& death_likelihood,
@@ -30,14 +55,9 @@ WindowResult run_importance_window(const Simulator& sim,
                                    std::span<const epi::Checkpoint> parents,
                                    const WindowSpec& spec,
                                    const ParamProposal& propose) {
+  spec.validate(&data);
   if (parents.empty()) {
     throw std::invalid_argument("run_importance_window: no parent states");
-  }
-  if (spec.n_params == 0 || spec.replicates == 0 || spec.resample_size == 0) {
-    throw std::invalid_argument("run_importance_window: zero-sized spec");
-  }
-  if (spec.to_day < spec.from_day) {
-    throw std::invalid_argument("run_importance_window: bad window");
   }
 
   WindowResult result;

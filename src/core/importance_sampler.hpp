@@ -50,6 +50,13 @@ struct WindowSpec {
   bool use_deaths = false;
   stats::ResamplingScheme scheme = stats::ResamplingScheme::kSystematic;
   std::uint64_t seed = 0;  // base randomness identity for this window
+
+  /// Throws std::invalid_argument on an inverted window or zero-sized
+  /// budget; `data` (when provided) must cover [from_day, to_day] and
+  /// carry a death series whenever use_deaths is set.
+  /// run_importance_window calls this before doing any work, so a
+  /// misconfigured window fails up front instead of mid-propagation.
+  void validate(const ObservedData* data = nullptr) const;
 };
 
 /// Run one calibration window; `parents` must outlive the call.
@@ -63,7 +70,10 @@ struct WindowSpec {
     const ObservedData& data, std::span<const epi::Checkpoint> parents,
     const WindowSpec& spec, const ParamProposal& propose);
 
-/// Convenience overload: one error model for both streams.
+/// Convenience overload: one error model for both streams. The forwarded
+/// call validates the spec against the data up front, so a deaths-enabled
+/// spec over case-only data fails with a precise message rather than deep
+/// in the window loop.
 [[nodiscard]] inline WindowResult run_importance_window(
     const Simulator& sim, const Likelihood& likelihood, const BiasModel& bias,
     const ObservedData& data, std::span<const epi::Checkpoint> parents,

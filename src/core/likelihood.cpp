@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "api/components.hpp"
 #include "stats/densities.hpp"
 
 namespace epismc::core {
@@ -92,17 +93,10 @@ double GaussianCountLikelihood::logpdf(std::span<const double> observed,
 
 std::unique_ptr<Likelihood> make_likelihood(const std::string& name,
                                             double parameter) {
-  if (name == "gaussian-sqrt") {
-    return std::make_unique<GaussianSqrtLikelihood>(parameter);
-  }
-  if (name == "poisson") return std::make_unique<PoissonLikelihood>();
-  if (name == "nb-sqrt") {
-    return std::make_unique<NegBinSqrtLikelihood>(parameter);
-  }
-  if (name == "gaussian-count") {
-    return std::make_unique<GaussianCountLikelihood>(parameter);
-  }
-  throw std::invalid_argument("make_likelihood: unknown likelihood " + name);
+  // The api-layer registry is the single source of truth for named
+  // likelihoods: components registered there (including user-defined ones)
+  // are reachable through CalibrationConfig names with no change here.
+  return api::likelihoods().create(name, parameter);
 }
 
 }  // namespace epismc::core

@@ -88,6 +88,10 @@ class GaussianCountLikelihood final : public Likelihood {
   double phi_;
 };
 
+/// Resolve a likelihood by registry name ("gaussian-sqrt", "nb-sqrt",
+/// "poisson", "gaussian-count", plus anything registered at startup).
+/// Delegates to api::likelihoods(); kept for config-name resolution and
+/// source compatibility.
 [[nodiscard]] std::unique_ptr<Likelihood> make_likelihood(
     const std::string& name, double parameter);
 

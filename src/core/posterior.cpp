@@ -64,7 +64,8 @@ Ribbon posterior_ribbon(const WindowResult& window,
 
 Forecast posterior_forecast(const Simulator& sim, const WindowResult& window,
                             std::int32_t horizon_day, std::size_t n_draws,
-                            std::uint64_t seed) {
+                            std::uint64_t seed,
+                            std::optional<double> theta_override) {
   if (window.resampled.empty() || window.states.empty()) {
     throw std::invalid_argument("posterior_forecast: window has no posterior");
   }
@@ -89,8 +90,9 @@ Forecast posterior_forecast(const Simulator& sim, const WindowResult& window,
       throw std::logic_error("posterior_forecast: draw lacks a checkpoint");
     }
     const auto stream = rng::make_stream_id({kForecastTag, i}).key;
-    WindowRun run = sim.run_window(window.states[state], rec.theta, seed,
-                                   stream, horizon_day,
+    const double theta = theta_override.value_or(rec.theta);
+    WindowRun run = sim.run_window(window.states[state], theta, seed, stream,
+                                   horizon_day,
                                    /*want_checkpoint=*/false);
     fc.true_cases[i] = std::move(run.true_cases);
     fc.deaths[i] = std::move(run.deaths);

@@ -8,6 +8,7 @@
 // forecasts branched from posterior checkpoints.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/particle.hpp"
@@ -58,9 +59,9 @@ struct Ribbon {
                                       WindowResult::Series series,
                                       double level);
 
-/// Posterior-predictive forecast: branch `draws_per_state` fresh-seed runs
-/// from each posterior end state of `window` and simulate through
-/// `horizon_day`. Returns the per-day forecast matrix (row per run).
+/// Posterior-predictive forecast: branch fresh-seed runs from the
+/// posterior end states of `window` and simulate through `horizon_day`.
+/// Returns the per-day forecast matrix (row per run).
 struct Forecast {
   std::int32_t from_day = 0;
   std::int32_t to_day = 0;
@@ -70,10 +71,13 @@ struct Forecast {
   [[nodiscard]] Ribbon case_ribbon(double level) const;
 };
 
-[[nodiscard]] Forecast posterior_forecast(const Simulator& sim,
-                                          const WindowResult& window,
-                                          std::int32_t horizon_day,
-                                          std::size_t n_draws,
-                                          std::uint64_t seed);
+/// Each draw keeps its own posterior theta unless `theta_override` is set,
+/// in which case every branch runs under that rate (intervention what-ifs).
+/// Overridden and non-overridden forecasts with the same seed share random
+/// streams, so intervention effects are common-random-number paired.
+[[nodiscard]] Forecast posterior_forecast(
+    const Simulator& sim, const WindowResult& window, std::int32_t horizon_day,
+    std::size_t n_draws, std::uint64_t seed,
+    std::optional<double> theta_override = std::nullopt);
 
 }  // namespace epismc::core

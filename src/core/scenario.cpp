@@ -2,55 +2,28 @@
 
 #include "epi/chain_binomial.hpp"
 #include "epi/seir_model.hpp"
-#include "random/seeding.hpp"
 
 namespace epismc::core {
 
 namespace {
-
 constexpr std::uint64_t kTruthTag = 0x54525554ull;  // "TRUT"
-constexpr std::uint64_t kThinTag = 0x5448494Eull;   // "THIN"
-
-template <typename Model>
-GroundTruth run_truth(Model model, const ScenarioConfig& config,
-                      epi::PiecewiseSchedule theta,
-                      epi::PiecewiseSchedule rho) {
-  model.seed_exposed(config.initial_exposed);
-  model.run_until_day(config.total_days);
-
-  GroundTruth truth;
-  truth.trajectory = model.trajectory();
-  truth.theta = std::move(theta);
-  truth.rho = std::move(rho);
-  truth.true_cases = truth.trajectory.new_infections(1, config.total_days);
-  truth.deaths = truth.trajectory.new_deaths(1, config.total_days);
-
-  // Binomial thinning of true cases with the day's reporting probability.
-  auto thin_eng = rng::make_engine(config.seed, {kThinTag});
-  truth.observed_cases.reserve(truth.true_cases.size());
-  for (std::size_t i = 0; i < truth.true_cases.size(); ++i) {
-    const auto day = static_cast<std::int32_t>(i) + 1;
-    const auto n = static_cast<std::int64_t>(truth.true_cases[i]);
-    const double p = truth.rho.value_at(day);
-    truth.observed_cases.push_back(
-        static_cast<double>(rng::binomial(thin_eng, n, p)));
-  }
-  return truth;
-}
-
 }  // namespace
+
+std::uint64_t truth_seed(const ScenarioConfig& config) {
+  return rng::hash_combine(config.seed, kTruthTag);
+}
 
 GroundTruth simulate_ground_truth(const ScenarioConfig& config) {
   epi::PiecewiseSchedule theta(config.theta_segments);
   epi::PiecewiseSchedule rho(config.rho_segments);
-  const auto seed = rng::hash_combine(config.seed, kTruthTag);
+  const auto seed = truth_seed(config);
   if (config.use_chain_binomial) {
-    return run_truth(
+    return ground_truth_from_model(
         epi::ChainBinomialModel(config.params, theta, seed), config, theta,
         rho);
   }
-  return run_truth(epi::SeirModel(config.params, theta, seed), config, theta,
-                   rho);
+  return ground_truth_from_model(epi::SeirModel(config.params, theta, seed),
+                                 config, theta, rho);
 }
 
 }  // namespace epismc::core

@@ -16,6 +16,8 @@
 #include "epi/parameters.hpp"
 #include "epi/schedule.hpp"
 #include "epi/trajectory.hpp"
+#include "random/distributions.hpp"
+#include "random/seeding.hpp"
 
 namespace epismc::core {
 
@@ -57,5 +59,46 @@ struct GroundTruth {
 };
 
 [[nodiscard]] GroundTruth simulate_ground_truth(const ScenarioConfig& config);
+
+/// Seed of the truth realization. Shared by every engine, so the
+/// event-driven, chain-binomial, and agent-based truths of one
+/// ScenarioConfig derive their randomness identically.
+[[nodiscard]] std::uint64_t truth_seed(const ScenarioConfig& config);
+
+/// Assemble a GroundTruth from any model exposing seed_exposed /
+/// run_until_day / trajectory (the epi engines and the agent-based model
+/// all do): run it to the horizon, extract the case and death series, and
+/// binomially thin the true cases under the day's reporting probability.
+/// This is the single definition of the observation model; engine-specific
+/// truth generators (core's simulate_ground_truth, api's agent-based
+/// preset) must go through it so the thinning never diverges.
+template <typename Model>
+[[nodiscard]] GroundTruth ground_truth_from_model(Model model,
+                                                  const ScenarioConfig& config,
+                                                  epi::PiecewiseSchedule theta,
+                                                  epi::PiecewiseSchedule rho) {
+  model.seed_exposed(config.initial_exposed);
+  model.run_until_day(config.total_days);
+
+  GroundTruth truth;
+  truth.trajectory = model.trajectory();
+  truth.theta = std::move(theta);
+  truth.rho = std::move(rho);
+  truth.true_cases = truth.trajectory.new_infections(1, config.total_days);
+  truth.deaths = truth.trajectory.new_deaths(1, config.total_days);
+
+  // Binomial thinning of true cases with the day's reporting probability.
+  constexpr std::uint64_t kThinTag = 0x5448494Eull;  // "THIN"
+  auto thin_eng = rng::make_engine(config.seed, {kThinTag});
+  truth.observed_cases.reserve(truth.true_cases.size());
+  for (std::size_t i = 0; i < truth.true_cases.size(); ++i) {
+    const auto day = static_cast<std::int32_t>(i) + 1;
+    const auto n = static_cast<std::int64_t>(truth.true_cases[i]);
+    const double p = truth.rho.value_at(day);
+    truth.observed_cases.push_back(
+        static_cast<double>(rng::binomial(thin_eng, n, p)));
+  }
+  return truth;
+}
 
 }  // namespace epismc::core

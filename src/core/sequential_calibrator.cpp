@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "api/components.hpp"
 #include "random/engines.hpp"
 
 namespace epismc::core {
@@ -33,6 +34,14 @@ void CalibrationConfig::validate() const {
   if (!theta_prior || !rho_prior) {
     throw std::invalid_argument("CalibrationConfig: null prior");
   }
+  // Resolve every named component now: a typo'd likelihood (including the
+  // death-stream one, which a cases-only run never touches) or bias model
+  // must fail here, before any window has burned compute -- not on the run
+  // that first exercises it.
+  (void)api::likelihoods().create(likelihood_name, likelihood_parameter);
+  (void)api::likelihoods().create(death_likelihood_name,
+                                  death_likelihood_parameter);
+  (void)api::bias_models().create(bias_name);
 }
 
 SequentialCalibrator::SequentialCalibrator(const Simulator& sim,

@@ -21,6 +21,11 @@ Args::Args(int argc, const char* const* argv) {
   }
 }
 
+bool Args::has(const std::string& key) const {
+  used_.insert(key);
+  return values_.find(key) != values_.end();
+}
+
 std::string Args::get_string(const std::string& key,
                              const std::string& fallback) const {
   used_.insert(key);

@@ -16,6 +16,11 @@ class Args {
  public:
   Args(int argc, const char* const* argv);
 
+  /// True when the argument was provided at all (value or bare flag);
+  /// counts as a query for check_unused. Lets callers distinguish "apply
+  /// this override" from "keep the session/config default".
+  [[nodiscard]] bool has(const std::string& key) const;
+
   [[nodiscard]] std::string get_string(const std::string& key,
                                        const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& key,

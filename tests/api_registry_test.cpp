@@ -1,0 +1,174 @@
+// Registry semantics: registration, lookup, aliasing, duplicate and
+// unknown-name errors, plus the concrete built-in registries the facade
+// ships (simulators, likelihoods, bias models, jitter policies, scenario
+// presets).
+
+#include <gtest/gtest.h>
+
+#include "api/api.hpp"
+
+namespace {
+
+using namespace epismc;
+using api::Registry;
+
+TEST(Registry, AddLookupAndNames) {
+  Registry<int, int> reg("test registry");
+  reg.add("double", [](int x) { return 2 * x; })
+      .add("square", [](int x) { return x * x; });
+
+  EXPECT_TRUE(reg.contains("double"));
+  EXPECT_FALSE(reg.contains("cube"));
+  EXPECT_EQ(reg.create("double", 21), 42);
+  EXPECT_EQ(reg.create("square", 6), 36);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.names(), (std::vector<std::string>{"double", "square"}));
+}
+
+TEST(Registry, UnknownNameListsKnownOnes) {
+  Registry<int> reg("flavor registry");
+  reg.add("vanilla", [] { return 1; });
+  reg.add("chocolate", [] { return 2; });
+  try {
+    (void)reg.create("strawberry");
+    FAIL() << "expected UnknownComponentError";
+  } catch (const api::UnknownComponentError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("strawberry"), std::string::npos);
+    EXPECT_NE(msg.find("vanilla"), std::string::npos);
+    EXPECT_NE(msg.find("chocolate"), std::string::npos);
+    EXPECT_NE(msg.find("flavor registry"), std::string::npos);
+  }
+  // UnknownComponentError is an invalid_argument, so existing handlers
+  // around make_likelihood-style calls keep working.
+  EXPECT_THROW((void)reg.create("strawberry"), std::invalid_argument);
+}
+
+TEST(Registry, DuplicateAndNullRejected) {
+  Registry<int> reg("test registry");
+  reg.add("a", [] { return 1; });
+  EXPECT_THROW(reg.add("a", [] { return 2; }), std::invalid_argument);
+  EXPECT_THROW(reg.add("b", nullptr), std::invalid_argument);
+  // The failed adds changed nothing.
+  EXPECT_EQ(reg.create("a"), 1);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, Alias) {
+  Registry<int> reg("test registry");
+  reg.add("canonical", [] { return 7; });
+  reg.alias("nickname", "canonical");
+  EXPECT_EQ(reg.create("nickname"), 7);
+  EXPECT_THROW(reg.alias("x", "missing"), api::UnknownComponentError);
+}
+
+TEST(BuiltinRegistries, SimulatorBackends) {
+  EXPECT_TRUE(api::simulators().contains("seir-event"));
+  EXPECT_TRUE(api::simulators().contains("chain-binomial"));
+  EXPECT_TRUE(api::simulators().contains("abm"));
+  EXPECT_TRUE(api::simulators().contains("agent-based"));
+
+  api::SimulatorSpec spec;
+  spec.params.population = 50000;
+  spec.initial_exposed = 100;
+  const auto sim = api::simulators().create("seir-event", spec);
+  EXPECT_EQ(sim->name(), "seir-event");
+  const auto chain = api::simulators().create("chain-binomial", spec);
+  EXPECT_EQ(chain->name(), "chain-binomial");
+  // Simulator names round-trip: create(sim->name()) resolves.
+  EXPECT_TRUE(api::simulators().contains(chain->name()));
+
+  EXPECT_THROW((void)api::simulators().create("spherical-cow", spec),
+               api::UnknownComponentError);
+}
+
+TEST(BuiltinRegistries, LikelihoodsMatchLegacyFactory) {
+  for (const auto& name : api::likelihoods().names()) {
+    const double parameter = name == "nb-sqrt" ? 500.0 : 1.0;
+    const auto via_registry = api::likelihoods().create(name, parameter);
+    const auto via_legacy = core::make_likelihood(name, parameter);
+    EXPECT_EQ(via_registry->name(), name);
+    EXPECT_EQ(via_legacy->name(), name);
+    // Identical scoring on a small series.
+    const std::vector<double> y{12.0, 30.0, 55.0};
+    const std::vector<double> eta{15.0, 28.0, 60.0};
+    EXPECT_DOUBLE_EQ(via_registry->logpdf(y, eta), via_legacy->logpdf(y, eta));
+  }
+  // Parameter validation happens inside the factory.
+  EXPECT_THROW((void)api::likelihoods().create("gaussian-sqrt", -1.0),
+               std::invalid_argument);
+  // The Poisson model tolerates the legacy "parameter ignored" convention.
+  EXPECT_NO_THROW((void)api::likelihoods().create("poisson", 0.0));
+}
+
+TEST(BuiltinRegistries, BiasModelsAndJitterPolicies) {
+  EXPECT_EQ(api::bias_models().names(),
+            (std::vector<std::string>{"binomial", "deterministic-thinning",
+                                      "identity"}));
+  EXPECT_TRUE(api::bias_models().create("binomial")->uses_rho());
+  EXPECT_FALSE(api::bias_models().create("identity")->uses_rho());
+
+  const api::JitterPolicy policy = api::jitter_policies().create("paper-default");
+  // The paper's kernels: symmetric theta, upward-shifted rho.
+  EXPECT_TRUE(policy.theta.symmetric());
+  EXPECT_FALSE(policy.rho.symmetric());
+  EXPECT_GT(policy.rho.up, policy.rho.down);
+  // Defaults in CalibrationConfig equal the "paper-default" policy.
+  const core::CalibrationConfig cfg;
+  EXPECT_EQ(cfg.theta_jitter.down, policy.theta.down);
+  EXPECT_EQ(cfg.theta_jitter.up, policy.theta.up);
+  EXPECT_EQ(cfg.rho_jitter.down, policy.rho.down);
+  EXPECT_EQ(cfg.rho_jitter.up, policy.rho.up);
+}
+
+TEST(BuiltinRegistries, ScenarioPresets) {
+  for (const auto& name :
+       {"paper-baseline", "sharp-jump", "low-reporting",
+        "chain-binomial-truth", "abm-truth"}) {
+    EXPECT_TRUE(api::scenarios().contains(name)) << name;
+    const api::ScenarioPreset preset = api::scenarios().create(name);
+    EXPECT_EQ(preset.name, name);
+    EXPECT_FALSE(preset.summary.empty());
+  }
+  // The baseline preset is the paper's §V-A scenario verbatim.
+  const api::ScenarioPreset baseline = api::scenarios().create("paper-baseline");
+  const core::ScenarioConfig defaults;
+  EXPECT_EQ(baseline.scenario.theta_segments.size(),
+            defaults.theta_segments.size());
+  EXPECT_EQ(baseline.scenario.params.population, defaults.params.population);
+
+  // Presets generate reproducible, calibration-ready truths.
+  api::ScenarioPreset cb = api::scenarios().create("chain-binomial-truth");
+  cb.scenario.total_days = 40;  // keep the test cheap
+  cb.scenario.params.population = 100000;
+  cb.scenario.initial_exposed = 200;
+  const core::GroundTruth t1 = cb.make_truth();
+  const core::GroundTruth t2 = cb.make_truth();
+  EXPECT_EQ(t1.observed_cases, t2.observed_cases);
+  EXPECT_EQ(t1.true_cases.size(), 40u);
+  // Thinning only removes cases.
+  for (std::size_t i = 0; i < t1.true_cases.size(); ++i) {
+    EXPECT_LE(t1.observed_cases[i], t1.true_cases[i]);
+  }
+}
+
+TEST(BuiltinRegistries, AbmTruthPreset) {
+  api::ScenarioPreset preset = api::scenarios().create("abm-truth");
+  preset.scenario.total_days = 30;  // keep the test cheap
+  preset.scenario.params.population = 20000;
+  preset.scenario.initial_exposed = 100;
+  const core::GroundTruth truth = preset.make_truth();
+  EXPECT_EQ(truth.true_cases.size(), 30u);
+  double total = 0.0;
+  for (const double v : truth.true_cases) total += v;
+  EXPECT_GT(total, 0.0);  // the epidemic took off
+  for (std::size_t i = 0; i < truth.true_cases.size(); ++i) {
+    EXPECT_LE(truth.observed_cases[i], truth.true_cases[i]);
+  }
+  // The matching simulator spec carries the topology knobs.
+  const api::SimulatorSpec spec = preset.simulator_spec();
+  EXPECT_EQ(spec.params.population, 20000);
+  EXPECT_EQ(spec.abm.network_seed, preset.abm.network_seed);
+}
+
+}  // namespace

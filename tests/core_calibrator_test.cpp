@@ -1,16 +1,20 @@
-// Sequential calibrator (paper §IV-C): multi-window runs track a
-// time-varying transmission rate, posterior->prior carry-over restarts from
-// checkpoints (never day zero), death data tightens the posterior, and
-// configuration errors are caught up front.
+// Sequential calibrator (paper §IV-C), driven through the epismc::api
+// facade: multi-window runs track a time-varying transmission rate,
+// posterior->prior carry-over restarts from checkpoints (never day zero),
+// death data tightens the posterior, and configuration errors are caught
+// up front -- including unresolvable component names, which must fail in
+// CalibrationConfig::validate() before any window burns compute.
 
 #include <gtest/gtest.h>
 
+#include "api/api.hpp"
 #include "core/posterior.hpp"
 #include "core/scenario.hpp"
 #include "core/sequential_calibrator.hpp"
 
 namespace {
 
+using namespace epismc;
 using namespace epismc::core;
 
 ScenarioConfig test_scenario() {
@@ -35,18 +39,36 @@ CalibrationConfig small_config() {
   return cfg;
 }
 
+api::SimulatorSpec test_spec(const ScenarioConfig& scenario) {
+  api::SimulatorSpec spec;
+  spec.params = scenario.params;
+  spec.burnin_theta = 0.3;
+  spec.initial_exposed = scenario.initial_exposed;
+  return spec;
+}
+
+api::CalibrationSession test_session(const GroundTruth& truth,
+                                     const ScenarioConfig& scenario,
+                                     CalibrationConfig cfg,
+                                     const std::string& simulator =
+                                         "seir-event") {
+  api::CalibrationSession session;
+  session.with_simulator(simulator, test_spec(scenario))
+      .with_data(truth.observed())
+      .with_config(std::move(cfg));
+  return session;
+}
+
 TEST(Calibrator, TracksTimeVaryingTheta) {
   const ScenarioConfig scenario = test_scenario();
   const GroundTruth truth = simulate_ground_truth(scenario);
-  const SeirSimulator sim(
-      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
-  SequentialCalibrator cal(sim, truth.observed(), small_config());
-  cal.run_all();
-  ASSERT_TRUE(cal.finished());
-  ASSERT_EQ(cal.results().size(), 2u);
+  auto session = test_session(truth, scenario, small_config());
+  session.run_all();
+  ASSERT_TRUE(session.finished());
+  ASSERT_EQ(session.results().size(), 2u);
 
-  const auto w1 = summarize_window(cal.results()[0]);
-  const auto w2 = summarize_window(cal.results()[1]);
+  const auto w1 = session.posterior_summary(0);
+  const auto w2 = session.posterior_summary(1);
   EXPECT_NEAR(w1.theta.mean, 0.30, 0.06);
   EXPECT_NEAR(w2.theta.mean, 0.45, 0.08);
   // The calibrator noticed the change point.
@@ -56,18 +78,16 @@ TEST(Calibrator, TracksTimeVaryingTheta) {
 TEST(Calibrator, WindowsRestartFromCheckpoints) {
   const ScenarioConfig scenario = test_scenario();
   const GroundTruth truth = simulate_ground_truth(scenario);
-  const SeirSimulator sim(
-      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
-  SequentialCalibrator cal(sim, truth.observed(), small_config());
+  auto session = test_session(truth, scenario, small_config());
 
-  const WindowResult& w1 = cal.run_next_window();
+  const WindowResult& w1 = session.run_next_window();
   // All first-window end states sit at the window boundary...
   for (const auto& state : w1.states) EXPECT_EQ(state.day, 33);
   // ...and the shared initial state sits at burnin_day (default 0: each
   // particle owns its full early path).
-  EXPECT_EQ(cal.initial_state().day, 0);
+  EXPECT_EQ(session.initial_state().day, 0);
 
-  const WindowResult& w2 = cal.run_next_window();
+  const WindowResult& w2 = session.run_next_window();
   // ...and second-window sims branch from those states (parent indices
   // reference w1.states).
   for (const auto& rec : w2.sims) {
@@ -83,21 +103,19 @@ TEST(Calibrator, DeathsTightenPosterior) {
     return cfg;
   }();
   const GroundTruth truth = simulate_ground_truth(scenario);
-  const SeirSimulator sim(
-      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
 
   CalibrationConfig cases_only = small_config();
   cases_only.windows = {{20, 33}};
   CalibrationConfig with_deaths = cases_only;
   with_deaths.use_deaths = true;
 
-  SequentialCalibrator cal_a(sim, truth.observed(), cases_only);
-  SequentialCalibrator cal_b(sim, truth.observed(), with_deaths);
-  cal_a.run_all();
-  cal_b.run_all();
+  auto session_a = test_session(truth, scenario, cases_only);
+  auto session_b = test_session(truth, scenario, with_deaths);
+  session_a.run_all();
+  session_b.run_all();
 
-  const auto a = summarize_window(cal_a.results()[0]);
-  const auto b = summarize_window(cal_b.results()[0]);
+  const auto a = session_a.posterior_summary(0);
+  const auto b = session_b.posterior_summary(0);
   // Joint (theta, rho) uncertainty volume must not grow when a second
   // data stream is added.
   const double vol_a = a.theta.ci90.width() * a.rho.ci90.width();
@@ -108,28 +126,46 @@ TEST(Calibrator, DeathsTightenPosterior) {
 TEST(Calibrator, ReproducibleAcrossRuns) {
   const ScenarioConfig scenario = test_scenario();
   const GroundTruth truth = simulate_ground_truth(scenario);
-  const SeirSimulator sim(
-      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
   const auto run = [&] {
-    SequentialCalibrator cal(sim, truth.observed(), small_config());
-    cal.run_all();
-    return cal.results()[1].posterior_thetas();
+    auto session = test_session(truth, scenario, small_config());
+    session.run_all();
+    return session.results()[1].posterior_thetas();
   };
   EXPECT_EQ(run(), run());
+}
+
+TEST(Calibrator, SessionMatchesHandWiredCalibrator) {
+  // The facade adds no randomness of its own: a CalibrationSession and a
+  // hand-constructed SequentialCalibrator produce identical posteriors.
+  const ScenarioConfig scenario = test_scenario();
+  const GroundTruth truth = simulate_ground_truth(scenario);
+
+  auto session = test_session(truth, scenario, small_config());
+  session.run_all();
+
+  const SeirSimulator sim(
+      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+  SequentialCalibrator direct(sim, truth.observed(), small_config());
+  direct.run_all();
+
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_EQ(session.results()[m].posterior_thetas(),
+              direct.results()[m].posterior_thetas());
+    EXPECT_EQ(session.results()[m].posterior_rhos(),
+              direct.results()[m].posterior_rhos());
+  }
 }
 
 TEST(Calibrator, RunNextWindowBeyondEndThrows) {
   const ScenarioConfig scenario = test_scenario();
   const GroundTruth truth = simulate_ground_truth(scenario);
-  const SeirSimulator sim(
-      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
   CalibrationConfig cfg = small_config();
   cfg.windows = {{20, 33}};
-  SequentialCalibrator cal(sim, truth.observed(), cfg);
-  EXPECT_THROW((void)cal.initial_state(), std::logic_error);
-  (void)cal.run_next_window();
-  EXPECT_TRUE(cal.finished());
-  EXPECT_THROW((void)cal.run_next_window(), std::logic_error);
+  auto session = test_session(truth, scenario, cfg);
+  EXPECT_THROW((void)session.initial_state(), std::logic_error);
+  (void)session.run_next_window();
+  EXPECT_TRUE(session.finished());
+  EXPECT_THROW((void)session.run_next_window(), std::logic_error);
 }
 
 TEST(Calibrator, ConfigValidation) {
@@ -156,6 +192,28 @@ TEST(Calibrator, ConfigValidation) {
   EXPECT_NO_THROW(CalibrationConfig{}.validate());
 }
 
+TEST(Calibrator, ConfigValidationResolvesComponentNames) {
+  // Fail fast: a typo'd component name -- including the death-stream
+  // likelihood a cases-only run never touches -- dies in validate(), not
+  // mid-run.
+  CalibrationConfig cfg;
+  cfg.likelihood_name = "not-a-likelihood";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = CalibrationConfig{};
+  cfg.death_likelihood_name = "not-a-likelihood";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = CalibrationConfig{};
+  cfg.bias_name = "not-a-bias-model";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  // Bad parameters for a known name fail just as early.
+  cfg = CalibrationConfig{};
+  cfg.likelihood_parameter = -1.0;  // gaussian-sqrt needs sigma > 0
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
 TEST(Calibrator, DataCoverageChecked) {
   const ScenarioConfig scenario = [] {
     ScenarioConfig cfg = test_scenario();
@@ -163,37 +221,33 @@ TEST(Calibrator, DataCoverageChecked) {
     return cfg;
   }();
   const GroundTruth truth = simulate_ground_truth(scenario);
-  const SeirSimulator sim(
-      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
-  EXPECT_THROW(
-      SequentialCalibrator(sim, truth.observed(), small_config()),
-      std::invalid_argument);
+  auto session = test_session(truth, scenario, small_config());
+  EXPECT_THROW((void)session.calibrator(), std::invalid_argument);
 }
 
 TEST(Calibrator, UseDeathsRequiresDeathSeries) {
   const ScenarioConfig scenario = test_scenario();
   const GroundTruth truth = simulate_ground_truth(scenario);
-  const SeirSimulator sim(
-      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
   CalibrationConfig cfg = small_config();
   cfg.use_deaths = true;
-  const ObservedData no_deaths(1, truth.observed_cases, {});
-  EXPECT_THROW(SequentialCalibrator(sim, no_deaths, cfg),
-               std::invalid_argument);
+  api::CalibrationSession session;
+  session.with_simulator("seir-event", test_spec(scenario))
+      .with_data(ObservedData(1, truth.observed_cases, {}))
+      .with_config(cfg);
+  EXPECT_THROW((void)session.calibrator(), std::invalid_argument);
 }
 
 TEST(Calibrator, ChainBinomialSimulatorWorksToo) {
-  // The calibrator is simulator-agnostic: swap in the baseline engine.
+  // The calibrator is simulator-agnostic: swap in the baseline engine by
+  // registry name.
   ScenarioConfig scenario = test_scenario();
   scenario.use_chain_binomial = true;
   const GroundTruth truth = simulate_ground_truth(scenario);
-  const ChainBinomialSimulator sim(
-      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
   CalibrationConfig cfg = small_config();
   cfg.windows = {{20, 33}};
-  SequentialCalibrator cal(sim, truth.observed(), cfg);
-  const auto& w = cal.run_next_window();
-  const auto summary = summarize_window(w);
+  auto session = test_session(truth, scenario, cfg, "chain-binomial");
+  (void)session.run_next_window();
+  const auto summary = session.posterior_summary(0);
   EXPECT_NEAR(summary.theta.mean, 0.30, 0.08);
 }
 

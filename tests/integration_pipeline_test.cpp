@@ -1,18 +1,19 @@
-// End-to-end integration of the full paper pipeline at reduced scale:
-// ground truth -> four-window sequential calibration -> posterior
-// reconstruction -> forecast, plus cross-module contracts (calibrator
-// checkpoints restore as live models; posterior transmission estimates
-// translate into reproduction numbers; the whole pipeline is bit-stable
-// across thread counts).
+// End-to-end integration of the full paper pipeline at reduced scale,
+// driven through the epismc::api facade: ground truth -> four-window
+// sequential calibration -> posterior reconstruction -> forecast, plus
+// cross-module contracts (calibrator checkpoints restore as live models;
+// posterior transmission estimates translate into reproduction numbers;
+// the whole pipeline is bit-stable across thread counts).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 
+#include "api/api.hpp"
 #include "core/posterior.hpp"
 #include "core/scenario.hpp"
-#include "core/sequential_calibrator.hpp"
 #include "epi/reproduction.hpp"
 #include "parallel/parallel.hpp"
 
@@ -29,60 +30,56 @@ class PipelineTest : public ::testing::Test {
     scenario.initial_exposed = 200;
     scenario.total_days = 90;
     truth_ = new GroundTruth(simulate_ground_truth(scenario));
-    sim_ = new SeirSimulator(
-        EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
 
-    CalibrationConfig config;
-    config.windows = {{20, 33}, {34, 47}, {48, 61}, {62, 75}};
-    config.n_params = 250;
-    config.replicates = 6;
-    config.resample_size = 500;
-    config.likelihood_name = "nb-sqrt";
-    config.likelihood_parameter = 500.0;
-    config.seed = 1234;
-    calibrator_ = new SequentialCalibrator(*sim_, truth_->observed(), config);
-    calibrator_->run_all();
+    api::SimulatorSpec spec;
+    spec.params = scenario.params;
+    spec.initial_exposed = scenario.initial_exposed;
+
+    session_ = new api::CalibrationSession();
+    session_->with_simulator("seir-event", spec)
+        .with_data(truth_->observed())
+        .with_windows({{20, 33}, {34, 47}, {48, 61}, {62, 75}})
+        .with_budget(250, 6, 500)
+        .with_likelihood("nb-sqrt", 500.0)
+        .with_seed(1234);
+    session_->run_all();
   }
 
   static void TearDownTestSuite() {
-    delete calibrator_;
-    delete sim_;
+    delete session_;
     delete truth_;
-    calibrator_ = nullptr;
-    sim_ = nullptr;
+    session_ = nullptr;
     truth_ = nullptr;
   }
 
   static GroundTruth* truth_;
-  static SeirSimulator* sim_;
-  static SequentialCalibrator* calibrator_;
+  static api::CalibrationSession* session_;
 };
 
 GroundTruth* PipelineTest::truth_ = nullptr;
-SeirSimulator* PipelineTest::sim_ = nullptr;
-SequentialCalibrator* PipelineTest::calibrator_ = nullptr;
+api::CalibrationSession* PipelineTest::session_ = nullptr;
 
 TEST_F(PipelineTest, ThetaTracksTheFullSchedule) {
-  ASSERT_EQ(calibrator_->results().size(), 4u);
+  ASSERT_EQ(session_->results().size(), 4u);
   const double tolerances[] = {0.05, 0.05, 0.05, 0.08};
   for (std::size_t m = 0; m < 4; ++m) {
-    const auto& w = calibrator_->results()[m];
-    const auto s = summarize_window(w);
+    const auto& w = session_->results()[m];
+    const auto s = session_->posterior_summary(m);
     const double truth_theta = truth_->theta_at(w.from_day);
     EXPECT_NEAR(s.theta.mean, truth_theta, tolerances[m])
         << "window " << m + 1;
   }
   // The day-62 upswing is detected: window 4 estimate clearly above
   // window 3's.
-  const auto s3 = summarize_window(calibrator_->results()[2]);
-  const auto s4 = summarize_window(calibrator_->results()[3]);
+  const auto s3 = session_->posterior_summary(2);
+  const auto s4 = session_->posterior_summary(3);
   EXPECT_GT(s4.theta.mean, s3.theta.mean + 0.05);
 }
 
 TEST_F(PipelineTest, WindowsChainThroughCheckpoints) {
-  const auto& results = calibrator_->results();
+  const auto& results = session_->results();
   for (std::size_t m = 0; m < results.size(); ++m) {
-    const auto [from, to] = calibrator_->config().windows[m];
+    const auto [from, to] = session_->config().windows[m];
     EXPECT_EQ(results[m].from_day, from);
     EXPECT_EQ(results[m].to_day, to);
     for (const auto& state : results[m].states) {
@@ -99,7 +96,7 @@ TEST_F(PipelineTest, WindowsChainThroughCheckpoints) {
 TEST_F(PipelineTest, PosteriorStatesRestoreAsLiveModels) {
   // Any checkpointed posterior state is a fully functional simulator:
   // restorable, conservative, and advanceable.
-  const auto& last = calibrator_->results().back();
+  const auto& last = session_->results().back();
   const epi::Checkpoint& state = last.states.front();
   epi::SeirModel model = epi::SeirModel::restore(state);
   EXPECT_EQ(model.day(), 75);
@@ -113,7 +110,7 @@ TEST_F(PipelineTest, ReconstructedTrueCasesTrackActuals) {
   // Posterior median of the unobserved true-case curve lands within 40%
   // of the realized truth in every window (the paper's Fig 4a right
   // panel).
-  for (const auto& w : calibrator_->results()) {
+  for (const auto& w : session_->results()) {
     const auto mid = w.posterior_quantile(WindowResult::Series::kTrueCases, 0.5);
     double post_total = 0.0;
     double actual_total = 0.0;
@@ -130,8 +127,9 @@ TEST_F(PipelineTest, PosteriorImpliesPlausibleReproductionNumbers) {
   // Translate each window's posterior theta into R0 and compare with the
   // truth's R0 for that window: the epidemiologically meaningful readout.
   const epi::DiseaseParameters params;  // matches scenario natural history
-  for (const auto& w : calibrator_->results()) {
-    const auto s = summarize_window(w);
+  for (std::size_t m = 0; m < session_->results().size(); ++m) {
+    const auto& w = session_->results()[m];
+    const auto s = session_->posterior_summary(m);
     const double r_est = epi::basic_reproduction_number(params, s.theta.mean);
     const double r_true = epi::basic_reproduction_number(
         params, truth_->theta_at(w.from_day));
@@ -141,8 +139,7 @@ TEST_F(PipelineTest, PosteriorImpliesPlausibleReproductionNumbers) {
 }
 
 TEST_F(PipelineTest, ForecastFromFinalWindowIsCoherent) {
-  const Forecast fc =
-      posterior_forecast(*sim_, calibrator_->results().back(), 90, 60, 4242);
+  const Forecast fc = session_->forecast(90, 60, 4242);
   ASSERT_EQ(fc.true_cases.size(), 60u);
   const Ribbon rib = fc.case_ribbon(0.8);
   ASSERT_EQ(rib.mid.size(), 15u);  // days 76..90
@@ -158,7 +155,7 @@ TEST_F(PipelineTest, ForecastFromFinalWindowIsCoherent) {
 }
 
 TEST_F(PipelineTest, EvidenceIsFiniteAndOrdered) {
-  for (const auto& w : calibrator_->results()) {
+  for (const auto& w : session_->results()) {
     ASSERT_TRUE(std::isfinite(w.diag.log_marginal));
     ASSERT_GT(w.diag.ess, 1.0);
     ASSERT_GE(w.diag.unique_resampled, 1u);
@@ -172,26 +169,28 @@ TEST(PipelineThreading, WholePipelineIsThreadCountInvariant) {
   scenario.initial_exposed = 120;
   scenario.total_days = 50;
   const GroundTruth truth = simulate_ground_truth(scenario);
-  const SeirSimulator sim(
-      EpiSimulatorConfig{scenario.params, 0.3, scenario.initial_exposed});
+  api::SimulatorSpec spec;
+  spec.params = scenario.params;
+  spec.initial_exposed = scenario.initial_exposed;
 
   const auto run_with = [&](int threads) {
     parallel::set_threads(threads);
-    CalibrationConfig config;
-    config.windows = {{20, 33}, {34, 47}};
-    config.n_params = 60;
-    config.replicates = 3;
-    config.resample_size = 120;
-    SequentialCalibrator cal(sim, truth.observed(), config);
-    cal.run_all();
-    std::vector<double> fingerprint = cal.results().back().posterior_thetas();
-    const auto rhos = cal.results().back().posterior_rhos();
+    api::CalibrationSession session;
+    session.with_simulator("seir-event", spec)
+        .with_data(truth.observed())
+        .with_windows({{20, 33}, {34, 47}})
+        .with_budget(60, 3, 120);
+    session.run_all();
+    std::vector<double> fingerprint = session.results().back().posterior_thetas();
+    const auto rhos = session.results().back().posterior_rhos();
     fingerprint.insert(fingerprint.end(), rhos.begin(), rhos.end());
     return fingerprint;
   };
+  // Capture before run_with(1) resets max_threads(); force >= 2 so the
+  // parallel leg is genuinely threaded even on a single-core machine.
+  const int threaded_count = std::max(2, parallel::max_threads());
   const auto serial = run_with(1);
-  const auto parallel_run = run_with(parallel::max_threads());
-  parallel::set_threads(parallel::max_threads());
+  const auto parallel_run = run_with(threaded_count);
   EXPECT_EQ(serial, parallel_run);
 }
 
