@@ -1,0 +1,182 @@
+// Ensemble-engine benchmark: native Simulator::run_batch vs the per-sim
+// reference path (one run_window per trajectory -- the pre-refactor hot
+// loop), for all three backends at 1/4/8 threads, on the paper-baseline
+// single-window workload (days 20-33). Emits machine-readable results to
+// BENCH_ensemble.json so the propagate-path perf trajectory is tracked
+// from PR 2 onward.
+//
+//   ./bench_ensemble [--n-params=64] [--replicates=2] [--abm-population=6000]
+//                    [--repeats=3] [--out=BENCH_ensemble.json]
+//
+// Speedup definitions recorded per (backend, threads) cell:
+//   speedup_batch_vs_persim   persim_seconds / batch_seconds  (same threads)
+//   batch_speedup_vs_1thread  batch_seconds@1 / batch_seconds@N
+// The second is the "propagate speedup at N threads" number; it needs >= N
+// hardware threads to mean anything, so the JSON records the machine's
+// concurrency next to it.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "io/args.hpp"
+#include "parallel/parallel.hpp"
+#include "random/seeding.hpp"
+
+namespace {
+
+using namespace epismc;
+
+struct Cell {
+  std::string backend;
+  int threads = 1;
+  std::size_t n_sims = 0;
+  std::size_t window_len = 0;
+  double persim_seconds = 0.0;
+  double batch_seconds = 0.0;
+};
+
+/// Columns mirroring run_importance_window's CRN layout for a fresh window.
+core::EnsembleBuffer make_buffer(std::size_t n_params, std::size_t replicates,
+                                 std::size_t window_len, std::uint64_t seed) {
+  core::EnsembleBuffer buf(n_params * replicates, window_len);
+  for (std::size_t s = 0; s < buf.size(); ++s) {
+    const auto j = static_cast<std::uint32_t>(s / replicates);
+    const auto r = static_cast<std::uint32_t>(s % replicates);
+    buf.param_index[s] = j;
+    buf.replicate[s] = r;
+    buf.parent[s] = 0;
+    buf.theta[s] = 0.12 + 0.003 * static_cast<double>(j);
+    buf.rho[s] = 0.8;
+    buf.seed[s] = seed;
+    buf.stream[s] = rng::make_stream_id({0x4D4F44454Cull, 0, r}).key;
+  }
+  return buf;
+}
+
+double time_best_of(int repeats, const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    parallel::Timer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const io::Args args(argc, argv);
+  const auto n_params = static_cast<std::size_t>(args.get_int("n-params", 64));
+  const auto replicates =
+      static_cast<std::size_t>(args.get_int("replicates", 2));
+  const auto abm_population = args.get_int("abm-population", 6000);
+  const int repeats = static_cast<int>(args.get_int("repeats", 3));
+  const std::filesystem::path out_path =
+      args.get_string("out", "BENCH_ensemble.json");
+  args.check_unused();
+
+  constexpr std::int32_t kParentDay = 19;
+  constexpr std::int32_t kToDay = 33;
+  const std::size_t window_len = 14;
+  const std::vector<int> thread_counts = {1, 4, 8};
+  // Captured before any set_threads call: omp_get_max_threads reports the
+  // last value set, so this is the only moment it reflects the machine.
+  const int machine_threads = parallel::max_threads();
+
+  struct Backend {
+    std::string name;
+    api::SimulatorSpec spec;
+    std::size_t n_params;
+  };
+  // SEIR and chain-binomial run the paper's Chicago-scale spec; the ABM is
+  // scaled down (its day cost is O(population)) but exercises the same
+  // batch machinery.
+  std::vector<Backend> backends;
+  backends.push_back(
+      {"seir-event", api::scenarios().create("paper-baseline").simulator_spec(),
+       n_params});
+  backends.push_back({"chain-binomial", backends[0].spec, n_params});
+  api::SimulatorSpec abm_spec;
+  abm_spec.params.population = abm_population;
+  abm_spec.initial_exposed = std::max<std::int64_t>(abm_population / 200, 10);
+  backends.push_back({"abm", abm_spec, std::max<std::size_t>(n_params / 4, 8)});
+
+  std::vector<Cell> cells;
+  for (const Backend& b : backends) {
+    const auto sim = api::simulators().create(b.name, b.spec);
+    const core::PerSimReference persim(*sim);
+    const std::vector<epi::Checkpoint> parents = {
+        sim->initial_state(kParentDay, 7)};
+    core::EnsembleBuffer buf =
+        make_buffer(b.n_params, replicates, window_len, 4242);
+
+    // Warm up caches (delay tables, allocator) outside the timings.
+    sim->run_batch(parents, kToDay, buf, 0, buf.size());
+
+    for (const int threads : thread_counts) {
+      parallel::set_threads(threads);
+      Cell cell;
+      cell.backend = b.name;
+      cell.threads = threads;
+      cell.n_sims = buf.size();
+      cell.window_len = window_len;
+      cell.batch_seconds = time_best_of(repeats, [&] {
+        sim->run_batch(parents, kToDay, buf, 0, buf.size());
+      });
+      cell.persim_seconds = time_best_of(repeats, [&] {
+        persim.run_batch(parents, kToDay, buf, 0, buf.size());
+      });
+      cells.push_back(cell);
+      std::cout << b.name << " @ " << threads << " threads: per-sim "
+                << cell.persim_seconds * 1e3 << " ms, batch "
+                << cell.batch_seconds * 1e3 << " ms ("
+                << cell.persim_seconds / cell.batch_seconds << "x)\n";
+    }
+    parallel::set_threads(machine_threads);
+  }
+
+  const auto batch_at = [&](const std::string& backend, int threads) {
+    for (const Cell& c : cells) {
+      if (c.backend == backend && c.threads == threads) return c.batch_seconds;
+    }
+    return 0.0;
+  };
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"schema\": \"epismc-ensemble-bench-v1\",\n"
+      << "  \"generated_by\": \"bench/bench_ensemble\",\n"
+      << "  \"workload\": \"paper-baseline single window, days 20-33\",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"omp_max_threads\": " << machine_threads << ",\n"
+      << "  \"replicates\": " << replicates << ",\n"
+      << "  \"seir_8thread_propagate_speedup_vs_1thread\": "
+      << batch_at("seir-event", 1) / batch_at("seir-event", 8) << ",\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    out << "    {\"backend\": \"" << c.backend << "\", \"threads\": "
+        << c.threads << ", \"n_sims\": " << c.n_sims << ", \"window_len\": "
+        << c.window_len << ",\n"
+        << "     \"persim_seconds\": " << c.persim_seconds
+        << ", \"batch_seconds\": " << c.batch_seconds
+        << ",\n     \"speedup_batch_vs_persim\": "
+        << c.persim_seconds / c.batch_seconds
+        << ", \"batch_speedup_vs_1thread\": "
+        << batch_at(c.backend, 1) / c.batch_seconds << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "Wrote " << out_path.string() << "\n";
+  return 0;
+}

@@ -37,18 +37,19 @@ int main(int argc, char** argv) {
     std::vector<double> hi(days, -1e300);
     std::vector<double> mid(days, 0.0);
     std::size_t count = 0;
-    const auto consider = [&](const core::SimRecord& rec) {
+    const auto consider = [&](std::size_t sim) {
+      const auto obs = window.ensemble.obs_cases(sim);
       for (std::size_t d = 0; d < days; ++d) {
-        lo[d] = std::min(lo[d], rec.obs_cases[d]);
-        hi[d] = std::max(hi[d], rec.obs_cases[d]);
-        mid[d] += rec.obs_cases[d];
+        lo[d] = std::min(lo[d], obs[d]);
+        hi[d] = std::max(hi[d], obs[d]);
+        mid[d] += obs[d];
       }
       ++count;
     };
     if (posterior_only) {
-      for (const auto s : window.resampled) consider(window.sims[s]);
+      for (const auto s : window.resampled) consider(s);
     } else {
-      for (const auto& rec : window.sims) consider(rec);
+      for (std::size_t s = 0; s < window.n_sims(); ++s) consider(s);
     }
     for (auto& m : mid) m /= static_cast<double>(count);
     return std::tuple{lo, mid, hi};

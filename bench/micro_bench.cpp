@@ -9,8 +9,10 @@
 
 #include "api/components.hpp"
 #include "epi/seir_model.hpp"
+#include "parallel/parallel.hpp"
 #include "random/distributions.hpp"
 #include "random/engines.hpp"
+#include "random/seeding.hpp"
 #include "stats/resampling.hpp"
 #include "stats/weights.hpp"
 
@@ -154,6 +156,53 @@ void BM_NormalizeLogWeights(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NormalizeLogWeights);
+
+void BM_EnsemblePropagate(benchmark::State& state) {
+  // run_batch vs the per-sim reference path (one run_window per
+  // trajectory), per backend and thread count: the unit of work
+  // run_importance_window hands to the execution engine. See
+  // bench_ensemble for the JSON-emitting variant tracked in
+  // BENCH_ensemble.json.
+  static const char* kBackends[] = {"seir-event", "chain-binomial", "abm"};
+  const char* backend = kBackends[state.range(0)];
+  const bool use_batch = state.range(1) != 0;
+  const int threads = static_cast<int>(state.range(2));
+
+  api::SimulatorSpec spec;
+  spec.params.population = state.range(0) == 2 ? 6'000 : 300'000;
+  spec.initial_exposed = spec.params.population / 400;
+  const auto sim = api::simulators().create(backend, spec);
+  const core::PerSimReference persim(*sim);
+  const std::vector<epi::Checkpoint> parents = {sim->initial_state(19, 7)};
+
+  const std::size_t n_sims = state.range(0) == 2 ? 8 : 32;
+  core::EnsembleBuffer buf(n_sims, 14);
+  for (std::size_t s = 0; s < n_sims; ++s) {
+    buf.parent[s] = 0;
+    buf.theta[s] = 0.15 + 0.005 * static_cast<double>(s);
+    buf.seed[s] = 4242;
+    buf.stream[s] = rng::make_stream_id({0x4D4F44454Cull, 0, s}).key;
+  }
+
+  // max_threads() reports the last set_threads value, so capture the
+  // machine default once (before the first benchmark mutates it).
+  static const int kMachineThreads = parallel::max_threads();
+  parallel::set_threads(threads);
+  const core::Simulator& driver = use_batch
+                                      ? static_cast<const core::Simulator&>(*sim)
+                                      : persim;
+  for (auto _ : state) {
+    driver.run_batch(parents, 33, buf, 0, n_sims);
+    benchmark::DoNotOptimize(buf.true_cases(0).data());
+  }
+  parallel::set_threads(kMachineThreads);
+  state.SetItemsProcessed(static_cast<std::int64_t>(n_sims) *
+                          state.iterations());
+}
+BENCHMARK(BM_EnsemblePropagate)
+    ->ArgNames({"backend", "batch", "threads"})
+    ->ArgsProduct({{0, 1, 2}, {0, 1}, {1, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GaussianSqrtLikelihood(benchmark::State& state) {
   // Via the registry and the Likelihood base pointer on purpose: the

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/batch_runner.hpp"
+
 namespace epismc::abm {
 
 epi::Checkpoint AbmSimulator::initial_state(std::int32_t day,
@@ -35,6 +37,15 @@ core::WindowRun AbmSimulator::run_window(const epi::Checkpoint& state,
   run.deaths = model.trajectory().new_deaths(from_day, to_day);
   if (want_checkpoint) run.end_state = model.make_checkpoint();
   return run;
+}
+
+void AbmSimulator::run_batch(std::span<const epi::Checkpoint> parents,
+                             std::int32_t to_day, core::EnsembleBuffer& buffer,
+                             std::size_t first, std::size_t count,
+                             std::span<epi::Checkpoint> end_states) const {
+  validate_batch_args(parents, buffer, first, count, end_states);
+  core::detail::run_batch_copying<AgentBasedModel>(parents, to_day, buffer,
+                                                   first, count, end_states);
 }
 
 }  // namespace epismc::abm

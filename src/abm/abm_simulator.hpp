@@ -29,6 +29,14 @@ class AbmSimulator final : public core::Simulator {
                                            std::uint64_t stream,
                                            std::int32_t to_day,
                                            bool want_checkpoint) const override;
+  /// Native batch engine: each parent's agent arrays are parsed and its
+  /// household topology rebuilt once, then per-thread scratch copies are
+  /// branched per sim -- the dominant per-sim overhead of the ABM restore
+  /// path.
+  void run_batch(std::span<const epi::Checkpoint> parents, std::int32_t to_day,
+                 core::EnsembleBuffer& buffer, std::size_t first,
+                 std::size_t count,
+                 std::span<epi::Checkpoint> end_states = {}) const override;
   [[nodiscard]] std::string name() const override { return "agent-based"; }
 
  private:

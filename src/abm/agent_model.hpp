@@ -76,6 +76,15 @@ class AgentBasedModel {
   [[nodiscard]] static AgentBasedModel restore(const epi::Checkpoint& ckpt,
                                                const epi::RestartOverrides& ovr = {});
 
+  /// Re-aim this model (a copy of a restored prototype) at a new branch;
+  /// see epi::SeirModel::branch for the contract. Copy + branch skips both
+  /// the per-agent state parse and the deterministic household rebuild,
+  /// which is what makes the batched ABM path cheaper than per-sim restore.
+  void branch(std::uint64_t seed, std::uint64_t stream, double theta) {
+    eng_.reseed(seed, stream);
+    transmission_.override_from(day_ + 1, theta);
+  }
+
  private:
   AgentBasedModel() = default;
 

@@ -213,6 +213,16 @@ const std::vector<core::WindowResult>& CalibrationSession::results() {
   return calibrator_->results();
 }
 
+const core::EnsembleBuffer& CalibrationSession::ensemble(std::size_t window) {
+  const auto& all = results();
+  if (window >= all.size()) {
+    throw std::out_of_range("CalibrationSession: window " +
+                            std::to_string(window) + " has not run (" +
+                            std::to_string(all.size()) + " completed)");
+  }
+  return all[window].ensemble;
+}
+
 core::WindowPosteriorSummary CalibrationSession::posterior_summary(
     std::size_t window) {
   const auto& all = results();

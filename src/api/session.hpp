@@ -97,6 +97,10 @@ class CalibrationSession {
     return config_;
   }
   [[nodiscard]] const std::vector<core::WindowResult>& results();
+  /// Structure-of-arrays ensemble of a completed window: day-major series
+  /// rows plus flat identity/parameter/weight columns (the execution
+  /// engine's native layout; see docs/API.md "Execution engine").
+  [[nodiscard]] const core::EnsembleBuffer& ensemble(std::size_t window);
   [[nodiscard]] core::WindowPosteriorSummary posterior_summary(
       std::size_t window);
   [[nodiscard]] std::vector<core::WindowPosteriorSummary>

@@ -1,0 +1,80 @@
+#pragma once
+
+// Shared batch-propagation engine for checkpointable model types.
+//
+// All three built-in backends implement the same Checkpoint / restore /
+// branch / run_until_day / trajectory contract, so their native run_batch
+// overrides share this one engine. Per buffer range it:
+//
+//   1. parses every parent checkpoint exactly once into a prototype model
+//      (the per-sim path re-deserializes the parent for every trajectory);
+//   2. per sim, copy-assigns the prototype into a per-thread scratch model
+//      -- reusing the event-ring / trajectory / agent-array capacity the
+//      previous sim on that thread left behind, so the parallel loop does
+//      not allocate in steady state -- then branch()es it to the sim's
+//      (seed, stream, theta) columns and runs it through the window;
+//   3. extracts the output series into per-thread scratch and stores the
+//      window tail into the buffer rows via EnsembleBuffer::store_tail.
+//
+// Results are bit-identical to restore-per-sim: branch() reproduces the
+// exact engine/schedule state restore(ckpt, {seed, stream, theta}) builds,
+// and every trajectory's randomness is addressed purely by its columns.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/ensemble.hpp"
+#include "epi/seir_model.hpp"
+#include "epi/trajectory.hpp"
+#include "parallel/parallel.hpp"
+
+namespace epismc::core::detail {
+
+template <typename Model>
+void run_batch_copying(std::span<const epi::Checkpoint> parents,
+                       std::int32_t to_day, EnsembleBuffer& buffer,
+                       std::size_t first, std::size_t count,
+                       std::span<epi::Checkpoint> end_states) {
+  std::vector<Model> prototypes;
+  prototypes.reserve(parents.size());
+  for (const epi::Checkpoint& p : parents) {
+    prototypes.push_back(Model::restore(p));
+  }
+
+  struct Workspace {
+    std::unique_ptr<Model> model;
+    std::vector<double> series;  // full branched series, trimmed on store
+  };
+  std::vector<Workspace> workspaces(
+      static_cast<std::size_t>(parallel::max_threads()));
+
+  parallel::parallel_for(count, [&](std::size_t i) {
+    const std::size_t s = first + i;
+    const Model& proto = prototypes[buffer.parent[s]];
+    // Workspace selection by thread id is safe here: it only decides which
+    // scratch memory is reused, never what is computed.
+    Workspace& ws = workspaces[static_cast<std::size_t>(parallel::thread_id())];
+    if (!ws.model) {
+      ws.model = std::make_unique<Model>(proto);
+    } else {
+      *ws.model = proto;
+    }
+    Model& m = *ws.model;
+    m.branch(buffer.seed[s], buffer.stream[s], buffer.theta[s]);
+    const std::int32_t from_day = m.day() + 1;
+    m.run_until_day(to_day);
+
+    ws.series.resize(static_cast<std::size_t>(to_day - from_day + 1));
+    m.trajectory().copy_series(&epi::DailyRecord::new_infections, from_day,
+                               to_day, ws.series);
+    buffer.store_tail(EnsembleBuffer::Series::kTrueCases, s, ws.series);
+    m.trajectory().copy_series(&epi::DailyRecord::new_deaths, from_day, to_day,
+                               ws.series);
+    buffer.store_tail(EnsembleBuffer::Series::kDeaths, s, ws.series);
+    if (!end_states.empty()) end_states[i] = m.make_checkpoint();
+  });
+}
+
+}  // namespace epismc::core::detail

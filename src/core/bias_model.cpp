@@ -1,5 +1,6 @@
 #include "core/bias_model.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,38 +8,80 @@
 
 namespace epismc::core {
 
+void BiasModel::apply_into(rng::Engine& eng,
+                           std::span<const double> true_counts, double rho,
+                           std::span<double> out) const {
+  // Reference bridge for external models that only implement apply().
+  const std::vector<double> obs = apply(eng, true_counts, rho);
+  if (obs.size() != out.size()) {
+    throw std::logic_error("BiasModel::apply_into: " + name() +
+                           "::apply changed the series length");
+  }
+  std::copy(obs.begin(), obs.end(), out.begin());
+}
+
 std::vector<double> BinomialBias::apply(rng::Engine& eng,
                                         std::span<const double> true_counts,
                                         double rho) const {
+  std::vector<double> out(true_counts.size());
+  apply_into(eng, true_counts, rho, out);
+  return out;
+}
+
+void BinomialBias::apply_into(rng::Engine& eng,
+                              std::span<const double> true_counts, double rho,
+                              std::span<double> out) const {
   if (!(rho >= 0.0 && rho <= 1.0)) {
     throw std::invalid_argument("BinomialBias: rho must be in [0, 1]");
   }
-  std::vector<double> out;
-  out.reserve(true_counts.size());
-  for (const double eta : true_counts) {
-    const auto n = static_cast<std::int64_t>(std::llround(std::max(eta, 0.0)));
-    out.push_back(static_cast<double>(rng::binomial(eng, n, rho)));
+  if (out.size() != true_counts.size()) {
+    throw std::invalid_argument("BinomialBias: output size mismatch");
   }
-  return out;
+  for (std::size_t i = 0; i < true_counts.size(); ++i) {
+    const auto n = static_cast<std::int64_t>(
+        std::llround(std::max(true_counts[i], 0.0)));
+    out[i] = static_cast<double>(rng::binomial(eng, n, rho));
+  }
 }
 
 std::vector<double> IdentityBias::apply(rng::Engine& eng,
                                         std::span<const double> true_counts,
-                                        double /*rho*/) const {
+                                        double rho) const {
+  std::vector<double> out(true_counts.size());
+  apply_into(eng, true_counts, rho, out);
+  return out;
+}
+
+void IdentityBias::apply_into(rng::Engine& eng,
+                              std::span<const double> true_counts,
+                              double /*rho*/, std::span<double> out) const {
   (void)eng;
-  return {true_counts.begin(), true_counts.end()};
+  if (out.size() != true_counts.size()) {
+    throw std::invalid_argument("IdentityBias: output size mismatch");
+  }
+  std::copy(true_counts.begin(), true_counts.end(), out.begin());
 }
 
 std::vector<double> DeterministicThinning::apply(
     rng::Engine& eng, std::span<const double> true_counts, double rho) const {
+  std::vector<double> out(true_counts.size());
+  apply_into(eng, true_counts, rho, out);
+  return out;
+}
+
+void DeterministicThinning::apply_into(rng::Engine& eng,
+                                       std::span<const double> true_counts,
+                                       double rho, std::span<double> out) const {
   (void)eng;
   if (!(rho >= 0.0 && rho <= 1.0)) {
     throw std::invalid_argument("DeterministicThinning: rho must be in [0, 1]");
   }
-  std::vector<double> out;
-  out.reserve(true_counts.size());
-  for (const double eta : true_counts) out.push_back(rho * eta);
-  return out;
+  if (out.size() != true_counts.size()) {
+    throw std::invalid_argument("DeterministicThinning: output size mismatch");
+  }
+  for (std::size_t i = 0; i < true_counts.size(); ++i) {
+    out[i] = rho * true_counts[i];
+  }
 }
 
 std::unique_ptr<BiasModel> make_bias_model(const std::string& name) {

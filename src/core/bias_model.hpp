@@ -28,6 +28,15 @@ class BiasModel {
       rng::Engine& eng, std::span<const double> true_counts,
       double rho) const = 0;
 
+  /// Batched variant writing into a caller-owned row of equal length --
+  /// the importance-sampling hot path applies bias straight onto
+  /// EnsembleBuffer observation rows through this. Must consume randomness
+  /// exactly as apply() does. The default copies through apply(), so
+  /// external registry models keep working unchanged; the built-ins
+  /// override it allocation-free.
+  virtual void apply_into(rng::Engine& eng, std::span<const double> true_counts,
+                          double rho, std::span<double> out) const;
+
   /// True when the model actually uses rho (drives prior handling).
   [[nodiscard]] virtual bool uses_rho() const noexcept = 0;
 
@@ -40,6 +49,8 @@ class BinomialBias final : public BiasModel {
   [[nodiscard]] std::vector<double> apply(rng::Engine& eng,
                                           std::span<const double> true_counts,
                                           double rho) const override;
+  void apply_into(rng::Engine& eng, std::span<const double> true_counts,
+                  double rho, std::span<double> out) const override;
   [[nodiscard]] bool uses_rho() const noexcept override { return true; }
   [[nodiscard]] std::string name() const override { return "binomial"; }
 };
@@ -50,6 +61,8 @@ class IdentityBias final : public BiasModel {
   [[nodiscard]] std::vector<double> apply(rng::Engine& eng,
                                           std::span<const double> true_counts,
                                           double rho) const override;
+  void apply_into(rng::Engine& eng, std::span<const double> true_counts,
+                  double rho, std::span<double> out) const override;
   [[nodiscard]] bool uses_rho() const noexcept override { return false; }
   [[nodiscard]] std::string name() const override { return "identity"; }
 };
@@ -62,6 +75,8 @@ class DeterministicThinning final : public BiasModel {
   [[nodiscard]] std::vector<double> apply(rng::Engine& eng,
                                           std::span<const double> true_counts,
                                           double rho) const override;
+  void apply_into(rng::Engine& eng, std::span<const double> true_counts,
+                  double rho, std::span<double> out) const override;
   [[nodiscard]] bool uses_rho() const noexcept override { return true; }
   [[nodiscard]] std::string name() const override {
     return "deterministic-thinning";

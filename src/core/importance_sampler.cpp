@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <unordered_map>
+#include <string>
 
 #include "parallel/parallel.hpp"
 #include "random/seeding.hpp"
@@ -75,9 +75,33 @@ WindowResult run_importance_window(const Simulator& sim,
     }
   }
 
-  // --- 2. Propagate all n_params * replicates trajectories. --------------
+  // --- 2. Lay out the ensemble: columns first, then one batched sweep. ---
   const std::size_t n_sims = spec.n_params * spec.replicates;
-  result.sims.assign(n_sims, SimRecord{});
+  // Parent states may sit before the window (e.g. the day-0 state for
+  // window 1, so each particle owns its whole early path); the stored rows
+  // and the likelihood always cover exactly [from_day, to_day].
+  const std::size_t window_len =
+      static_cast<std::size_t>(spec.to_day - spec.from_day + 1);
+  EnsembleBuffer& ens = result.ensemble;
+  ens.resize(n_sims, window_len);
+  for (std::size_t s = 0; s < n_sims; ++s) {
+    const auto j = static_cast<std::uint32_t>(s / spec.replicates);
+    const auto r = static_cast<std::uint32_t>(s % spec.replicates);
+    const ProposedParams& pp = params[j];
+    ens.param_index[s] = j;
+    ens.replicate[s] = r;
+    ens.parent[s] = pp.parent;
+    ens.theta[s] = pp.theta;
+    ens.rho[s] = pp.rho;
+    // Common random numbers: the model/bias stream identity depends only
+    // on the replicate (all thetas see the same noise realization);
+    // otherwise it depends on (draw, replicate).
+    ens.seed[s] = spec.seed;
+    ens.stream[s] =
+        spec.common_random_numbers
+            ? rng::make_stream_id({kModelTag, spec.window_index, r}).key
+            : rng::make_stream_id({kModelTag, spec.window_index, j, r}).key;
+  }
 
   const std::vector<double> y_cases =
       data.cases_window(spec.from_day, spec.to_day);
@@ -85,77 +109,39 @@ WindowResult run_importance_window(const Simulator& sim,
       spec.use_deaths ? data.deaths_window(spec.from_day, spec.to_day)
                       : std::vector<double>{};
 
-  // Parent states may sit before the window (e.g. the day-0 state for
-  // window 1, so each particle owns its whole early path); the likelihood
-  // and stored series always cover exactly [from_day, to_day].
-  const std::size_t window_len =
-      static_cast<std::size_t>(spec.to_day - spec.from_day + 1);
-  const auto keep_window_tail = [window_len](std::vector<double>& v) {
-    if (v.size() < window_len) {
-      throw std::logic_error(
-          "run_importance_window: parent state inside the window");
-    }
-    if (v.size() > window_len) {
-      v.erase(v.begin(),
-              v.end() - static_cast<std::ptrdiff_t>(window_len));
-    }
-  };
-
   parallel::Timer propagate_timer;
+  // Propagate all n_params * replicates trajectories in one batch call;
+  // the simulator backend owns the parallel loop and fills the true-case /
+  // death rows in place.
+  sim.run_batch(parents, spec.to_day, ens, 0, n_sims);
+
+  // Bias and likelihood operate on row spans of the buffer. The bias
+  // stream is addressed by the same identity as before the batching
+  // refactor, so weights are bit-identical to the per-sim path.
   parallel::parallel_for(n_sims, [&](std::size_t s) {
-    const auto j = static_cast<std::uint32_t>(s / spec.replicates);
-    const auto r = static_cast<std::uint32_t>(s % spec.replicates);
-    const ProposedParams& pp = params[j];
-
-    SimRecord& rec = result.sims[s];
-    rec.param_index = j;
-    rec.replicate = r;
-    rec.parent = pp.parent;
-    rec.theta = pp.theta;
-    rec.rho = pp.rho;
-
-    // Common random numbers: the model/bias stream identity depends only
-    // on the replicate (all thetas see the same noise realization);
-    // otherwise it depends on (draw, replicate).
-    rec.seed = spec.seed;
-    rec.stream = spec.common_random_numbers
-                     ? rng::make_stream_id({kModelTag, spec.window_index, r}).key
-                     : rng::make_stream_id(
-                           {kModelTag, spec.window_index, j, r}).key;
-
-    WindowRun run = sim.run_window(parents[pp.parent], pp.theta, rec.seed,
-                                   rec.stream, spec.to_day,
-                                   /*want_checkpoint=*/false);
-    keep_window_tail(run.true_cases);
-    keep_window_tail(run.deaths);
-    rec.true_cases = std::move(run.true_cases);
-    rec.deaths = std::move(run.deaths);
-
+    const std::uint32_t j = ens.param_index[s];
+    const std::uint32_t r = ens.replicate[s];
     auto bias_eng =
         spec.common_random_numbers
             ? rng::make_engine(spec.seed, {kBiasTag, spec.window_index, r})
             : rng::make_engine(spec.seed, {kBiasTag, spec.window_index, j, r});
-    rec.obs_cases = bias.apply(bias_eng, rec.true_cases, rec.rho);
+    bias.apply_into(bias_eng, ens.true_cases(s), ens.rho[s], ens.obs_cases(s));
 
-    double logw = case_likelihood.logpdf(y_cases, rec.obs_cases);
-    if (spec.use_deaths) logw += death_likelihood.logpdf(y_deaths, rec.deaths);
-    rec.log_weight = logw;
+    double logw = case_likelihood.logpdf(y_cases, ens.obs_cases(s));
+    if (spec.use_deaths) logw += death_likelihood.logpdf(y_deaths, ens.deaths(s));
+    ens.log_weight[s] = logw;
   });
   result.diag.propagate_seconds = propagate_timer.seconds();
 
   // --- 3. Normalize weights and compute diagnostics. ---------------------
-  std::vector<double> log_weights(n_sims);
-  for (std::size_t s = 0; s < n_sims; ++s) {
-    log_weights[s] = result.sims[s].log_weight;
-  }
-  result.weights = stats::normalize_log_weights(log_weights);
+  result.weights = stats::normalize_log_weights(ens.log_weight);
   result.diag.n_sims = n_sims;
   result.diag.ess = stats::effective_sample_size(result.weights);
   result.diag.perplexity = stats::weight_perplexity(result.weights);
   result.diag.max_weight =
       *std::max_element(result.weights.begin(), result.weights.end());
   result.diag.log_marginal =
-      stats::log_sum_exp(log_weights) -
+      stats::log_sum_exp(ens.log_weight) -
       std::log(static_cast<double>(n_sims));
 
   // --- 4. Resample the posterior. ----------------------------------------
@@ -172,28 +158,39 @@ WindowResult run_importance_window(const Simulator& sim,
   result.diag.unique_resampled = unique.size();
 
   result.sim_to_state.assign(n_sims, WindowResult::kNoState);
-  result.states.resize(unique.size());
   for (std::size_t u = 0; u < unique.size(); ++u) {
     result.sim_to_state[unique[u]] = static_cast<std::uint32_t>(u);
   }
 
   parallel::Timer checkpoint_timer;
-  parallel::parallel_for(unique.size(), [&](std::size_t u) {
-    const SimRecord& rec = result.sims[unique[u]];
-    WindowRun run =
-        sim.run_window(parents[rec.parent], rec.theta, rec.seed, rec.stream,
-                       spec.to_day, /*want_checkpoint=*/true);
-    keep_window_tail(run.true_cases);
-    // Counter-based streams make the re-run bit-identical to the weighted
-    // run; this assert is the cheap tail of that invariant (the full
-    // property is covered in tests/).
-    if (run.true_cases != rec.true_cases) {
+  // Replay pass: a small ensemble over the survivors only, re-run through
+  // the same batch entry point with checkpoint capture. Counter-based
+  // streams make the replay bit-identical to the weighted run.
+  EnsembleBuffer replay(unique.size(), window_len);
+  for (std::size_t u = 0; u < unique.size(); ++u) {
+    const std::uint32_t s = unique[u];
+    replay.param_index[u] = ens.param_index[s];
+    replay.replicate[u] = ens.replicate[s];
+    replay.parent[u] = ens.parent[s];
+    replay.theta[u] = ens.theta[s];
+    replay.rho[u] = ens.rho[s];
+    replay.seed[u] = ens.seed[s];
+    replay.stream[u] = ens.stream[s];
+  }
+  result.states.resize(unique.size());
+  sim.run_batch(parents, spec.to_day, replay, 0, unique.size(),
+                result.states);
+  for (std::size_t u = 0; u < unique.size(); ++u) {
+    // Cheap tail of the replay-determinism invariant (the full property is
+    // covered in tests/).
+    const auto a = replay.true_cases(u);
+    const auto b = ens.true_cases(unique[u]);
+    if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) {
       throw std::logic_error(
-          "run_importance_window: non-deterministic replay; stream discipline "
-          "violated");
+          "run_importance_window: non-deterministic replay of sim " +
+          std::to_string(unique[u]) + "; stream discipline violated");
     }
-    result.states[u] = std::move(run.end_state);
-  });
+  }
   result.diag.checkpoint_seconds = checkpoint_timer.seconds();
 
   return result;

@@ -3,13 +3,16 @@
 // Single-window importance sampling (paper Algorithm 1).
 //
 //   1. Sample (theta_i, s_i, rho_i) from the window proposal.
-//   2. Run the simulator for each tuple over the window (OpenMP-parallel;
-//      every trajectory owns a counter-based RNG stream addressed by its
-//      identity, so results are independent of thread count).
+//   2. Propagate all tuples through one Simulator::run_batch call over a
+//      structure-of-arrays EnsembleBuffer (OpenMP-parallel inside the
+//      backend; every trajectory owns a counter-based RNG stream addressed
+//      by its identity, so results are independent of thread count).
 //   3. Weight each trajectory by the window likelihood of the observed
-//      case (and optionally death) counts.
+//      case (and optionally death) counts -- bias and likelihood read and
+//      write the buffer's day-major row spans in place.
 //   4. Resample to construct the posterior, then regenerate end-of-window
-//      checkpoints for the unique survivors only. Regeneration re-runs the
+//      checkpoints for the unique survivors only via a second, small
+//      run_batch over a survivor ensemble. Regeneration re-runs the
 //      deterministic (seed, stream)-addressed simulation instead of
 //      storing every candidate's state: checkpoints cost memory, re-runs
 //      cost one window of compute, and survivors are few.

@@ -9,14 +9,14 @@ namespace epismc::core {
 std::vector<double> WindowResult::posterior_thetas() const {
   std::vector<double> out;
   out.reserve(resampled.size());
-  for (const std::uint32_t s : resampled) out.push_back(sims[s].theta);
+  for (const std::uint32_t s : resampled) out.push_back(ensemble.theta[s]);
   return out;
 }
 
 std::vector<double> WindowResult::posterior_rhos() const {
   std::vector<double> out;
   out.reserve(resampled.size());
-  for (const std::uint32_t s : resampled) out.push_back(sims[s].rho);
+  for (const std::uint32_t s : resampled) out.push_back(ensemble.rho[s]);
   return out;
 }
 
@@ -25,20 +25,12 @@ std::vector<double> WindowResult::posterior_quantile(Series field,
   if (resampled.empty()) {
     throw std::logic_error("posterior_quantile: window not yet resampled");
   }
-  const auto series_of = [&](const SimRecord& rec) -> const std::vector<double>& {
-    switch (field) {
-      case Series::kTrueCases: return rec.true_cases;
-      case Series::kObsCases: return rec.obs_cases;
-      case Series::kDeaths: return rec.deaths;
-    }
-    throw std::logic_error("posterior_quantile: bad series");
-  };
   const std::size_t days = window_length();
   std::vector<double> out(days);
   std::vector<double> column(resampled.size());
   for (std::size_t d = 0; d < days; ++d) {
     for (std::size_t i = 0; i < resampled.size(); ++i) {
-      column[i] = series_of(sims[resampled[i]])[d];
+      column[i] = ensemble.series(field, resampled[i])[d];
     }
     out[d] = stats::quantile(column, q);
   }

@@ -5,30 +5,19 @@
 // A "particle" is the paper's (theta, s, rho) tuple: transmission rate,
 // random seed, reporting probability. Each unique (theta, rho) draw is
 // replicated over R seeds (with common random numbers across draws, as in
-// §V-B), so a window propagates n_params * R simulated trajectories.
+// §V-B), so a window propagates n_params * R simulated trajectories. The
+// trajectories live in a batched structure-of-arrays EnsembleBuffer (see
+// core/ensemble.hpp) rather than per-sim records: one flat day-major
+// matrix per output series plus flat identity/parameter/weight columns.
 
 #include <cstdint>
 #include <limits>
 #include <vector>
 
+#include "core/ensemble.hpp"
 #include "epi/seir_model.hpp"
 
 namespace epismc::core {
-
-/// One simulated trajectory within a window.
-struct SimRecord {
-  std::uint32_t param_index = 0;  // which (theta, rho) draw
-  std::uint32_t replicate = 0;    // which replicate seed
-  std::uint32_t parent = 0;       // index into the parent-state vector
-  double theta = 0.0;
-  double rho = 1.0;
-  std::uint64_t seed = 0;    // RNG identity used for the model run
-  std::uint64_t stream = 0;
-  double log_weight = 0.0;
-  std::vector<double> true_cases;  // simulated daily infections in window
-  std::vector<double> obs_cases;   // after the reporting-bias model
-  std::vector<double> deaths;      // simulated daily deaths in window
-};
 
 /// Health metrics of one importance-sampling window.
 struct WindowDiagnostics {
@@ -38,7 +27,7 @@ struct WindowDiagnostics {
   double log_marginal = 0.0;    // log (1/N sum w): evidence increment
   std::size_t unique_resampled = 0;
   std::size_t n_sims = 0;
-  double propagate_seconds = 0.0;   // wall time of the parallel sweep
+  double propagate_seconds = 0.0;   // wall time of the batched sweep
   double checkpoint_seconds = 0.0;  // wall time regenerating end states
 };
 
@@ -47,7 +36,9 @@ struct WindowResult {
   std::int32_t from_day = 0;
   std::int32_t to_day = 0;
 
-  std::vector<SimRecord> sims;      // all propagated trajectories
+  /// All propagated trajectories: series rows + identity/parameter/weight
+  /// columns, indexed by sim (sim = param_index * replicates + replicate).
+  EnsembleBuffer ensemble;
   std::vector<double> weights;      // normalized importance weights per sim
   std::vector<std::uint32_t> resampled;  // posterior draws: sim indices
 
@@ -60,13 +51,15 @@ struct WindowResult {
 
   WindowDiagnostics diag;
 
+  [[nodiscard]] std::size_t n_sims() const noexcept { return ensemble.size(); }
+
   /// Posterior parameter samples, expanded over the resampled draws.
   [[nodiscard]] std::vector<double> posterior_thetas() const;
   [[nodiscard]] std::vector<double> posterior_rhos() const;
 
   /// Per-day posterior quantile band over a resampled output series.
-  /// `field` selects which series of SimRecord to summarize.
-  enum class Series { kTrueCases, kObsCases, kDeaths };
+  /// `field` selects which matrix of the ensemble to summarize.
+  using Series = EnsembleBuffer::Series;
   [[nodiscard]] std::vector<double> posterior_quantile(Series field,
                                                        double q) const;
 

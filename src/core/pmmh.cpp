@@ -49,30 +49,35 @@ PmmhResult run_pmmh(const Simulator& sim, const Likelihood& likelihood,
 
   // Unbiased likelihood estimate: (1/R) sum_r exp(loglik_r) over replicate
   // trajectories, each with its own (iteration, replicate)-addressed
-  // stream. Replicates propagate in parallel; the chain itself is
-  // inherently sequential -- that asymmetry is the point of the comparison.
+  // stream. Replicates propagate through one batched sweep into a buffer
+  // that lives across iterations (no per-estimate allocation); the chain
+  // itself is inherently sequential -- that asymmetry is the point of the
+  // comparison.
+  const std::span<const epi::Checkpoint> parents(&init, 1);
+  EnsembleBuffer buf(config.replicates, window_len);
+  std::vector<double> logliks(config.replicates);
   std::size_t sims_used = 0;
   const auto estimate_loglik = [&](double theta, double rho,
                                    std::uint64_t iteration) {
-    std::vector<double> logliks(config.replicates);
+    for (std::size_t r = 0; r < config.replicates; ++r) {
+      buf.param_index[r] = static_cast<std::uint32_t>(iteration);
+      buf.replicate[r] = static_cast<std::uint32_t>(r);
+      buf.parent[r] = 0;
+      buf.theta[r] = theta;
+      buf.rho[r] = rho;
+      buf.seed[r] = config.seed;
+      buf.stream[r] = rng::make_stream_id({kEstimateTag, iteration, r}).key;
+    }
+    sim.run_batch(parents, config.to_day, buf, 0, config.replicates);
+    // Bias and likelihood on the window-tail rows (init may sit before the
+    // window; run_batch already stored exactly the tail).
     parallel::parallel_for(config.replicates, [&](std::size_t r) {
-      const auto stream =
-          rng::make_stream_id({kEstimateTag, iteration, r}).key;
-      WindowRun run = sim.run_window(init, theta, config.seed, stream,
-                                     config.to_day, /*want_checkpoint=*/false);
-      // Likelihood over the window tail (init may sit before the window).
-      std::vector<double> cases(run.true_cases.end() -
-                                    static_cast<std::ptrdiff_t>(window_len),
-                                run.true_cases.end());
       auto bias_eng =
           rng::make_engine(config.seed, {kBiasTag, iteration, r});
-      const std::vector<double> obs = bias.apply(bias_eng, cases, rho);
-      double ll = likelihood.logpdf(y_cases, obs);
+      bias.apply_into(bias_eng, buf.true_cases(r), rho, buf.obs_cases(r));
+      double ll = likelihood.logpdf(y_cases, buf.obs_cases(r));
       if (config.use_deaths) {
-        std::vector<double> deaths(run.deaths.end() -
-                                       static_cast<std::ptrdiff_t>(window_len),
-                                   run.deaths.end());
-        ll += likelihood.logpdf(y_deaths, deaths);
+        ll += likelihood.logpdf(y_deaths, buf.deaths(r));
       }
       logliks[r] = ll;
     });

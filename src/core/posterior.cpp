@@ -84,13 +84,12 @@ Forecast posterior_forecast(const Simulator& sim, const WindowResult& window,
     // Cycle over posterior draws; fresh seeds branch new futures.
     const std::uint32_t draw =
         window.resampled[i % window.resampled.size()];
-    const SimRecord& rec = window.sims[draw];
     const std::uint32_t state = window.sim_to_state[draw];
     if (state == WindowResult::kNoState) {
       throw std::logic_error("posterior_forecast: draw lacks a checkpoint");
     }
     const auto stream = rng::make_stream_id({kForecastTag, i}).key;
-    const double theta = theta_override.value_or(rec.theta);
+    const double theta = theta_override.value_or(window.ensemble.theta[draw]);
     WindowRun run = sim.run_window(window.states[state], theta, seed, stream,
                                    horizon_day,
                                    /*want_checkpoint=*/false);

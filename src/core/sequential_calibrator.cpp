@@ -49,6 +49,9 @@ SequentialCalibrator::SequentialCalibrator(const Simulator& sim,
                                            CalibrationConfig config)
     : sim_(sim), data_(std::move(data)), config_(std::move(config)) {
   config_.validate();
+  // The window count is fixed, so reserving keeps WindowResult references
+  // returned by run_next_window stable across later windows.
+  results_.reserve(config_.windows.size());
   likelihood_ =
       make_likelihood(config_.likelihood_name, config_.likelihood_parameter);
   death_likelihood_ = make_likelihood(config_.death_likelihood_name,
@@ -127,7 +130,6 @@ const WindowResult& SequentialCalibrator::run_next_window() {
                                                std::uint32_t j) {
     const std::uint32_t draw =
         prev.resampled[j % prev.resampled.size()];
-    const SimRecord& center = prev.sims[draw];
     ProposedParams p;
     if (rng::uniform_double(eng) < config_.defensive_fraction) {
       // Defensive component: fresh draw from the window-1 priors so that
@@ -135,8 +137,10 @@ const WindowResult& SequentialCalibrator::run_next_window() {
       p.theta = config_.theta_prior->sample(eng);
       p.rho = needs_rho ? config_.rho_prior->sample(eng) : 1.0;
     } else {
-      p.theta = config_.theta_jitter.sample(eng, center.theta);
-      p.rho = needs_rho ? config_.rho_jitter.sample(eng, center.rho) : 1.0;
+      p.theta = config_.theta_jitter.sample(eng, prev.ensemble.theta[draw]);
+      p.rho = needs_rho
+                  ? config_.rho_jitter.sample(eng, prev.ensemble.rho[draw])
+                  : 1.0;
     }
     p.parent = prev.sim_to_state[draw];
     if (p.parent == WindowResult::kNoState) {

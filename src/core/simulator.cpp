@@ -1,6 +1,10 @@
 #include "core/simulator.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "core/batch_runner.hpp"
+#include "parallel/parallel.hpp"
 
 namespace epismc::core {
 
@@ -19,6 +23,49 @@ WindowRun extract_window(const Model& model, std::int32_t from_day,
 }
 
 }  // namespace
+
+void Simulator::validate_batch_args(
+    std::span<const epi::Checkpoint> parents, const EnsembleBuffer& buffer,
+    std::size_t first, std::size_t count,
+    std::span<const epi::Checkpoint> end_states) const {
+  if (first + count > buffer.size()) {
+    throw std::out_of_range("run_batch: sim range [" + std::to_string(first) +
+                            ", " + std::to_string(first + count) +
+                            ") exceeds the buffer (" +
+                            std::to_string(buffer.size()) + " sims)");
+  }
+  if (!end_states.empty() && end_states.size() != count) {
+    throw std::invalid_argument(
+        "run_batch: end_states must be empty or match the sim count");
+  }
+  for (std::size_t s = first; s < first + count; ++s) {
+    if (buffer.parent[s] >= parents.size()) {
+      throw std::out_of_range("run_batch: sim " + std::to_string(s) +
+                              " references parent " +
+                              std::to_string(buffer.parent[s]) + " of " +
+                              std::to_string(parents.size()));
+    }
+  }
+}
+
+void Simulator::run_batch(std::span<const epi::Checkpoint> parents,
+                          std::int32_t to_day, EnsembleBuffer& buffer,
+                          std::size_t first, std::size_t count,
+                          std::span<epi::Checkpoint> end_states) const {
+  // Per-sim reference path: one run_window per trajectory. Exactly the
+  // pre-batching particle loop, so simulators that only implement
+  // run_window behave as they always have.
+  validate_batch_args(parents, buffer, first, count, end_states);
+  parallel::parallel_for(count, [&](std::size_t i) {
+    const std::size_t s = first + i;
+    WindowRun run =
+        run_window(parents[buffer.parent[s]], buffer.theta[s], buffer.seed[s],
+                   buffer.stream[s], to_day, !end_states.empty());
+    buffer.store_tail(EnsembleBuffer::Series::kTrueCases, s, run.true_cases);
+    buffer.store_tail(EnsembleBuffer::Series::kDeaths, s, run.deaths);
+    if (!end_states.empty()) end_states[i] = std::move(run.end_state);
+  });
+}
 
 epi::Checkpoint SeirSimulator::initial_state(std::int32_t day,
                                              std::uint64_t seed) const {
@@ -47,6 +94,15 @@ WindowRun SeirSimulator::run_window(const epi::Checkpoint& state, double theta,
   return extract_window(model, from_day, to_day, want_checkpoint);
 }
 
+void SeirSimulator::run_batch(std::span<const epi::Checkpoint> parents,
+                              std::int32_t to_day, EnsembleBuffer& buffer,
+                              std::size_t first, std::size_t count,
+                              std::span<epi::Checkpoint> end_states) const {
+  validate_batch_args(parents, buffer, first, count, end_states);
+  detail::run_batch_copying<epi::SeirModel>(parents, to_day, buffer, first,
+                                            count, end_states);
+}
+
 epi::Checkpoint ChainBinomialSimulator::initial_state(std::int32_t day,
                                                       std::uint64_t seed) const {
   epi::ChainBinomialModel model(config_.params,
@@ -73,6 +129,15 @@ WindowRun ChainBinomialSimulator::run_window(const epi::Checkpoint& state,
   }
   model.run_until_day(to_day);
   return extract_window(model, from_day, to_day, want_checkpoint);
+}
+
+void ChainBinomialSimulator::run_batch(
+    std::span<const epi::Checkpoint> parents, std::int32_t to_day,
+    EnsembleBuffer& buffer, std::size_t first, std::size_t count,
+    std::span<epi::Checkpoint> end_states) const {
+  validate_batch_args(parents, buffer, first, count, end_states);
+  detail::run_batch_copying<epi::ChainBinomialModel>(parents, to_day, buffer,
+                                                     first, count, end_states);
 }
 
 }  // namespace epismc::core

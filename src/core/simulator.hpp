@@ -12,12 +12,23 @@
 // model, the chain-binomial baseline, and the agent-based model extension
 // all implement it, which is the paper's claim that the approach "applies
 // equally well to other stochastic simulation models".
+//
+// The hot path drives simulators through run_batch: one call propagates a
+// contiguous range of an EnsembleBuffer (OpenMP-parallel inside), writing
+// the window series straight into the buffer's day-major rows. The base
+// class provides a reference implementation in terms of run_window, so a
+// custom registry simulator only has to implement run_window; the built-in
+// backends override run_batch with engines that parse each parent
+// checkpoint once and branch per-thread scratch copies instead of
+// re-deserializing state per trajectory.
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/ensemble.hpp"
 #include "epi/chain_binomial.hpp"
 #include "epi/parameters.hpp"
 #include "epi/schedule.hpp"
@@ -50,7 +61,63 @@ class Simulator {
                                              std::int32_t to_day,
                                              bool want_checkpoint) const = 0;
 
+  /// Propagate sims [first, first + count) of `buffer` through `to_day`:
+  /// for each sim s, read its (parent, theta, seed, stream) columns, run
+  /// the branched trajectory, and store the window tail of the true-case
+  /// and death series into the buffer rows (EnsembleBuffer::store_tail).
+  /// When `end_states` is non-empty it must have exactly `count` entries;
+  /// end_states[i] then receives sim (first + i)'s end-of-window checkpoint
+  /// (the replay pass regenerating survivor states).
+  ///
+  /// Parallel inside (OpenMP over the range); results are independent of
+  /// the thread count because every trajectory's randomness is addressed by
+  /// its (seed, stream) columns. run_window must therefore be thread-safe
+  /// -- the same contract the per-sim particle loop has always imposed.
+  /// The default implementation is the per-sim reference path: one
+  /// run_window call per trajectory, so custom registry simulators work
+  /// unchanged; built-in backends override it with batch engines.
+  virtual void run_batch(std::span<const epi::Checkpoint> parents,
+                         std::int32_t to_day, EnsembleBuffer& buffer,
+                         std::size_t first, std::size_t count,
+                         std::span<epi::Checkpoint> end_states = {}) const;
+
   [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Throws unless the run_batch arguments are coherent: range within the
+  /// buffer, parent columns within `parents`, end_states sized `count`.
+  /// Backends call this before entering their parallel region so argument
+  /// bugs surface as exceptions, not as racy out-of-bounds writes.
+  void validate_batch_args(std::span<const epi::Checkpoint> parents,
+                           const EnsembleBuffer& buffer, std::size_t first,
+                           std::size_t count,
+                           std::span<const epi::Checkpoint> end_states) const;
+};
+
+/// Adapter pinning run_batch to the base-class per-sim reference
+/// implementation (one run_window per trajectory) regardless of any native
+/// batch engine the wrapped backend has. The equivalence tests and the
+/// ensemble benches compare native batch output and throughput against
+/// exactly this path.
+class PerSimReference final : public Simulator {
+ public:
+  explicit PerSimReference(const Simulator& inner) : inner_(inner) {}
+
+  [[nodiscard]] epi::Checkpoint initial_state(
+      std::int32_t day, std::uint64_t seed) const override {
+    return inner_.initial_state(day, seed);
+  }
+  [[nodiscard]] WindowRun run_window(const epi::Checkpoint& state, double theta,
+                                     std::uint64_t seed, std::uint64_t stream,
+                                     std::int32_t to_day,
+                                     bool want_checkpoint) const override {
+    return inner_.run_window(state, theta, seed, stream, to_day,
+                             want_checkpoint);
+  }
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+
+ private:
+  const Simulator& inner_;
 };
 
 /// Shared configuration for the concrete epi-model simulators.
@@ -73,6 +140,9 @@ class SeirSimulator final : public Simulator {
                                      std::uint64_t seed, std::uint64_t stream,
                                      std::int32_t to_day,
                                      bool want_checkpoint) const override;
+  void run_batch(std::span<const epi::Checkpoint> parents, std::int32_t to_day,
+                 EnsembleBuffer& buffer, std::size_t first, std::size_t count,
+                 std::span<epi::Checkpoint> end_states = {}) const override;
   [[nodiscard]] std::string name() const override { return "seir-event"; }
 
  private:
@@ -92,6 +162,9 @@ class ChainBinomialSimulator final : public Simulator {
                                      std::uint64_t seed, std::uint64_t stream,
                                      std::int32_t to_day,
                                      bool want_checkpoint) const override;
+  void run_batch(std::span<const epi::Checkpoint> parents, std::int32_t to_day,
+                 EnsembleBuffer& buffer, std::size_t first, std::size_t count,
+                 std::span<epi::Checkpoint> end_states = {}) const override;
   [[nodiscard]] std::string name() const override { return "chain-binomial"; }
 
  private:

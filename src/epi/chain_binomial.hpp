@@ -52,6 +52,13 @@ class ChainBinomialModel {
   [[nodiscard]] static ChainBinomialModel restore(const Checkpoint& ckpt,
                                                   const RestartOverrides& ovr = {});
 
+  /// Re-aim this model (a copy of a restored prototype) at a new branch;
+  /// see SeirModel::branch for the contract.
+  void branch(std::uint64_t seed, std::uint64_t stream, double theta) {
+    eng_.reseed(seed, stream);
+    transmission_.override_from(day_ + 1, theta);
+  }
+
  private:
   ChainBinomialModel() = default;
 

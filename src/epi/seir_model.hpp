@@ -124,6 +124,16 @@ class SeirModel {
   [[nodiscard]] static SeirModel restore(const Checkpoint& ckpt,
                                          const RestartOverrides& ovr = {});
 
+  /// Re-aim this model (a copy of a restored prototype) at a new branch:
+  /// reseed the RNG to (seed, stream) at position 0 and override the
+  /// transmission rate from the next day on. State-for-state identical to
+  /// restore(ckpt, {seed, stream, theta}) minus the checkpoint parse --
+  /// the batched run path copies one prototype per parent and branches.
+  void branch(std::uint64_t seed, std::uint64_t stream, double theta) {
+    eng_.reseed(seed, stream);
+    transmission_.override_from(day_ + 1, theta);
+  }
+
  private:
   struct Event {
     Compartment from;

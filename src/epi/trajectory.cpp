@@ -29,12 +29,25 @@ std::vector<double> Trajectory::series(std::int64_t DailyRecord::* field,
   if (to_day < from_day) {
     throw std::invalid_argument("Trajectory::series: to_day < from_day");
   }
-  std::vector<double> out;
-  out.reserve(static_cast<std::size_t>(to_day - from_day + 1));
-  for (std::int32_t d = from_day; d <= to_day; ++d) {
-    out.push_back(static_cast<double>(at_day(d).*field));
-  }
+  std::vector<double> out(static_cast<std::size_t>(to_day - from_day + 1));
+  copy_series(field, from_day, to_day, out);
   return out;
+}
+
+void Trajectory::copy_series(std::int64_t DailyRecord::* field,
+                             std::int32_t from_day, std::int32_t to_day,
+                             std::span<double> out) const {
+  if (to_day < from_day) {
+    throw std::invalid_argument("Trajectory::copy_series: to_day < from_day");
+  }
+  if (out.size() != static_cast<std::size_t>(to_day - from_day + 1)) {
+    throw std::invalid_argument(
+        "Trajectory::copy_series: output span does not match the window");
+  }
+  for (std::int32_t d = from_day; d <= to_day; ++d) {
+    out[static_cast<std::size_t>(d - from_day)] =
+        static_cast<double>(at_day(d).*field);
+  }
 }
 
 void Trajectory::serialize(io::BinaryWriter& out) const {

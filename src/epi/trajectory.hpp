@@ -44,6 +44,12 @@ class Trajectory {
       std::int64_t DailyRecord::* field, std::int32_t from_day,
       std::int32_t to_day) const;
 
+  /// Allocation-free variant: write the same window into `out`, which must
+  /// have exactly to_day - from_day + 1 entries. Batch simulator backends
+  /// extract into reusable per-thread scratch through this.
+  void copy_series(std::int64_t DailyRecord::* field, std::int32_t from_day,
+                   std::int32_t to_day, std::span<double> out) const;
+
   [[nodiscard]] std::vector<double> new_infections(std::int32_t from_day,
                                                    std::int32_t to_day) const {
     return series(&DailyRecord::new_infections, from_day, to_day);

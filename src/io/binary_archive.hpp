@@ -111,8 +111,10 @@ class BinaryReader {
     const auto n = read<std::uint64_t>();
     require(n * sizeof(T));
     std::vector<T> v(n);
-    std::memcpy(v.data(), buffer_.data() + cursor_, n * sizeof(T));
-    cursor_ += n * sizeof(T);
+    if (n != 0) {  // an empty vector's data() may be null; memcpy forbids it
+      std::memcpy(v.data(), buffer_.data() + cursor_, n * sizeof(T));
+      cursor_ += n * sizeof(T);
+    }
     return v;
   }
 

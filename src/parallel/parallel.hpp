@@ -14,6 +14,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <string>
 
@@ -49,13 +50,28 @@ inline void set_threads(int n) noexcept {
 
 /// Parallel loop over [0, count) with dynamic chunking. `body` must be
 /// thread-safe and index-deterministic (see header comment).
+///
+/// Exception contract: an exception escaping an OpenMP structured block
+/// calls std::terminate, so body exceptions are captured inside the region
+/// and one of them is rethrown afterwards (remaining iterations still run;
+/// which exception wins under concurrent failures is unspecified, but
+/// these are terminal wiring errors -- results never depend on it).
 template <typename Body>
 void parallel_for(std::size_t count, Body&& body, int chunk = 16) {
 #ifdef _OPENMP
+  std::exception_ptr error = nullptr;
 #pragma omp parallel for schedule(dynamic, chunk)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(count); ++i) {
-    body(static_cast<std::size_t>(i));
+    try {
+      body(static_cast<std::size_t>(i));
+    } catch (...) {
+#pragma omp critical(epismc_parallel_for_error)
+      {
+        if (!error) error = std::current_exception();
+      }
+    }
   }
+  if (error) std::rethrow_exception(error);
 #else
   (void)chunk;
   for (std::size_t i = 0; i < count; ++i) body(i);

@@ -80,6 +80,9 @@ TEST(Calibrator, WindowsRestartFromCheckpoints) {
   const GroundTruth truth = simulate_ground_truth(scenario);
   auto session = test_session(truth, scenario, small_config());
 
+  // Holding this reference across the next run_next_window call is safe:
+  // SequentialCalibrator reserves its results vector for the full window
+  // count, so WindowResults never move (this loop exercises exactly that).
   const WindowResult& w1 = session.run_next_window();
   // All first-window end states sit at the window boundary...
   for (const auto& state : w1.states) EXPECT_EQ(state.day, 33);
@@ -90,8 +93,8 @@ TEST(Calibrator, WindowsRestartFromCheckpoints) {
   const WindowResult& w2 = session.run_next_window();
   // ...and second-window sims branch from those states (parent indices
   // reference w1.states).
-  for (const auto& rec : w2.sims) {
-    ASSERT_LT(rec.parent, w1.states.size());
+  for (const auto parent : w2.ensemble.parent) {
+    ASSERT_LT(parent, w1.states.size());
   }
   for (const auto& state : w2.states) EXPECT_EQ(state.day, 47);
 }

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -90,14 +91,15 @@ TEST(ImportanceWindow, ResultShapesConsistent) {
       fx.simulator, lik, bias, fx.truth.observed(), parents, spec,
       prior_proposal());
 
-  EXPECT_EQ(result.sims.size(), spec.n_params * spec.replicates);
-  EXPECT_EQ(result.weights.size(), result.sims.size());
+  EXPECT_EQ(result.n_sims(), spec.n_params * spec.replicates);
+  EXPECT_EQ(result.weights.size(), result.n_sims());
   EXPECT_EQ(result.resampled.size(), spec.resample_size);
   EXPECT_EQ(result.window_length(), 14u);
-  for (const auto& rec : result.sims) {
-    ASSERT_EQ(rec.true_cases.size(), 14u);
-    ASSERT_EQ(rec.obs_cases.size(), 14u);
-    ASSERT_EQ(rec.deaths.size(), 14u);
+  EXPECT_EQ(result.ensemble.window_len(), 14u);
+  for (std::size_t s = 0; s < result.n_sims(); ++s) {
+    ASSERT_EQ(result.ensemble.true_cases(s).size(), 14u);
+    ASSERT_EQ(result.ensemble.obs_cases(s).size(), 14u);
+    ASSERT_EQ(result.ensemble.deaths(s).size(), 14u);
   }
   double total = 0.0;
   for (const double w : result.weights) total += w;
@@ -126,21 +128,26 @@ TEST(ImportanceWindow, ThreadCountInvariant) {
   spec.replicates = 3;
   spec.resample_size = 100;
 
+  // Capture the machine's thread budget before set_threads(1) shrinks
+  // what max_threads() reports.
+  const int hw_threads = epismc::parallel::max_threads();
   const auto run_with_threads = [&](int threads) {
     epismc::parallel::set_threads(threads);
     return run_importance_window(fx.simulator, lik, bias, fx.truth.observed(),
                                  parents, spec, prior_proposal());
   };
   const WindowResult serial = run_with_threads(1);
-  const WindowResult parallel = run_with_threads(
-      std::max(2, epismc::parallel::max_threads()));
-  epismc::parallel::set_threads(epismc::parallel::max_threads());
+  const WindowResult parallel = run_with_threads(std::max(2, hw_threads));
+  epismc::parallel::set_threads(hw_threads);
 
-  ASSERT_EQ(serial.sims.size(), parallel.sims.size());
-  for (std::size_t i = 0; i < serial.sims.size(); ++i) {
-    ASSERT_EQ(serial.sims[i].true_cases, parallel.sims[i].true_cases)
+  ASSERT_EQ(serial.n_sims(), parallel.n_sims());
+  for (std::size_t i = 0; i < serial.n_sims(); ++i) {
+    const auto a = serial.ensemble.true_cases(i);
+    const auto b = parallel.ensemble.true_cases(i);
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
         << "sim " << i;
-    ASSERT_DOUBLE_EQ(serial.sims[i].log_weight, parallel.sims[i].log_weight);
+    ASSERT_DOUBLE_EQ(serial.ensemble.log_weight[i],
+                     parallel.ensemble.log_weight[i]);
   }
   EXPECT_EQ(serial.resampled, parallel.resampled);
 }
@@ -162,7 +169,7 @@ TEST(ImportanceWindow, CommonRandomNumbersShareNoise) {
       fx.simulator, lik, bias, fx.truth.observed(), parents, spec,
       prior_proposal());
   std::set<std::uint64_t> crn_streams;
-  for (const auto& rec : crn.sims) crn_streams.insert(rec.stream);
+  for (const auto s : crn.ensemble.stream) crn_streams.insert(s);
   EXPECT_EQ(crn_streams.size(), spec.replicates);
 
   spec.common_random_numbers = false;
@@ -170,7 +177,7 @@ TEST(ImportanceWindow, CommonRandomNumbersShareNoise) {
       fx.simulator, lik, bias, fx.truth.observed(), parents, spec,
       prior_proposal());
   std::set<std::uint64_t> indep_streams;
-  for (const auto& rec : indep.sims) indep_streams.insert(rec.stream);
+  for (const auto s : indep.ensemble.stream) indep_streams.insert(s);
   EXPECT_EQ(indep_streams.size(), spec.n_params * spec.replicates);
 }
 
@@ -186,8 +193,10 @@ TEST(ImportanceWindow, IdentityBiasIgnoresRho) {
   const WindowResult result = run_importance_window(
       fx.simulator, lik, bias, fx.truth.observed(), parents, spec,
       prior_proposal());
-  for (const auto& rec : result.sims) {
-    ASSERT_EQ(rec.obs_cases, rec.true_cases);
+  for (std::size_t s = 0; s < result.n_sims(); ++s) {
+    const auto obs = result.ensemble.obs_cases(s);
+    const auto tru = result.ensemble.true_cases(s);
+    ASSERT_TRUE(std::equal(obs.begin(), obs.end(), tru.begin(), tru.end()));
   }
 }
 

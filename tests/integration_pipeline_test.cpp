@@ -86,8 +86,8 @@ TEST_F(PipelineTest, WindowsChainThroughCheckpoints) {
       ASSERT_EQ(state.day, to);
     }
     if (m > 0) {
-      for (const auto& rec : results[m].sims) {
-        ASSERT_LT(rec.parent, results[m - 1].states.size());
+      for (const auto parent : results[m].ensemble.parent) {
+        ASSERT_LT(parent, results[m - 1].states.size());
       }
     }
   }
