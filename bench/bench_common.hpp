@@ -21,6 +21,51 @@
 
 namespace epismc::bench {
 
+// Build provenance injected by CMake (see EPISMC_BENCH_STAMP_DEFS);
+// "unknown" when a bench is compiled outside the CMake build.
+#ifndef EPISMC_BUILD_COMPILER
+#define EPISMC_BUILD_COMPILER "unknown"
+#endif
+#ifndef EPISMC_BUILD_FLAGS
+#define EPISMC_BUILD_FLAGS "unknown"
+#endif
+#ifndef EPISMC_BUILD_GIT_SHA
+#define EPISMC_BUILD_GIT_SHA "unknown"
+#endif
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) --
+/// compiler flag strings routinely contain quotes (-DVERSION="1.2").
+inline std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// JSON fields stamping a BENCH_*.json with the toolchain, flags and commit
+/// that produced it -- without these, trajectory comparisons across
+/// machines/compilers are guesswork. Emits a trailing comma; splice into an
+/// open JSON object next to hardware_concurrency.
+inline std::string json_build_stamp(const char* indent = "  ") {
+  std::string s;
+  s += std::string(indent) + "\"compiler\": \"" +
+       json_escape(EPISMC_BUILD_COMPILER) + "\",\n";
+  s += std::string(indent) + "\"cxx_flags\": \"" +
+       json_escape(EPISMC_BUILD_FLAGS) + "\",\n";
+  s += std::string(indent) + "\"git_sha\": \"" +
+       json_escape(EPISMC_BUILD_GIT_SHA) + "\",\n";
+  return s;
+}
+
 /// The paper's evaluation scenario preset: Chicago-scale population, theta
 /// and rho switching at days 34/48/62, observations through day 100.
 inline const api::ScenarioPreset& paper_preset() {

@@ -5,8 +5,14 @@
 // BENCH_ensemble.json so the propagate-path perf trajectory is tracked
 // from PR 2 onward.
 //
-//   ./bench_ensemble [--n-params=64] [--replicates=2] [--abm-population=6000]
-//                    [--repeats=3] [--out=BENCH_ensemble.json]
+//   ./bench_ensemble [--n-params=64] [--replicates=4] [--abm-population=6000]
+//                    [--repeats=5] [--out=BENCH_ensemble.json]
+//
+// Each cell is timed --repeats times and reports both the min (the
+// classical best-of estimate) and the median (robust to one lucky run);
+// speedups are computed from the min. The JSON is stamped with the
+// compiler, flags and git SHA next to hardware_concurrency so trajectory
+// comparisons across machines/toolchains are interpretable.
 //
 // Speedup definitions recorded per (backend, threads) cell:
 //   speedup_batch_vs_persim   persim_seconds / batch_seconds  (same threads)
@@ -26,6 +32,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "bench_common.hpp"
 #include "io/args.hpp"
 #include "parallel/parallel.hpp"
 #include "random/seeding.hpp"
@@ -34,13 +41,18 @@ namespace {
 
 using namespace epismc;
 
+struct Timing {
+  double min = 0.0;
+  double median = 0.0;
+};
+
 struct Cell {
   std::string backend;
   int threads = 1;
   std::size_t n_sims = 0;
   std::size_t window_len = 0;
-  double persim_seconds = 0.0;
-  double batch_seconds = 0.0;
+  Timing persim;
+  Timing batch;
 };
 
 /// Columns mirroring run_importance_window's CRN layout for a fresh window.
@@ -61,14 +73,18 @@ core::EnsembleBuffer make_buffer(std::size_t n_params, std::size_t replicates,
   return buf;
 }
 
-double time_best_of(int repeats, const std::function<void()>& fn) {
-  double best = 1e300;
-  for (int i = 0; i < repeats; ++i) {
+Timing time_repeats(int repeats, const std::function<void()>& fn) {
+  std::vector<double> samples(static_cast<std::size_t>(repeats));
+  for (double& s : samples) {
     parallel::Timer t;
     fn();
-    best = std::min(best, t.seconds());
+    s = t.seconds();
   }
-  return best;
+  std::sort(samples.begin(), samples.end());
+  Timing timing;
+  timing.min = samples.front();
+  timing.median = samples[samples.size() / 2];
+  return timing;
 }
 
 }  // namespace
@@ -77,9 +93,9 @@ int main(int argc, char** argv) {
   const io::Args args(argc, argv);
   const auto n_params = static_cast<std::size_t>(args.get_int("n-params", 64));
   const auto replicates =
-      static_cast<std::size_t>(args.get_int("replicates", 2));
+      static_cast<std::size_t>(args.get_int("replicates", 4));
   const auto abm_population = args.get_int("abm-population", 6000);
-  const int repeats = static_cast<int>(args.get_int("repeats", 3));
+  const int repeats = static_cast<int>(args.get_int("repeats", 5));
   const std::filesystem::path out_path =
       args.get_string("out", "BENCH_ensemble.json");
   args.check_unused();
@@ -129,37 +145,40 @@ int main(int argc, char** argv) {
       cell.threads = threads;
       cell.n_sims = buf.size();
       cell.window_len = window_len;
-      cell.batch_seconds = time_best_of(repeats, [&] {
+      cell.batch = time_repeats(repeats, [&] {
         sim->run_batch(parents, kToDay, buf, 0, buf.size());
       });
-      cell.persim_seconds = time_best_of(repeats, [&] {
+      cell.persim = time_repeats(repeats, [&] {
         persim.run_batch(parents, kToDay, buf, 0, buf.size());
       });
       cells.push_back(cell);
       std::cout << b.name << " @ " << threads << " threads: per-sim "
-                << cell.persim_seconds * 1e3 << " ms, batch "
-                << cell.batch_seconds * 1e3 << " ms ("
-                << cell.persim_seconds / cell.batch_seconds << "x)\n";
+                << cell.persim.min * 1e3 << " ms, batch "
+                << cell.batch.min * 1e3 << " ms ("
+                << cell.persim.min / cell.batch.min << "x, median "
+                << cell.persim.median / cell.batch.median << "x)\n";
     }
     parallel::set_threads(machine_threads);
   }
 
   const auto batch_at = [&](const std::string& backend, int threads) {
     for (const Cell& c : cells) {
-      if (c.backend == backend && c.threads == threads) return c.batch_seconds;
+      if (c.backend == backend && c.threads == threads) return c.batch.min;
     }
     return 0.0;
   };
 
   std::ofstream out(out_path);
   out << "{\n"
-      << "  \"schema\": \"epismc-ensemble-bench-v1\",\n"
+      << "  \"schema\": \"epismc-ensemble-bench-v2\",\n"
       << "  \"generated_by\": \"bench/bench_ensemble\",\n"
       << "  \"workload\": \"paper-baseline single window, days 20-33\",\n"
+      << bench::json_build_stamp()
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
       << ",\n"
       << "  \"omp_max_threads\": " << machine_threads << ",\n"
       << "  \"replicates\": " << replicates << ",\n"
+      << "  \"repeats\": " << repeats << ",\n"
       << "  \"seir_8thread_propagate_speedup_vs_1thread\": "
       << batch_at("seir-event", 1) / batch_at("seir-event", 8) << ",\n"
       << "  \"results\": [\n";
@@ -168,12 +187,16 @@ int main(int argc, char** argv) {
     out << "    {\"backend\": \"" << c.backend << "\", \"threads\": "
         << c.threads << ", \"n_sims\": " << c.n_sims << ", \"window_len\": "
         << c.window_len << ",\n"
-        << "     \"persim_seconds\": " << c.persim_seconds
-        << ", \"batch_seconds\": " << c.batch_seconds
+        << "     \"persim_seconds\": " << c.persim.min
+        << ", \"persim_seconds_median\": " << c.persim.median
+        << ", \"batch_seconds\": " << c.batch.min
+        << ", \"batch_seconds_median\": " << c.batch.median
         << ",\n     \"speedup_batch_vs_persim\": "
-        << c.persim_seconds / c.batch_seconds
+        << c.persim.min / c.batch.min
+        << ", \"speedup_batch_vs_persim_median\": "
+        << c.persim.median / c.batch.median
         << ", \"batch_speedup_vs_1thread\": "
-        << batch_at(c.backend, 1) / c.batch_seconds << "}"
+        << batch_at(c.backend, 1) / c.batch.min << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

@@ -55,7 +55,9 @@ int main(int argc, char** argv) {
     const double days_saved =
         static_cast<double>(n_sims) * (to_day - window_days);
     const std::size_t ckpt_bytes =
-        w.states.empty() ? 0 : w.states.front().bytes.size();
+        w.state_count() == 0
+            ? 0
+            : w.state_pool->to_checkpoint(0).bytes.size();
     table.add_row_values(
         "days " + std::to_string(from_day) + "-" + std::to_string(to_day),
         io::Table::num(restart_s), io::Table::num(scratch_s),

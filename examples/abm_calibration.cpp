@@ -67,8 +67,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   const std::uint32_t draw = window.resampled.front();
-  const abm::AgentBasedModel state = abm::AgentBasedModel::restore(
-      window.states[window.sim_to_state[draw]]);
+  const abm::AgentBasedModel state =
+      abm::AgentBasedModel::restore(window.state_checkpoint(draw));
   using C = epi::Compartment;
   const std::int64_t susceptible = state.count(C::kS);
   const std::int64_t undetected_infectious =

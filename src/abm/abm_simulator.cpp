@@ -39,13 +39,26 @@ core::WindowRun AbmSimulator::run_window(const epi::Checkpoint& state,
   return run;
 }
 
+std::unique_ptr<core::StatePool> AbmSimulator::make_pool() const {
+  return std::make_unique<core::ModelStatePool<AgentBasedModel>>();
+}
+
+void AbmSimulator::run_batch(const core::StatePool& parents,
+                             std::int32_t to_day, core::EnsembleBuffer& buffer,
+                             std::size_t first, std::size_t count,
+                             const core::BatchSink& sink) const {
+  validate_batch_args(parents, buffer, first, count, sink);
+  core::detail::run_batch_fused<AgentBasedModel>(parents, to_day, buffer,
+                                                 first, count, sink, name());
+}
+
 void AbmSimulator::run_batch(std::span<const epi::Checkpoint> parents,
                              std::int32_t to_day, core::EnsembleBuffer& buffer,
                              std::size_t first, std::size_t count,
                              std::span<epi::Checkpoint> end_states) const {
   validate_batch_args(parents, buffer, first, count, end_states);
-  core::detail::run_batch_copying<AgentBasedModel>(parents, to_day, buffer,
-                                                   first, count, end_states);
+  core::detail::run_batch_copying<AgentBasedModel>(
+      parents, to_day, buffer, first, count, end_states, name());
 }
 
 }  // namespace epismc::abm

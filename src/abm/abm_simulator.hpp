@@ -29,10 +29,20 @@ class AbmSimulator final : public core::Simulator {
                                            std::uint64_t stream,
                                            std::int32_t to_day,
                                            bool want_checkpoint) const override;
-  /// Native batch engine: each parent's agent arrays are parsed and its
-  /// household topology rebuilt once, then per-thread scratch copies are
-  /// branched per sim -- the dominant per-sim overhead of the ABM restore
-  /// path.
+  /// Typed pool of full AgentBasedModel copies. Agent arrays are large, so
+  /// windows over big populations usually capture end states through the
+  /// deferred-replay fallback (CapturePolicy::kAuto sizes this via the
+  /// pool's approx_state_bytes()); the pool type is the same either way.
+  [[nodiscard]] std::unique_ptr<core::StatePool> make_pool() const override;
+  /// Native fused batch engine: parent prototypes come straight out of the
+  /// typed pool (agent arrays live, household topology built), per-thread
+  /// scratch copies are branched per sim -- the dominant per-sim overhead
+  /// of the ABM restore path -- and the sink captures/scores in the same
+  /// sweep.
+  void run_batch(const core::StatePool& parents, std::int32_t to_day,
+                 core::EnsembleBuffer& buffer, std::size_t first,
+                 std::size_t count,
+                 const core::BatchSink& sink = {}) const override;
   void run_batch(std::span<const epi::Checkpoint> parents, std::int32_t to_day,
                  core::EnsembleBuffer& buffer, std::size_t first,
                  std::size_t count,

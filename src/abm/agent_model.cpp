@@ -7,7 +7,7 @@
 namespace epismc::abm {
 
 namespace {
-constexpr std::uint32_t kAbmCheckpointVersion = 201;
+constexpr std::uint32_t kAbmCheckpointVersion = 202;  // v202: padding-free layout
 constexpr std::int32_t kNever = std::numeric_limits<std::int32_t>::max();
 constexpr std::uint64_t kNetworkTag = 0x4E455457ull;  // "NETW"
 }  // namespace
@@ -301,8 +301,7 @@ std::int64_t AgentBasedModel::total_individuals() const noexcept {
 
 epi::Checkpoint AgentBasedModel::make_checkpoint() const {
   io::BinaryWriter out(kAbmCheckpointVersion);
-  static_assert(std::is_trivially_copyable_v<epi::DiseaseParameters>);
-  out.write(config_.disease);
+  config_.disease.serialize(out);
   out.write(config_.mean_household_size);
   out.write(config_.household_share);
   out.write(config_.network_seed);
@@ -331,7 +330,7 @@ AgentBasedModel AgentBasedModel::restore(const epi::Checkpoint& ckpt,
         "AgentBasedModel::restore: unsupported checkpoint version");
   }
   AgentBasedModel m;
-  m.config_.disease = in.read<epi::DiseaseParameters>();
+  m.config_.disease = epi::DiseaseParameters::deserialize(in);
   m.config_.mean_household_size = in.read<double>();
   m.config_.household_share = in.read<double>();
   m.config_.network_seed = in.read<std::uint64_t>();

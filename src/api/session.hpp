@@ -72,6 +72,11 @@ class CalibrationSession {
   CalibrationSession& with_deaths(bool use = true);
   CalibrationSession& with_seed(std::uint64_t seed);
   CalibrationSession& with_resampling(stats::ResamplingScheme scheme);
+  /// End-state capture strategy: inline single-pass capture (default via
+  /// kAuto), or the deferred two-pass replay fallback. `budget_bytes`
+  /// bounds kAuto's inline peak memory (0 keeps the config default).
+  CalibrationSession& with_capture_policy(core::CapturePolicy policy,
+                                          std::size_t budget_bytes = 0);
   CalibrationSession& with_common_random_numbers(bool crn);
   CalibrationSession& with_defensive_fraction(double fraction);
   CalibrationSession& with_jitter(const std::string& policy_name);

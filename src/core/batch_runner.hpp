@@ -1,20 +1,23 @@
 #pragma once
 
-// Shared batch-propagation engine for checkpointable model types.
+// Shared fused batch-propagation engine for checkpointable model types.
 //
-// All three built-in backends implement the same Checkpoint / restore /
-// branch / run_until_day / trajectory contract, so their native run_batch
-// overrides share this one engine. Per buffer range it:
+// All three built-in backends implement the same restore / branch /
+// run_until_day / trajectory / make_checkpoint contract, so their native
+// run_batch overrides share this one kernel. Per buffer range it:
 //
-//   1. parses every parent checkpoint exactly once into a prototype model
-//      (the per-sim path re-deserializes the parent for every trajectory);
+//   1. reads parent prototypes straight out of the typed ModelStatePool
+//      (no per-window checkpoint parsing -- the pool holds the previous
+//      window's end states as live model objects);
 //   2. per sim, copy-assigns the prototype into a per-thread scratch model
 //      -- reusing the event-ring / trajectory / agent-array capacity the
 //      previous sim on that thread left behind, so the parallel loop does
 //      not allocate in steady state -- then branch()es it to the sim's
 //      (seed, stream, theta) columns and runs it through the window;
-//   3. extracts the output series into per-thread scratch and stores the
-//      window tail into the buffer rows via EnsembleBuffer::store_tail.
+//   3. extracts the output series into the buffer rows, captures the end
+//      state into the sink's pool slot (typed copy, no serialization), and
+//      runs the sink's fused per-sim hook (bias + likelihood scoring) --
+//      one sweep over the ensemble instead of three.
 //
 // Results are bit-identical to restore-per-sim: branch() reproduces the
 // exact engine/schedule state restore(ckpt, {seed, stream, theta}) builds,
@@ -23,25 +26,48 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "core/ensemble.hpp"
+#include "core/simulator.hpp"
+#include "core/state_pool.hpp"
 #include "epi/seir_model.hpp"
 #include "epi/trajectory.hpp"
 #include "parallel/parallel.hpp"
 
 namespace epismc::core::detail {
 
-template <typename Model>
-void run_batch_copying(std::span<const epi::Checkpoint> parents,
-                       std::int32_t to_day, EnsembleBuffer& buffer,
-                       std::size_t first, std::size_t count,
-                       std::span<epi::Checkpoint> end_states) {
-  std::vector<Model> prototypes;
-  prototypes.reserve(parents.size());
-  for (const epi::Checkpoint& p : parents) {
-    prototypes.push_back(Model::restore(p));
+/// Downcast a type-erased pool to this backend's typed pool, with a
+/// diagnosable error when a pool from another backend is passed in.
+template <typename Model, typename Pool>
+auto& typed_pool(Pool& pool, const std::string& backend, const char* role) {
+  using Target =
+      std::conditional_t<std::is_const_v<Pool>,
+                         const ModelStatePool<Model>, ModelStatePool<Model>>;
+  auto* typed = dynamic_cast<Target*>(&pool);
+  if (typed == nullptr) {
+    throw std::invalid_argument("run_batch(" + backend + "): " + role +
+                                " pool is '" + pool.backend() +
+                                "', not this backend's typed pool -- pools "
+                                "must come from this simulator's make_pool()");
   }
+  return *typed;
+}
+
+template <typename Model>
+void run_batch_fused(const StatePool& parents_erased, std::int32_t to_day,
+                     EnsembleBuffer& buffer, std::size_t first,
+                     std::size_t count, const BatchSink& sink,
+                     const std::string& backend) {
+  const ModelStatePool<Model>& parents =
+      typed_pool<Model>(parents_erased, backend, "parent");
+  ModelStatePool<Model>* capture =
+      sink.capture == nullptr
+          ? nullptr
+          : &typed_pool<Model>(*sink.capture, backend, "capture");
 
   struct Workspace {
     std::unique_ptr<Model> model;
@@ -52,7 +78,7 @@ void run_batch_copying(std::span<const epi::Checkpoint> parents,
 
   parallel::parallel_for(count, [&](std::size_t i) {
     const std::size_t s = first + i;
-    const Model& proto = prototypes[buffer.parent[s]];
+    const Model& proto = parents.at(buffer.parent[s]);
     // Workspace selection by thread id is safe here: it only decides which
     // scratch memory is reused, never what is computed.
     Workspace& ws = workspaces[static_cast<std::size_t>(parallel::thread_id())];
@@ -73,8 +99,38 @@ void run_batch_copying(std::span<const epi::Checkpoint> parents,
     m.trajectory().copy_series(&epi::DailyRecord::new_deaths, from_day, to_day,
                                ws.series);
     buffer.store_tail(EnsembleBuffer::Series::kDeaths, s, ws.series);
-    if (!end_states.empty()) end_states[i] = m.make_checkpoint();
+    if (capture != nullptr) capture->set(s, m);
+    if (sink.on_sim) sink.on_sim(s);
   });
+}
+
+/// Checkpoint-span compatibility engine: pool the parents (one parse per
+/// parent, exactly the old prototype step), run the fused kernel, and
+/// serialize the capture pool back into `end_states`. Keeps the legacy
+/// run_batch overload byte-for-byte equivalent to its historical
+/// behaviour while sharing the single fused loop above.
+template <typename Model>
+void run_batch_copying(std::span<const epi::Checkpoint> parents,
+                       std::int32_t to_day, EnsembleBuffer& buffer,
+                       std::size_t first, std::size_t count,
+                       std::span<epi::Checkpoint> end_states,
+                       const std::string& backend) {
+  ModelStatePool<Model> pool;
+  pool.resize(parents.size());
+  for (std::size_t p = 0; p < parents.size(); ++p) {
+    pool.set(p, Model::restore(parents[p]));
+  }
+
+  BatchSink sink;
+  ModelStatePool<Model> capture;
+  if (!end_states.empty()) {
+    capture.resize(first + count);
+    sink.capture = &capture;
+  }
+  run_batch_fused<Model>(pool, to_day, buffer, first, count, sink, backend);
+  for (std::size_t i = 0; i < end_states.size(); ++i) {
+    end_states[i] = capture.to_checkpoint(first + i);
+  }
 }
 
 }  // namespace epismc::core::detail

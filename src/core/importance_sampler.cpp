@@ -22,6 +22,15 @@ constexpr std::uint64_t kResampleTag = 0x52455341ull;    // "RESA"
 
 }  // namespace
 
+const char* to_string(CapturePolicy policy) {
+  switch (policy) {
+    case CapturePolicy::kAuto: return "auto";
+    case CapturePolicy::kInline: return "inline";
+    case CapturePolicy::kDeferredReplay: return "deferred-replay";
+  }
+  return "unknown";
+}
+
 void WindowSpec::validate(const ObservedData* data) const {
   if (to_day < from_day) {
     throw std::invalid_argument(
@@ -52,7 +61,7 @@ WindowResult run_importance_window(const Simulator& sim,
                                    const Likelihood& death_likelihood,
                                    const BiasModel& bias,
                                    const ObservedData& data,
-                                   std::span<const epi::Checkpoint> parents,
+                                   const StatePool& parents,
                                    const WindowSpec& spec,
                                    const ParamProposal& propose) {
   spec.validate(&data);
@@ -75,7 +84,7 @@ WindowResult run_importance_window(const Simulator& sim,
     }
   }
 
-  // --- 2. Lay out the ensemble: columns first, then one batched sweep. ---
+  // --- 2. Lay out the ensemble: columns first, then one fused sweep. -----
   const std::size_t n_sims = spec.n_params * spec.replicates;
   // Parent states may sit before the window (e.g. the day-0 state for
   // window 1, so each particle owns its whole early path); the stored rows
@@ -108,17 +117,40 @@ WindowResult run_importance_window(const Simulator& sim,
   const std::vector<double> y_deaths =
       spec.use_deaths ? data.deaths_window(spec.from_day, spec.to_day)
                       : std::vector<double>{};
+  // Observation-side constants (sqrt transforms, lgamma terms) hoisted out
+  // of the per-sim scoring loop; bit-identical to uncached scoring.
+  const ObservationCache case_cache = case_likelihood.prepare(y_cases);
+  const ObservationCache death_cache =
+      spec.use_deaths ? death_likelihood.prepare(y_deaths) : ObservationCache{};
 
-  parallel::Timer propagate_timer;
-  // Propagate all n_params * replicates trajectories in one batch call;
-  // the simulator backend owns the parallel loop and fills the true-case /
-  // death rows in place.
-  sim.run_batch(parents, spec.to_day, ens, 0, n_sims);
+  // Resolve the capture policy: inline when the peak transient cost of
+  // holding every candidate's end state fits the budget.
+  bool inline_capture = false;
+  switch (spec.capture) {
+    case CapturePolicy::kInline:
+      inline_capture = true;
+      break;
+    case CapturePolicy::kDeferredReplay:
+      inline_capture = false;
+      break;
+    case CapturePolicy::kAuto:
+      inline_capture =
+          parents.approx_state_bytes() * n_sims <= spec.inline_state_budget;
+      break;
+  }
+  result.diag.inline_capture = inline_capture;
 
-  // Bias and likelihood operate on row spans of the buffer. The bias
-  // stream is addressed by the same identity as before the batching
-  // refactor, so weights are bit-identical to the per-sim path.
-  parallel::parallel_for(n_sims, [&](std::size_t s) {
+  std::shared_ptr<StatePool> capture = sim.make_pool();
+  BatchSink sink;
+  if (inline_capture) {
+    capture->resize(n_sims);
+    sink.capture = capture.get();
+  }
+  // Fused per-sim tail of the sweep: reporting bias onto the observation
+  // row, then the window likelihood. The bias stream is addressed by the
+  // same identity as before the batching refactor, so weights are
+  // bit-identical to the per-sim path.
+  sink.on_sim = [&](std::size_t s) {
     const std::uint32_t j = ens.param_index[s];
     const std::uint32_t r = ens.replicate[s];
     auto bias_eng =
@@ -127,22 +159,29 @@ WindowResult run_importance_window(const Simulator& sim,
             : rng::make_engine(spec.seed, {kBiasTag, spec.window_index, j, r});
     bias.apply_into(bias_eng, ens.true_cases(s), ens.rho[s], ens.obs_cases(s));
 
-    double logw = case_likelihood.logpdf(y_cases, ens.obs_cases(s));
-    if (spec.use_deaths) logw += death_likelihood.logpdf(y_deaths, ens.deaths(s));
+    double logw = case_likelihood.logpdf(case_cache, ens.obs_cases(s));
+    if (spec.use_deaths) {
+      logw += death_likelihood.logpdf(death_cache, ens.deaths(s));
+    }
     ens.log_weight[s] = logw;
-  });
+  };
+
+  parallel::Timer propagate_timer;
+  // Propagate, bias, score and (inline) capture all n_params * replicates
+  // trajectories in one batch call; the simulator backend owns the
+  // parallel loop and fills the true-case / death rows in place.
+  sim.run_batch(parents, spec.to_day, ens, 0, n_sims, sink);
   result.diag.propagate_seconds = propagate_timer.seconds();
 
-  // --- 3. Normalize weights and compute diagnostics. ---------------------
-  result.weights = stats::normalize_log_weights(ens.log_weight);
+  // --- 3. Normalize weights and compute diagnostics (one LSE pass). ------
+  const double lse = stats::log_sum_exp(ens.log_weight);
+  result.weights = stats::normalize_log_weights(ens.log_weight, lse);
   result.diag.n_sims = n_sims;
   result.diag.ess = stats::effective_sample_size(result.weights);
   result.diag.perplexity = stats::weight_perplexity(result.weights);
   result.diag.max_weight =
       *std::max_element(result.weights.begin(), result.weights.end());
-  result.diag.log_marginal =
-      stats::log_sum_exp(ens.log_weight) -
-      std::log(static_cast<double>(n_sims));
+  result.diag.log_marginal = lse - std::log(static_cast<double>(n_sims));
 
   // --- 4. Resample the posterior. ----------------------------------------
   auto resample_eng =
@@ -150,7 +189,7 @@ WindowResult run_importance_window(const Simulator& sim,
   result.resampled = stats::resample(spec.scheme, resample_eng,
                                      result.weights, spec.resample_size);
 
-  // --- 5. Regenerate end-of-window checkpoints for unique survivors. -----
+  // --- 5. Keep end-of-window states for the unique survivors. ------------
   std::vector<std::uint32_t> unique(result.resampled.begin(),
                                     result.resampled.end());
   std::sort(unique.begin(), unique.end());
@@ -163,37 +202,61 @@ WindowResult run_importance_window(const Simulator& sim,
   }
 
   parallel::Timer checkpoint_timer;
-  // Replay pass: a small ensemble over the survivors only, re-run through
-  // the same batch entry point with checkpoint capture. Counter-based
-  // streams make the replay bit-identical to the weighted run.
-  EnsembleBuffer replay(unique.size(), window_len);
-  for (std::size_t u = 0; u < unique.size(); ++u) {
-    const std::uint32_t s = unique[u];
-    replay.param_index[u] = ens.param_index[s];
-    replay.replicate[u] = ens.replicate[s];
-    replay.parent[u] = ens.parent[s];
-    replay.theta[u] = ens.theta[s];
-    replay.rho[u] = ens.rho[s];
-    replay.seed[u] = ens.seed[s];
-    replay.stream[u] = ens.stream[s];
-  }
-  result.states.resize(unique.size());
-  sim.run_batch(parents, spec.to_day, replay, 0, unique.size(),
-                result.states);
-  for (std::size_t u = 0; u < unique.size(); ++u) {
-    // Cheap tail of the replay-determinism invariant (the full property is
-    // covered in tests/).
-    const auto a = replay.true_cases(u);
-    const auto b = ens.true_cases(unique[u]);
-    if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) {
-      throw std::logic_error(
-          "run_importance_window: non-deterministic replay of sim " +
-          std::to_string(unique[u]) + "; stream discipline violated");
+  if (inline_capture) {
+    // The weighted pass already captured every candidate's end state;
+    // keeping the survivors is O(survivors) pointer moves.
+    capture->compact(unique);
+  } else {
+    // Deferred replay: a small ensemble over the survivors only, re-run
+    // through the same batch entry point with capture. Counter-based
+    // streams make the replay bit-identical to the weighted run.
+    EnsembleBuffer replay(unique.size(), window_len);
+    for (std::size_t u = 0; u < unique.size(); ++u) {
+      const std::uint32_t s = unique[u];
+      replay.param_index[u] = ens.param_index[s];
+      replay.replicate[u] = ens.replicate[s];
+      replay.parent[u] = ens.parent[s];
+      replay.theta[u] = ens.theta[s];
+      replay.rho[u] = ens.rho[s];
+      replay.seed[u] = ens.seed[s];
+      replay.stream[u] = ens.stream[s];
+    }
+    capture->resize(unique.size());
+    BatchSink replay_sink;
+    replay_sink.capture = capture.get();
+    sim.run_batch(parents, spec.to_day, replay, 0, unique.size(), replay_sink);
+    for (std::size_t u = 0; u < unique.size(); ++u) {
+      // Cheap tail of the replay-determinism invariant (the full property
+      // is covered in tests/).
+      const auto a = replay.true_cases(u);
+      const auto b = ens.true_cases(unique[u]);
+      if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) {
+        throw std::logic_error(
+            "run_importance_window: non-deterministic replay of sim " +
+            std::to_string(unique[u]) + "; stream discipline violated");
+      }
     }
   }
+  result.state_pool = std::move(capture);
   result.diag.checkpoint_seconds = checkpoint_timer.seconds();
 
   return result;
+}
+
+WindowResult run_importance_window(const Simulator& sim,
+                                   const Likelihood& case_likelihood,
+                                   const Likelihood& death_likelihood,
+                                   const BiasModel& bias,
+                                   const ObservedData& data,
+                                   std::span<const epi::Checkpoint> parents,
+                                   const WindowSpec& spec,
+                                   const ParamProposal& propose) {
+  const std::shared_ptr<StatePool> pool = sim.make_pool();
+  for (const epi::Checkpoint& parent : parents) {
+    pool->append_checkpoint(parent);
+  }
+  return run_importance_window(sim, case_likelihood, death_likelihood, bias,
+                               data, *pool, spec, propose);
 }
 
 }  // namespace epismc::core

@@ -1,21 +1,26 @@
 #pragma once
 
-// Single-window importance sampling (paper Algorithm 1).
+// Single-window importance sampling (paper Algorithm 1), single-pass.
 //
 //   1. Sample (theta_i, s_i, rho_i) from the window proposal.
-//   2. Propagate all tuples through one Simulator::run_batch call over a
-//      structure-of-arrays EnsembleBuffer (OpenMP-parallel inside the
-//      backend; every trajectory owns a counter-based RNG stream addressed
-//      by its identity, so results are independent of thread count).
-//   3. Weight each trajectory by the window likelihood of the observed
-//      case (and optionally death) counts -- bias and likelihood read and
-//      write the buffer's day-major row spans in place.
-//   4. Resample to construct the posterior, then regenerate end-of-window
-//      checkpoints for the unique survivors only via a second, small
-//      run_batch over a survivor ensemble. Regeneration re-runs the
-//      deterministic (seed, stream)-addressed simulation instead of
-//      storing every candidate's state: checkpoints cost memory, re-runs
-//      cost one window of compute, and survivors are few.
+//   2. Propagate all tuples through one fused Simulator::run_batch call
+//      over a structure-of-arrays EnsembleBuffer (OpenMP-parallel inside
+//      the backend; every trajectory owns a counter-based RNG stream
+//      addressed by its identity, so results are independent of thread
+//      count). The same sweep applies the reporting bias, scores the
+//      window likelihood against a precomputed observation cache, and --
+//      under inline capture -- snapshots each sim's end-of-window state
+//      into a typed StatePool, so the ensemble is touched exactly once.
+//   3. Normalize weights with a single log-sum-exp pass shared with the
+//      log-marginal diagnostic, then resample the posterior.
+//   4. Keep end states for the unique resampled survivors only: inline
+//      capture compacts the pool down to the survivors (O(survivors)
+//      pointer moves, no re-simulation, no serialization). CapturePolicy
+//      can instead defer capture to a replay pass over the survivors --
+//      the pre-single-pass behaviour, retained for backends whose states
+//      are too large to hold for every candidate (the ABM's agent arrays
+//      at scale): checkpoints cost memory, re-runs cost one window of
+//      compute, and survivors are few.
 
 #include <cstdint>
 #include <functional>
@@ -26,6 +31,7 @@
 #include "core/likelihood.hpp"
 #include "core/particle.hpp"
 #include "core/simulator.hpp"
+#include "core/state_pool.hpp"
 #include "stats/resampling.hpp"
 
 namespace epismc::core {
@@ -34,13 +40,32 @@ namespace epismc::core {
 struct ProposedParams {
   double theta = 0.0;
   double rho = 1.0;
-  std::uint32_t parent = 0;  // index into the parent-state vector
+  std::uint32_t parent = 0;  // index into the parent-state pool
 };
 
 /// Callable drawing the j-th proposal; receives a dedicated engine whose
 /// stream is derived from (window seed, j) so proposals are reproducible.
 using ParamProposal =
     std::function<ProposedParams(rng::Engine& eng, std::uint32_t j)>;
+
+/// How a window's end-of-window states are captured.
+enum class CapturePolicy : std::uint8_t {
+  /// Inline when n_sims * approx_state_bytes fits the spec's inline
+  /// budget, deferred replay otherwise. The default: compact models
+  /// (SEIR, chain-binomial) capture inline, large agent-array states fall
+  /// back to replay.
+  kAuto,
+  /// Snapshot every sim's end state into the pool during the weighted
+  /// pass; survivors are kept by compaction. No second propagation pass.
+  kInline,
+  /// Propagate the weighted pass without capture, then re-run the unique
+  /// resampled survivors through the window to regenerate their end
+  /// states (bit-identical by stream discipline). The legacy two-pass
+  /// path; costs up to one extra window of compute.
+  kDeferredReplay,
+};
+
+[[nodiscard]] const char* to_string(CapturePolicy policy);
 
 struct WindowSpec {
   std::int32_t from_day = 0;
@@ -54,6 +79,12 @@ struct WindowSpec {
   stats::ResamplingScheme scheme = stats::ResamplingScheme::kSystematic;
   std::uint64_t seed = 0;  // base randomness identity for this window
 
+  /// End-state capture strategy (see CapturePolicy).
+  CapturePolicy capture = CapturePolicy::kAuto;
+  /// kAuto's memory ceiling for inline capture: the peak transient cost of
+  /// holding every candidate's end state, n_sims * approx_state_bytes.
+  std::size_t inline_state_budget = std::size_t{512} << 20;  // 512 MiB
+
   /// Throws std::invalid_argument on an inverted window or zero-sized
   /// budget; `data` (when provided) must cover [from_day, to_day] and
   /// carry a death series whenever use_deaths is set.
@@ -62,11 +93,21 @@ struct WindowSpec {
   void validate(const ObservedData* data = nullptr) const;
 };
 
-/// Run one calibration window; `parents` must outlive the call.
+/// Run one calibration window; `parents` must outlive the call and must
+/// come from this simulator's make_pool().
 /// `case_likelihood` scores the reported-case stream, `death_likelihood`
 /// the death stream (paper eq. 4 composes the two as independent factors;
 /// the streams live on very different count magnitudes, so they get
 /// separate error models).
+[[nodiscard]] WindowResult run_importance_window(
+    const Simulator& sim, const Likelihood& case_likelihood,
+    const Likelihood& death_likelihood, const BiasModel& bias,
+    const ObservedData& data, const StatePool& parents, const WindowSpec& spec,
+    const ParamProposal& propose);
+
+/// io-boundary overload: parent states arrive as portable checkpoints and
+/// are pooled through the simulator's typed converter before the window
+/// runs (one parse per parent).
 [[nodiscard]] WindowResult run_importance_window(
     const Simulator& sim, const Likelihood& case_likelihood,
     const Likelihood& death_likelihood, const BiasModel& bias,
@@ -81,6 +122,15 @@ struct WindowSpec {
     const Simulator& sim, const Likelihood& likelihood, const BiasModel& bias,
     const ObservedData& data, std::span<const epi::Checkpoint> parents,
     const WindowSpec& spec, const ParamProposal& propose) {
+  return run_importance_window(sim, likelihood, likelihood, bias, data,
+                               parents, spec, propose);
+}
+
+/// Pool-parent variant of the single-error-model convenience overload.
+[[nodiscard]] inline WindowResult run_importance_window(
+    const Simulator& sim, const Likelihood& likelihood, const BiasModel& bias,
+    const ObservedData& data, const StatePool& parents, const WindowSpec& spec,
+    const ParamProposal& propose) {
   return run_importance_window(sim, likelihood, likelihood, bias, data,
                                parents, spec, propose);
 }

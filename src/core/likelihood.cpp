@@ -16,6 +16,28 @@ void check_lengths(std::size_t a, std::size_t b) {
 }
 }  // namespace
 
+ObservationCache Likelihood::prepare(std::span<const double> observed) const {
+  ObservationCache cache;
+  cache.owner = this;
+  cache.observed.assign(observed.begin(), observed.end());
+  return cache;
+}
+
+double Likelihood::logpdf(const ObservationCache& cache,
+                          std::span<const double> simulated) const {
+  if (cache.owner != this) {
+    throw std::invalid_argument(
+        "Likelihood::logpdf: observation cache was prepared by a different "
+        "likelihood instance");
+  }
+  return logpdf_cached(cache, simulated);
+}
+
+double Likelihood::logpdf_cached(const ObservationCache& cache,
+                                 std::span<const double> simulated) const {
+  return logpdf(cache.observed, simulated);
+}
+
 GaussianSqrtLikelihood::GaussianSqrtLikelihood(double sigma) : sigma_(sigma) {
   if (!(sigma > 0.0)) {
     throw std::invalid_argument("GaussianSqrtLikelihood: sigma must be > 0");
@@ -30,6 +52,30 @@ double GaussianSqrtLikelihood::logpdf(std::span<const double> observed,
     const double y = std::sqrt(std::max(observed[t], 0.0));
     const double eta = std::sqrt(std::max(simulated[t], 0.0));
     acc += stats::normal_logpdf(y, eta, sigma_);
+  }
+  return acc;
+}
+
+ObservationCache GaussianSqrtLikelihood::prepare(
+    std::span<const double> observed) const {
+  ObservationCache cache;
+  cache.owner = this;
+  cache.t0.resize(observed.size());
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    cache.t0[t] = std::sqrt(std::max(observed[t], 0.0));
+  }
+  return cache;
+}
+
+double GaussianSqrtLikelihood::logpdf_cached(
+    const ObservationCache& cache, std::span<const double> simulated) const {
+  // Same per-day expression as logpdf() with the sqrt(y) transform hoisted
+  // into cache.t0; identical operation order keeps the result bit-equal.
+  check_lengths(cache.t0.size(), simulated.size());
+  double acc = 0.0;
+  for (std::size_t t = 0; t < cache.t0.size(); ++t) {
+    const double eta = std::sqrt(std::max(simulated[t], 0.0));
+    acc += stats::normal_logpdf(cache.t0[t], eta, sigma_);
   }
   return acc;
 }
@@ -54,6 +100,36 @@ double PoissonLikelihood::logpdf(std::span<const double> observed,
   return acc;
 }
 
+ObservationCache PoissonLikelihood::prepare(
+    std::span<const double> observed) const {
+  ObservationCache cache;
+  cache.owner = this;
+  cache.t0.resize(observed.size());
+  cache.t1.resize(observed.size());
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    const auto y = static_cast<std::int64_t>(
+        std::llround(std::max(observed[t], 0.0)));
+    cache.t0[t] = static_cast<double>(y);
+    cache.t1[t] = std::lgamma(static_cast<double>(y) + 1.0);
+  }
+  return cache;
+}
+
+double PoissonLikelihood::logpdf_cached(
+    const ObservationCache& cache, std::span<const double> simulated) const {
+  // poisson_logpmf(y, rate) = y*log(rate) - rate - lgamma(y+1) with y >= 0
+  // and rate >= rate_floor_ > 0, so the pmf's edge branches never fire;
+  // the lgamma term lives in cache.t1 and the remaining expression keeps
+  // the uncached operation order (bit-equal scores).
+  check_lengths(cache.t0.size(), simulated.size());
+  double acc = 0.0;
+  for (std::size_t t = 0; t < cache.t0.size(); ++t) {
+    const double rate = std::max(simulated[t], rate_floor_);
+    acc += cache.t0[t] * std::log(rate) - rate - cache.t1[t];
+  }
+  return acc;
+}
+
 NegBinSqrtLikelihood::NegBinSqrtLikelihood(double dispersion_k)
     : k_(dispersion_k) {
   if (!(dispersion_k > 0.0)) {
@@ -70,6 +146,29 @@ double NegBinSqrtLikelihood::logpdf(std::span<const double> observed,
     const double sd = 0.5 * std::sqrt(1.0 + eta / k_);
     acc += stats::normal_logpdf(std::sqrt(std::max(observed[t], 0.0)),
                                 std::sqrt(eta), sd);
+  }
+  return acc;
+}
+
+ObservationCache NegBinSqrtLikelihood::prepare(
+    std::span<const double> observed) const {
+  ObservationCache cache;
+  cache.owner = this;
+  cache.t0.resize(observed.size());
+  for (std::size_t t = 0; t < observed.size(); ++t) {
+    cache.t0[t] = std::sqrt(std::max(observed[t], 0.0));
+  }
+  return cache;
+}
+
+double NegBinSqrtLikelihood::logpdf_cached(
+    const ObservationCache& cache, std::span<const double> simulated) const {
+  check_lengths(cache.t0.size(), simulated.size());
+  double acc = 0.0;
+  for (std::size_t t = 0; t < cache.t0.size(); ++t) {
+    const double eta = std::max(simulated[t], 0.0);
+    const double sd = 0.5 * std::sqrt(1.0 + eta / k_);
+    acc += stats::normal_logpdf(cache.t0[t], std::sqrt(eta), sd);
   }
   return acc;
 }

@@ -12,8 +12,27 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace epismc::core {
+
+class Likelihood;
+
+/// Per-window cache of observation-side likelihood constants.
+///
+/// A window scores the *same* observed series against every simulated
+/// trajectory -- thousands per window, and for PMMH thousands of windows
+/// over one series -- so everything that depends only on the observations
+/// (sqrt transforms, lgamma(y+1) factorial terms, rounded counts) is
+/// precomputed once by Likelihood::prepare and reused by the cached
+/// logpdf overload. The cached path is arithmetic-order-identical to the
+/// uncached one, so weights stay bit-for-bit reproducible either way.
+struct ObservationCache {
+  const Likelihood* owner = nullptr;  // likelihood that prepared the cache
+  std::vector<double> observed;       // verbatim copy (generic fallback)
+  std::vector<double> t0;             // first per-day transform (model-specific)
+  std::vector<double> t1;             // second per-day transform
+};
 
 class Likelihood {
  public:
@@ -24,7 +43,26 @@ class Likelihood {
                                       std::span<const double> simulated)
       const = 0;
 
+  /// Precompute the observation-side constants for one window of observed
+  /// counts. The default caches the series verbatim; built-ins override to
+  /// hoist their transforms (see ObservationCache).
+  [[nodiscard]] virtual ObservationCache prepare(
+      std::span<const double> observed) const;
+
+  /// Cached window score: bit-identical to logpdf(observed, simulated) for
+  /// the series the cache was prepared from. Throws std::invalid_argument
+  /// when the cache was prepared by a different likelihood instance.
+  [[nodiscard]] double logpdf(const ObservationCache& cache,
+                              std::span<const double> simulated) const;
+
   [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Cached-path implementation; `cache` is guaranteed to come from this
+  /// instance's prepare(). Default falls back to the uncached logpdf over
+  /// the cached observed copy.
+  [[nodiscard]] virtual double logpdf_cached(
+      const ObservationCache& cache, std::span<const double> simulated) const;
 };
 
 /// Gaussian on sqrt-counts with constant sd (the paper's choice, sigma=1).
@@ -32,10 +70,20 @@ class GaussianSqrtLikelihood final : public Likelihood {
  public:
   explicit GaussianSqrtLikelihood(double sigma = 1.0);
 
+  using Likelihood::logpdf;  // keep the cached overload visible
+
   [[nodiscard]] double logpdf(std::span<const double> observed,
                               std::span<const double> simulated) const override;
+  /// Caches sqrt(max(y_t, 0)) per day.
+  [[nodiscard]] ObservationCache prepare(
+      std::span<const double> observed) const override;
   [[nodiscard]] std::string name() const override { return "gaussian-sqrt"; }
   [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ protected:
+  [[nodiscard]] double logpdf_cached(
+      const ObservationCache& cache,
+      std::span<const double> simulated) const override;
 
  private:
   double sigma_;
@@ -46,9 +94,20 @@ class PoissonLikelihood final : public Likelihood {
  public:
   explicit PoissonLikelihood(double rate_floor = 0.5);
 
+  using Likelihood::logpdf;  // keep the cached overload visible
+
   [[nodiscard]] double logpdf(std::span<const double> observed,
                               std::span<const double> simulated) const override;
+  /// Caches the rounded count and its lgamma(y+1) factorial term per day
+  /// -- the lgamma is by far the most expensive part of the Poisson score.
+  [[nodiscard]] ObservationCache prepare(
+      std::span<const double> observed) const override;
   [[nodiscard]] std::string name() const override { return "poisson"; }
+
+ protected:
+  [[nodiscard]] double logpdf_cached(
+      const ObservationCache& cache,
+      std::span<const double> simulated) const override;
 
  private:
   double rate_floor_;
@@ -65,10 +124,20 @@ class NegBinSqrtLikelihood final : public Likelihood {
  public:
   explicit NegBinSqrtLikelihood(double dispersion_k = 500.0);
 
+  using Likelihood::logpdf;  // keep the cached overload visible
+
   [[nodiscard]] double logpdf(std::span<const double> observed,
                               std::span<const double> simulated) const override;
+  /// Caches sqrt(max(y_t, 0)) per day.
+  [[nodiscard]] ObservationCache prepare(
+      std::span<const double> observed) const override;
   [[nodiscard]] std::string name() const override { return "nb-sqrt"; }
   [[nodiscard]] double dispersion() const noexcept { return k_; }
+
+ protected:
+  [[nodiscard]] double logpdf_cached(
+      const ObservationCache& cache,
+      std::span<const double> simulated) const override;
 
  private:
   double k_;
@@ -79,6 +148,8 @@ class NegBinSqrtLikelihood final : public Likelihood {
 class GaussianCountLikelihood final : public Likelihood {
  public:
   explicit GaussianCountLikelihood(double phi = 1.0);
+
+  using Likelihood::logpdf;  // keep the cached overload visible
 
   [[nodiscard]] double logpdf(std::span<const double> observed,
                               std::span<const double> simulated) const override;

@@ -1,10 +1,20 @@
 #include "core/particle.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "stats/descriptive.hpp"
 
 namespace epismc::core {
+
+epi::Checkpoint WindowResult::state_checkpoint(std::uint32_t s) const {
+  if (!state_pool || s >= sim_to_state.size() ||
+      sim_to_state[s] == kNoState) {
+    throw std::logic_error("state_checkpoint: sim " + std::to_string(s) +
+                           " kept no end-of-window state");
+  }
+  return state_pool->to_checkpoint(sim_to_state[s]);
+}
 
 std::vector<double> WindowResult::posterior_thetas() const {
   std::vector<double> out;

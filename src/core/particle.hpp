@@ -12,9 +12,11 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "core/ensemble.hpp"
+#include "core/state_pool.hpp"
 #include "epi/seir_model.hpp"
 
 namespace epismc::core {
@@ -27,8 +29,15 @@ struct WindowDiagnostics {
   double log_marginal = 0.0;    // log (1/N sum w): evidence increment
   std::size_t unique_resampled = 0;
   std::size_t n_sims = 0;
-  double propagate_seconds = 0.0;   // wall time of the batched sweep
-  double checkpoint_seconds = 0.0;  // wall time regenerating end states
+  /// Wall time of the fused batched sweep: propagate + bias + likelihood
+  /// (+ inline end-state capture when inline_capture is set).
+  double propagate_seconds = 0.0;
+  /// Wall time of the deferred end-state replay pass; ~0 under inline
+  /// capture, where end states fall out of the weighted sweep itself.
+  double checkpoint_seconds = 0.0;
+  /// True when end states were captured inline during the weighted pass
+  /// (CapturePolicy resolution; false means the deferred-replay fallback).
+  bool inline_capture = false;
 };
 
 /// Everything produced by calibrating one window.
@@ -42,16 +51,29 @@ struct WindowResult {
   std::vector<double> weights;      // normalized importance weights per sim
   std::vector<std::uint32_t> resampled;  // posterior draws: sim indices
 
-  /// End-of-window checkpoints for the *unique* resampled sims
-  /// (regenerated deterministically; see importance_sampler.cpp).
-  std::vector<epi::Checkpoint> states;
+  /// End-of-window states of the *unique* resampled sims, held in the
+  /// backend's typed state pool (slot u = u-th unique survivor in sim
+  /// order). No byte serialization: the next window, forecasts and the
+  /// api layer branch straight from the pooled typed states; use
+  /// state_checkpoint() to cross the io boundary.
+  std::shared_ptr<StatePool> state_pool;
   static constexpr std::uint32_t kNoState =
       std::numeric_limits<std::uint32_t>::max();
-  std::vector<std::uint32_t> sim_to_state;  // sim index -> slot in states
+  std::vector<std::uint32_t> sim_to_state;  // sim index -> pool slot
 
   WindowDiagnostics diag;
 
   [[nodiscard]] std::size_t n_sims() const noexcept { return ensemble.size(); }
+
+  /// Number of kept end-of-window states (== diag.unique_resampled).
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return state_pool ? state_pool->size() : 0;
+  }
+
+  /// Serialize sim `s`'s end-of-window state into the portable checkpoint
+  /// format (io boundary). Throws std::logic_error when `s` was not a
+  /// resampled survivor (no state was kept for it).
+  [[nodiscard]] epi::Checkpoint state_checkpoint(std::uint32_t s) const;
 
   /// Posterior parameter samples, expanded over the resampled draws.
   [[nodiscard]] std::vector<double> posterior_thetas() const;

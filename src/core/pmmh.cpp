@@ -3,7 +3,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "parallel/parallel.hpp"
 #include "random/seeding.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/weights.hpp"
@@ -49,11 +48,18 @@ PmmhResult run_pmmh(const Simulator& sim, const Likelihood& likelihood,
 
   // Unbiased likelihood estimate: (1/R) sum_r exp(loglik_r) over replicate
   // trajectories, each with its own (iteration, replicate)-addressed
-  // stream. Replicates propagate through one batched sweep into a buffer
-  // that lives across iterations (no per-estimate allocation); the chain
-  // itself is inherently sequential -- that asymmetry is the point of the
-  // comparison.
-  const std::span<const epi::Checkpoint> parents(&init, 1);
+  // stream. Replicates propagate, bias and score through one fused batched
+  // sweep into a buffer that lives across iterations (no per-estimate
+  // allocation); the chain itself is inherently sequential -- that
+  // asymmetry is the point of the comparison. The initial state is pooled
+  // once for the whole chain (the old path re-parsed its checkpoint every
+  // iteration) and the observed window's likelihood constants are
+  // precomputed once -- PMMH re-scores the same window thousands of times.
+  const std::shared_ptr<StatePool> parents = sim.make_pool();
+  parents->append_checkpoint(init);
+  const ObservationCache case_cache = likelihood.prepare(y_cases);
+  const ObservationCache death_cache =
+      config.use_deaths ? likelihood.prepare(y_deaths) : ObservationCache{};
   EnsembleBuffer buf(config.replicates, window_len);
   std::vector<double> logliks(config.replicates);
   std::size_t sims_used = 0;
@@ -68,19 +74,19 @@ PmmhResult run_pmmh(const Simulator& sim, const Likelihood& likelihood,
       buf.seed[r] = config.seed;
       buf.stream[r] = rng::make_stream_id({kEstimateTag, iteration, r}).key;
     }
-    sim.run_batch(parents, config.to_day, buf, 0, config.replicates);
-    // Bias and likelihood on the window-tail rows (init may sit before the
-    // window; run_batch already stored exactly the tail).
-    parallel::parallel_for(config.replicates, [&](std::size_t r) {
-      auto bias_eng =
-          rng::make_engine(config.seed, {kBiasTag, iteration, r});
+    // Fused per-sim tail: bias and likelihood on the window-tail rows
+    // (init may sit before the window; run_batch stores exactly the tail).
+    BatchSink sink;
+    sink.on_sim = [&](std::size_t r) {
+      auto bias_eng = rng::make_engine(config.seed, {kBiasTag, iteration, r});
       bias.apply_into(bias_eng, buf.true_cases(r), rho, buf.obs_cases(r));
-      double ll = likelihood.logpdf(y_cases, buf.obs_cases(r));
+      double ll = likelihood.logpdf(case_cache, buf.obs_cases(r));
       if (config.use_deaths) {
-        ll += likelihood.logpdf(y_deaths, buf.deaths(r));
+        ll += likelihood.logpdf(death_cache, buf.deaths(r));
       }
       logliks[r] = ll;
-    });
+    };
+    sim.run_batch(*parents, config.to_day, buf, 0, config.replicates, sink);
     sims_used += config.replicates;
     return stats::log_sum_exp(logliks) -
            std::log(static_cast<double>(config.replicates));

@@ -4,7 +4,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "parallel/parallel.hpp"
 #include "random/seeding.hpp"
 
 namespace epismc::core {
@@ -66,7 +65,8 @@ Forecast posterior_forecast(const Simulator& sim, const WindowResult& window,
                             std::int32_t horizon_day, std::size_t n_draws,
                             std::uint64_t seed,
                             std::optional<double> theta_override) {
-  if (window.resampled.empty() || window.states.empty()) {
+  if (window.resampled.empty() || !window.state_pool ||
+      window.state_pool->empty()) {
     throw std::invalid_argument("posterior_forecast: window has no posterior");
   }
   if (horizon_day <= window.to_day) {
@@ -80,22 +80,35 @@ Forecast posterior_forecast(const Simulator& sim, const WindowResult& window,
   fc.true_cases.assign(n_draws, {});
   fc.deaths.assign(n_draws, {});
 
-  parallel::parallel_for(n_draws, [&](std::size_t i) {
+  // One batched sweep straight off the window's pooled end states: each
+  // draw branches its typed parent state with a fresh forecast stream (no
+  // checkpoint parsing per draw).
+  const auto horizon_len =
+      static_cast<std::size_t>(horizon_day - window.to_day);
+  EnsembleBuffer buf(n_draws, horizon_len);
+  for (std::size_t i = 0; i < n_draws; ++i) {
     // Cycle over posterior draws; fresh seeds branch new futures.
     const std::uint32_t draw =
         window.resampled[i % window.resampled.size()];
     const std::uint32_t state = window.sim_to_state[draw];
     if (state == WindowResult::kNoState) {
-      throw std::logic_error("posterior_forecast: draw lacks a checkpoint");
+      throw std::logic_error("posterior_forecast: draw lacks an end state");
     }
-    const auto stream = rng::make_stream_id({kForecastTag, i}).key;
-    const double theta = theta_override.value_or(window.ensemble.theta[draw]);
-    WindowRun run = sim.run_window(window.states[state], theta, seed, stream,
-                                   horizon_day,
-                                   /*want_checkpoint=*/false);
-    fc.true_cases[i] = std::move(run.true_cases);
-    fc.deaths[i] = std::move(run.deaths);
-  });
+    buf.param_index[i] = draw;
+    buf.replicate[i] = static_cast<std::uint32_t>(i);
+    buf.parent[i] = state;
+    buf.theta[i] = theta_override.value_or(window.ensemble.theta[draw]);
+    buf.rho[i] = window.ensemble.rho[draw];
+    buf.seed[i] = seed;
+    buf.stream[i] = rng::make_stream_id({kForecastTag, i}).key;
+  }
+  sim.run_batch(*window.state_pool, horizon_day, buf, 0, n_draws);
+  for (std::size_t i = 0; i < n_draws; ++i) {
+    const auto cases = buf.true_cases(i);
+    fc.true_cases[i].assign(cases.begin(), cases.end());
+    const auto deaths = buf.deaths(i);
+    fc.deaths[i].assign(deaths.begin(), deaths.end());
+  }
   return fc;
 }
 

@@ -71,10 +71,10 @@ SequentialCalibrator::SequentialCalibrator(const Simulator& sim,
 }
 
 const epi::Checkpoint& SequentialCalibrator::initial_state() const {
-  if (initial_.empty()) {
+  if (!initial_pool_ || initial_pool_->empty()) {
     throw std::logic_error("SequentialCalibrator: no window has run yet");
   }
-  return initial_.front();
+  return initial_ckpt_;
 }
 
 const WindowResult& SequentialCalibrator::run_next_window() {
@@ -95,13 +95,17 @@ const WindowResult& SequentialCalibrator::run_next_window() {
   spec.use_deaths = config_.use_deaths;
   spec.scheme = config_.scheme;
   spec.seed = rng::hash_combine(config_.seed, m);
+  spec.capture = config_.capture;
+  spec.inline_state_budget = config_.inline_state_budget;
 
   if (m == 0) {
     // Shared initial state; with the default burnin_day = 0 every particle
-    // simulates its own early path and only the seeding is shared.
-    initial_.clear();
-    initial_.push_back(sim_.initial_state(
-        config_.burnin_day, rng::hash_combine(config_.seed, 0x494E4954ull)));
+    // simulates its own early path and only the seeding is shared. The
+    // checkpoint crosses the io boundary exactly once, into the pool.
+    initial_ckpt_ = sim_.initial_state(
+        config_.burnin_day, rng::hash_combine(config_.seed, 0x494E4954ull));
+    initial_pool_ = sim_.make_pool();
+    initial_pool_->append_checkpoint(initial_ckpt_);
 
     const Prior& theta_prior = *config_.theta_prior;
     const Prior& rho_prior = *config_.rho_prior;
@@ -114,15 +118,16 @@ const WindowResult& SequentialCalibrator::run_next_window() {
       return p;
     };
     results_.push_back(run_importance_window(sim_, *likelihood_,
-                                             *death_likelihood_, *bias_,
-                                             data_, initial_, spec, propose));
+                                             *death_likelihood_, *bias_, data_,
+                                             *initial_pool_, spec, propose));
     return results_.back();
   }
 
   // Later windows: posterior draws of window m-1 are the proposal centers,
-  // and their checkpointed end states are the restart points.
+  // and their pooled end states are the restart points -- live typed
+  // states, never re-parsed from bytes.
   const WindowResult& prev = results_[m - 1];
-  if (prev.states.empty()) {
+  if (!prev.state_pool || prev.state_pool->empty()) {
     throw std::logic_error("SequentialCalibrator: previous window kept no states");
   }
   const bool needs_rho = bias_->uses_rho();
@@ -151,7 +156,7 @@ const WindowResult& SequentialCalibrator::run_next_window() {
   };
   results_.push_back(run_importance_window(sim_, *likelihood_,
                                            *death_likelihood_, *bias_, data_,
-                                           prev.states, spec, propose));
+                                           *prev.state_pool, spec, propose));
   return results_.back();
 }
 

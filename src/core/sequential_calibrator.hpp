@@ -73,6 +73,12 @@ struct CalibrationConfig {
   /// the standard remedy for the degeneracy risk §VI discusses.
   double defensive_fraction = 0.10;
 
+  /// End-state capture strategy per window (see core::CapturePolicy):
+  /// inline single-pass capture by default, with the deferred replay
+  /// fallback when states are too large to hold for every candidate.
+  CapturePolicy capture = CapturePolicy::kAuto;
+  std::size_t inline_state_budget = std::size_t{512} << 20;  // kAuto ceiling
+
   void validate() const;
 };
 
@@ -109,7 +115,8 @@ class SequentialCalibrator {
   std::unique_ptr<Likelihood> likelihood_;
   std::unique_ptr<Likelihood> death_likelihood_;
   std::unique_ptr<BiasModel> bias_;
-  std::vector<epi::Checkpoint> initial_;  // single shared burn-in state
+  epi::Checkpoint initial_ckpt_;           // io-boundary copy (initial_state())
+  std::shared_ptr<StatePool> initial_pool_;  // pooled shared burn-in state
   std::vector<WindowResult> results_;
 };
 

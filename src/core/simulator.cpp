@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/batch_runner.hpp"
 #include "parallel/parallel.hpp"
@@ -45,6 +46,69 @@ void Simulator::validate_batch_args(
                               std::to_string(buffer.parent[s]) + " of " +
                               std::to_string(parents.size()));
     }
+  }
+}
+
+void Simulator::validate_batch_args(const StatePool& parents,
+                                    const EnsembleBuffer& buffer,
+                                    std::size_t first, std::size_t count,
+                                    const BatchSink& sink) const {
+  if (first + count > buffer.size()) {
+    throw std::out_of_range("run_batch: sim range [" + std::to_string(first) +
+                            ", " + std::to_string(first + count) +
+                            ") exceeds the buffer (" +
+                            std::to_string(buffer.size()) + " sims)");
+  }
+  if (sink.capture != nullptr && sink.capture->size() < first + count) {
+    throw std::invalid_argument(
+        "run_batch: capture pool has " + std::to_string(sink.capture->size()) +
+        " slots but the range needs " + std::to_string(first + count));
+  }
+  for (std::size_t s = first; s < first + count; ++s) {
+    if (buffer.parent[s] >= parents.size()) {
+      throw std::out_of_range("run_batch: sim " + std::to_string(s) +
+                              " references parent " +
+                              std::to_string(buffer.parent[s]) + " of " +
+                              std::to_string(parents.size()));
+    }
+  }
+}
+
+std::unique_ptr<StatePool> Simulator::make_pool() const {
+  return std::make_unique<CheckpointStatePool>();
+}
+
+void Simulator::run_batch(const StatePool& parents, std::int32_t to_day,
+                          EnsembleBuffer& buffer, std::size_t first,
+                          std::size_t count, const BatchSink& sink) const {
+  // Generic bridge: convert the pool parents across the checkpoint io
+  // boundary (once per referenced parent) and dispatch through the
+  // *virtual* checkpoint-span run_batch, so a custom simulator's native
+  // span batch engine keeps being honored on the pool-driven hot path;
+  // simulators with neither override fall through to the per-sim
+  // run_window reference loop. Capture and the fused hook are applied
+  // after the span batch returns -- same per-sim values, one extra sweep,
+  // only on this compatibility path.
+  validate_batch_args(parents, buffer, first, count, sink);
+  std::vector<epi::Checkpoint> parent_ckpts(parents.size());
+  std::vector<char> referenced(parents.size(), 0);
+  for (std::size_t s = first; s < first + count; ++s) {
+    referenced[buffer.parent[s]] = 1;
+  }
+  for (std::size_t p = 0; p < parents.size(); ++p) {
+    if (referenced[p]) parent_ckpts[p] = parents.to_checkpoint(p);
+  }
+
+  std::vector<epi::Checkpoint> end_states(
+      sink.capture != nullptr ? count : 0);
+  run_batch(parent_ckpts, to_day, buffer, first, count, end_states);
+  if (sink.capture != nullptr) {
+    parallel::parallel_for(count, [&](std::size_t i) {
+      sink.capture->set_from_checkpoint(first + i, end_states[i]);
+    });
+  }
+  if (sink.on_sim) {
+    parallel::parallel_for(count, [&](std::size_t i) { sink.on_sim(first + i); });
   }
 }
 
@@ -94,13 +158,25 @@ WindowRun SeirSimulator::run_window(const epi::Checkpoint& state, double theta,
   return extract_window(model, from_day, to_day, want_checkpoint);
 }
 
+std::unique_ptr<StatePool> SeirSimulator::make_pool() const {
+  return std::make_unique<ModelStatePool<epi::SeirModel>>();
+}
+
+void SeirSimulator::run_batch(const StatePool& parents, std::int32_t to_day,
+                              EnsembleBuffer& buffer, std::size_t first,
+                              std::size_t count, const BatchSink& sink) const {
+  validate_batch_args(parents, buffer, first, count, sink);
+  detail::run_batch_fused<epi::SeirModel>(parents, to_day, buffer, first,
+                                          count, sink, name());
+}
+
 void SeirSimulator::run_batch(std::span<const epi::Checkpoint> parents,
                               std::int32_t to_day, EnsembleBuffer& buffer,
                               std::size_t first, std::size_t count,
                               std::span<epi::Checkpoint> end_states) const {
   validate_batch_args(parents, buffer, first, count, end_states);
   detail::run_batch_copying<epi::SeirModel>(parents, to_day, buffer, first,
-                                            count, end_states);
+                                            count, end_states, name());
 }
 
 epi::Checkpoint ChainBinomialSimulator::initial_state(std::int32_t day,
@@ -131,13 +207,27 @@ WindowRun ChainBinomialSimulator::run_window(const epi::Checkpoint& state,
   return extract_window(model, from_day, to_day, want_checkpoint);
 }
 
+std::unique_ptr<StatePool> ChainBinomialSimulator::make_pool() const {
+  return std::make_unique<ModelStatePool<epi::ChainBinomialModel>>();
+}
+
+void ChainBinomialSimulator::run_batch(const StatePool& parents,
+                                       std::int32_t to_day,
+                                       EnsembleBuffer& buffer,
+                                       std::size_t first, std::size_t count,
+                                       const BatchSink& sink) const {
+  validate_batch_args(parents, buffer, first, count, sink);
+  detail::run_batch_fused<epi::ChainBinomialModel>(parents, to_day, buffer,
+                                                   first, count, sink, name());
+}
+
 void ChainBinomialSimulator::run_batch(
     std::span<const epi::Checkpoint> parents, std::int32_t to_day,
     EnsembleBuffer& buffer, std::size_t first, std::size_t count,
     std::span<epi::Checkpoint> end_states) const {
   validate_batch_args(parents, buffer, first, count, end_states);
-  detail::run_batch_copying<epi::ChainBinomialModel>(parents, to_day, buffer,
-                                                     first, count, end_states);
+  detail::run_batch_copying<epi::ChainBinomialModel>(
+      parents, to_day, buffer, first, count, end_states, name());
 }
 
 }  // namespace epismc::core

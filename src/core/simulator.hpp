@@ -4,31 +4,36 @@
 //
 // The calibration loop needs three things from a disease simulator:
 //  (1) a common initial state at the calibration start (shared burn-in),
-//  (2) "branch from this checkpointed state with a new (theta, seed) and
-//      run through day T", returning the window's output series,
-//  (3) optionally the end-of-window checkpoint for the next window.
+//  (2) "branch from this parent state with a new (theta, seed) and run
+//      through day T", returning the window's output series,
+//  (3) the end-of-window states that seed the next window.
 //
 // Anything meeting this contract can be calibrated -- the event-driven SEIR
 // model, the chain-binomial baseline, and the agent-based model extension
 // all implement it, which is the paper's claim that the approach "applies
 // equally well to other stochastic simulation models".
 //
-// The hot path drives simulators through run_batch: one call propagates a
-// contiguous range of an EnsembleBuffer (OpenMP-parallel inside), writing
-// the window series straight into the buffer's day-major rows. The base
-// class provides a reference implementation in terms of run_window, so a
-// custom registry simulator only has to implement run_window; the built-in
-// backends override run_batch with engines that parse each parent
-// checkpoint once and branch per-thread scratch copies instead of
-// re-deserializing state per trajectory.
+// The hot path drives simulators through the pool-based run_batch: one call
+// propagates a contiguous range of an EnsembleBuffer (OpenMP-parallel
+// inside) from typed StatePool parents, writing the window series straight
+// into the buffer's day-major rows. A BatchSink fuses the rest of the
+// window into the same sweep: end states are captured into a typed pool
+// and a per-sim hook (bias + likelihood in the importance sampler) runs as
+// soon as a row is filled, so the ensemble is swept once. The base class
+// bridges everything through run_window and epi::Checkpoint conversion, so
+// a custom registry simulator only has to implement run_window; built-in
+// backends override make_pool/run_batch with engines that copy-and-branch
+// pooled prototype models with zero (de)serialization.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/ensemble.hpp"
+#include "core/state_pool.hpp"
 #include "epi/chain_binomial.hpp"
 #include "epi/parameters.hpp"
 #include "epi/schedule.hpp"
@@ -41,6 +46,22 @@ struct WindowRun {
   std::vector<double> true_cases;  // daily new infections, window days
   std::vector<double> deaths;      // daily new deaths, window days
   epi::Checkpoint end_state;       // filled iff want_checkpoint
+};
+
+/// Fused per-sim outputs of a batched sweep. Everything is optional; the
+/// default sink reproduces a plain propagate-only pass.
+struct BatchSink {
+  /// When non-null, sim s's end-of-window state is captured into pool
+  /// slot s (the pool must already span the propagated range). Capture
+  /// happens inside the parallel loop, straight from the just-propagated
+  /// model -- the inline replacement for the old checkpoint-replay pass.
+  StatePool* capture = nullptr;
+
+  /// When set, called as on_sim(s) inside the parallel loop after sim s's
+  /// buffer rows are final (and after capture). Must be thread-safe and
+  /// depend only on s -- the same determinism contract as the loop body.
+  /// The importance sampler folds bias + likelihood scoring in here.
+  std::function<void(std::size_t)> on_sim;
 };
 
 class Simulator {
@@ -61,21 +82,36 @@ class Simulator {
                                              std::int32_t to_day,
                                              bool want_checkpoint) const = 0;
 
-  /// Propagate sims [first, first + count) of `buffer` through `to_day`:
-  /// for each sim s, read its (parent, theta, seed, stream) columns, run
-  /// the branched trajectory, and store the window tail of the true-case
-  /// and death series into the buffer rows (EnsembleBuffer::store_tail).
-  /// When `end_states` is non-empty it must have exactly `count` entries;
-  /// end_states[i] then receives sim (first + i)'s end-of-window checkpoint
-  /// (the replay pass regenerating survivor states).
+  /// An empty state pool of this backend's native representation. The
+  /// default is the byte-blob CheckpointStatePool (custom simulators keep
+  /// their historical cost model); built-in backends return typed
+  /// ModelStatePool<Model> pools.
+  [[nodiscard]] virtual std::unique_ptr<StatePool> make_pool() const;
+
+  /// Single-pass batch kernel: propagate sims [first, first + count) of
+  /// `buffer` through `to_day`. For each sim s, read its (parent, theta,
+  /// seed, stream) columns -- `parent` indexes a slot of `parents` -- run
+  /// the branched trajectory, store the window tail of the true-case and
+  /// death series into the buffer rows, then apply the sink (end-state
+  /// capture into a pool slot, fused per-sim hook).
   ///
   /// Parallel inside (OpenMP over the range); results are independent of
-  /// the thread count because every trajectory's randomness is addressed by
-  /// its (seed, stream) columns. run_window must therefore be thread-safe
-  /// -- the same contract the per-sim particle loop has always imposed.
-  /// The default implementation is the per-sim reference path: one
-  /// run_window call per trajectory, so custom registry simulators work
-  /// unchanged; built-in backends override it with batch engines.
+  /// the thread count because every trajectory's randomness is addressed
+  /// by its (seed, stream) columns. The default implementation converts
+  /// the parents across the pool's checkpoint io boundary (once per
+  /// referenced parent) and dispatches through the virtual checkpoint-span
+  /// overload below -- so custom registry simulators work unchanged,
+  /// including any native span batch engine they implemented; built-in
+  /// backends override this overload with fused engines that
+  /// copy-and-branch typed pool prototypes.
+  virtual void run_batch(const StatePool& parents, std::int32_t to_day,
+                         EnsembleBuffer& buffer, std::size_t first,
+                         std::size_t count, const BatchSink& sink = {}) const;
+
+  /// Checkpoint-span compatibility overload: parents arrive as portable
+  /// byte blobs (the io boundary) and end states leave the same way.
+  /// Equivalent to pooling the parents and serializing the capture pool;
+  /// the pool-based overload above is the hot path.
   virtual void run_batch(std::span<const epi::Checkpoint> parents,
                          std::int32_t to_day, EnsembleBuffer& buffer,
                          std::size_t first, std::size_t count,
@@ -92,13 +128,20 @@ class Simulator {
                            const EnsembleBuffer& buffer, std::size_t first,
                            std::size_t count,
                            std::span<const epi::Checkpoint> end_states) const;
+
+  /// Pool-flavoured variant: parent slots within the pool, capture pool
+  /// (when present) spanning the propagated range.
+  void validate_batch_args(const StatePool& parents,
+                           const EnsembleBuffer& buffer, std::size_t first,
+                           std::size_t count, const BatchSink& sink) const;
 };
 
 /// Adapter pinning run_batch to the base-class per-sim reference
-/// implementation (one run_window per trajectory) regardless of any native
-/// batch engine the wrapped backend has. The equivalence tests and the
-/// ensemble benches compare native batch output and throughput against
-/// exactly this path.
+/// implementation (one run_window per trajectory, parents and end states
+/// crossing the checkpoint io boundary) regardless of any native batch
+/// engine the wrapped backend has. The equivalence tests and the ensemble
+/// benches compare native batch output and throughput against exactly this
+/// path.
 class PerSimReference final : public Simulator {
  public:
   explicit PerSimReference(const Simulator& inner) : inner_(inner) {}
@@ -113,6 +156,12 @@ class PerSimReference final : public Simulator {
                                      bool want_checkpoint) const override {
     return inner_.run_window(state, theta, seed, stream, to_day,
                              want_checkpoint);
+  }
+  /// Same pool type as the wrapped backend, so reference and native runs
+  /// produce directly comparable pools -- but run_batch stays the base
+  /// bridge, which reaches the pool only through its checkpoint boundary.
+  [[nodiscard]] std::unique_ptr<StatePool> make_pool() const override {
+    return inner_.make_pool();
   }
   [[nodiscard]] std::string name() const override { return inner_.name(); }
 
@@ -140,6 +189,10 @@ class SeirSimulator final : public Simulator {
                                      std::uint64_t seed, std::uint64_t stream,
                                      std::int32_t to_day,
                                      bool want_checkpoint) const override;
+  [[nodiscard]] std::unique_ptr<StatePool> make_pool() const override;
+  void run_batch(const StatePool& parents, std::int32_t to_day,
+                 EnsembleBuffer& buffer, std::size_t first, std::size_t count,
+                 const BatchSink& sink = {}) const override;
   void run_batch(std::span<const epi::Checkpoint> parents, std::int32_t to_day,
                  EnsembleBuffer& buffer, std::size_t first, std::size_t count,
                  std::span<epi::Checkpoint> end_states = {}) const override;
@@ -162,6 +215,10 @@ class ChainBinomialSimulator final : public Simulator {
                                      std::uint64_t seed, std::uint64_t stream,
                                      std::int32_t to_day,
                                      bool want_checkpoint) const override;
+  [[nodiscard]] std::unique_ptr<StatePool> make_pool() const override;
+  void run_batch(const StatePool& parents, std::int32_t to_day,
+                 EnsembleBuffer& buffer, std::size_t first, std::size_t count,
+                 const BatchSink& sink = {}) const override;
   void run_batch(std::span<const epi::Checkpoint> parents, std::int32_t to_day,
                  EnsembleBuffer& buffer, std::size_t first, std::size_t count,
                  std::span<epi::Checkpoint> end_states = {}) const override;

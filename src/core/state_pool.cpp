@@ -1,0 +1,42 @@
+#include "core/state_pool.hpp"
+
+namespace epismc::core {
+
+std::size_t CheckpointStatePool::size() const noexcept { return slots_.size(); }
+
+void CheckpointStatePool::resize(std::size_t n_slots) {
+  slots_.resize(n_slots);
+}
+
+const epi::Checkpoint& CheckpointStatePool::at(std::size_t slot) const {
+  if (slot >= slots_.size() || slots_[slot].bytes.empty()) {
+    throw_empty_slot(slot);
+  }
+  return slots_[slot];
+}
+
+std::int32_t CheckpointStatePool::day(std::size_t slot) const {
+  return at(slot).day;
+}
+
+void CheckpointStatePool::compact(std::span<const std::uint32_t> keep) {
+  compact_slots(slots_, keep);
+}
+
+epi::Checkpoint CheckpointStatePool::to_checkpoint(std::size_t slot) const {
+  return at(slot);
+}
+
+void CheckpointStatePool::set_from_checkpoint(std::size_t slot,
+                                              const epi::Checkpoint& ckpt) {
+  slots_.at(slot) = ckpt;
+}
+
+std::size_t CheckpointStatePool::approx_state_bytes() const {
+  for (const auto& slot : slots_) {
+    if (!slot.bytes.empty()) return slot.bytes.size();
+  }
+  return 0;
+}
+
+}  // namespace epismc::core

@@ -6,7 +6,7 @@
 namespace epismc::epi {
 
 namespace {
-constexpr std::uint32_t kChainCheckpointVersion = 102;
+constexpr std::uint32_t kChainCheckpointVersion = 103;  // v103: padding-free layout
 }
 
 ChainBinomialModel::ChainBinomialModel(DiseaseParameters params,
@@ -204,7 +204,7 @@ std::int64_t ChainBinomialModel::total_individuals() const noexcept {
 
 Checkpoint ChainBinomialModel::make_checkpoint() const {
   io::BinaryWriter out(kChainCheckpointVersion);
-  out.write(params_);
+  params_.serialize(out);
   transmission_.serialize(out);
   out.write(day_);
   out.write(counts_);
@@ -226,7 +226,7 @@ ChainBinomialModel ChainBinomialModel::restore(const Checkpoint& ckpt,
         "ChainBinomialModel::restore: unsupported checkpoint version");
   }
   ChainBinomialModel m;
-  m.params_ = in.read<DiseaseParameters>();
+  m.params_ = DiseaseParameters::deserialize(in);
   m.transmission_ = PiecewiseSchedule::deserialize(in);
   m.day_ = in.read<std::int32_t>();
   m.counts_ = in.read<Census>();

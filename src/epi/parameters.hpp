@@ -12,6 +12,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "io/binary_archive.hpp"
+
 namespace epismc::epi {
 
 struct DiseaseParameters {
@@ -89,6 +91,65 @@ struct DiseaseParameters {
     }
     fraction(asymptomatic_infectiousness, "asymptomatic_infectiousness");
     fraction(detected_infectiousness, "detected_infectiousness");
+  }
+
+  /// Field-by-field archive layout. Writing the struct wholesale would
+  /// memcpy its alignment padding (an uninitialized 4-byte hole after
+  /// detection_delay) into the checkpoint, making archives of identical
+  /// states byte-unstable across processes; explicit fields keep the
+  /// checkpoint byte stream a pure function of the parameter values.
+  void serialize(io::BinaryWriter& out) const {
+    out.write(population);
+    out.write(latent_period);
+    out.write(presymptomatic_period);
+    out.write(asymptomatic_period);
+    out.write(mild_period);
+    out.write(severe_period);
+    out.write(hospital_period);
+    out.write(hospital_to_icu);
+    out.write(icu_period);
+    out.write(post_icu_period);
+    out.write(erlang_shape);
+    out.write(max_delay);
+    out.write(fraction_symptomatic);
+    out.write(fraction_mild);
+    out.write(fraction_critical);
+    out.write(fraction_death);
+    out.write(detect_asymptomatic);
+    out.write(detect_presymptomatic);
+    out.write(detect_mild);
+    out.write(detect_severe);
+    out.write(detection_delay);
+    out.write(asymptomatic_infectiousness);
+    out.write(detected_infectiousness);
+  }
+
+  [[nodiscard]] static DiseaseParameters deserialize(io::BinaryReader& in) {
+    DiseaseParameters p;
+    p.population = in.read<std::int64_t>();
+    p.latent_period = in.read<double>();
+    p.presymptomatic_period = in.read<double>();
+    p.asymptomatic_period = in.read<double>();
+    p.mild_period = in.read<double>();
+    p.severe_period = in.read<double>();
+    p.hospital_period = in.read<double>();
+    p.hospital_to_icu = in.read<double>();
+    p.icu_period = in.read<double>();
+    p.post_icu_period = in.read<double>();
+    p.erlang_shape = in.read<int>();
+    p.max_delay = in.read<int>();
+    p.fraction_symptomatic = in.read<double>();
+    p.fraction_mild = in.read<double>();
+    p.fraction_critical = in.read<double>();
+    p.fraction_death = in.read<double>();
+    p.detect_asymptomatic = in.read<double>();
+    p.detect_presymptomatic = in.read<double>();
+    p.detect_mild = in.read<double>();
+    p.detect_severe = in.read<double>();
+    p.detection_delay = in.read<int>();
+    p.asymptomatic_infectiousness = in.read<double>();
+    p.detected_infectiousness = in.read<double>();
+    return p;
   }
 };
 

@@ -8,7 +8,7 @@
 namespace epismc::epi {
 
 namespace {
-constexpr std::uint32_t kCheckpointVersion = 2;
+constexpr std::uint32_t kCheckpointVersion = 3;  // v3: padding-free params/trajectory layout
 }
 
 // ---------------------------------------------------------------------------
@@ -348,8 +348,7 @@ std::size_t SeirModel::pending_events() const noexcept {
 Checkpoint SeirModel::make_checkpoint() const {
   io::BinaryWriter out(kCheckpointVersion);
 
-  static_assert(std::is_trivially_copyable_v<DiseaseParameters>);
-  out.write(params_);
+  params_.serialize(out);
   transmission_.serialize(out);
   out.write(day_);
   out.write(counts_);
@@ -389,7 +388,7 @@ SeirModel SeirModel::restore(const Checkpoint& ckpt,
   }
 
   SeirModel m;
-  m.params_ = in.read<DiseaseParameters>();
+  m.params_ = DiseaseParameters::deserialize(in);
   m.transmission_ = PiecewiseSchedule::deserialize(in);
   m.day_ = in.read<std::int32_t>();
   m.counts_ = in.read<Census>();

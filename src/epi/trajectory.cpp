@@ -51,13 +51,39 @@ void Trajectory::copy_series(std::int64_t DailyRecord::* field,
 }
 
 void Trajectory::serialize(io::BinaryWriter& out) const {
-  static_assert(std::is_trivially_copyable_v<DailyRecord>);
-  out.write_vector(records_);
+  // Field-by-field: DailyRecord carries 4 bytes of alignment padding after
+  // `day`, and writing the structs wholesale would memcpy that
+  // uninitialized hole into the archive -- identical trajectories would
+  // serialize to different bytes across processes.
+  out.write(static_cast<std::uint64_t>(records_.size()));
+  for (const DailyRecord& rec : records_) {
+    out.write(rec.day);
+    out.write(rec.new_infections);
+    out.write(rec.new_detected_cases);
+    out.write(rec.new_deaths);
+    out.write(rec.hospital_census);
+    out.write(rec.icu_census);
+    out.write(rec.infectious_census);
+    out.write(rec.susceptible);
+  }
 }
 
 Trajectory Trajectory::deserialize(io::BinaryReader& in) {
   Trajectory t;
-  t.records_ = in.read_vector<DailyRecord>();
+  const auto n = in.read<std::uint64_t>();
+  t.records_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    DailyRecord rec;
+    rec.day = in.read<std::int32_t>();
+    rec.new_infections = in.read<std::int64_t>();
+    rec.new_detected_cases = in.read<std::int64_t>();
+    rec.new_deaths = in.read<std::int64_t>();
+    rec.hospital_census = in.read<std::int64_t>();
+    rec.icu_census = in.read<std::int64_t>();
+    rec.infectious_census = in.read<std::int64_t>();
+    rec.susceptible = in.read<std::int64_t>();
+    t.records_.push_back(rec);
+  }
   return t;
 }
 

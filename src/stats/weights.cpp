@@ -16,12 +16,9 @@ double log_sum_exp(std::span<const double> x) {
   return m + std::log(acc);
 }
 
-void normalize_log_weights(std::span<const double> log_weights,
-                           std::span<double> out) {
-  if (log_weights.size() != out.size()) {
-    throw std::invalid_argument("normalize_log_weights: size mismatch");
-  }
-  const double lse = log_sum_exp(log_weights);
+namespace {
+void normalize_with_lse(std::span<const double> log_weights,
+                        std::span<double> out, double lse) {
   if (!std::isfinite(lse)) {
     throw std::domain_error(
         "normalize_log_weights: total weight is zero or non-finite");
@@ -30,10 +27,26 @@ void normalize_log_weights(std::span<const double> log_weights,
     out[i] = std::exp(log_weights[i] - lse);
   }
 }
+}  // namespace
+
+void normalize_log_weights(std::span<const double> log_weights,
+                           std::span<double> out) {
+  if (log_weights.size() != out.size()) {
+    throw std::invalid_argument("normalize_log_weights: size mismatch");
+  }
+  normalize_with_lse(log_weights, out, log_sum_exp(log_weights));
+}
 
 std::vector<double> normalize_log_weights(std::span<const double> log_weights) {
   std::vector<double> out(log_weights.size());
   normalize_log_weights(log_weights, out);
+  return out;
+}
+
+std::vector<double> normalize_log_weights(std::span<const double> log_weights,
+                                          double lse) {
+  std::vector<double> out(log_weights.size());
+  normalize_with_lse(log_weights, out, lse);
   return out;
 }
 

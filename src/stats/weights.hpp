@@ -25,6 +25,12 @@ namespace epismc::stats {
 void normalize_log_weights(std::span<const double> log_weights,
                            std::span<double> out);
 
+/// Variant reusing a caller-computed `lse` == log_sum_exp(log_weights), so
+/// a hot path that also needs the log-marginal sweeps the weights once.
+/// Bit-identical to the two-pass form when fed the exact lse value.
+[[nodiscard]] std::vector<double> normalize_log_weights(
+    std::span<const double> log_weights, double lse);
+
 /// Kish effective sample size: (sum w)^2 / sum w^2 for normalized weights.
 [[nodiscard]] double effective_sample_size(std::span<const double> weights);
 

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <numeric>
 
 #include "core/bias_model.hpp"
@@ -135,7 +137,47 @@ TEST(Likelihoods, LengthMismatchRejected) {
   const std::vector<double> y = {1.0, 2.0};
   const std::vector<double> eta = {1.0};
   EXPECT_THROW((void)lik.logpdf(y, eta), std::invalid_argument);
-  EXPECT_THROW((void)lik.logpdf({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)lik.logpdf(std::span<const double>{},
+                                std::span<const double>{}),
+               std::invalid_argument);
+}
+
+TEST(ObservationCaches, CachedScoreIsBitIdenticalForEveryBuiltin) {
+  // The per-window observation cache hoists sqrt/lgamma transforms out of
+  // the per-sim scoring loop; the fused window and PMMH rely on the cached
+  // path reproducing the uncached one bit for bit.
+  const std::vector<double> y = {0.0, 3.0, 41.0, 500.0, 12345.0};
+  const std::vector<double> etas[] = {
+      {0.0, 2.5, 44.0, 480.0, 13000.0},
+      {1.0, 0.0, 41.0, 501.5, 11999.0},
+  };
+  const GaussianSqrtLikelihood gauss(1.3);
+  const PoissonLikelihood poisson(0.5);
+  const NegBinSqrtLikelihood negbin(120.0);
+  const GaussianCountLikelihood count(2.0);
+  for (const Likelihood* lik :
+       {static_cast<const Likelihood*>(&gauss),
+        static_cast<const Likelihood*>(&poisson),
+        static_cast<const Likelihood*>(&negbin),
+        static_cast<const Likelihood*>(&count)}) {
+    const ObservationCache cache = lik->prepare(y);
+    for (const auto& eta : etas) {
+      const double plain = lik->logpdf(y, eta);
+      const double cached = lik->logpdf(cache, eta);
+      std::uint64_t pb, cb;
+      std::memcpy(&pb, &plain, sizeof pb);
+      std::memcpy(&cb, &cached, sizeof cb);
+      EXPECT_EQ(pb, cb) << lik->name();
+    }
+  }
+}
+
+TEST(ObservationCaches, ForeignCacheRejected) {
+  const GaussianSqrtLikelihood a(1.0);
+  const GaussianSqrtLikelihood b(1.0);
+  const std::vector<double> y = {1.0, 2.0};
+  const ObservationCache cache = a.prepare(y);
+  EXPECT_THROW((void)b.logpdf(cache, y), std::invalid_argument);
 }
 
 TEST(LikelihoodFactory, ResolvesNames) {

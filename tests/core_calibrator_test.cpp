@@ -85,18 +85,23 @@ TEST(Calibrator, WindowsRestartFromCheckpoints) {
   // count, so WindowResults never move (this loop exercises exactly that).
   const WindowResult& w1 = session.run_next_window();
   // All first-window end states sit at the window boundary...
-  for (const auto& state : w1.states) EXPECT_EQ(state.day, 33);
+  ASSERT_TRUE(w1.state_pool);
+  for (std::size_t u = 0; u < w1.state_count(); ++u) {
+    EXPECT_EQ(w1.state_pool->day(u), 33);
+  }
   // ...and the shared initial state sits at burnin_day (default 0: each
   // particle owns its full early path).
   EXPECT_EQ(session.initial_state().day, 0);
 
   const WindowResult& w2 = session.run_next_window();
-  // ...and second-window sims branch from those states (parent indices
-  // reference w1.states).
+  // ...and second-window sims branch from those pooled states (parent
+  // indices reference w1's pool slots).
   for (const auto parent : w2.ensemble.parent) {
-    ASSERT_LT(parent, w1.states.size());
+    ASSERT_LT(parent, w1.state_count());
   }
-  for (const auto& state : w2.states) EXPECT_EQ(state.day, 47);
+  for (std::size_t u = 0; u < w2.state_count(); ++u) {
+    EXPECT_EQ(w2.state_pool->day(u), 47);
+  }
 }
 
 TEST(Calibrator, DeathsTightenPosterior) {

@@ -60,10 +60,12 @@ void expect_identical_results(const WindowResult& a, const WindowResult& b) {
     ASSERT_EQ(a.ensemble.stream[s], b.ensemble.stream[s]);
   }
   EXPECT_EQ(a.resampled, b.resampled);
-  ASSERT_EQ(a.states.size(), b.states.size());
-  for (std::size_t u = 0; u < a.states.size(); ++u) {
-    EXPECT_EQ(a.states[u].day, b.states[u].day);
-    EXPECT_EQ(a.states[u].bytes, b.states[u].bytes) << "checkpoint " << u;
+  ASSERT_EQ(a.state_count(), b.state_count());
+  for (std::size_t u = 0; u < a.state_count(); ++u) {
+    const epi::Checkpoint ca = a.state_pool->to_checkpoint(u);
+    const epi::Checkpoint cb = b.state_pool->to_checkpoint(u);
+    EXPECT_EQ(ca.day, cb.day);
+    EXPECT_EQ(ca.bytes, cb.bytes) << "end state " << u;
   }
 }
 
@@ -118,8 +120,8 @@ TEST(EnsembleGolden, BitIdenticalToPreRefactorPerSimPath) {
   EXPECT_EQ(bits(r.diag.ess), 0x3ff1156f5c22ee49ull);
   EXPECT_EQ(resampled_hash, 0xe13bc6ae741509feull);
   EXPECT_EQ(r.diag.unique_resampled, 2u);
-  ASSERT_FALSE(r.states.empty());
-  EXPECT_EQ(r.states[0].day, 33);
+  ASSERT_GT(r.state_count(), 0u);
+  EXPECT_EQ(r.state_pool->day(0), 33);
 }
 
 // ---------------------------------------------------------------------------

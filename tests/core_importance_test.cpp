@@ -105,14 +105,16 @@ TEST(ImportanceWindow, ResultShapesConsistent) {
   for (const double w : result.weights) total += w;
   EXPECT_NEAR(total, 1.0, 1e-9);
 
-  // Every resampled sim has a regenerated end state at the window boundary.
+  // Every resampled sim has a pooled end state at the window boundary.
+  ASSERT_TRUE(result.state_pool);
   for (const auto s : result.resampled) {
     const auto slot = result.sim_to_state[s];
     ASSERT_NE(slot, WindowResult::kNoState);
-    ASSERT_LT(slot, result.states.size());
-    EXPECT_EQ(result.states[slot].day, 33);
+    ASSERT_LT(slot, result.state_count());
+    EXPECT_EQ(result.state_pool->day(slot), 33);
+    EXPECT_EQ(result.state_checkpoint(s).day, 33);
   }
-  EXPECT_EQ(result.states.size(), result.diag.unique_resampled);
+  EXPECT_EQ(result.state_count(), result.diag.unique_resampled);
   EXPECT_GT(result.diag.ess, 1.0);
   EXPECT_LE(result.diag.max_weight, 1.0);
 }

@@ -82,22 +82,23 @@ TEST_F(PipelineTest, WindowsChainThroughCheckpoints) {
     const auto [from, to] = session_->config().windows[m];
     EXPECT_EQ(results[m].from_day, from);
     EXPECT_EQ(results[m].to_day, to);
-    for (const auto& state : results[m].states) {
-      ASSERT_EQ(state.day, to);
+    ASSERT_TRUE(results[m].state_pool);
+    for (std::size_t u = 0; u < results[m].state_count(); ++u) {
+      ASSERT_EQ(results[m].state_pool->day(u), to);
     }
     if (m > 0) {
       for (const auto parent : results[m].ensemble.parent) {
-        ASSERT_LT(parent, results[m - 1].states.size());
+        ASSERT_LT(parent, results[m - 1].state_count());
       }
     }
   }
 }
 
 TEST_F(PipelineTest, PosteriorStatesRestoreAsLiveModels) {
-  // Any checkpointed posterior state is a fully functional simulator:
-  // restorable, conservative, and advanceable.
+  // Any pooled posterior state is a fully functional simulator once it
+  // crosses the io boundary: restorable, conservative, and advanceable.
   const auto& last = session_->results().back();
-  const epi::Checkpoint& state = last.states.front();
+  const epi::Checkpoint state = last.state_pool->to_checkpoint(0);
   epi::SeirModel model = epi::SeirModel::restore(state);
   EXPECT_EQ(model.day(), 75);
   EXPECT_EQ(model.total_individuals(), 400000);

@@ -135,6 +135,73 @@ TEST(Residual, ExactIntegerWeights) {
   EXPECT_EQ(counts[1], 3);
 }
 
+TEST_P(SchemeTest, DeterministicUnderFixedSeed) {
+  // Identical (seed, stream) engines must reproduce the exact index
+  // vector -- the property the window resampling stream discipline (and
+  // the golden tests built on it) rest on.
+  const auto scheme = GetParam();
+  const std::vector<double> weights = {0.05, 0.3, 0.15, 0.4, 0.1};
+  for (const std::size_t n : {3u, 5u, 64u}) {
+    Engine a(987654321, 7);
+    Engine b(987654321, 7);
+    EXPECT_EQ(resample(scheme, a, weights, n), resample(scheme, b, weights, n))
+        << to_string(scheme) << " n=" << n;
+  }
+}
+
+TEST_P(SchemeTest, SingleAtomGetsEveryCopy) {
+  // Fully degenerate weights: every draw must be the atom, for resample
+  // sizes below, equal to, and above the particle count.
+  const auto scheme = GetParam();
+  std::vector<double> weights(6, 0.0);
+  weights[4] = 1.0;
+  Engine eng(20240028);
+  for (const std::size_t n : {1u, 3u, 6u, 17u}) {
+    for (const auto idx : resample(scheme, eng, weights, n)) {
+      ASSERT_EQ(idx, 4u) << to_string(scheme) << " n=" << n;
+    }
+  }
+}
+
+TEST_P(SchemeTest, UniformWeightsExactCopyCountsForLowVarianceSchemes) {
+  // With uniform weights and resample_size an exact multiple of the
+  // particle count, the stratified/systematic/residual schemes must hand
+  // every particle exactly resample_size / n copies (their deterministic
+  // floor component); multinomial is exempt (it only matches in
+  // expectation, which CountsProportionalToWeights covers).
+  const auto scheme = GetParam();
+  if (scheme == ResamplingScheme::kMultinomial) GTEST_SKIP();
+  const std::vector<double> weights(8, 0.125);
+  Engine eng(20240029);
+  for (const std::size_t copies : {1u, 3u}) {
+    const auto idx = resample(scheme, eng, weights, copies * weights.size());
+    std::vector<std::size_t> counts(weights.size(), 0);
+    for (const auto i : idx) ++counts[i];
+    for (const auto c : counts) {
+      EXPECT_EQ(c, copies) << to_string(scheme);
+    }
+  }
+}
+
+TEST(Systematic, FloorCeilCopyCountsWhenResampleSizeDiffersFromN) {
+  // Systematic resampling guarantees each particle floor(N w) or
+  // ceil(N w) copies -- including when the resample size N is not the
+  // particle count (the repo default budget resamples 2500 of 12500).
+  const std::vector<double> weights = {0.37, 0.21, 0.17, 0.25};
+  Engine eng(20240030);
+  for (const std::size_t n : {7u, 50u, 1003u}) {
+    const auto idx = resample_systematic(eng, weights, n);
+    ASSERT_EQ(idx.size(), n);
+    std::vector<double> counts(weights.size(), 0.0);
+    for (const auto i : idx) counts[i] += 1.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      const double expected = static_cast<double>(n) * weights[i];
+      EXPECT_GE(counts[i], std::floor(expected)) << "n=" << n << " i=" << i;
+      EXPECT_LE(counts[i], std::ceil(expected)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
 TEST(UniqueAncestors, CountsDistinct) {
   const std::vector<std::uint32_t> idx = {1, 1, 2, 5, 5, 5, 9};
   EXPECT_EQ(unique_ancestors(idx), 4u);

@@ -58,6 +58,21 @@ TEST(NormalizeLogWeights, NegInfMapsToZero) {
   EXPECT_EQ(w[1], 0.0);
 }
 
+TEST(NormalizeLogWeights, PrecomputedLseVariantMatchesBitForBit) {
+  // The single-pass window computes log_sum_exp once and shares it between
+  // normalization and the log-marginal diagnostic; feeding that exact lse
+  // back in must reproduce the two-pass result bit for bit.
+  const std::vector<double> lw = {-700.0, -702.5, -699.1, -710.0};
+  const double lse = log_sum_exp(lw);
+  const auto two_pass = normalize_log_weights(lw);
+  const auto one_pass = normalize_log_weights(lw, lse);
+  ASSERT_EQ(two_pass.size(), one_pass.size());
+  for (std::size_t i = 0; i < two_pass.size(); ++i) {
+    EXPECT_EQ(two_pass[i], one_pass[i]);
+  }
+  EXPECT_THROW((void)normalize_log_weights(lw, -kInf), std::domain_error);
+}
+
 TEST(NormalizeLogWeights, ThrowsWhenAllVanish) {
   const std::vector<double> lw = {-kInf, -kInf};
   EXPECT_THROW((void)normalize_log_weights(lw), std::domain_error);
