@@ -9,8 +9,18 @@
 //
 //   ./bench_calibration [--n-params=48] [--replicates=4] [--resample=192]
 //                       [--likelihood-k=1] [--abm-population=6000]
+//                       [--abm-populations=6000,60000,500000,2700000]
+//                       [--abm-sweep-params=6] [--abm-sweep-replicates=2]
 //                       [--repeats=2] [--out=BENCH_calibration.json]
-//                       [--check] [--min-speedup=1.0]
+//                       [--check] [--min-speedup=1.0] [--min-abm-speedup=0]
+//
+// The ABM engine sweep runs the same four-window calibration once per
+// --abm-populations entry, 1 thread, fused capture, for the event-driven
+// "fast" engine against the per-agent-scan "reference" engine, recording
+// agent-days/second throughput per cell. The largest population is the
+// paper-scale cell: its fast-vs-reference ratio is reported as
+// abm_1thread_fast_speedup_vs_reference and gated by --min-abm-speedup
+// when --check is set.
 //
 // The default budget resamples as many posterior draws as there are sims
 // (a standard N-from-N SMC configuration) under an nb-sqrt error model
@@ -54,6 +64,30 @@ struct Cell {
   double unique_fraction = 0.0;     // mean unique_resampled / n_sims
 };
 
+struct AbmEngineCell {
+  std::int64_t population = 0;
+  abm::AbmEngine engine = abm::AbmEngine::kFast;
+  std::size_t n_sims = 0;
+  double total_seconds = 0.0;
+  double total_seconds_median = 0.0;
+  double agent_days_per_second = 0.0;
+};
+
+std::vector<std::int64_t> parse_population_list(const std::string& csv) {
+  std::vector<std::int64_t> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (!tok.empty()) out.push_back(std::stoll(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,9 +99,16 @@ int main(int argc, char** argv) {
       args.get_int("resample", static_cast<std::int64_t>(n_params * replicates)));
   const double likelihood_k = args.get_double("likelihood-k", 1.0);
   const auto abm_population = args.get_int("abm-population", 6000);
+  const std::vector<std::int64_t> abm_populations = parse_population_list(
+      args.get_string("abm-populations", "6000,60000,500000,2700000"));
+  const auto abm_sweep_params =
+      static_cast<std::size_t>(args.get_int("abm-sweep-params", 6));
+  const auto abm_sweep_replicates =
+      static_cast<std::size_t>(args.get_int("abm-sweep-replicates", 2));
   const int repeats = static_cast<int>(args.get_int("repeats", 2));
   const bool check = args.get_flag("check");
   const double min_speedup = args.get_double("min-speedup", 1.0);
+  const double min_abm_speedup = args.get_double("min-abm-speedup", 0.0);
   const std::filesystem::path out_path =
       args.get_string("out", "BENCH_calibration.json");
   args.check_unused();
@@ -151,7 +192,84 @@ int main(int argc, char** argv) {
       }
     }
   }
+  // --- ABM engine sweep: fast vs reference across populations, 1 thread.
+  // Same four windows, fused capture; the reduced sim budget keeps the
+  // reference engine's O(population)-per-day cost affordable at the
+  // paper-scale cell.
+  std::vector<AbmEngineCell> abm_cells;
+  parallel::set_threads(1);
+  for (const std::int64_t population : abm_populations) {
+    for (const abm::AbmEngine engine :
+         {abm::AbmEngine::kFast, abm::AbmEngine::kReference}) {
+      api::SimulatorSpec spec;
+      spec.params.population = population;
+      spec.initial_exposed = std::max<std::int64_t>(population / 200, 10);
+      spec.abm.engine = engine;
+      const auto sim = api::simulators().create("abm", spec);
+
+      core::CalibrationConfig cfg;
+      cfg.windows = bench::paper_windows();
+      cfg.n_params = abm_sweep_params;
+      cfg.replicates = abm_sweep_replicates;
+      cfg.resample_size = abm_sweep_params * abm_sweep_replicates;
+      cfg.likelihood_name = "nb-sqrt";
+      cfg.likelihood_parameter = likelihood_k;
+      cfg.capture = core::CapturePolicy::kInline;
+
+      AbmEngineCell cell;
+      cell.population = population;
+      cell.engine = engine;
+      cell.n_sims = cfg.n_params * cfg.replicates;
+
+      std::vector<double> samples;
+      for (int rep = 0; rep < repeats; ++rep) {
+        core::SequentialCalibrator cal(*sim, observed, cfg);
+        parallel::Timer timer;
+        cal.run_all();
+        samples.push_back(timer.seconds());
+      }
+      std::sort(samples.begin(), samples.end());
+      cell.total_seconds = samples.front();
+      cell.total_seconds_median = samples[samples.size() / 2];
+      // Propagated agent-days: each window advances every sim from the
+      // parent day (from_day - 1) to to_day.
+      std::int64_t sim_days = 0;
+      for (const auto& [from_day, to_day] : cfg.windows) {
+        sim_days += (to_day - from_day + 1) *
+                    static_cast<std::int64_t>(cell.n_sims);
+      }
+      cell.agent_days_per_second =
+          static_cast<double>(population) * static_cast<double>(sim_days) /
+          cell.total_seconds;
+      abm_cells.push_back(cell);
+      std::cout << "abm pop " << population << " engine "
+                << abm::to_string(engine) << " @ 1 thread: "
+                << cell.total_seconds * 1e3 << " ms ("
+                << cell.agent_days_per_second / 1e6 << "M agent-days/s)\n";
+    }
+  }
   parallel::set_threads(machine_threads);
+
+  const auto abm_seconds_of = [&](std::int64_t population,
+                                  abm::AbmEngine engine) {
+    for (const AbmEngineCell& c : abm_cells) {
+      if (c.population == population && c.engine == engine) {
+        return c.total_seconds;
+      }
+    }
+    return 0.0;
+  };
+  // The headline speedup is measured at the largest swept population --
+  // the paper-scale cell in the committed run, a reduced cell in CI. The
+  // JSON records that population next to the ratio so artifacts from
+  // different sweep configurations stay comparable.
+  const std::int64_t abm_max_population =
+      abm_populations.empty() ? 0 : abm_populations.back();
+  const double abm_speedup =
+      abm_populations.empty()
+          ? 0.0
+          : abm_seconds_of(abm_max_population, abm::AbmEngine::kReference) /
+                abm_seconds_of(abm_max_population, abm::AbmEngine::kFast);
 
   const auto seconds_of = [&](const std::string& backend, bool fused,
                               int threads) {
@@ -178,6 +296,9 @@ int main(int argc, char** argv) {
       << "  \"repeats\": " << repeats << ",\n"
       << "  \"seir_1thread_fused_speedup_vs_legacy\": " << seir_speedup
       << ",\n"
+      << "  \"abm_sweep_max_population\": " << abm_max_population << ",\n"
+      << "  \"abm_1thread_fast_speedup_vs_reference\": " << abm_speedup
+      << ",\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
@@ -195,15 +316,41 @@ int main(int argc, char** argv) {
                seconds_of(c.backend, true, c.threads)
         << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
+  out << "  ],\n"
+      << "  \"abm_engine_sweep\": [\n";
+  for (std::size_t i = 0; i < abm_cells.size(); ++i) {
+    const AbmEngineCell& c = abm_cells[i];
+    out << "    {\"population\": " << c.population << ", \"engine\": \""
+        << abm::to_string(c.engine) << "\", \"threads\": 1, \"n_sims\": "
+        << c.n_sims << ", \"windows\": " << bench::paper_windows().size()
+        << ",\n"
+        << "     \"total_seconds\": " << c.total_seconds
+        << ", \"total_seconds_median\": " << c.total_seconds_median
+        << ", \"agent_days_per_second\": " << c.agent_days_per_second
+        << ", \"speedup_fast_vs_reference\": "
+        << abm_seconds_of(c.population, abm::AbmEngine::kReference) /
+               abm_seconds_of(c.population, abm::AbmEngine::kFast)
+        << "}" << (i + 1 < abm_cells.size() ? "," : "") << "\n";
+  }
   out << "  ]\n}\n";
   std::cout << "Wrote " << out_path.string()
-            << " (seir 1-thread fused speedup " << seir_speedup << "x)\n";
+            << " (seir 1-thread fused speedup " << seir_speedup
+            << "x, abm fast-vs-reference @ pop " << abm_max_population << " "
+            << abm_speedup << "x)\n";
 
+  bool failed = false;
   if (check && !(seir_speedup >= min_speedup)) {
     std::cerr << "CHECK FAILED: fused path is " << seir_speedup
               << "x the legacy path on seir-event @ 1 thread (required >= "
               << min_speedup << "x)\n";
-    return 1;
+    failed = true;
   }
-  return 0;
+  if (check && min_abm_speedup > 0.0 && !(abm_speedup >= min_abm_speedup)) {
+    std::cerr << "CHECK FAILED: abm fast engine is " << abm_speedup
+              << "x the reference engine @ 1 thread, population "
+              << abm_max_population << " (required >= " << min_abm_speedup
+              << "x)\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
 }

@@ -7,6 +7,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "abm/agent_model.hpp"
 #include "api/components.hpp"
 #include "epi/seir_model.hpp"
 #include "parallel/parallel.hpp"
@@ -96,6 +97,37 @@ void BM_SimulatorDayStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SimulatorDayStep);
+
+void BM_AbmStep(benchmark::State& state) {
+  // One mid-epidemic day of the agent-based model, fast (event-driven)
+  // vs reference (per-agent scans), across populations: the scaling the
+  // calendar-queue engine exists for. The model is restored fresh per
+  // iteration so every measured step sees the same epidemic state.
+  const std::int64_t population = state.range(0);
+  const auto engine = static_cast<abm::AbmEngine>(state.range(1));
+  abm::AbmConfig cfg;
+  cfg.disease.population = population;
+  cfg.engine = engine;
+  abm::AgentBasedModel model(cfg, epi::PiecewiseSchedule(0.3), 7);
+  model.seed_exposed(std::max<std::int64_t>(population / 200, 10));
+  model.run_until_day(40);  // reach a busy regime
+  const epi::Checkpoint base = model.make_checkpoint();
+  for (auto _ : state) {
+    state.PauseTiming();
+    abm::AgentBasedModel m = abm::AgentBasedModel::restore(base);
+    state.ResumeTiming();
+    m.step();
+    benchmark::DoNotOptimize(m.day());
+  }
+  state.SetLabel(std::string(abm::to_string(engine)));
+  state.SetItemsProcessed(population * state.iterations());  // agent-days
+}
+BENCHMARK(BM_AbmStep)
+    ->ArgNames({"population", "engine"})
+    ->ArgsProduct({{20000, 200000, 1000000},
+                   {static_cast<int>(abm::AbmEngine::kFast),
+                    static_cast<int>(abm::AbmEngine::kReference)}})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_SimulatorFullWindow(benchmark::State& state) {
   // A 14-day calibration window branched from a checkpoint: the unit of

@@ -26,6 +26,10 @@ core::WindowRun AbmSimulator::run_window(const epi::Checkpoint& state,
   ovr.stream = stream;
   ovr.transmission_rate = theta;
   AgentBasedModel model = AgentBasedModel::restore(state, ovr);
+  // The simulator's configured engine wins over the checkpoint's: restoring
+  // a reference-engine checkpoint through a fast-engine simulator (or vice
+  // versa) is the supported cross-engine A/B path. No-op when they agree.
+  model.set_engine(config_.abm.engine);
   const std::int32_t from_day = model.day() + 1;
   if (to_day < from_day) {
     throw std::invalid_argument("run_window: to_day before checkpoint day");
@@ -48,8 +52,14 @@ void AbmSimulator::run_batch(const core::StatePool& parents,
                              std::size_t first, std::size_t count,
                              const core::BatchSink& sink) const {
   validate_batch_args(parents, buffer, first, count, sink);
-  core::detail::run_batch_fused<AgentBasedModel>(parents, to_day, buffer,
-                                                 first, count, sink, name());
+  // The prepare hook forces this simulator's configured day-step engine on
+  // every scratch model, so cross-engine parent states are honored on the
+  // batch path exactly like run_window does per sim (no-op when the
+  // checkpoint already carries the configured engine).
+  const AbmEngine engine = config_.abm.engine;
+  core::detail::run_batch_fused<AgentBasedModel>(
+      parents, to_day, buffer, first, count, sink, name(),
+      [engine](AgentBasedModel& m) { m.set_engine(engine); });
 }
 
 void AbmSimulator::run_batch(std::span<const epi::Checkpoint> parents,
@@ -57,8 +67,10 @@ void AbmSimulator::run_batch(std::span<const epi::Checkpoint> parents,
                              std::size_t first, std::size_t count,
                              std::span<epi::Checkpoint> end_states) const {
   validate_batch_args(parents, buffer, first, count, end_states);
+  const AbmEngine engine = config_.abm.engine;
   core::detail::run_batch_copying<AgentBasedModel>(
-      parents, to_day, buffer, first, count, end_states, name());
+      parents, to_day, buffer, first, count, end_states, name(),
+      [engine](AgentBasedModel& m) { m.set_engine(engine); });
 }
 
 }  // namespace epismc::abm

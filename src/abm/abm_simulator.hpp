@@ -24,6 +24,10 @@ class AbmSimulator final : public core::Simulator {
 
   [[nodiscard]] epi::Checkpoint initial_state(std::int32_t day,
                                               std::uint64_t seed) const override;
+  /// Propagates under this simulator's configured day-step engine
+  /// (AbmConfig::engine) regardless of which engine wrote the checkpoint --
+  /// restoring a reference-engine state into the fast engine is the
+  /// supported cross-engine A/B path.
   [[nodiscard]] core::WindowRun run_window(const epi::Checkpoint& state,
                                            double theta, std::uint64_t seed,
                                            std::uint64_t stream,

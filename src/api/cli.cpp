@@ -25,6 +25,9 @@ void configure_session_from_args(CalibrationSession& session,
 
   session.with_simulator(args.get_string("simulator", defaults.simulator));
   session.with_scenario(args.get_string("scenario", defaults.scenario));
+  if (args.has("abm-engine")) {
+    session.with_abm_engine(args.get_string("abm-engine", "fast"));
+  }
   session.with_likelihood(
       args.get_string("likelihood", defaults.likelihood),
       args.get_double("likelihood-param", defaults.likelihood_parameter));

@@ -11,6 +11,7 @@
 //   --likelihood-param=X  likelihood parameter (sigma / dispersion / phi)
 //   --bias=NAME         reporting-bias model   (bias_models() registry)
 //   --jitter=NAME       posterior-jitter preset (jitter_policies() registry)
+//   --abm-engine=NAME   agent-based day-step engine: fast | reference
 //   --threads=N         OpenMP thread count    (parallel::set_threads)
 //   --n-params / --replicates / --resample     simulation budget
 //   --use-deaths        add the death stream (paper eq. 4)

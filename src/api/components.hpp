@@ -31,14 +31,19 @@
 
 namespace epismc::api {
 
-/// Agent-based-model topology knobs (two-level mixing); shared between
-/// SimulatorSpec and ScenarioPreset so the calibration topology and the
-/// truth-generation topology cannot silently diverge. Defaults come from
-/// abm::AbmConfig itself, so retuning the abm layer propagates here.
+/// Agent-based-model knobs (two-level mixing topology plus the day-step
+/// engine); shared between SimulatorSpec and ScenarioPreset so the
+/// calibration setup and the truth-generation setup cannot silently
+/// diverge. Defaults come from abm::AbmConfig itself, so retuning the abm
+/// layer propagates here.
 struct AbmTopology {
   double mean_household_size = abm::AbmConfig{}.mean_household_size;
   double household_share = abm::AbmConfig{}.household_share;
   std::uint64_t network_seed = abm::AbmConfig{}.network_seed;
+  /// Day-step engine: "fast" (event-driven, default) or "reference" (the
+  /// original per-agent scans, kept selectable for A/B equivalence runs);
+  /// see abm::AbmEngine.
+  abm::AbmEngine engine = abm::AbmConfig{}.engine;
 };
 
 /// Backend-agnostic simulator construction parameters. Compartmental
@@ -61,6 +66,7 @@ struct SimulatorSpec {
   cfg.mean_household_size = topology.mean_household_size;
   cfg.household_share = topology.household_share;
   cfg.network_seed = topology.network_seed;
+  cfg.engine = topology.engine;
   return cfg;
 }
 

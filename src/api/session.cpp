@@ -48,6 +48,17 @@ CalibrationSession& CalibrationSession::with_data(core::ObservedData data) {
   return *this;
 }
 
+CalibrationSession& CalibrationSession::with_abm_engine(
+    const std::string& engine_name) {
+  return with_abm_engine(abm::engine_from_name(engine_name));
+}
+
+CalibrationSession& CalibrationSession::with_abm_engine(abm::AbmEngine engine) {
+  require_unbuilt("with_abm_engine");
+  abm_engine_ = engine;
+  return *this;
+}
+
 CalibrationSession& CalibrationSession::with_windows(
     std::vector<std::pair<std::int32_t, std::int32_t>> windows) {
   require_unbuilt("with_windows");
@@ -182,9 +193,10 @@ void CalibrationSession::build() {
         "CalibrationSession: no data -- call with_scenario() or with_data() "
         "before running");
   }
-  const SimulatorSpec spec = spec_override_ ? *spec_override_
-                             : preset_      ? preset_->simulator_spec()
-                                            : SimulatorSpec{};
+  SimulatorSpec spec = spec_override_ ? *spec_override_
+                       : preset_      ? preset_->simulator_spec()
+                                      : SimulatorSpec{};
+  if (abm_engine_) spec.abm.engine = *abm_engine_;
   simulator_ = simulators().create(simulator_name_, spec);
   calibrator_ = std::make_unique<core::SequentialCalibrator>(*simulator_,
                                                              *data_, config_);

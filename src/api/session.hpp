@@ -58,6 +58,11 @@ class CalibrationSession {
   CalibrationSession& with_scenario(ScenarioPreset preset);
   /// Calibrate against user-provided data instead of a synthetic scenario.
   CalibrationSession& with_data(core::ObservedData data);
+  /// Agent-based day-step engine ("fast" | "reference"); applied on top of
+  /// whatever SimulatorSpec the session ends up with (explicit spec or
+  /// scenario-derived). Ignored by the compartmental backends.
+  CalibrationSession& with_abm_engine(const std::string& engine_name);
+  CalibrationSession& with_abm_engine(abm::AbmEngine engine);
 
   // --- Calibration knobs (mirror core::CalibrationConfig). -----------------
   CalibrationSession& with_windows(
@@ -137,6 +142,7 @@ class CalibrationSession {
 
   std::string simulator_name_ = "seir-event";
   std::optional<SimulatorSpec> spec_override_;
+  std::optional<abm::AbmEngine> abm_engine_;
   std::optional<ScenarioPreset> preset_;
   std::optional<core::GroundTruth> truth_;
   std::optional<core::ObservedData> data_;

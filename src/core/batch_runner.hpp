@@ -29,6 +29,7 @@
 #include <stdexcept>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "core/ensemble.hpp"
@@ -57,11 +58,17 @@ auto& typed_pool(Pool& pool, const std::string& backend, const char* role) {
   return *typed;
 }
 
-template <typename Model>
+/// `prepare` runs on each scratch model right after it is copy-assigned
+/// from its prototype and before branch()/propagation -- the hook backends
+/// use to normalize per-model execution configuration that rides along in
+/// checkpoints (the ABM forces its configured day-step engine here, so
+/// cross-engine parent states are honored on the batch path exactly like
+/// AbmSimulator::run_window does per sim).
+template <typename Model, typename PrepareFn>
 void run_batch_fused(const StatePool& parents_erased, std::int32_t to_day,
                      EnsembleBuffer& buffer, std::size_t first,
                      std::size_t count, const BatchSink& sink,
-                     const std::string& backend) {
+                     const std::string& backend, PrepareFn&& prepare) {
   const ModelStatePool<Model>& parents =
       typed_pool<Model>(parents_erased, backend, "parent");
   ModelStatePool<Model>* capture =
@@ -88,6 +95,7 @@ void run_batch_fused(const StatePool& parents_erased, std::int32_t to_day,
       *ws.model = proto;
     }
     Model& m = *ws.model;
+    prepare(m);
     m.branch(buffer.seed[s], buffer.stream[s], buffer.theta[s]);
     const std::int32_t from_day = m.day() + 1;
     m.run_until_day(to_day);
@@ -104,17 +112,26 @@ void run_batch_fused(const StatePool& parents_erased, std::int32_t to_day,
   });
 }
 
+template <typename Model>
+void run_batch_fused(const StatePool& parents_erased, std::int32_t to_day,
+                     EnsembleBuffer& buffer, std::size_t first,
+                     std::size_t count, const BatchSink& sink,
+                     const std::string& backend) {
+  run_batch_fused<Model>(parents_erased, to_day, buffer, first, count, sink,
+                         backend, [](Model&) {});
+}
+
 /// Checkpoint-span compatibility engine: pool the parents (one parse per
 /// parent, exactly the old prototype step), run the fused kernel, and
 /// serialize the capture pool back into `end_states`. Keeps the legacy
 /// run_batch overload byte-for-byte equivalent to its historical
 /// behaviour while sharing the single fused loop above.
-template <typename Model>
+template <typename Model, typename PrepareFn>
 void run_batch_copying(std::span<const epi::Checkpoint> parents,
                        std::int32_t to_day, EnsembleBuffer& buffer,
                        std::size_t first, std::size_t count,
                        std::span<epi::Checkpoint> end_states,
-                       const std::string& backend) {
+                       const std::string& backend, PrepareFn&& prepare) {
   ModelStatePool<Model> pool;
   pool.resize(parents.size());
   for (std::size_t p = 0; p < parents.size(); ++p) {
@@ -127,10 +144,21 @@ void run_batch_copying(std::span<const epi::Checkpoint> parents,
     capture.resize(first + count);
     sink.capture = &capture;
   }
-  run_batch_fused<Model>(pool, to_day, buffer, first, count, sink, backend);
+  run_batch_fused<Model>(pool, to_day, buffer, first, count, sink, backend,
+                         std::forward<PrepareFn>(prepare));
   for (std::size_t i = 0; i < end_states.size(); ++i) {
     end_states[i] = capture.to_checkpoint(first + i);
   }
+}
+
+template <typename Model>
+void run_batch_copying(std::span<const epi::Checkpoint> parents,
+                       std::int32_t to_day, EnsembleBuffer& buffer,
+                       std::size_t first, std::size_t count,
+                       std::span<epi::Checkpoint> end_states,
+                       const std::string& backend) {
+  run_batch_copying<Model>(parents, to_day, buffer, first, count, end_states,
+                           backend, [](Model&) {});
 }
 
 }  // namespace epismc::core::detail

@@ -90,6 +90,53 @@ inline constexpr std::size_t kCompartmentCount =
   }
 }
 
+/// Infectiousness weight classes. Every infectious compartment carries one
+/// of four relative transmission weights (asymptomatic and detected states
+/// are down-weighted); grouping compartments by class lets per-group
+/// bookkeeping (e.g. the ABM's household pressure table) stay integral --
+/// exact counts per class instead of drift-prone incremental doubles.
+inline constexpr int kInfectiousnessClassCount = 4;
+
+/// Class of a compartment: 0 = asymptomatic undetected, 1 = asymptomatic
+/// detected, 2 = symptomatic undetected, 3 = symptomatic detected, -1 = not
+/// infectious.
+[[nodiscard]] constexpr int infectiousness_class(Compartment c) noexcept {
+  switch (c) {
+    case Compartment::kAu: return 0;
+    case Compartment::kAd: return 1;
+    case Compartment::kPu:
+    case Compartment::kSmU:
+    case Compartment::kSsU: return 2;
+    case Compartment::kPd:
+    case Compartment::kSmD:
+    case Compartment::kSsD: return 3;
+    default: return -1;
+  }
+}
+
+/// Per-class relative transmission weights given the two multipliers of
+/// DiseaseParameters (asymptomatic_infectiousness, detected_infectiousness).
+/// Index with infectiousness_class(); matches weight-per-compartment
+/// evaluation exactly.
+[[nodiscard]] constexpr std::array<double, kInfectiousnessClassCount>
+infectiousness_class_weights(double asymptomatic_infectiousness,
+                             double detected_infectiousness) noexcept {
+  return {asymptomatic_infectiousness,
+          asymptomatic_infectiousness * detected_infectiousness, 1.0,
+          detected_infectiousness};
+}
+
+/// Infectiousness weight of a single compartment (0 if not infectious).
+[[nodiscard]] constexpr double infectiousness_weight(
+    Compartment c, double asymptomatic_infectiousness,
+    double detected_infectiousness) noexcept {
+  const int cls = infectiousness_class(c);
+  if (cls < 0) return 0.0;
+  return infectiousness_class_weights(asymptomatic_infectiousness,
+                                      detected_infectiousness)[
+      static_cast<std::size_t>(cls)];
+}
+
 /// Census vector type: one count per compartment.
 using Census = std::array<std::int64_t, kCompartmentCount>;
 

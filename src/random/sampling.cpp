@@ -1,0 +1,50 @@
+#include "random/sampling.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace epismc::rng {
+
+namespace detail {
+
+void check_subset_size(std::size_t n, std::size_t k) {
+  if (k > n) {
+    throw std::invalid_argument(
+        "sample without replacement: subset size " + std::to_string(k) +
+        " exceeds population size " + std::to_string(n));
+  }
+}
+
+}  // namespace detail
+
+void sample_without_replacement(Engine& eng, std::uint64_t n, std::size_t k,
+                                std::vector<std::uint64_t>& out) {
+  detail::check_subset_size(static_cast<std::size_t>(n), k);
+  // Floyd's algorithm: the j-th pick is uniform over [0, n - k + j + 1); a
+  // collision with an earlier pick resolves to n - k + j, which is fresh by
+  // construction. The linear membership scan is over at most k earlier
+  // picks -- callers with huge k should prefer partial_fisher_yates over a
+  // materialized index list instead.
+  const std::size_t base = out.size();
+  out.reserve(base + k);
+  for (std::size_t j = 0; j < k; ++j) {
+    const std::uint64_t bound = n - static_cast<std::uint64_t>(k) + j + 1;
+    std::uint64_t pick = uniform_int(eng, bound);
+    if (std::find(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+                  pick) != out.end()) {
+      pick = bound - 1;
+    }
+    out.push_back(pick);
+  }
+}
+
+std::vector<std::uint64_t> sample_without_replacement(Engine& eng,
+                                                      std::uint64_t n,
+                                                      std::size_t k) {
+  std::vector<std::uint64_t> out;
+  sample_without_replacement(eng, n, k, out);
+  return out;
+}
+
+}  // namespace epismc::rng

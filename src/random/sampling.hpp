@@ -1,0 +1,64 @@
+#pragma once
+
+// Sampling without replacement over the canonical PhiloxEngine.
+//
+// The partial Fisher-Yates shuffle is the workhorse of the event-driven
+// ABM infection step: picking the k community-infection victims out of the
+// maintained susceptible index list costs O(k) swaps, independent of the
+// list length -- no accept/reject loop whose expected work blows up as the
+// acceptable set shrinks. The swap-callback form exists because callers
+// (the ABM) mirror every swap into a position index; the span form covers
+// plain arrays. Floyd's algorithm complements it for sampling from a
+// virtual range [0, n) with no backing storage.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "random/distributions.hpp"
+
+namespace epismc::rng {
+
+namespace detail {
+/// Throws std::invalid_argument when k > n.
+void check_subset_size(std::size_t n, std::size_t k);
+}  // namespace detail
+
+/// Partial Fisher-Yates over a virtual n-element sequence: after the call,
+/// positions [0, k) hold a uniform k-subset in uniform random order.
+/// Storage stays with the caller: swap_fn(i, j) must exchange the elements
+/// at positions i and j (called only with i < j, never i == j). Consumes
+/// exactly k engine draws. Requires k <= n (checked).
+template <typename SwapFn>
+void partial_fisher_yates(Engine& eng, std::size_t n, std::size_t k,
+                          SwapFn&& swap_fn) {
+  detail::check_subset_size(n, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(
+                uniform_int(eng, static_cast<std::uint64_t>(n - i)));
+    if (j != i) swap_fn(i, j);
+  }
+}
+
+/// In-place overload: moves a uniform k-subset of `items` into items[0, k).
+template <typename T>
+void partial_fisher_yates(Engine& eng, std::span<T> items, std::size_t k) {
+  partial_fisher_yates(eng, items.size(), k, [&](std::size_t i, std::size_t j) {
+    using std::swap;
+    swap(items[i], items[j]);
+  });
+}
+
+/// Uniform k-subset of {0, ..., n-1} without replacement, appended to `out`
+/// in draw order (Floyd's algorithm: O(k) draws and O(k) memory, no O(n)
+/// index array). Requires k <= n (checked).
+void sample_without_replacement(Engine& eng, std::uint64_t n, std::size_t k,
+                                std::vector<std::uint64_t>& out);
+
+/// Convenience overload returning a fresh vector.
+[[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(
+    Engine& eng, std::uint64_t n, std::size_t k);
+
+}  // namespace epismc::rng

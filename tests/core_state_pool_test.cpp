@@ -144,8 +144,13 @@ INSTANTIATE_TEST_SUITE_P(
                    0xc48da3dcf7cfe392ull, 0x8fde80aed27c1728ull},
         GoldenCase{"chain-binomial", 300000, 40, 0xfeca5faecc4fc54eull,
                    0x0689ab91f6ca21e6ull, 0xfcc13215320f1b63ull},
-        GoldenCase{"abm", 4000, 12, 0xfd15b6a2095df446ull,
-                   0xdeecb092f7084342ull, 0x222e584ce5699a75ull}),
+        // ABM hashes re-captured when the event-driven engine landed: the
+        // default "abm" backend is now the fast engine and seed_exposed
+        // draws via partial Fisher-Yates, so the realization (not the
+        // mechanics under test) changed. Both capture policies still must
+        // agree bit for bit on these values.
+        GoldenCase{"abm", 4000, 12, 0x178a394aca327b30ull,
+                   0xf9143588101a3743ull, 0x4e3e06c856e7f69bull}),
     [](const ::testing::TestParamInfo<GoldenCase>& info) {
       std::string n = info.param.name;
       std::replace(n.begin(), n.end(), '-', '_');

@@ -1,0 +1,137 @@
+// Sampling-without-replacement helpers: subset validity (distinct,
+// in-range), uniformity of the partial Fisher-Yates prefix and of Floyd's
+// algorithm, draw-count discipline, and argument validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "random/sampling.hpp"
+
+namespace {
+
+using namespace epismc::rng;
+
+TEST(PartialFisherYates, PrefixIsDistinctSubsetOfInput) {
+  Engine eng(11);
+  std::vector<std::uint32_t> items(100);
+  std::iota(items.begin(), items.end(), 0u);
+  partial_fisher_yates(eng, std::span<std::uint32_t>(items), 30);
+
+  std::set<std::uint32_t> prefix(items.begin(), items.begin() + 30);
+  EXPECT_EQ(prefix.size(), 30u);
+  // Still a permutation of the original input.
+  std::vector<std::uint32_t> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(PartialFisherYates, ConsumesExactlyKDraws) {
+  Engine eng(3);
+  std::vector<int> items(50, 0);
+  partial_fisher_yates(eng, std::span<int>(items), 7);
+  EXPECT_EQ(eng.position(), 7u);
+  partial_fisher_yates(eng, std::span<int>(items), 0);
+  EXPECT_EQ(eng.position(), 7u);
+}
+
+TEST(PartialFisherYates, PrefixIsUniformOverElements) {
+  // Every element should land in the k-prefix with probability k/n.
+  const std::size_t n = 20, k = 5, trials = 20000;
+  Engine eng(42);
+  std::vector<std::size_t> hits(n, 0);
+  std::vector<std::uint32_t> items(n);
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::iota(items.begin(), items.end(), 0u);
+    partial_fisher_yates(eng, std::span<std::uint32_t>(items), k);
+    for (std::size_t i = 0; i < k; ++i) hits[items[i]] += 1;
+  }
+  const double expected = static_cast<double>(trials) * k / n;  // 5000
+  // Binomial sd ~ sqrt(trials * p * (1-p)) ~ 61; allow 5 sigma.
+  for (std::size_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(static_cast<double>(hits[v]), expected, 5 * 61.0)
+        << "element " << v;
+  }
+}
+
+TEST(PartialFisherYates, SwapCallbackFormMatchesSpanForm) {
+  std::vector<std::uint32_t> a(64), b(64);
+  std::iota(a.begin(), a.end(), 0u);
+  std::iota(b.begin(), b.end(), 0u);
+  Engine ea(9), eb(9);
+  partial_fisher_yates(ea, std::span<std::uint32_t>(a), 20);
+  partial_fisher_yates(eb, b.size(), 20, [&](std::size_t i, std::size_t j) {
+    std::swap(b[i], b[j]);
+  });
+  EXPECT_EQ(a, b);
+}
+
+TEST(PartialFisherYates, RejectsOversizedSubset) {
+  Engine eng(1);
+  std::vector<int> items(4, 0);
+  EXPECT_THROW(partial_fisher_yates(eng, std::span<int>(items), 5),
+               std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacement, DistinctInRangeAndSized) {
+  Engine eng(7);
+  const auto picks = sample_without_replacement(eng, 1000, 64);
+  ASSERT_EQ(picks.size(), 64u);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 64u);
+  for (const auto p : picks) EXPECT_LT(p, 1000u);
+}
+
+TEST(SampleWithoutReplacement, FullRangeIsPermutation) {
+  Engine eng(5);
+  const auto picks = sample_without_replacement(eng, 32, 32);
+  std::set<std::uint64_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 32u);
+}
+
+TEST(SampleWithoutReplacement, MarginalsAreUniform) {
+  const std::uint64_t n = 12;
+  const std::size_t k = 4, trials = 30000;
+  Engine eng(123);
+  std::vector<std::size_t> hits(n, 0);
+  std::vector<std::uint64_t> out;
+  for (std::size_t t = 0; t < trials; ++t) {
+    out.clear();
+    sample_without_replacement(eng, n, k, out);
+    for (const auto p : out) hits[p] += 1;
+  }
+  const double expected = static_cast<double>(trials) * k / n;  // 10000
+  // sd ~ sqrt(trials * 1/3 * 2/3) ~ 82; allow 5 sigma.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(static_cast<double>(hits[v]), expected, 5 * 82.0)
+        << "value " << v;
+  }
+}
+
+TEST(SampleWithoutReplacement, AppendsAfterExistingContent) {
+  Engine eng(2);
+  std::vector<std::uint64_t> out = {999};
+  sample_without_replacement(eng, 10, 3, out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], 999u);
+  // The pre-existing element is not part of the collision scan.
+  std::set<std::uint64_t> fresh(out.begin() + 1, out.end());
+  EXPECT_EQ(fresh.size(), 3u);
+}
+
+TEST(SampleWithoutReplacement, RejectsOversizedSubset) {
+  Engine eng(1);
+  EXPECT_THROW((void)sample_without_replacement(eng, 3, 4),
+               std::invalid_argument);
+}
+
+TEST(SampleWithoutReplacement, DeterministicForSameSeed) {
+  Engine a(77), b(77);
+  EXPECT_EQ(sample_without_replacement(a, 500, 20),
+            sample_without_replacement(b, 500, 20));
+}
+
+}  // namespace
