@@ -63,7 +63,10 @@ int main(int argc, char** argv) {
                "(theta* jumps 0.25 -> 0.40):\n";
   io::Table def_table({"defensive fraction", "w4 theta mean", "w4 theta sd",
                        "abs err vs 0.40"});
-  for (const double frac : {0.0, 0.05, 0.1, 0.2}) {
+  // 0.01 is the near-off cell: CalibrationConfig rejects a zero fraction
+  // outright (a disabled defensive mixture leaves regime shifts beyond the
+  // jitter width unreachable), so the sweep starts just above it.
+  for (const double frac : {0.01, 0.05, 0.1, 0.2}) {
     core::CalibrationConfig config;
     config.windows = bench::paper_windows();
     config.n_params = total_budget / 8;

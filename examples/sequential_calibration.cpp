@@ -12,8 +12,16 @@
 //   sequential_calibration --n-params=25000 --replicates=20  # paper scale
 //   sequential_calibration --simulator=chain-binomial        # baseline engine
 //   sequential_calibration --scenario=sharp-jump --jitter=wide
+//   sequential_calibration --inference=tempered --ess-threshold=0.5
+//       # adaptive: windows whose ESS collapses below 50% of n_sims
+//       # re-score through a bisected likelihood^phi temper ladder
+//   sequential_calibration --inference=tempered+rejuvenate \
+//       --rejuvenation-moves=2 --smc-csv=smc_diagnostics.csv
+//       # + independence-MH rejuvenation of the resampled duplicates,
+//       # with the per-rung ESS/phi/acceptance trace dumped as CSV
 //   sequential_calibration --threads=8 --list
 
+#include <fstream>
 #include <iostream>
 
 #include "api/api.hpp"
@@ -30,6 +38,7 @@ int main(int argc, char** argv) {
   defaults.likelihood = "nb-sqrt";
   defaults.likelihood_parameter = 500.0;
   api::configure_session_from_args(session, args, defaults);
+  const std::string smc_csv = args.get_string("smc-csv", "");
   args.check_unused();
 
   const core::GroundTruth& truth = session.truth();
@@ -38,7 +47,12 @@ int main(int argc, char** argv) {
             << session.simulator().name()
             << ", data=" << (cfg.use_deaths ? "cases+deaths" : "cases")
             << ", " << cfg.n_params << " x " << cfg.replicates
-            << " trajectories per window\n\n";
+            << " trajectories per window, inference="
+            << core::to_string(cfg.inference);
+  if (cfg.inference != core::InferenceStrategy::kSingleStage) {
+    std::cout << " (ESS threshold " << cfg.ess_threshold << ")";
+  }
+  std::cout << "\n\n";
 
   io::Table table({"window", "theta truth", "theta posterior", "rho truth",
                    "rho posterior", "ESS", "log-evidence"});
@@ -55,7 +69,28 @@ int main(int argc, char** argv) {
     std::cout << "calibrated days " << w.from_day << "-" << w.to_day
               << " (ESS " << io::Table::num(w.diag.ess, 1) << ", "
               << w.diag.unique_resampled << " unique ancestors, "
-              << io::Table::num(w.diag.propagate_seconds, 2) << "s)\n";
+              << io::Table::num(w.diag.propagate_seconds, 2) << "s)";
+    if (w.smc.tempered()) {
+      std::cout << " [tempered: " << w.smc.stages.size() << " rungs, ESS "
+                << io::Table::num(w.smc.initial_ess, 1) << " -> "
+                << io::Table::num(w.smc.final_ess, 1);
+      if (w.smc.acceptance_rate() >= 0.0) {
+        std::cout << ", move acceptance "
+                  << io::Table::num(w.smc.acceptance_rate(), 3);
+      }
+      std::cout << "]";
+    }
+    std::cout << "\n";
+  }
+
+  if (!smc_csv.empty()) {
+    std::ofstream csv(smc_csv);
+    core::write_smc_diagnostics_csv(csv, session.results());
+    if (!csv) {
+      std::cerr << "\nFailed to write SMC diagnostics to " << smc_csv << "\n";
+      return 1;
+    }
+    std::cout << "\nWrote SMC diagnostics to " << smc_csv << "\n";
   }
 
   std::cout << "\n";

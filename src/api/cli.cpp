@@ -1,6 +1,8 @@
 #include "api/cli.hpp"
 
 #include <ostream>
+#include <stdexcept>
+#include <string>
 
 #include "api/scenarios.hpp"
 #include "parallel/parallel.hpp"
@@ -37,6 +39,22 @@ void configure_session_from_args(CalibrationSession& session,
   if (args.has("jitter")) {
     session.with_jitter(args.get_string("jitter", "paper-default"));
   }
+  if (args.has("inference")) {
+    session.with_inference(args.get_string("inference", "single-stage"));
+  }
+  if (args.has("ess-threshold")) {
+    session.with_ess_threshold(args.get_double("ess-threshold", 0.5));
+  }
+  if (args.has("rejuvenation-moves")) {
+    const std::int64_t moves = args.get_int("rejuvenation-moves", 1);
+    if (moves < 0) {
+      // Casting a negative straight to std::size_t would wrap to ~2^64 and
+      // sail past validation as an effectively infinite move loop.
+      throw std::invalid_argument(
+          "--rejuvenation-moves must be >= 0, got " + std::to_string(moves));
+    }
+    session.with_rejuvenation_moves(static_cast<std::size_t>(moves));
+  }
   const auto n_params = static_cast<std::size_t>(args.get_int(
       "n-params", static_cast<std::int64_t>(defaults.n_params)));
   const std::size_t resample_default =
@@ -67,6 +85,7 @@ void print_registries(std::ostream& os) {
   list("likelihoods", likelihoods().names());
   list("bias-models", bias_models().names());
   list("jitter-policies", jitter_policies().names());
+  list("inference-strategies", inference_strategies().names());
 }
 
 bool handle_list_flag(const io::Args& args, std::ostream& os) {

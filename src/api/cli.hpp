@@ -11,6 +11,10 @@
 //   --likelihood-param=X  likelihood parameter (sigma / dispersion / phi)
 //   --bias=NAME         reporting-bias model   (bias_models() registry)
 //   --jitter=NAME       posterior-jitter preset (jitter_policies() registry)
+//   --inference=NAME    window inference strategy: single-stage | tempered |
+//                       tempered+rejuvenate (inference_strategies() registry)
+//   --ess-threshold=X   temper trigger/target, a fraction of n_sims in (0,1)
+//   --rejuvenation-moves=N  MH move rounds for tempered+rejuvenate
 //   --abm-engine=NAME   agent-based day-step engine: fast | reference
 //   --threads=N         OpenMP thread count    (parallel::set_threads)
 //   --n-params / --replicates / --resample     simulation budget

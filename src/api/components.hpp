@@ -2,12 +2,14 @@
 
 // The global component registries of the epismc::api facade.
 //
-// Four registries cover the pluggable pieces of a calibration run:
+// Five registries cover the pluggable pieces of a calibration run:
 //
 //   simulators()      "seir-event" | "chain-binomial" | "abm" ("agent-based")
 //   likelihoods()     "gaussian-sqrt" | "nb-sqrt" | "poisson" | "gaussian-count"
 //   bias_models()     "binomial" | "identity" | "deterministic-thinning"
 //   jitter_policies() "paper-default" | "tight" | "wide"
+//   inference_strategies()
+//                     "single-stage" | "tempered" | "tempered+rejuvenate"
 //
 // The likelihood and bias registries are the single source of truth:
 // core::make_likelihood / core::make_bias_model delegate here, so a
@@ -25,6 +27,7 @@
 #include "api/registry.hpp"
 #include "core/bias_model.hpp"
 #include "core/likelihood.hpp"
+#include "core/particle_system.hpp"
 #include "core/prior.hpp"
 #include "core/simulator.hpp"
 #include "epi/parameters.hpp"
@@ -77,11 +80,23 @@ struct JitterPolicy {
   core::JitterKernel rho;
 };
 
+/// A named inference configuration: the window strategy plus its adaptive
+/// knobs (core::CalibrationConfig defaults). CalibrationSession applies
+/// the whole policy; with_ess_threshold / with_rejuvenation_moves then
+/// override individual knobs.
+struct InferencePolicy {
+  core::InferenceStrategy strategy = core::InferenceStrategy::kSingleStage;
+  double ess_threshold = 0.5;
+  std::size_t max_temper_stages = 12;
+  std::size_t rejuvenation_moves = 1;
+};
+
 using SimulatorRegistry =
     Registry<std::unique_ptr<core::Simulator>, const SimulatorSpec&>;
 using LikelihoodRegistry = Registry<std::unique_ptr<core::Likelihood>, double>;
 using BiasModelRegistry = Registry<std::unique_ptr<core::BiasModel>>;
 using JitterRegistry = Registry<JitterPolicy>;
+using InferenceRegistry = Registry<InferencePolicy>;
 
 /// Global registries; built-ins are registered on first access. Safe for
 /// concurrent create()/contains() once registration has finished.
@@ -89,5 +104,6 @@ using JitterRegistry = Registry<JitterPolicy>;
 [[nodiscard]] LikelihoodRegistry& likelihoods();
 [[nodiscard]] BiasModelRegistry& bias_models();
 [[nodiscard]] JitterRegistry& jitter_policies();
+[[nodiscard]] InferenceRegistry& inference_strategies();
 
 }  // namespace epismc::api

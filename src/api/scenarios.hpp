@@ -18,6 +18,10 @@
 //   "low-reporting"         rho stuck in the 0.35-0.45 band: weak case
 //                           signal, the regime where the death stream earns
 //                           its keep
+//   "sharp-likelihood"      rho 0.95 flat: observed counts track the truth
+//                           closely, so window likelihoods are sharp and
+//                           single-stage weights degenerate -- the regime
+//                           the tempered inference strategies recover
 //   "chain-binomial-truth"  baseline engine generates the truth (model
 //                           mis-specification when calibrating seir-event)
 //   "abm-truth"             agent-based truth over a town-scale population

@@ -125,6 +125,40 @@ CalibrationSession& CalibrationSession::with_capture_policy(
   return *this;
 }
 
+CalibrationSession& CalibrationSession::with_inference(
+    const std::string& policy_name) {
+  return with_inference(inference_strategies().create(policy_name));
+}
+
+CalibrationSession& CalibrationSession::with_inference(InferencePolicy policy) {
+  require_unbuilt("with_inference");
+  config_.inference = policy.strategy;
+  config_.ess_threshold = policy.ess_threshold;
+  config_.max_temper_stages = policy.max_temper_stages;
+  config_.rejuvenation_moves = policy.rejuvenation_moves;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_inference(
+    core::InferenceStrategy strategy) {
+  require_unbuilt("with_inference");
+  config_.inference = strategy;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_ess_threshold(double fraction) {
+  require_unbuilt("with_ess_threshold");
+  config_.ess_threshold = fraction;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_rejuvenation_moves(
+    std::size_t rounds) {
+  require_unbuilt("with_rejuvenation_moves");
+  config_.rejuvenation_moves = rounds;
+  return *this;
+}
+
 CalibrationSession& CalibrationSession::with_common_random_numbers(bool crn) {
   require_unbuilt("with_common_random_numbers");
   config_.common_random_numbers = crn;

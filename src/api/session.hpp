@@ -82,6 +82,16 @@ class CalibrationSession {
   /// bounds kAuto's inline peak memory (0 keeps the config default).
   CalibrationSession& with_capture_policy(core::CapturePolicy policy,
                                           std::size_t budget_bytes = 0);
+  /// Window inference strategy by registry name ("single-stage" |
+  /// "tempered" | "tempered+rejuvenate"): applies the policy's strategy
+  /// and adaptive defaults. Call with_ess_threshold /
+  /// with_rejuvenation_moves afterwards to override individual knobs.
+  CalibrationSession& with_inference(const std::string& policy_name);
+  CalibrationSession& with_inference(InferencePolicy policy);
+  CalibrationSession& with_inference(core::InferenceStrategy strategy);
+  /// Temper trigger/target as a fraction of n_sims, in (0, 1).
+  CalibrationSession& with_ess_threshold(double fraction);
+  CalibrationSession& with_rejuvenation_moves(std::size_t rounds);
   CalibrationSession& with_common_random_numbers(bool crn);
   CalibrationSession& with_defensive_fraction(double fraction);
   CalibrationSession& with_jitter(const std::string& policy_name);

@@ -2,23 +2,256 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
 #include "parallel/parallel.hpp"
 #include "random/seeding.hpp"
-#include "stats/weights.hpp"
 
 namespace epismc::core {
 
 namespace {
 
-// Domain tags keeping the model / bias / proposal / resampling stream
-// families disjoint within a window.
+// Domain tags keeping the model / bias / proposal / resampling / temper /
+// rejuvenation stream families disjoint within a window.
 constexpr std::uint64_t kModelTag = 0x4D4F44454Cull;     // "MODEL"
 constexpr std::uint64_t kBiasTag = 0x42494153ull;        // "BIAS"
 constexpr std::uint64_t kProposalTag = 0x50524F50ull;    // "PROP"
 constexpr std::uint64_t kResampleTag = 0x52455341ull;    // "RESA"
+constexpr std::uint64_t kTemperTag = 0x54454D50ull;      // "TEMP"
+constexpr std::uint64_t kRejuvProposalTag = 0x524A5052ull;  // "RJPR"
+constexpr std::uint64_t kRejuvModelTag = 0x524A4D44ull;  // "RJMD"
+constexpr std::uint64_t kRejuvBiasTag = 0x524A4249ull;   // "RJBI"
+constexpr std::uint64_t kRejuvAcceptTag = 0x524A4143ull; // "RJAC"
+
+// Adaptive tempering ladder over the cached per-sim log-likelihoods: a
+// pure re-weighting pass (no re-propagation). The population starts as
+// every sim once; each rung raises the temperature by the largest step
+// keeping the rung ESS at the target, then resamples the ancestor
+// population. The final rung (phi = 1) draws the posterior sample.
+void run_temper_ladder(const EnsembleBuffer& ens, const WindowSpec& spec,
+                       WindowResult& result) {
+  const std::size_t n_sims = ens.size();
+  const double target_ess =
+      spec.ess_threshold * static_cast<double>(n_sims);
+
+  std::vector<std::uint32_t> ancestors(n_sims);
+  std::iota(ancestors.begin(), ancestors.end(), 0u);
+  std::vector<double> pop_ll(n_sims);
+  std::vector<std::uint32_t> next(n_sims);
+  ParticleSystem rung;
+  double phi = 0.0;
+  double log_marginal = 0.0;
+
+  for (std::size_t stage = 1;; ++stage) {
+    for (std::size_t i = 0; i < n_sims; ++i) {
+      pop_ll[i] = ens.log_weight[ancestors[i]];
+    }
+    const double budget = 1.0 - phi;
+    // The stage cap forces the last permitted rung to complete the ladder
+    // whatever its ESS (the diagnostics make a forced finish visible).
+    const double step = stage < spec.max_temper_stages
+                            ? solve_temper_step(pop_ll, budget, target_ess)
+                            : budget;
+
+    rung.reset(n_sims);
+    const std::span<double> lw = rung.log_weights();
+    for (std::size_t i = 0; i < n_sims; ++i) lw[i] = step * pop_ll[i];
+    rung.commit();
+
+    SmcStage st;
+    st.phi = phi + step;
+    st.ess = rung.ess();
+    st.log_marginal_increment = rung.log_marginal_increment();
+    result.smc.stages.push_back(st);
+    log_marginal += st.log_marginal_increment;
+    phi += step;
+
+    auto eng =
+        rng::make_engine(spec.seed, {kTemperTag, spec.window_index, stage});
+    if (phi >= 1.0 - 1e-12) {
+      const std::vector<std::uint32_t> idx =
+          rung.resample(spec.scheme, eng, spec.resample_size);
+      result.resampled.resize(idx.size());
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        result.resampled[k] = ancestors[idx[k]];
+      }
+      result.smc.final_ess = st.ess;
+      break;
+    }
+    const std::vector<std::uint32_t> idx =
+        rung.resample(spec.scheme, eng, n_sims);
+    for (std::size_t k = 0; k < n_sims; ++k) next[k] = ancestors[idx[k]];
+    ancestors.swap(next);
+  }
+  // The ladder's product estimator replaces the single-stage evidence
+  // increment: sum over rungs of log mean incremental weight.
+  result.diag.log_marginal = log_marginal;
+}
+
+// PMMH-style rejuvenation of the final posterior draws: each draw
+// receives an independence MH proposal from the window's own proposal
+// distribution (fresh (theta, rho, parent) plus a fresh model stream), so
+// the proposal density cancels and the acceptance ratio is exactly the
+// window-likelihood ratio. Accepted draws adopt the proposal's
+// parameters, output series and -- via a capture replay of the winning
+// identities -- end-of-window state.
+void run_rejuvenation(const Simulator& sim, const Likelihood& case_likelihood,
+                      const Likelihood& death_likelihood, const BiasModel& bias,
+                      const StatePool& parents, const WindowSpec& spec,
+                      const ParamProposal& propose,
+                      const ObservationCache& case_cache,
+                      const ObservationCache& death_cache,
+                      WindowResult& result) {
+  const EnsembleBuffer& ens = result.ensemble;
+  const std::size_t n_draws = result.resampled.size();
+  const std::size_t window_len = result.window_length();
+
+  RejuvenatedDraws overlay;
+  overlay.moved.assign(n_draws, 0);
+  overlay.theta.resize(n_draws);
+  overlay.rho.resize(n_draws);
+  overlay.state_slot.assign(n_draws, WindowResult::kNoState);
+  // Accepted series land in a full-width scratch first (a draw can move
+  // again in a later round); only the moved rows are compacted into the
+  // overlay that the window result retains.
+  EnsembleBuffer scratch(n_draws, window_len);
+
+  // Current particle of each draw: parameters, window log-likelihood, and
+  // the RNG identity that regenerates its trajectory.
+  std::vector<double> cur_ll(n_draws);
+  std::vector<std::uint32_t> cur_parent(n_draws);
+  std::vector<std::uint64_t> cur_stream(n_draws);
+  for (std::size_t i = 0; i < n_draws; ++i) {
+    const std::uint32_t s = result.resampled[i];
+    overlay.theta[i] = ens.theta[s];
+    overlay.rho[i] = ens.rho[s];
+    overlay.state_slot[i] = result.sim_to_state[s];
+    cur_ll[i] = ens.log_weight[s];
+    cur_parent[i] = ens.parent[s];
+    cur_stream[i] = ens.stream[s];
+  }
+
+  EnsembleBuffer prop(n_draws, window_len);
+  for (std::uint64_t round = 1; round <= spec.rejuvenation_moves; ++round) {
+    for (std::size_t i = 0; i < n_draws; ++i) {
+      auto peng = rng::make_engine(
+          spec.seed, {kRejuvProposalTag, spec.window_index, round, i});
+      // Uniform mixture over the window's per-draw proposal components:
+      // exactly the distribution the original cloud was drawn from, which
+      // is what makes the MH ratio collapse to the likelihood ratio.
+      const auto j =
+          static_cast<std::uint32_t>(rng::uniform_int(peng, spec.n_params));
+      const ProposedParams pp = propose(peng, j);
+      if (pp.parent >= parents.size()) {
+        throw std::out_of_range("run_rejuvenation: bad parent index");
+      }
+      prop.param_index[i] = static_cast<std::uint32_t>(i);
+      prop.replicate[i] = static_cast<std::uint32_t>(round);
+      prop.parent[i] = pp.parent;
+      prop.theta[i] = pp.theta;
+      prop.rho[i] = pp.rho;
+      prop.seed[i] = spec.seed;
+      prop.stream[i] =
+          rng::make_stream_id({kRejuvModelTag, spec.window_index, round, i})
+              .key;
+    }
+    BatchSink sink;
+    sink.on_sim = [&](std::size_t i) {
+      auto beng = rng::make_engine(
+          spec.seed, {kRejuvBiasTag, spec.window_index, round, i});
+      bias.apply_into(beng, prop.true_cases(i), prop.rho[i],
+                      prop.obs_cases(i));
+      double ll = case_likelihood.logpdf(case_cache, prop.obs_cases(i));
+      if (spec.use_deaths) {
+        ll += death_likelihood.logpdf(death_cache, prop.deaths(i));
+      }
+      prop.log_weight[i] = ll;
+    };
+    sim.run_batch(parents, spec.to_day, prop, 0, n_draws, sink);
+
+    std::size_t accepted = 0;
+    for (std::size_t i = 0; i < n_draws; ++i) {
+      auto aeng = rng::make_engine(
+          spec.seed, {kRejuvAcceptTag, spec.window_index, round, i});
+      if (std::log(rng::uniform_double_oo(aeng)) <
+          prop.log_weight[i] - cur_ll[i]) {
+        overlay.moved[i] = 1;
+        overlay.theta[i] = prop.theta[i];
+        overlay.rho[i] = prop.rho[i];
+        cur_ll[i] = prop.log_weight[i];
+        cur_parent[i] = prop.parent[i];
+        cur_stream[i] = prop.stream[i];
+        for (const auto which :
+             {EnsembleBuffer::Series::kTrueCases,
+              EnsembleBuffer::Series::kObsCases,
+              EnsembleBuffer::Series::kDeaths}) {
+          const std::span<const double> src = prop.series(which, i);
+          const std::span<double> dst = scratch.series(which, i);
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
+        ++accepted;
+      }
+    }
+    result.smc.move_acceptance.push_back(
+        static_cast<double>(accepted) / static_cast<double>(n_draws));
+    result.smc.rejuvenation_proposed += n_draws;
+    result.smc.rejuvenation_accepted += accepted;
+  }
+
+  // Capture end states for the moved draws by replaying their winning
+  // identities through the batch kernel (bit-identical by stream
+  // discipline) and folding the states into the window's survivor pool.
+  std::vector<std::uint32_t> moved_ids;
+  for (std::size_t i = 0; i < n_draws; ++i) {
+    if (overlay.moved[i]) moved_ids.push_back(static_cast<std::uint32_t>(i));
+  }
+  overlay.series_row.assign(n_draws, RejuvenatedDraws::kNoRow);
+  overlay.series.resize(moved_ids.size(), window_len);
+  for (std::size_t k = 0; k < moved_ids.size(); ++k) {
+    const std::uint32_t i = moved_ids[k];
+    overlay.series_row[i] = static_cast<std::uint32_t>(k);
+    for (const auto which :
+         {EnsembleBuffer::Series::kTrueCases, EnsembleBuffer::Series::kObsCases,
+          EnsembleBuffer::Series::kDeaths}) {
+      const std::span<const double> src = scratch.series(which, i);
+      const std::span<double> dst = overlay.series.series(which, k);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  if (!moved_ids.empty()) {
+    EnsembleBuffer fin(moved_ids.size(), window_len);
+    for (std::size_t k = 0; k < moved_ids.size(); ++k) {
+      const std::uint32_t i = moved_ids[k];
+      fin.param_index[k] = i;
+      fin.replicate[k] = 0;
+      fin.parent[k] = cur_parent[i];
+      fin.theta[k] = overlay.theta[i];
+      fin.rho[k] = overlay.rho[i];
+      fin.seed[k] = spec.seed;
+      fin.stream[k] = cur_stream[i];
+    }
+    const std::shared_ptr<StatePool> moved_pool = sim.make_pool();
+    moved_pool->resize(moved_ids.size());
+    BatchSink cap;
+    cap.capture = moved_pool.get();
+    sim.run_batch(parents, spec.to_day, fin, 0, moved_ids.size(), cap);
+    for (std::size_t k = 0; k < moved_ids.size(); ++k) {
+      const std::uint32_t i = moved_ids[k];
+      const std::span<const double> a = fin.true_cases(k);
+      const std::span<const double> b = overlay.series.true_cases(k);
+      if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) {
+        throw std::logic_error(
+            "run_rejuvenation: non-deterministic replay of draw " +
+            std::to_string(i) + "; stream discipline violated");
+      }
+      overlay.state_slot[i] = static_cast<std::uint32_t>(
+          result.state_pool->append_from(*moved_pool, k));
+    }
+  }
+  result.rejuvenated = std::move(overlay);
+}
 
 }  // namespace
 
@@ -39,6 +272,22 @@ void WindowSpec::validate(const ObservedData* data) const {
   }
   if (n_params == 0 || replicates == 0 || resample_size == 0) {
     throw std::invalid_argument("WindowSpec: zero-sized simulation budget");
+  }
+  if (!(ess_threshold > 0.0 && ess_threshold < 1.0)) {
+    throw std::invalid_argument(
+        "WindowSpec: ess_threshold must be a fraction of n_sims in (0, 1), "
+        "got " + std::to_string(ess_threshold));
+  }
+  if (max_temper_stages == 0) {
+    throw std::invalid_argument(
+        "WindowSpec: max_temper_stages must be >= 1 (the ladder needs at "
+        "least the final phi = 1 rung)");
+  }
+  if (inference == InferenceStrategy::kTemperedRejuvenate &&
+      rejuvenation_moves == 0) {
+    throw std::invalid_argument(
+        "WindowSpec: the tempered+rejuvenate strategy needs "
+        "rejuvenation_moves >= 1 (use \"tempered\" for ladder-only runs)");
   }
   if (data != nullptr) {
     if (data->first_day() > from_day || data->last_day() < to_day) {
@@ -173,46 +422,63 @@ WindowResult run_importance_window(const Simulator& sim,
   sim.run_batch(parents, spec.to_day, ens, 0, n_sims, sink);
   result.diag.propagate_seconds = propagate_timer.seconds();
 
-  // --- 3. Normalize weights and compute diagnostics (one LSE pass). ------
-  const double lse = stats::log_sum_exp(ens.log_weight);
-  result.weights = stats::normalize_log_weights(ens.log_weight, lse);
+  // --- 3. Normalize weights and diagnostics: one log-sum-exp pass, owned
+  // by the shared particle-system kernel (operation-for-operation the
+  // historical inline code, so the single-stage path stays bit-identical).
+  // The kernel commits over the ensemble's own log-weight column and the
+  // normalized weights are moved out at the end -- no extra O(n_sims)
+  // copies on the hot path.
+  ParticleSystem ps;
+  ps.commit(ens.log_weight);
   result.diag.n_sims = n_sims;
-  result.diag.ess = stats::effective_sample_size(result.weights);
-  result.diag.perplexity = stats::weight_perplexity(result.weights);
-  result.diag.max_weight =
-      *std::max_element(result.weights.begin(), result.weights.end());
-  result.diag.log_marginal = lse - std::log(static_cast<double>(n_sims));
+  result.diag.ess = ps.ess();
+  result.diag.perplexity = ps.perplexity();
+  result.diag.max_weight = ps.max_weight();
+  result.diag.log_marginal = ps.log_marginal_increment();
 
-  // --- 4. Resample the posterior. ----------------------------------------
-  auto resample_eng =
-      rng::make_engine(spec.seed, {kResampleTag, spec.window_index});
-  result.resampled = stats::resample(spec.scheme, resample_eng,
-                                     result.weights, spec.resample_size);
+  result.smc.strategy = spec.inference;
+  result.smc.ess_threshold =
+      spec.inference == InferenceStrategy::kSingleStage ? 0.0
+                                                        : spec.ess_threshold;
+  result.smc.initial_ess = result.diag.ess;
+
+  // --- 4. Resample the posterior: single stage, or the temper ladder when
+  // an adaptive strategy sees the ESS trigger fire.
+  const bool degenerate =
+      spec.inference != InferenceStrategy::kSingleStage &&
+      result.diag.ess < spec.ess_threshold * static_cast<double>(n_sims);
+  if (degenerate) {
+    result.smc.triggered = true;
+    run_temper_ladder(ens, spec, result);
+  } else {
+    auto resample_eng =
+        rng::make_engine(spec.seed, {kResampleTag, spec.window_index});
+    result.resampled =
+        ps.resample(spec.scheme, resample_eng, spec.resample_size);
+    result.smc.stages.push_back(
+        {1.0, result.diag.ess, result.diag.log_marginal});
+    result.smc.final_ess = result.diag.ess;
+  }
+  result.weights = ps.take_weights();
 
   // --- 5. Keep end-of-window states for the unique survivors. ------------
-  std::vector<std::uint32_t> unique(result.resampled.begin(),
-                                    result.resampled.end());
-  std::sort(unique.begin(), unique.end());
-  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
-  result.diag.unique_resampled = unique.size();
-
-  result.sim_to_state.assign(n_sims, WindowResult::kNoState);
-  for (std::size_t u = 0; u < unique.size(); ++u) {
-    result.sim_to_state[unique[u]] = static_cast<std::uint32_t>(u);
-  }
+  ParticleSystem::Survivors surv =
+      ParticleSystem::survivors(result.resampled, n_sims);
+  result.diag.unique_resampled = surv.unique.size();
+  result.sim_to_state = std::move(surv.index_to_slot);
 
   parallel::Timer checkpoint_timer;
   if (inline_capture) {
     // The weighted pass already captured every candidate's end state;
     // keeping the survivors is O(survivors) pointer moves.
-    capture->compact(unique);
+    capture->compact(surv.unique);
   } else {
     // Deferred replay: a small ensemble over the survivors only, re-run
     // through the same batch entry point with capture. Counter-based
     // streams make the replay bit-identical to the weighted run.
-    EnsembleBuffer replay(unique.size(), window_len);
-    for (std::size_t u = 0; u < unique.size(); ++u) {
-      const std::uint32_t s = unique[u];
+    EnsembleBuffer replay(surv.unique.size(), window_len);
+    for (std::size_t u = 0; u < surv.unique.size(); ++u) {
+      const std::uint32_t s = surv.unique[u];
       replay.param_index[u] = ens.param_index[s];
       replay.replicate[u] = ens.replicate[s];
       replay.parent[u] = ens.parent[s];
@@ -221,24 +487,33 @@ WindowResult run_importance_window(const Simulator& sim,
       replay.seed[u] = ens.seed[s];
       replay.stream[u] = ens.stream[s];
     }
-    capture->resize(unique.size());
+    capture->resize(surv.unique.size());
     BatchSink replay_sink;
     replay_sink.capture = capture.get();
-    sim.run_batch(parents, spec.to_day, replay, 0, unique.size(), replay_sink);
-    for (std::size_t u = 0; u < unique.size(); ++u) {
+    sim.run_batch(parents, spec.to_day, replay, 0, surv.unique.size(),
+                  replay_sink);
+    for (std::size_t u = 0; u < surv.unique.size(); ++u) {
       // Cheap tail of the replay-determinism invariant (the full property
       // is covered in tests/).
       const auto a = replay.true_cases(u);
-      const auto b = ens.true_cases(unique[u]);
+      const auto b = ens.true_cases(surv.unique[u]);
       if (!std::equal(a.begin(), a.end(), b.begin(), b.end())) {
         throw std::logic_error(
             "run_importance_window: non-deterministic replay of sim " +
-            std::to_string(unique[u]) + "; stream discipline violated");
+            std::to_string(surv.unique[u]) + "; stream discipline violated");
       }
     }
   }
   result.state_pool = std::move(capture);
   result.diag.checkpoint_seconds = checkpoint_timer.seconds();
+
+  // --- 6. Rejuvenation moves (kTemperedRejuvenate, triggered windows
+  // only): diversify the resampled duplicates with independence-MH moves
+  // scored through the same fused batch kernel.
+  if (spec.inference == InferenceStrategy::kTemperedRejuvenate && degenerate) {
+    run_rejuvenation(sim, case_likelihood, death_likelihood, bias, parents,
+                     spec, propose, case_cache, death_cache, result);
+  }
 
   return result;
 }

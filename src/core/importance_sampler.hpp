@@ -12,7 +12,17 @@
 //      under inline capture -- snapshots each sim's end-of-window state
 //      into a typed StatePool, so the ensemble is touched exactly once.
 //   3. Normalize weights with a single log-sum-exp pass shared with the
-//      log-marginal diagnostic, then resample the posterior.
+//      log-marginal diagnostic (core::ParticleSystem owns this
+//      bookkeeping), then resample the posterior. Under an adaptive
+//      InferenceStrategy, a window whose ESS collapses below the
+//      configured threshold instead re-scores through a tempering ladder
+//      likelihood^phi over the cached per-sim log-likelihoods (each phi
+//      bisected to hold the rung ESS at the target -- pure re-weighting,
+//      no extra propagation), optionally followed by PMMH-style
+//      independence-rejuvenation moves drawn from the window's own
+//      proposal (whose density cancels, so acceptance is exactly the
+//      likelihood ratio) and propagated through the same fused batch
+//      kernel. The full trace lands in WindowResult::smc.
 //   4. Keep end states for the unique resampled survivors only: inline
 //      capture compacts the pool down to the survivors (O(survivors)
 //      pointer moves, no re-simulation, no serialization). CapturePolicy
@@ -30,6 +40,7 @@
 #include "core/data.hpp"
 #include "core/likelihood.hpp"
 #include "core/particle.hpp"
+#include "core/particle_system.hpp"
 #include "core/simulator.hpp"
 #include "core/state_pool.hpp"
 #include "stats/resampling.hpp"
@@ -85,10 +96,27 @@ struct WindowSpec {
   /// holding every candidate's end state, n_sims * approx_state_bytes.
   std::size_t inline_state_budget = std::size_t{512} << 20;  // 512 MiB
 
-  /// Throws std::invalid_argument on an inverted window or zero-sized
-  /// budget; `data` (when provided) must cover [from_day, to_day] and
-  /// carry a death series whenever use_deaths is set.
-  /// run_importance_window calls this before doing any work, so a
+  /// How scored likelihoods become the posterior sample (see
+  /// core::InferenceStrategy). kSingleStage is the paper's scheme and
+  /// reproduces the historical path bit for bit; the adaptive strategies
+  /// engage a temper ladder only when the window degenerates.
+  InferenceStrategy inference = InferenceStrategy::kSingleStage;
+  /// Degeneracy trigger and per-rung target, as a fraction of n_sims: the
+  /// ladder engages when single-stage ESS < ess_threshold * n_sims, and
+  /// each rung's temperature is bisected so the rung ESS stays at that
+  /// level. Must lie in (0, 1).
+  double ess_threshold = 0.5;
+  /// Hard cap on ladder rungs; the last rung always completes to phi = 1
+  /// (possibly below the ESS target, which the diagnostics record).
+  std::size_t max_temper_stages = 12;
+  /// Rejuvenation rounds after a triggered ladder (kTemperedRejuvenate).
+  std::size_t rejuvenation_moves = 1;
+
+  /// Throws std::invalid_argument on an inverted window, zero-sized
+  /// budget, or out-of-range inference knobs (ESS threshold outside
+  /// (0, 1), zero ladder/move caps); `data` (when provided) must cover
+  /// [from_day, to_day] and carry a death series whenever use_deaths is
+  /// set. run_importance_window calls this before doing any work, so a
   /// misconfigured window fails up front instead of mid-propagation.
   void validate(const ObservedData* data = nullptr) const;
 };

@@ -1,5 +1,6 @@
 #include "core/particle.hpp"
 
+#include <ostream>
 #include <stdexcept>
 #include <string>
 
@@ -16,17 +17,49 @@ epi::Checkpoint WindowResult::state_checkpoint(std::uint32_t s) const {
   return state_pool->to_checkpoint(sim_to_state[s]);
 }
 
+double WindowResult::draw_theta(std::size_t i) const {
+  if (rejuvenated) return rejuvenated->theta.at(i);
+  return ensemble.theta[resampled.at(i)];
+}
+
+double WindowResult::draw_rho(std::size_t i) const {
+  if (rejuvenated) return rejuvenated->rho.at(i);
+  return ensemble.rho[resampled.at(i)];
+}
+
+std::uint32_t WindowResult::draw_state_slot(std::size_t i) const {
+  const std::uint32_t slot = rejuvenated ? rejuvenated->state_slot.at(i)
+                                         : sim_to_state[resampled.at(i)];
+  if (slot == kNoState) {
+    throw std::logic_error("draw_state_slot: draw " + std::to_string(i) +
+                           " kept no end-of-window state");
+  }
+  return slot;
+}
+
+std::span<const double> WindowResult::draw_series(EnsembleBuffer::Series s,
+                                                  std::size_t i) const {
+  if (rejuvenated && rejuvenated->moved.at(i)) {
+    return rejuvenated->series.series(s, rejuvenated->series_row[i]);
+  }
+  return ensemble.series(s, resampled.at(i));
+}
+
 std::vector<double> WindowResult::posterior_thetas() const {
   std::vector<double> out;
   out.reserve(resampled.size());
-  for (const std::uint32_t s : resampled) out.push_back(ensemble.theta[s]);
+  for (std::size_t i = 0; i < resampled.size(); ++i) {
+    out.push_back(draw_theta(i));
+  }
   return out;
 }
 
 std::vector<double> WindowResult::posterior_rhos() const {
   std::vector<double> out;
   out.reserve(resampled.size());
-  for (const std::uint32_t s : resampled) out.push_back(ensemble.rho[s]);
+  for (std::size_t i = 0; i < resampled.size(); ++i) {
+    out.push_back(draw_rho(i));
+  }
   return out;
 }
 
@@ -40,11 +73,34 @@ std::vector<double> WindowResult::posterior_quantile(Series field,
   std::vector<double> column(resampled.size());
   for (std::size_t d = 0; d < days; ++d) {
     for (std::size_t i = 0; i < resampled.size(); ++i) {
-      column[i] = ensemble.series(field, resampled[i])[d];
+      column[i] = draw_series(field, i)[d];
     }
     out[d] = stats::quantile(column, q);
   }
   return out;
+}
+
+void write_smc_diagnostics_csv(std::ostream& os,
+                               std::span<const WindowResult> windows) {
+  os << "window,from_day,to_day,strategy,kind,index,phi,ess,"
+        "log_marginal_increment,acceptance_rate\n";
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const WindowResult& win = windows[w];
+    const SmcDiagnostics& d = win.smc;
+    const std::string prefix = std::to_string(w) + "," +
+                               std::to_string(win.from_day) + "," +
+                               std::to_string(win.to_day) + "," +
+                               to_string(d.strategy) + ",";
+    for (std::size_t k = 0; k < d.stages.size(); ++k) {
+      const SmcStage& s = d.stages[k];
+      os << prefix << "stage," << k << "," << s.phi << "," << s.ess << ","
+         << s.log_marginal_increment << ",\n";
+    }
+    for (std::size_t r = 0; r < d.move_acceptance.size(); ++r) {
+      os << prefix << "move," << r << "," << 1.0 << "," << d.final_ess
+         << ",," << d.move_acceptance[r] << "\n";
+    }
+  }
 }
 
 }  // namespace epismc::core

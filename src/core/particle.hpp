@@ -11,11 +11,15 @@
 // matrix per output series plus flat identity/parameter/weight columns.
 
 #include <cstdint>
+#include <iosfwd>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "core/ensemble.hpp"
+#include "core/particle_system.hpp"
 #include "core/state_pool.hpp"
 #include "epi/seir_model.hpp"
 
@@ -40,6 +44,27 @@ struct WindowDiagnostics {
   bool inline_capture = false;
 };
 
+/// Post-rejuvenation overlay: when the window's inference strategy ran
+/// PMMH-style rejuvenation moves, some posterior draws were replaced by
+/// freshly propagated particles that have no row in the weighted ensemble.
+/// The overlay carries the final per-draw parameters, the per-draw state
+/// slot, and the moved draws' output series, so every consumer reads the
+/// posterior through the draw_* accessors below and never notices whether
+/// a draw is an original sim or a moved particle.
+struct RejuvenatedDraws {
+  std::vector<std::uint8_t> moved;       // per draw: 1 if an MH move landed
+  std::vector<double> theta;             // final per-draw parameters
+  std::vector<double> rho;
+  std::vector<std::uint32_t> state_slot; // per draw -> state_pool slot
+  /// Output series of the moved draws only (one row per accepted move;
+  /// un-moved draws keep reading the weighted ensemble), addressed through
+  /// series_row: draw -> row of `series`, kNoRow where not moved.
+  EnsembleBuffer series;
+  static constexpr std::uint32_t kNoRow =
+      std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> series_row;
+};
+
 /// Everything produced by calibrating one window.
 struct WindowResult {
   std::int32_t from_day = 0;
@@ -61,11 +86,35 @@ struct WindowResult {
       std::numeric_limits<std::uint32_t>::max();
   std::vector<std::uint32_t> sim_to_state;  // sim index -> pool slot
 
+  /// Present only when rejuvenation moves ran (see RejuvenatedDraws).
+  std::optional<RejuvenatedDraws> rejuvenated;
+
   WindowDiagnostics diag;
+  /// Adaptive-SMC trace: temper ladder, ESS recovery, move acceptance.
+  SmcDiagnostics smc;
 
   [[nodiscard]] std::size_t n_sims() const noexcept { return ensemble.size(); }
 
-  /// Number of kept end-of-window states (== diag.unique_resampled).
+  // --- Draw-level posterior view. ------------------------------------------
+  // Draw i of the final posterior sample: an original ensemble sim
+  // (resampled[i]) unless a rejuvenation move replaced it. All posterior
+  // consumers (summaries, forecasts, the next window's proposal) go
+  // through these accessors so the strategies stay interchangeable.
+  [[nodiscard]] std::size_t n_draws() const noexcept {
+    return resampled.size();
+  }
+  [[nodiscard]] double draw_theta(std::size_t i) const;
+  [[nodiscard]] double draw_rho(std::size_t i) const;
+  /// Pool slot of draw i's end-of-window state; throws std::logic_error
+  /// when no state was kept for it.
+  [[nodiscard]] std::uint32_t draw_state_slot(std::size_t i) const;
+  /// Output-series row backing draw i (moved draws read the overlay).
+  [[nodiscard]] std::span<const double> draw_series(EnsembleBuffer::Series s,
+                                                    std::size_t i) const;
+
+  /// Number of kept end-of-window states: the unique resampled survivors
+  /// (== diag.unique_resampled) plus, after rejuvenation moves, one state
+  /// per accepted move.
   [[nodiscard]] std::size_t state_count() const noexcept {
     return state_pool ? state_pool->size() : 0;
   }
@@ -89,5 +138,14 @@ struct WindowResult {
     return static_cast<std::size_t>(to_day - from_day + 1);
   }
 };
+
+/// Dump the adaptive-SMC diagnostics of completed windows as CSV, one row
+/// per ladder rung plus one row per rejuvenation round:
+///   window,from_day,to_day,strategy,kind,index,phi,ess,
+///   log_marginal_increment,acceptance_rate
+/// kind is "stage" (acceptance_rate empty) or "move" (phi/ess are the
+/// final rung's values, acceptance_rate is the round's fraction).
+void write_smc_diagnostics_csv(std::ostream& os,
+                               std::span<const WindowResult> windows);
 
 }  // namespace epismc::core

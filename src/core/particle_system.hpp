@@ -1,0 +1,191 @@
+#pragma once
+
+// core::ParticleSystem -- the weighted-particle bookkeeping kernel shared
+// by every inference path.
+//
+// Before this kernel existed, the importance sampler, the sequential
+// calibrator and the PMMH comparator each carried their own copy of the
+// same bookkeeping: accumulate log-weights, normalize them through one
+// log-sum-exp pass, read off ESS / perplexity / evidence increments,
+// resample ancestors, and map the resampled indices onto compacted
+// state-pool slots. ParticleSystem is the one implementation of that
+// arithmetic; the adaptive window driver (ESS-triggered tempering,
+// rejuvenation moves -- see core/importance_sampler.hpp) is built on top
+// of it, and the single-stage path reproduces the historical results bit
+// for bit because the kernel performs exactly the operations the inlined
+// code used to.
+//
+// The file also defines the InferenceStrategy vocabulary and the
+// SmcDiagnostics record (temper ladder, ESS trace, rejuvenation
+// acceptance) that every window result carries.
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "random/engines.hpp"
+#include "stats/resampling.hpp"
+
+namespace epismc::io {
+class BinaryWriter;
+class BinaryReader;
+}  // namespace epismc::io
+
+namespace epismc::core {
+
+/// How a window turns scored log-likelihoods into a posterior sample.
+enum class InferenceStrategy : std::uint8_t {
+  /// The paper's single importance-sampling stage: weight by the full
+  /// window likelihood, resample once. Bit-identical to the historical
+  /// path (the golden tests pin this).
+  kSingleStage,
+  /// When post-scoring ESS falls below `ess_threshold * n_sims`, re-score
+  /// through an adaptive tempering ladder likelihood^phi, each phi chosen
+  /// by bisection so the rung keeps ESS at the target. Pure re-weighting
+  /// of the cached per-sim log-likelihoods -- no extra propagation.
+  kTempered,
+  /// kTempered plus PMMH-style rejuvenation: after the final rung, each
+  /// posterior draw receives an independence Metropolis-Hastings proposal
+  /// drawn from the window's own proposal distribution (so the proposal
+  /// density cancels and the acceptance ratio is exactly the likelihood
+  /// ratio), propagated and scored through the fused batch kernel.
+  kTemperedRejuvenate,
+};
+
+[[nodiscard]] const char* to_string(InferenceStrategy strategy);
+
+/// One rung of the temper ladder (a single-stage window records exactly
+/// one rung at phi = 1).
+struct SmcStage {
+  double phi = 1.0;                    // cumulative temperature after the rung
+  double ess = 0.0;                    // ESS of the rung's incremental weights
+  double log_marginal_increment = 0.0; // log mean incremental weight
+};
+
+/// Per-window adaptive-SMC diagnostics: the ESS trace through the temper
+/// ladder plus rejuvenation acceptance. Serializes field by field through
+/// the binary archive (no struct memcpy, so padding bytes never reach the
+/// wire); bump kArchiveVersion when the layout changes.
+struct SmcDiagnostics {
+  static constexpr std::uint32_t kArchiveVersion = 1;
+
+  InferenceStrategy strategy = InferenceStrategy::kSingleStage;
+  /// True when the ESS trigger actually fired and a temper ladder ran --
+  /// recorded explicitly (a stage cap of 1 can force a single-rung ladder,
+  /// so the rung count alone cannot distinguish triggered from healthy).
+  bool triggered = false;
+  double ess_threshold = 0.0;  // configured trigger fraction (0: single-stage)
+  double initial_ess = 0.0;    // ESS of the untempered (phi = 1) weights
+  double final_ess = 0.0;      // ESS at the ladder's last rung
+  std::vector<SmcStage> stages;
+  /// Acceptance fraction of each rejuvenation round (empty: no moves ran).
+  std::vector<double> move_acceptance;
+  std::uint64_t rejuvenation_proposed = 0;
+  std::uint64_t rejuvenation_accepted = 0;
+
+  [[nodiscard]] bool tempered() const noexcept { return triggered; }
+  /// Overall rejuvenation acceptance rate; -1 when no move was proposed.
+  [[nodiscard]] double acceptance_rate() const noexcept;
+
+  void serialize(io::BinaryWriter& out) const;
+  [[nodiscard]] static SmcDiagnostics deserialize(io::BinaryReader& in);
+};
+
+/// A population of weighted particles in log space. Fill the log-weights,
+/// commit() once (the single shared log-sum-exp pass), then read the
+/// normalized weights and diagnostics or resample ancestors.
+class ParticleSystem {
+ public:
+  ParticleSystem() = default;
+  explicit ParticleSystem(std::size_t n) { reset(n); }
+
+  /// Resize to `n` particles with all log-weights zero. Capacity is
+  /// reused, so a system living across PMMH iterations never reallocates.
+  void reset(std::size_t n);
+
+  /// Copy external log-weights in (e.g. the ensemble's log_weight column).
+  void assign(std::span<const double> log_weights);
+
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Mutable storage; call commit() after writing.
+  [[nodiscard]] std::span<double> log_weights() noexcept {
+    committed_ = false;
+    return log_weight_;
+  }
+  [[nodiscard]] std::span<const double> log_weights() const noexcept {
+    return log_weight_;
+  }
+
+  /// The one log-sum-exp pass: caches the LSE and -- when any mass
+  /// survives -- the normalized weights. A fully degenerate population
+  /// (all log-weights -inf) commits with lse() == -inf; weights()/ess()
+  /// then throw, but log_marginal_increment() stays readable, which is
+  /// what the PMMH chain needs to reject an impossible proposal.
+  void commit();
+
+  /// Commit over caller-owned log-weights without copying them in (the
+  /// importance window's log-weight column already lives in its ensemble;
+  /// every post-commit query reads only the cached LSE and normalized
+  /// weights, so the span need not outlive the call).
+  void commit(std::span<const double> log_weights);
+
+  /// Move the normalized weights out (the window result owns them from
+  /// here on). Leaves the system uncommitted; query again after the next
+  /// commit().
+  [[nodiscard]] std::vector<double> take_weights();
+
+  [[nodiscard]] bool committed() const noexcept { return committed_; }
+  [[nodiscard]] double lse() const;
+  /// log (1/N sum w): the evidence increment of this population.
+  [[nodiscard]] double log_marginal_increment() const;
+  /// Normalized linear weights (sum == 1); throws std::domain_error when
+  /// the population is degenerate.
+  [[nodiscard]] const std::vector<double>& weights() const;
+  /// Kish ESS of the normalized weights (stats::effective_sample_size).
+  [[nodiscard]] double ess() const;
+  [[nodiscard]] double perplexity() const;
+  [[nodiscard]] double max_weight() const;
+
+  /// Draw `count` ancestor indices with P(i) proportional to weights()[i].
+  [[nodiscard]] std::vector<std::uint32_t> resample(
+      stats::ResamplingScheme scheme, rng::Engine& eng,
+      std::size_t count) const;
+
+  /// The compaction recipe every pool consumer shares: ascending unique
+  /// ancestors of a resampled index vector plus the index -> compacted
+  /// slot map (kNoSlot for indices that were never drawn).
+  struct Survivors {
+    static constexpr std::uint32_t kNoSlot =
+        std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> unique;         // strictly increasing
+    std::vector<std::uint32_t> index_to_slot;  // size n; kNoSlot if dropped
+  };
+  [[nodiscard]] static Survivors survivors(
+      std::span<const std::uint32_t> resampled, std::size_t n);
+
+ private:
+  void require_committed(const char* what) const;
+
+  std::vector<double> log_weight_;
+  std::vector<double> weight_;  // normalized; empty when degenerate
+  std::size_t n_ = 0;           // committed population size
+  double lse_ = 0.0;
+  bool committed_ = false;
+};
+
+/// Largest temperature step `delta` in (0, budget] whose incremental
+/// weights {delta * loglik[i]} keep ESS at or above `target_ess`, found by
+/// bisection (the population is assumed equally weighted, i.e. freshly
+/// resampled). Returns `budget` outright when even the full remaining step
+/// satisfies the target. The returned step is floored at a small fraction
+/// of the budget so a pathological population (one particle dominating at
+/// any positive phi) still makes ladder progress.
+[[nodiscard]] double solve_temper_step(std::span<const double> loglik,
+                                       double budget, double target_ess);
+
+}  // namespace epismc::core

@@ -3,9 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/particle_system.hpp"
 #include "random/seeding.hpp"
 #include "stats/descriptive.hpp"
-#include "stats/weights.hpp"
 
 namespace epismc::core {
 
@@ -61,10 +61,17 @@ PmmhResult run_pmmh(const Simulator& sim, const Likelihood& likelihood,
   const ObservationCache death_cache =
       config.use_deaths ? likelihood.prepare(y_deaths) : ObservationCache{};
   EnsembleBuffer buf(config.replicates, window_len);
-  std::vector<double> logliks(config.replicates);
+  // The replicate population is a ParticleSystem: log-weights in, one
+  // log-sum-exp pass out. log_marginal_increment() is exactly the
+  // pseudo-marginal estimate log((1/R) sum exp(loglik_r)), and a fully
+  // impossible proposal (all replicates at -inf) stays readable as -inf
+  // instead of throwing, which is what the accept step needs.
+  ParticleSystem replicates_ps;
   std::size_t sims_used = 0;
   const auto estimate_loglik = [&](double theta, double rho,
                                    std::uint64_t iteration) {
+    replicates_ps.reset(config.replicates);
+    const std::span<double> logliks = replicates_ps.log_weights();
     for (std::size_t r = 0; r < config.replicates; ++r) {
       buf.param_index[r] = static_cast<std::uint32_t>(iteration);
       buf.replicate[r] = static_cast<std::uint32_t>(r);
@@ -88,8 +95,8 @@ PmmhResult run_pmmh(const Simulator& sim, const Likelihood& likelihood,
     };
     sim.run_batch(*parents, config.to_day, buf, 0, config.replicates, sink);
     sims_used += config.replicates;
-    return stats::log_sum_exp(logliks) -
-           std::log(static_cast<double>(config.replicates));
+    replicates_ps.commit();
+    return replicates_ps.log_marginal_increment();
   };
 
   auto chain_eng = rng::make_engine(config.seed, {kChainTag});

@@ -87,18 +87,15 @@ Forecast posterior_forecast(const Simulator& sim, const WindowResult& window,
       static_cast<std::size_t>(horizon_day - window.to_day);
   EnsembleBuffer buf(n_draws, horizon_len);
   for (std::size_t i = 0; i < n_draws; ++i) {
-    // Cycle over posterior draws; fresh seeds branch new futures.
-    const std::uint32_t draw =
-        window.resampled[i % window.resampled.size()];
-    const std::uint32_t state = window.sim_to_state[draw];
-    if (state == WindowResult::kNoState) {
-      throw std::logic_error("posterior_forecast: draw lacks an end state");
-    }
-    buf.param_index[i] = draw;
+    // Cycle over posterior draws (the draw-level view also covers
+    // particles replaced by rejuvenation moves); fresh seeds branch new
+    // futures.
+    const std::size_t draw = i % window.n_draws();
+    buf.param_index[i] = static_cast<std::uint32_t>(draw);
     buf.replicate[i] = static_cast<std::uint32_t>(i);
-    buf.parent[i] = state;
-    buf.theta[i] = theta_override.value_or(window.ensemble.theta[draw]);
-    buf.rho[i] = window.ensemble.rho[draw];
+    buf.parent[i] = window.draw_state_slot(draw);
+    buf.theta[i] = theta_override.value_or(window.draw_theta(draw));
+    buf.rho[i] = window.draw_rho(draw);
     buf.seed[i] = seed;
     buf.stream[i] = rng::make_stream_id({kForecastTag, i}).key;
   }

@@ -23,9 +23,33 @@ void CalibrationConfig::validate() const {
   if (n_params == 0 || replicates == 0 || resample_size == 0) {
     throw std::invalid_argument("CalibrationConfig: zero-sized budget");
   }
-  if (!(defensive_fraction >= 0.0 && defensive_fraction <= 1.0)) {
+  if (!(defensive_fraction > 0.0 && defensive_fraction <= 1.0)) {
+    // A zero (or negative) fraction silently disables the defensive prior
+    // mixture -- the safeguard that keeps regime shifts wider than the
+    // jitter kernel reachable (the paper's day-62 jump). Disabling a
+    // safeguard must be an explicit decision, so the config rejects it
+    // instead of accepting a footgun default.
     throw std::invalid_argument(
-        "CalibrationConfig: defensive_fraction must be in [0, 1]");
+        "CalibrationConfig: defensive_fraction must be in (0, 1], got " +
+        std::to_string(defensive_fraction) +
+        " (a zero/negative fraction disables the defensive prior mixture "
+        "that keeps regime shifts reachable; use a small positive fraction "
+        "such as 0.01 to approximate 'off')");
+  }
+  if (!(ess_threshold > 0.0 && ess_threshold < 1.0)) {
+    throw std::invalid_argument(
+        "CalibrationConfig: ess_threshold must be a fraction of n_sims in "
+        "(0, 1), got " + std::to_string(ess_threshold));
+  }
+  if (max_temper_stages == 0) {
+    throw std::invalid_argument(
+        "CalibrationConfig: max_temper_stages must be >= 1");
+  }
+  if (inference == InferenceStrategy::kTemperedRejuvenate &&
+      rejuvenation_moves == 0) {
+    throw std::invalid_argument(
+        "CalibrationConfig: the tempered+rejuvenate strategy needs "
+        "rejuvenation_moves >= 1 (use \"tempered\" for ladder-only runs)");
   }
   if (burnin_day < 0 || burnin_day >= windows.front().first) {
     throw std::invalid_argument(
@@ -97,6 +121,10 @@ const WindowResult& SequentialCalibrator::run_next_window() {
   spec.seed = rng::hash_combine(config_.seed, m);
   spec.capture = config_.capture;
   spec.inline_state_budget = config_.inline_state_budget;
+  spec.inference = config_.inference;
+  spec.ess_threshold = config_.ess_threshold;
+  spec.max_temper_stages = config_.max_temper_stages;
+  spec.rejuvenation_moves = config_.rejuvenation_moves;
 
   if (m == 0) {
     // Shared initial state; with the default burnin_day = 0 every particle
@@ -133,8 +161,10 @@ const WindowResult& SequentialCalibrator::run_next_window() {
   const bool needs_rho = bias_->uses_rho();
   const ParamProposal propose = [&, needs_rho](rng::Engine& eng,
                                                std::uint32_t j) {
-    const std::uint32_t draw =
-        prev.resampled[j % prev.resampled.size()];
+    // Draw-level view of the previous posterior: identical to indexing the
+    // ensemble through `resampled` for single-stage/tempered windows, and
+    // transparently picks up particles replaced by rejuvenation moves.
+    const std::size_t draw = j % prev.n_draws();
     ProposedParams p;
     if (rng::uniform_double(eng) < config_.defensive_fraction) {
       // Defensive component: fresh draw from the window-1 priors so that
@@ -142,16 +172,11 @@ const WindowResult& SequentialCalibrator::run_next_window() {
       p.theta = config_.theta_prior->sample(eng);
       p.rho = needs_rho ? config_.rho_prior->sample(eng) : 1.0;
     } else {
-      p.theta = config_.theta_jitter.sample(eng, prev.ensemble.theta[draw]);
-      p.rho = needs_rho
-                  ? config_.rho_jitter.sample(eng, prev.ensemble.rho[draw])
-                  : 1.0;
+      p.theta = config_.theta_jitter.sample(eng, prev.draw_theta(draw));
+      p.rho = needs_rho ? config_.rho_jitter.sample(eng, prev.draw_rho(draw))
+                        : 1.0;
     }
-    p.parent = prev.sim_to_state[draw];
-    if (p.parent == WindowResult::kNoState) {
-      throw std::logic_error(
-          "SequentialCalibrator: resampled draw lacks a checkpoint");
-    }
+    p.parent = prev.draw_state_slot(draw);
     return p;
   };
   results_.push_back(run_importance_window(sim_, *likelihood_,

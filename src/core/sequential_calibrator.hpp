@@ -79,6 +79,20 @@ struct CalibrationConfig {
   CapturePolicy capture = CapturePolicy::kAuto;
   std::size_t inline_state_budget = std::size_t{512} << 20;  // kAuto ceiling
 
+  /// Inference strategy per window (see core::InferenceStrategy):
+  /// single-stage (the paper's scheme, bit-identical to the historical
+  /// path), or the adaptive variants whose temper ladder engages whenever
+  /// a window's ESS collapses below ess_threshold * n_sims.
+  InferenceStrategy inference = InferenceStrategy::kSingleStage;
+  double ess_threshold = 0.5;        // trigger/target fraction, in (0, 1)
+  std::size_t max_temper_stages = 12;
+  std::size_t rejuvenation_moves = 1;  // rounds (tempered+rejuvenate)
+
+  /// Fail-fast validation in the WindowSpec::validate style: precise
+  /// messages for inverted/overlapping windows, zero budgets, a
+  /// non-positive defensive mixture (a zero fraction silently disables
+  /// the paper's regime-shift safeguard, so it is rejected rather than
+  /// accepted), out-of-range ESS thresholds, and unknown component names.
   void validate() const;
 };
 

@@ -74,6 +74,16 @@ class StatePool {
     return slot;
   }
 
+  /// Append the state held in `from`'s `slot` as a new slot of this pool,
+  /// returning the new index. Pools of the same concrete type move the
+  /// typed state across (no serialization; the donor slot is emptied);
+  /// mismatched pools fall back to the checkpoint io boundary. This is how
+  /// rejuvenation folds freshly captured particle states into a window's
+  /// survivor pool.
+  virtual std::size_t append_from(StatePool& from, std::size_t slot) {
+    return append_checkpoint(from.to_checkpoint(slot));
+  }
+
   /// Rough in-memory footprint of one state, in bytes -- the input to the
   /// CapturePolicy::kAuto decision (inline capture of N states costs
   /// N * approx_state_bytes() of peak memory). Estimated from the first
@@ -137,6 +147,18 @@ class ModelStatePool final : public StatePool {
   void set_from_checkpoint(std::size_t slot,
                            const epi::Checkpoint& ckpt) override {
     set(slot, Model::restore(ckpt));
+  }
+
+  std::size_t append_from(StatePool& from, std::size_t slot) override {
+    if (auto* typed = dynamic_cast<ModelStatePool<Model>*>(&from)) {
+      if (slot >= typed->slots_.size() || !typed->slots_[slot]) {
+        throw_empty_slot(slot);
+      }
+      const std::size_t here = slots_.size();
+      slots_.push_back(std::move(typed->slots_[slot]));
+      return here;
+    }
+    return StatePool::append_from(from, slot);
   }
 
   [[nodiscard]] std::size_t approx_state_bytes() const override {

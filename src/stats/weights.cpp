@@ -74,6 +74,29 @@ double effective_sample_size_log(std::span<const double> log_weights) {
   return std::exp(2.0 * lse1 - lse2);
 }
 
+double effective_sample_size_log(std::span<const double> log_weights,
+                                 double mult) {
+  if (!(mult >= 0.0)) {
+    throw std::invalid_argument(
+        "effective_sample_size_log: tempering exponent must be >= 0");
+  }
+  if (log_weights.empty()) return 0.0;
+  if (mult == 0.0) return static_cast<double>(log_weights.size());
+  // ESS = (sum exp(m x))^2 / sum exp(2 m x); shift by the max for
+  // stability -- both accumulators share it, so it cancels in the ratio.
+  const double top = *std::max_element(log_weights.begin(), log_weights.end());
+  if (!std::isfinite(top)) return 0.0;  // all -inf (or a stray non-finite)
+  double acc1 = 0.0;
+  double acc2 = 0.0;
+  for (const double v : log_weights) {
+    const double e = std::exp(mult * (v - top));
+    acc1 += e;
+    acc2 += e * e;
+  }
+  if (acc2 == 0.0) return 0.0;
+  return (acc1 * acc1) / acc2;
+}
+
 double weight_entropy(std::span<const double> weights) {
   double sum = 0.0;
   for (const double w : weights) sum += w;

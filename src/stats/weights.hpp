@@ -34,9 +34,18 @@ void normalize_log_weights(std::span<const double> log_weights,
 /// Kish effective sample size: (sum w)^2 / sum w^2 for normalized weights.
 [[nodiscard]] double effective_sample_size(std::span<const double> weights);
 
-/// ESS computed directly from unnormalized log-weights.
+/// ESS computed directly from unnormalized log-weights. Invariant under a
+/// constant shift of the log-weights, so it equals (up to rounding) the
+/// Kish ESS of the normalized weights -- the tempering ladder leans on
+/// this to probe candidate temperatures without materializing weights.
 [[nodiscard]] double effective_sample_size_log(
     std::span<const double> log_weights);
+
+/// ESS of the scaled log-weights {mult * log_weights[i]} without
+/// materializing the scaled vector: one fused pass accumulates both
+/// log-sum-exp terms. `mult` is a tempering exponent, so it must be >= 0.
+[[nodiscard]] double effective_sample_size_log(
+    std::span<const double> log_weights, double mult);
 
 /// Shannon entropy of the normalized weight distribution, in nats.
 /// Max entropy log(N) means uniform weights; 0 means full degeneracy.

@@ -7,6 +7,7 @@
 #include <limits>
 #include <vector>
 
+#include "random/distributions.hpp"
 #include "stats/weights.hpp"
 
 namespace {
@@ -99,6 +100,44 @@ TEST(Ess, LogVariantAgrees) {
   const std::vector<double> lw = {-5.0, -4.0, -6.0, -4.5};
   const auto w = normalize_log_weights(lw);
   EXPECT_NEAR(effective_sample_size_log(lw), effective_sample_size(w), 1e-9);
+}
+
+TEST(Ess, NormalizedEqualsUnnormalized) {
+  // The invariance the adaptive inference core leans on: ESS computed from
+  // raw log-weights equals the Kish ESS of the normalized weights, and a
+  // constant shift (un-normalization in log space) changes nothing.
+  std::vector<double> lw;
+  auto eng = epismc::rng::PhiloxEngine(2024, 7);
+  for (int i = 0; i < 257; ++i) {
+    lw.push_back(-40.0 * epismc::rng::uniform_double(eng));
+  }
+  const double from_log = effective_sample_size_log(lw);
+  const double from_normalized =
+      effective_sample_size(normalize_log_weights(lw));
+  EXPECT_NEAR(from_log, from_normalized, 1e-9 * from_log);
+
+  std::vector<double> shifted = lw;
+  for (double& v : shifted) v += 123.456;
+  EXPECT_NEAR(effective_sample_size_log(shifted), from_log, 1e-9 * from_log);
+}
+
+TEST(Ess, ScaledLogOverloadMatchesMaterializedScaling) {
+  std::vector<double> lw;
+  auto eng = epismc::rng::PhiloxEngine(99, 3);
+  for (int i = 0; i < 128; ++i) {
+    lw.push_back(-200.0 * epismc::rng::uniform_double(eng));
+  }
+  for (const double mult : {0.0, 0.01, 0.37, 1.0, 2.5}) {
+    std::vector<double> scaled = lw;
+    for (double& v : scaled) v *= mult;
+    const double expected = mult == 0.0 ? static_cast<double>(lw.size())
+                                        : effective_sample_size_log(scaled);
+    EXPECT_NEAR(effective_sample_size_log(lw, mult), expected,
+                1e-9 * expected)
+        << "mult=" << mult;
+  }
+  EXPECT_THROW((void)effective_sample_size_log(lw, -0.5),
+               std::invalid_argument);
 }
 
 TEST(Ess, RejectsNegative) {
