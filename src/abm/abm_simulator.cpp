@@ -73,4 +73,29 @@ void AbmSimulator::run_batch(std::span<const epi::Checkpoint> parents,
       [engine](AgentBasedModel& m) { m.set_engine(engine); });
 }
 
+void AbmSimulator::advance_batch(core::StatePool& states, std::int32_t to_day,
+                                 core::EnsembleBuffer& buffer,
+                                 std::size_t first, std::size_t count,
+                                 const core::BatchSink& sink) const {
+  const AbmEngine engine = config_.abm.engine;
+  core::detail::advance_batch_inplace<AgentBasedModel>(
+      states, to_day, buffer, first, count, sink, name(),
+      [engine](AgentBasedModel& m) { m.set_engine(engine); });
+}
+
+void AbmSimulator::resample_states(core::StatePool& states,
+                                   std::span<const std::uint32_t> ancestors,
+                                   std::uint64_t seed,
+                                   std::span<const std::uint64_t> streams,
+                                   std::span<const double> thetas) const {
+  if (ancestors.size() != streams.size() || ancestors.size() != thetas.size()) {
+    throw std::invalid_argument(
+        "resample_states: ancestors, streams and thetas must align");
+  }
+  const AbmEngine engine = config_.abm.engine;
+  core::detail::resample_states_inplace<AgentBasedModel>(
+      states, ancestors, seed, streams, thetas, name(),
+      [engine](AgentBasedModel& m) { m.set_engine(engine); });
+}
+
 }  // namespace epismc::abm

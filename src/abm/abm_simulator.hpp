@@ -51,6 +51,15 @@ class AbmSimulator final : public core::Simulator {
                  core::EnsembleBuffer& buffer, std::size_t first,
                  std::size_t count,
                  std::span<epi::Checkpoint> end_states = {}) const override;
+  void advance_batch(core::StatePool& states, std::int32_t to_day,
+                     core::EnsembleBuffer& buffer, std::size_t first,
+                     std::size_t count,
+                     const core::BatchSink& sink = {}) const override;
+  void resample_states(core::StatePool& states,
+                       std::span<const std::uint32_t> ancestors,
+                       std::uint64_t seed,
+                       std::span<const std::uint64_t> streams,
+                       std::span<const double> thetas) const override;
   [[nodiscard]] std::string name() const override { return "agent-based"; }
 
  private:

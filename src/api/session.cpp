@@ -5,10 +5,10 @@
 namespace epismc::api {
 
 void CalibrationSession::require_unbuilt(const char* call) const {
-  if (calibrator_) {
+  if (calibrator_ || streamed_) {
     throw std::logic_error(std::string("CalibrationSession::") + call +
                            ": session already materialized; configure before "
-                           "the first run_*/results call");
+                           "the first run_*/stream()/results call");
   }
 }
 
@@ -234,6 +234,26 @@ void CalibrationSession::build() {
   simulator_ = simulators().create(simulator_name_, spec);
   calibrator_ = std::make_unique<core::SequentialCalibrator>(*simulator_,
                                                              *data_, config_);
+}
+
+stream::StreamingCalibrator CalibrationSession::stream(StreamOptions options) {
+  config_.validate();
+  if (!simulator_) {
+    // Identical simulator resolution to build(): explicit spec override
+    // first, then the scenario preset's, then defaults.
+    SimulatorSpec spec = spec_override_ ? *spec_override_
+                         : preset_      ? preset_->simulator_spec()
+                                        : SimulatorSpec{};
+    if (abm_engine_) spec.abm.engine = *abm_engine_;
+    simulator_ = simulators().create(simulator_name_, spec);
+  }
+  streamed_ = true;
+  stream::StreamConfig stream_config;
+  stream_config.calibration = config_;
+  stream_config.checkpoint_every = options.checkpoint_every;
+  stream_config.checkpoint_path = std::move(options.checkpoint_path);
+  stream_config.resample_mid_window = options.resample_mid_window;
+  return stream::StreamingCalibrator(*simulator_, std::move(stream_config));
 }
 
 const core::WindowResult& CalibrationSession::run_next_window() {

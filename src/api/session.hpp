@@ -38,8 +38,17 @@
 #include "core/scenario.hpp"
 #include "core/sequential_calibrator.hpp"
 #include "core/simulator.hpp"
+#include "stream/streaming_calibrator.hpp"
 
 namespace epismc::api {
+
+/// Streaming-only knobs of CalibrationSession::stream() (the calibration
+/// knobs come from the session's staged config; see stream::StreamConfig).
+struct StreamOptions {
+  std::int64_t checkpoint_every = 0;
+  std::filesystem::path checkpoint_path;
+  bool resample_mid_window = true;
+};
 
 class CalibrationSession {
  public:
@@ -104,6 +113,13 @@ class CalibrationSession {
   CalibrationSession& with_config(core::CalibrationConfig config);
 
   // --- Running. ------------------------------------------------------------
+  /// Online streaming calibration: materialize the simulator from the
+  /// staged config (exactly like build(), minus data/calibrator -- the
+  /// observations arrive through ingest()) and hand back a
+  /// StreamingCalibrator over it. The session must outlive the returned
+  /// calibrator (it owns the simulator), and like the batch path a
+  /// session is one run: further with_* calls throw after stream().
+  [[nodiscard]] stream::StreamingCalibrator stream(StreamOptions options = {});
   /// Calibrate the next window (materializes the pipeline on first call).
   const core::WindowResult& run_next_window();
   /// Calibrate all remaining windows.
@@ -159,6 +175,7 @@ class CalibrationSession {
   core::CalibrationConfig config_;
   std::unique_ptr<core::Simulator> simulator_;
   std::unique_ptr<core::SequentialCalibrator> calibrator_;
+  bool streamed_ = false;
 };
 
 }  // namespace epismc::api

@@ -161,4 +161,85 @@ void run_batch_copying(std::span<const epi::Checkpoint> parents,
                            backend, [](Model&) {});
 }
 
+/// In-place streaming advance: unlike run_batch_fused there is no
+/// copy-and-branch -- each pooled model keeps its own engine position and
+/// trajectory and simply runs forward, so a sequence of advance_batch
+/// calls reproduces one long run_until_day bit for bit. The buffer rows
+/// receive the tail of the newly simulated days only.
+template <typename Model, typename PrepareFn>
+void advance_batch_inplace(StatePool& states_erased, std::int32_t to_day,
+                           EnsembleBuffer& buffer, std::size_t first,
+                           std::size_t count, const BatchSink& sink,
+                           const std::string& backend, PrepareFn&& prepare) {
+  ModelStatePool<Model>& states =
+      typed_pool<Model>(states_erased, backend, "state");
+  ModelStatePool<Model>* capture =
+      sink.capture == nullptr
+          ? nullptr
+          : &typed_pool<Model>(*sink.capture, backend, "capture");
+  if (first + count > buffer.size() || first + count > states.size()) {
+    throw std::out_of_range(
+        "advance_batch: sim range exceeds the buffer or state pool");
+  }
+  // Day-bound pre-pass outside the parallel region, so a stale slot fails
+  // with a message instead of terminating inside the OpenMP loop.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t s = first + i;
+    if (to_day < states.at(s).day() + 1) {
+      throw std::logic_error("advance_batch: slot " + std::to_string(s) +
+                             " already sits at day " +
+                             std::to_string(states.at(s).day()) +
+                             ", cannot advance to day " +
+                             std::to_string(to_day));
+    }
+  }
+
+  struct Workspace {
+    std::vector<double> series;  // newly simulated days, trimmed on store
+  };
+  std::vector<Workspace> workspaces(
+      static_cast<std::size_t>(parallel::max_threads()));
+
+  parallel::parallel_for(count, [&](std::size_t i) {
+    const std::size_t s = first + i;
+    Model& m = states.at(s);
+    prepare(m);
+    const std::int32_t from_day = m.day() + 1;
+    m.run_until_day(to_day);
+
+    Workspace& ws = workspaces[static_cast<std::size_t>(parallel::thread_id())];
+    ws.series.resize(static_cast<std::size_t>(to_day - from_day + 1));
+    m.trajectory().copy_series(&epi::DailyRecord::new_infections, from_day,
+                               to_day, ws.series);
+    buffer.store_tail(EnsembleBuffer::Series::kTrueCases, s, ws.series);
+    m.trajectory().copy_series(&epi::DailyRecord::new_deaths, from_day, to_day,
+                               ws.series);
+    buffer.store_tail(EnsembleBuffer::Series::kDeaths, s, ws.series);
+    if (capture != nullptr) capture->set(s, m);
+    if (sink.on_sim) sink.on_sim(s);
+  });
+}
+
+/// Streaming resample redistribution: replace the pool with copies of the
+/// ancestor slots, then re-branch each copy onto its fresh (seed, stream,
+/// theta) identity so duplicated particles diverge from the resample day
+/// on, exactly like a copy-and-branch from a one-slot-per-particle parent
+/// pool would.
+template <typename Model, typename PrepareFn>
+void resample_states_inplace(StatePool& states_erased,
+                             std::span<const std::uint32_t> ancestors,
+                             std::uint64_t seed,
+                             std::span<const std::uint64_t> streams,
+                             std::span<const double> thetas,
+                             const std::string& backend, PrepareFn&& prepare) {
+  ModelStatePool<Model>& states =
+      typed_pool<Model>(states_erased, backend, "state");
+  states.gather(ancestors);
+  parallel::parallel_for(states.size(), [&](std::size_t i) {
+    Model& m = states.at(i);
+    prepare(m);
+    m.branch(seed, streams[i], thetas[i]);
+  });
+}
+
 }  // namespace epismc::core::detail

@@ -97,13 +97,17 @@ void run_temper_ladder(const EnsembleBuffer& ens, const WindowSpec& spec,
 // window-likelihood ratio. Accepted draws adopt the proposal's
 // parameters, output series and -- via a capture replay of the winning
 // identities -- end-of-window state.
+// `full_ll`, when non-empty, supplies the full-window log-likelihood per
+// sim: the streaming driver's ensemble log-weight column only covers the
+// tail after a mid-window resample, but the MH acceptance ratio needs the
+// whole window on both sides.
 void run_rejuvenation(const Simulator& sim, const Likelihood& case_likelihood,
                       const Likelihood& death_likelihood, const BiasModel& bias,
                       const StatePool& parents, const WindowSpec& spec,
                       const ParamProposal& propose,
                       const ObservationCache& case_cache,
                       const ObservationCache& death_cache,
-                      WindowResult& result) {
+                      std::span<const double> full_ll, WindowResult& result) {
   const EnsembleBuffer& ens = result.ensemble;
   const std::size_t n_draws = result.resampled.size();
   const std::size_t window_len = result.window_length();
@@ -128,7 +132,7 @@ void run_rejuvenation(const Simulator& sim, const Likelihood& case_likelihood,
     overlay.theta[i] = ens.theta[s];
     overlay.rho[i] = ens.rho[s];
     overlay.state_slot[i] = result.sim_to_state[s];
-    cur_ll[i] = ens.log_weight[s];
+    cur_ll[i] = full_ll.empty() ? ens.log_weight[s] : full_ll[s];
     cur_parent[i] = ens.parent[s];
     cur_stream[i] = ens.stream[s];
   }
@@ -305,28 +309,37 @@ void WindowSpec::validate(const ObservedData* data) const {
   }
 }
 
-WindowResult run_importance_window(const Simulator& sim,
-                                   const Likelihood& case_likelihood,
-                                   const Likelihood& death_likelihood,
-                                   const BiasModel& bias,
-                                   const ObservedData& data,
-                                   const StatePool& parents,
-                                   const WindowSpec& spec,
-                                   const ParamProposal& propose) {
-  spec.validate(&data);
-  if (parents.empty()) {
-    throw std::invalid_argument("run_importance_window: no parent states");
-  }
+namespace detail {
 
-  WindowResult result;
-  result.from_day = spec.from_day;
-  result.to_day = spec.to_day;
+rng::PhiloxEngine proposal_engine(const WindowSpec& spec, std::uint32_t j) {
+  return rng::make_engine(spec.seed, {kProposalTag, spec.window_index, j});
+}
 
+std::uint64_t model_stream_key(const WindowSpec& spec, std::uint32_t j,
+                               std::uint32_t r) {
+  return spec.common_random_numbers
+             ? rng::make_stream_id({kModelTag, spec.window_index, r}).key
+             : rng::make_stream_id({kModelTag, spec.window_index, j, r}).key;
+}
+
+rng::PhiloxEngine bias_engine(const WindowSpec& spec, std::uint32_t j,
+                              std::uint32_t r) {
+  return spec.common_random_numbers
+             ? rng::make_engine(spec.seed, {kBiasTag, spec.window_index, r})
+             : rng::make_engine(spec.seed, {kBiasTag, spec.window_index, j, r});
+}
+
+rng::PhiloxEngine resample_engine(const WindowSpec& spec) {
+  return rng::make_engine(spec.seed, {kResampleTag, spec.window_index});
+}
+
+void layout_window_ensemble(const WindowSpec& spec, const StatePool& parents,
+                            const ParamProposal& propose,
+                            EnsembleBuffer& ens) {
   // --- 1. Draw proposals (sequential: cheap, reproducible). --------------
   std::vector<ProposedParams> params(spec.n_params);
   for (std::uint32_t j = 0; j < spec.n_params; ++j) {
-    auto eng = rng::make_engine(spec.seed,
-                                {kProposalTag, spec.window_index, j});
+    auto eng = proposal_engine(spec, j);
     params[j] = propose(eng, j);
     if (params[j].parent >= parents.size()) {
       throw std::out_of_range("run_importance_window: bad parent index");
@@ -335,13 +348,11 @@ WindowResult run_importance_window(const Simulator& sim,
 
   // --- 2. Lay out the ensemble: columns first, then one fused sweep. -----
   const std::size_t n_sims = spec.n_params * spec.replicates;
-  // Parent states may sit before the window (e.g. the day-0 state for
-  // window 1, so each particle owns its whole early path); the stored rows
-  // and the likelihood always cover exactly [from_day, to_day].
-  const std::size_t window_len =
-      static_cast<std::size_t>(spec.to_day - spec.from_day + 1);
-  EnsembleBuffer& ens = result.ensemble;
-  ens.resize(n_sims, window_len);
+  if (ens.size() != n_sims) {
+    throw std::invalid_argument(
+        "layout_window_ensemble: buffer holds " + std::to_string(ens.size()) +
+        " rows but the spec budgets " + std::to_string(n_sims) + " sims");
+  }
   for (std::size_t s = 0; s < n_sims; ++s) {
     const auto j = static_cast<std::uint32_t>(s / spec.replicates);
     const auto r = static_cast<std::uint32_t>(s % spec.replicates);
@@ -355,72 +366,18 @@ WindowResult run_importance_window(const Simulator& sim,
     // on the replicate (all thetas see the same noise realization);
     // otherwise it depends on (draw, replicate).
     ens.seed[s] = spec.seed;
-    ens.stream[s] =
-        spec.common_random_numbers
-            ? rng::make_stream_id({kModelTag, spec.window_index, r}).key
-            : rng::make_stream_id({kModelTag, spec.window_index, j, r}).key;
+    ens.stream[s] = model_stream_key(spec, j, r);
   }
+}
 
-  const std::vector<double> y_cases =
-      data.cases_window(spec.from_day, spec.to_day);
-  const std::vector<double> y_deaths =
-      spec.use_deaths ? data.deaths_window(spec.from_day, spec.to_day)
-                      : std::vector<double>{};
-  // Observation-side constants (sqrt transforms, lgamma terms) hoisted out
-  // of the per-sim scoring loop; bit-identical to uncached scoring.
-  const ObservationCache case_cache = case_likelihood.prepare(y_cases);
-  const ObservationCache death_cache =
-      spec.use_deaths ? death_likelihood.prepare(y_deaths) : ObservationCache{};
-
-  // Resolve the capture policy: inline when the peak transient cost of
-  // holding every candidate's end state fits the budget.
-  bool inline_capture = false;
-  switch (spec.capture) {
-    case CapturePolicy::kInline:
-      inline_capture = true;
-      break;
-    case CapturePolicy::kDeferredReplay:
-      inline_capture = false;
-      break;
-    case CapturePolicy::kAuto:
-      inline_capture =
-          parents.approx_state_bytes() * n_sims <= spec.inline_state_budget;
-      break;
-  }
+void resolve_window_posterior(const WindowPosteriorInputs& in,
+                              std::shared_ptr<StatePool> capture,
+                              bool inline_capture, WindowResult& result) {
+  const WindowSpec& spec = in.spec;
+  EnsembleBuffer& ens = result.ensemble;
+  const std::size_t n_sims = ens.size();
+  const std::size_t window_len = result.window_length();
   result.diag.inline_capture = inline_capture;
-
-  std::shared_ptr<StatePool> capture = sim.make_pool();
-  BatchSink sink;
-  if (inline_capture) {
-    capture->resize(n_sims);
-    sink.capture = capture.get();
-  }
-  // Fused per-sim tail of the sweep: reporting bias onto the observation
-  // row, then the window likelihood. The bias stream is addressed by the
-  // same identity as before the batching refactor, so weights are
-  // bit-identical to the per-sim path.
-  sink.on_sim = [&](std::size_t s) {
-    const std::uint32_t j = ens.param_index[s];
-    const std::uint32_t r = ens.replicate[s];
-    auto bias_eng =
-        spec.common_random_numbers
-            ? rng::make_engine(spec.seed, {kBiasTag, spec.window_index, r})
-            : rng::make_engine(spec.seed, {kBiasTag, spec.window_index, j, r});
-    bias.apply_into(bias_eng, ens.true_cases(s), ens.rho[s], ens.obs_cases(s));
-
-    double logw = case_likelihood.logpdf(case_cache, ens.obs_cases(s));
-    if (spec.use_deaths) {
-      logw += death_likelihood.logpdf(death_cache, ens.deaths(s));
-    }
-    ens.log_weight[s] = logw;
-  };
-
-  parallel::Timer propagate_timer;
-  // Propagate, bias, score and (inline) capture all n_params * replicates
-  // trajectories in one batch call; the simulator backend owns the
-  // parallel loop and fills the true-case / death rows in place.
-  sim.run_batch(parents, spec.to_day, ens, 0, n_sims, sink);
-  result.diag.propagate_seconds = propagate_timer.seconds();
 
   // --- 3. Normalize weights and diagnostics: one log-sum-exp pass, owned
   // by the shared particle-system kernel (operation-for-operation the
@@ -451,8 +408,7 @@ WindowResult run_importance_window(const Simulator& sim,
     result.smc.triggered = true;
     run_temper_ladder(ens, spec, result);
   } else {
-    auto resample_eng =
-        rng::make_engine(spec.seed, {kResampleTag, spec.window_index});
+    auto resample_eng = resample_engine(spec);
     result.resampled =
         ps.resample(spec.scheme, resample_eng, spec.resample_size);
     result.smc.stages.push_back(
@@ -490,8 +446,8 @@ WindowResult run_importance_window(const Simulator& sim,
     capture->resize(surv.unique.size());
     BatchSink replay_sink;
     replay_sink.capture = capture.get();
-    sim.run_batch(parents, spec.to_day, replay, 0, surv.unique.size(),
-                  replay_sink);
+    in.sim.run_batch(in.parents, spec.to_day, replay, 0, surv.unique.size(),
+                     replay_sink);
     for (std::size_t u = 0; u < surv.unique.size(); ++u) {
       // Cheap tail of the replay-determinism invariant (the full property
       // is covered in tests/).
@@ -511,9 +467,104 @@ WindowResult run_importance_window(const Simulator& sim,
   // only): diversify the resampled duplicates with independence-MH moves
   // scored through the same fused batch kernel.
   if (spec.inference == InferenceStrategy::kTemperedRejuvenate && degenerate) {
-    run_rejuvenation(sim, case_likelihood, death_likelihood, bias, parents,
-                     spec, propose, case_cache, death_cache, result);
+    run_rejuvenation(in.sim, in.case_likelihood, in.death_likelihood, in.bias,
+                     in.parents, spec, in.propose, in.case_cache,
+                     in.death_cache, in.rejuvenation_loglik, result);
   }
+}
+
+}  // namespace detail
+
+WindowResult run_importance_window(const Simulator& sim,
+                                   const Likelihood& case_likelihood,
+                                   const Likelihood& death_likelihood,
+                                   const BiasModel& bias,
+                                   const ObservedData& data,
+                                   const StatePool& parents,
+                                   const WindowSpec& spec,
+                                   const ParamProposal& propose) {
+  spec.validate(&data);
+  if (parents.empty()) {
+    throw std::invalid_argument("run_importance_window: no parent states");
+  }
+
+  WindowResult result;
+  result.from_day = spec.from_day;
+  result.to_day = spec.to_day;
+
+  const std::size_t n_sims = spec.n_params * spec.replicates;
+  // Parent states may sit before the window (e.g. the day-0 state for
+  // window 1, so each particle owns its whole early path); the stored rows
+  // and the likelihood always cover exactly [from_day, to_day].
+  const std::size_t window_len =
+      static_cast<std::size_t>(spec.to_day - spec.from_day + 1);
+  EnsembleBuffer& ens = result.ensemble;
+  ens.resize(n_sims, window_len);
+  detail::layout_window_ensemble(spec, parents, propose, ens);
+
+  const std::vector<double> y_cases =
+      data.cases_window(spec.from_day, spec.to_day);
+  const std::vector<double> y_deaths =
+      spec.use_deaths ? data.deaths_window(spec.from_day, spec.to_day)
+                      : std::vector<double>{};
+  // Observation-side constants (sqrt transforms, lgamma terms) hoisted out
+  // of the per-sim scoring loop; bit-identical to uncached scoring.
+  const ObservationCache case_cache = case_likelihood.prepare(y_cases);
+  const ObservationCache death_cache =
+      spec.use_deaths ? death_likelihood.prepare(y_deaths) : ObservationCache{};
+
+  // Resolve the capture policy: inline when the peak transient cost of
+  // holding every candidate's end state fits the budget.
+  bool inline_capture = false;
+  switch (spec.capture) {
+    case CapturePolicy::kInline:
+      inline_capture = true;
+      break;
+    case CapturePolicy::kDeferredReplay:
+      inline_capture = false;
+      break;
+    case CapturePolicy::kAuto:
+      inline_capture =
+          parents.approx_state_bytes() * n_sims <= spec.inline_state_budget;
+      break;
+  }
+
+  std::shared_ptr<StatePool> capture = sim.make_pool();
+  BatchSink sink;
+  if (inline_capture) {
+    capture->resize(n_sims);
+    sink.capture = capture.get();
+  }
+  // Fused per-sim tail of the sweep: reporting bias onto the observation
+  // row, then the window likelihood. The bias stream is addressed by the
+  // same identity as before the batching refactor, so weights are
+  // bit-identical to the per-sim path.
+  sink.on_sim = [&](std::size_t s) {
+    auto bias_eng = detail::bias_engine(spec, ens.param_index[s],
+                                        ens.replicate[s]);
+    bias.apply_into(bias_eng, ens.true_cases(s), ens.rho[s], ens.obs_cases(s));
+
+    double logw = case_likelihood.logpdf(case_cache, ens.obs_cases(s));
+    if (spec.use_deaths) {
+      logw += death_likelihood.logpdf(death_cache, ens.deaths(s));
+    }
+    ens.log_weight[s] = logw;
+  };
+
+  parallel::Timer propagate_timer;
+  // Propagate, bias, score and (inline) capture all n_params * replicates
+  // trajectories in one batch call; the simulator backend owns the
+  // parallel loop and fills the true-case / death rows in place.
+  sim.run_batch(parents, spec.to_day, ens, 0, n_sims, sink);
+  result.diag.propagate_seconds = propagate_timer.seconds();
+
+  // Stages 3-6 (normalize -> strategy dispatch -> survivor states ->
+  // rejuvenation) live in the shared resolver so the streaming calibrator
+  // lands on the same posterior bits.
+  detail::resolve_window_posterior(
+      {sim, case_likelihood, death_likelihood, bias, parents, spec, propose,
+       case_cache, death_cache},
+      std::move(capture), inline_capture, result);
 
   return result;
 }

@@ -163,4 +163,70 @@ struct WindowSpec {
                                parents, spec, propose);
 }
 
+namespace detail {
+
+// --- Shared window internals (the streaming calibrator reuses these). ------
+//
+// src/stream/ splits a window's weighted pass into per-day increments but
+// must land on the same posterior bits as run_importance_window. These
+// helpers are the single source of truth for a window's stream identities
+// and for the post-scoring pipeline (normalize -> strategy dispatch ->
+// survivor compaction -> rejuvenation), so the streaming path re-uses the
+// batch machinery instead of re-implementing it.
+
+/// Engine drawing the j-th proposal of a window.
+[[nodiscard]] rng::PhiloxEngine proposal_engine(const WindowSpec& spec,
+                                                std::uint32_t j);
+/// Model-stream key of sim (draw j, replicate r); depends only on r under
+/// common random numbers.
+[[nodiscard]] std::uint64_t model_stream_key(const WindowSpec& spec,
+                                             std::uint32_t j, std::uint32_t r);
+/// Bias engine of sim (draw j, replicate r) at its start-of-window
+/// position. Bias draws are consumed day-sequentially, so a per-day split
+/// that persists this engine across days is bit-identical to one
+/// whole-window apply_into call.
+[[nodiscard]] rng::PhiloxEngine bias_engine(const WindowSpec& spec,
+                                            std::uint32_t j, std::uint32_t r);
+/// Engine of the single-stage posterior resample.
+[[nodiscard]] rng::PhiloxEngine resample_engine(const WindowSpec& spec);
+
+/// Stages 1-2 of a window: draw the spec's n_params proposals from their
+/// per-(window, j) engines and fill the ensemble's identity / parameter /
+/// RNG columns. `ens` must be presized to n_params * replicates rows.
+void layout_window_ensemble(const WindowSpec& spec, const StatePool& parents,
+                            const ParamProposal& propose, EnsembleBuffer& ens);
+
+/// Everything the post-scoring pipeline reads. References must outlive the
+/// resolve_window_posterior call (they are call-scoped, not stored).
+struct WindowPosteriorInputs {
+  const Simulator& sim;
+  const Likelihood& case_likelihood;
+  const Likelihood& death_likelihood;
+  const BiasModel& bias;
+  const StatePool& parents;
+  const WindowSpec& spec;
+  const ParamProposal& propose;
+  const ObservationCache& case_cache;   // prepared over the full window
+  const ObservationCache& death_cache;  // empty unless spec.use_deaths
+  /// Full-window log-likelihood per sim for rejuvenation acceptance.
+  /// Empty means "use the ensemble's log_weight column" (the batch case);
+  /// the streaming driver passes its own accumulators here because after a
+  /// mid-window resample the log_weight column only covers the tail.
+  std::span<const double> rejuvenation_loglik = {};
+};
+
+/// Stages 3-6 of a window, operating on result.ensemble (whose log_weight
+/// column must hold the scored per-sim log-likelihoods): normalize weights
+/// and diagnostics, dispatch the inference strategy (single resample or
+/// ESS-triggered temper ladder), keep end states for the unique survivors
+/// (compacting `capture` under inline capture, deferred replay otherwise),
+/// and run rejuvenation moves when the strategy asks for them. Fills
+/// result.{weights, resampled, state_pool, sim_to_state, rejuvenated,
+/// diag, smc} exactly as run_importance_window does.
+void resolve_window_posterior(const WindowPosteriorInputs& in,
+                              std::shared_ptr<StatePool> capture,
+                              bool inline_capture, WindowResult& result);
+
+}  // namespace detail
+
 }  // namespace epismc::core

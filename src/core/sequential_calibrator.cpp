@@ -68,6 +68,85 @@ void CalibrationConfig::validate() const {
   (void)api::bias_models().create(bias_name);
 }
 
+PosteriorDraws PosteriorDraws::from_window(const WindowResult& w) {
+  const std::size_t n = w.n_draws();
+  PosteriorDraws d;
+  d.theta.resize(n);
+  d.rho.resize(n);
+  d.parent_slot.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d.theta[i] = w.draw_theta(i);
+    d.rho[i] = w.draw_rho(i);
+    d.parent_slot[i] = w.draw_state_slot(i);
+  }
+  return d;
+}
+
+ParamProposal make_prior_proposal(const CalibrationConfig& config,
+                                  bool needs_rho) {
+  return [theta_prior = config.theta_prior, rho_prior = config.rho_prior,
+          needs_rho](rng::Engine& eng, std::uint32_t) {
+    ProposedParams p;
+    p.theta = theta_prior->sample(eng);
+    p.rho = needs_rho ? rho_prior->sample(eng) : 1.0;
+    p.parent = 0;
+    return p;
+  };
+}
+
+ParamProposal make_posterior_proposal(
+    const CalibrationConfig& config,
+    std::shared_ptr<const PosteriorDraws> draws, bool needs_rho) {
+  if (!draws || draws->size() == 0) {
+    throw std::invalid_argument(
+        "make_posterior_proposal: empty posterior draw set");
+  }
+  return [draws = std::move(draws), theta_prior = config.theta_prior,
+          rho_prior = config.rho_prior, theta_jitter = config.theta_jitter,
+          rho_jitter = config.rho_jitter,
+          defensive_fraction = config.defensive_fraction,
+          needs_rho](rng::Engine& eng, std::uint32_t j) {
+    const std::size_t draw = j % draws->size();
+    ProposedParams p;
+    if (rng::uniform_double(eng) < defensive_fraction) {
+      // Defensive component: fresh draw from the window-1 priors so that
+      // parameter jumps beyond the jitter width stay reachable.
+      p.theta = theta_prior->sample(eng);
+      p.rho = needs_rho ? rho_prior->sample(eng) : 1.0;
+    } else {
+      p.theta = theta_jitter.sample(eng, draws->theta[draw]);
+      p.rho = needs_rho ? rho_jitter.sample(eng, draws->rho[draw]) : 1.0;
+    }
+    p.parent = draws->parent_slot[draw];
+    return p;
+  };
+}
+
+WindowSpec make_window_spec(const CalibrationConfig& config, std::size_t m) {
+  if (m >= config.windows.size()) {
+    throw std::out_of_range("make_window_spec: window " + std::to_string(m) +
+                            " of " + std::to_string(config.windows.size()));
+  }
+  WindowSpec spec;
+  spec.from_day = config.windows[m].first;
+  spec.to_day = config.windows[m].second;
+  spec.window_index = static_cast<std::uint32_t>(m);
+  spec.n_params = config.n_params;
+  spec.replicates = config.replicates;
+  spec.resample_size = config.resample_size;
+  spec.common_random_numbers = config.common_random_numbers;
+  spec.use_deaths = config.use_deaths;
+  spec.scheme = config.scheme;
+  spec.seed = rng::hash_combine(config.seed, m);
+  spec.capture = config.capture;
+  spec.inline_state_budget = config.inline_state_budget;
+  spec.inference = config.inference;
+  spec.ess_threshold = config.ess_threshold;
+  spec.max_temper_stages = config.max_temper_stages;
+  spec.rejuvenation_moves = config.rejuvenation_moves;
+  return spec;
+}
+
 SequentialCalibrator::SequentialCalibrator(const Simulator& sim,
                                            ObservedData data,
                                            CalibrationConfig config)
@@ -106,25 +185,8 @@ const WindowResult& SequentialCalibrator::run_next_window() {
   if (m >= config_.windows.size()) {
     throw std::logic_error("SequentialCalibrator: all windows already run");
   }
-  const auto [from_day, to_day] = config_.windows[m];
-
-  WindowSpec spec;
-  spec.from_day = from_day;
-  spec.to_day = to_day;
-  spec.window_index = static_cast<std::uint32_t>(m);
-  spec.n_params = config_.n_params;
-  spec.replicates = config_.replicates;
-  spec.resample_size = config_.resample_size;
-  spec.common_random_numbers = config_.common_random_numbers;
-  spec.use_deaths = config_.use_deaths;
-  spec.scheme = config_.scheme;
-  spec.seed = rng::hash_combine(config_.seed, m);
-  spec.capture = config_.capture;
-  spec.inline_state_budget = config_.inline_state_budget;
-  spec.inference = config_.inference;
-  spec.ess_threshold = config_.ess_threshold;
-  spec.max_temper_stages = config_.max_temper_stages;
-  spec.rejuvenation_moves = config_.rejuvenation_moves;
+  const WindowSpec spec = make_window_spec(config_, m);
+  const bool needs_rho = bias_->uses_rho();
 
   if (m == 0) {
     // Shared initial state; with the default burnin_day = 0 every particle
@@ -135,19 +197,9 @@ const WindowResult& SequentialCalibrator::run_next_window() {
     initial_pool_ = sim_.make_pool();
     initial_pool_->append_checkpoint(initial_ckpt_);
 
-    const Prior& theta_prior = *config_.theta_prior;
-    const Prior& rho_prior = *config_.rho_prior;
-    const bool needs_rho = bias_->uses_rho();
-    const ParamProposal propose = [&](rng::Engine& eng, std::uint32_t) {
-      ProposedParams p;
-      p.theta = theta_prior.sample(eng);
-      p.rho = needs_rho ? rho_prior.sample(eng) : 1.0;
-      p.parent = 0;
-      return p;
-    };
-    results_.push_back(run_importance_window(sim_, *likelihood_,
-                                             *death_likelihood_, *bias_, data_,
-                                             *initial_pool_, spec, propose));
+    results_.push_back(run_importance_window(
+        sim_, *likelihood_, *death_likelihood_, *bias_, data_, *initial_pool_,
+        spec, make_prior_proposal(config_, needs_rho)));
     return results_.back();
   }
 
@@ -158,27 +210,9 @@ const WindowResult& SequentialCalibrator::run_next_window() {
   if (!prev.state_pool || prev.state_pool->empty()) {
     throw std::logic_error("SequentialCalibrator: previous window kept no states");
   }
-  const bool needs_rho = bias_->uses_rho();
-  const ParamProposal propose = [&, needs_rho](rng::Engine& eng,
-                                               std::uint32_t j) {
-    // Draw-level view of the previous posterior: identical to indexing the
-    // ensemble through `resampled` for single-stage/tempered windows, and
-    // transparently picks up particles replaced by rejuvenation moves.
-    const std::size_t draw = j % prev.n_draws();
-    ProposedParams p;
-    if (rng::uniform_double(eng) < config_.defensive_fraction) {
-      // Defensive component: fresh draw from the window-1 priors so that
-      // parameter jumps beyond the jitter width stay reachable.
-      p.theta = config_.theta_prior->sample(eng);
-      p.rho = needs_rho ? config_.rho_prior->sample(eng) : 1.0;
-    } else {
-      p.theta = config_.theta_jitter.sample(eng, prev.draw_theta(draw));
-      p.rho = needs_rho ? config_.rho_jitter.sample(eng, prev.draw_rho(draw))
-                        : 1.0;
-    }
-    p.parent = prev.draw_state_slot(draw);
-    return p;
-  };
+  const ParamProposal propose = make_posterior_proposal(
+      config_, std::make_shared<PosteriorDraws>(PosteriorDraws::from_window(prev)),
+      needs_rho);
   results_.push_back(run_importance_window(sim_, *likelihood_,
                                            *death_likelihood_, *bias_, data_,
                                            *prev.state_pool, spec, propose));

@@ -96,6 +96,42 @@ struct CalibrationConfig {
   void validate() const;
 };
 
+/// Draw-level view of a completed window's posterior: the proposal inputs
+/// of the next window (jitter centers plus parent state slots), detached
+/// from the full WindowResult so a streaming checkpoint can carry it
+/// across processes. Slot i indexes the producing window's state pool.
+struct PosteriorDraws {
+  std::vector<double> theta;
+  std::vector<double> rho;
+  std::vector<std::uint32_t> parent_slot;
+
+  [[nodiscard]] std::size_t size() const noexcept { return theta.size(); }
+  /// Identical to indexing the window through draw_theta/draw_rho/
+  /// draw_state_slot (rejuvenation overlays included).
+  [[nodiscard]] static PosteriorDraws from_window(const WindowResult& w);
+};
+
+/// First-window proposal: fresh (theta, rho) from the configured priors,
+/// branching from parent slot 0 (the shared burn-in state). `needs_rho`
+/// is BiasModel::uses_rho() -- a bias model that ignores rho must not
+/// consume a prior draw for it.
+[[nodiscard]] ParamProposal make_prior_proposal(const CalibrationConfig& config,
+                                                bool needs_rho);
+
+/// Window-(m > 1) proposal: jittered draws centered on the previous
+/// posterior plus the defensive prior mixture. `draws` is captured by
+/// shared_ptr so the proposal outlives the caller's frame (end-of-window
+/// rejuvenation re-invokes it).
+[[nodiscard]] ParamProposal make_posterior_proposal(
+    const CalibrationConfig& config,
+    std::shared_ptr<const PosteriorDraws> draws, bool needs_rho);
+
+/// The WindowSpec of window m under a calibration config -- the single
+/// mapping both the batch and the streaming calibrators use, so their
+/// windows share every knob and the per-window seed hash_combine(seed, m).
+[[nodiscard]] WindowSpec make_window_spec(const CalibrationConfig& config,
+                                          std::size_t m);
+
 class SequentialCalibrator {
  public:
   SequentialCalibrator(const Simulator& sim, ObservedData data,

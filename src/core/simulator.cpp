@@ -131,6 +131,57 @@ void Simulator::run_batch(std::span<const epi::Checkpoint> parents,
   });
 }
 
+void Simulator::advance_batch(StatePool& states, std::int32_t to_day,
+                              EnsembleBuffer& buffer, std::size_t first,
+                              std::size_t count, const BatchSink& sink) const {
+  // io-boundary bridge: serialize the live slots, branch-and-run through
+  // the virtual span run_batch (each call consumes the buffer's fresh
+  // per-day streams, so this path is distribution-correct rather than
+  // bit-identical to a single long run), then write the advanced states
+  // back into the pool.
+  validate_batch_args(states, buffer, first, count, sink);
+  for (std::size_t s = first; s < first + count; ++s) {
+    if (buffer.parent[s] != s) {
+      throw std::invalid_argument(
+          "advance_batch: buffer parent columns must be self-referential "
+          "(parent[s] == s), sim " + std::to_string(s) + " references " +
+          std::to_string(buffer.parent[s]));
+    }
+  }
+  std::vector<epi::Checkpoint> parent_ckpts(first + count);
+  for (std::size_t s = first; s < first + count; ++s) {
+    parent_ckpts[s] = states.to_checkpoint(s);
+  }
+  std::vector<epi::Checkpoint> end_states(count);
+  run_batch(parent_ckpts, to_day, buffer, first, count, end_states);
+  parallel::parallel_for(count, [&](std::size_t i) {
+    states.set_from_checkpoint(first + i, end_states[i]);
+  });
+  if (sink.capture != nullptr) {
+    parallel::parallel_for(count, [&](std::size_t i) {
+      sink.capture->set_from_checkpoint(first + i, end_states[i]);
+    });
+  }
+  if (sink.on_sim) {
+    parallel::parallel_for(count, [&](std::size_t i) { sink.on_sim(first + i); });
+  }
+}
+
+void Simulator::resample_states(StatePool& states,
+                                std::span<const std::uint32_t> ancestors,
+                                std::uint64_t /*seed*/,
+                                std::span<const std::uint64_t> streams,
+                                std::span<const double> thetas) const {
+  if (ancestors.size() != streams.size() || ancestors.size() != thetas.size()) {
+    throw std::invalid_argument(
+        "resample_states: ancestors, streams and thetas must align");
+  }
+  // Gather only: the default advance_batch re-branches each call from the
+  // buffer's per-day (seed, stream, theta) columns, which is where the
+  // duplicated copies diverge.
+  states.gather(ancestors);
+}
+
 epi::Checkpoint SeirSimulator::initial_state(std::int32_t day,
                                              std::uint64_t seed) const {
   epi::SeirModel model(config_.params,
@@ -177,6 +228,28 @@ void SeirSimulator::run_batch(std::span<const epi::Checkpoint> parents,
   validate_batch_args(parents, buffer, first, count, end_states);
   detail::run_batch_copying<epi::SeirModel>(parents, to_day, buffer, first,
                                             count, end_states, name());
+}
+
+void SeirSimulator::advance_batch(StatePool& states, std::int32_t to_day,
+                                  EnsembleBuffer& buffer, std::size_t first,
+                                  std::size_t count,
+                                  const BatchSink& sink) const {
+  detail::advance_batch_inplace<epi::SeirModel>(
+      states, to_day, buffer, first, count, sink, name(),
+      [](epi::SeirModel&) {});
+}
+
+void SeirSimulator::resample_states(StatePool& states,
+                                    std::span<const std::uint32_t> ancestors,
+                                    std::uint64_t seed,
+                                    std::span<const std::uint64_t> streams,
+                                    std::span<const double> thetas) const {
+  if (ancestors.size() != streams.size() || ancestors.size() != thetas.size()) {
+    throw std::invalid_argument(
+        "resample_states: ancestors, streams and thetas must align");
+  }
+  detail::resample_states_inplace<epi::SeirModel>(
+      states, ancestors, seed, streams, thetas, name(), [](epi::SeirModel&) {});
 }
 
 epi::Checkpoint ChainBinomialSimulator::initial_state(std::int32_t day,
@@ -228,6 +301,29 @@ void ChainBinomialSimulator::run_batch(
   validate_batch_args(parents, buffer, first, count, end_states);
   detail::run_batch_copying<epi::ChainBinomialModel>(
       parents, to_day, buffer, first, count, end_states, name());
+}
+
+void ChainBinomialSimulator::advance_batch(StatePool& states,
+                                           std::int32_t to_day,
+                                           EnsembleBuffer& buffer,
+                                           std::size_t first, std::size_t count,
+                                           const BatchSink& sink) const {
+  detail::advance_batch_inplace<epi::ChainBinomialModel>(
+      states, to_day, buffer, first, count, sink, name(),
+      [](epi::ChainBinomialModel&) {});
+}
+
+void ChainBinomialSimulator::resample_states(
+    StatePool& states, std::span<const std::uint32_t> ancestors,
+    std::uint64_t seed, std::span<const std::uint64_t> streams,
+    std::span<const double> thetas) const {
+  if (ancestors.size() != streams.size() || ancestors.size() != thetas.size()) {
+    throw std::invalid_argument(
+        "resample_states: ancestors, streams and thetas must align");
+  }
+  detail::resample_states_inplace<epi::ChainBinomialModel>(
+      states, ancestors, seed, streams, thetas, name(),
+      [](epi::ChainBinomialModel&) {});
 }
 
 }  // namespace epismc::core

@@ -117,6 +117,37 @@ class Simulator {
                          std::size_t first, std::size_t count,
                          std::span<epi::Checkpoint> end_states = {}) const;
 
+  /// Streaming continuation kernel: advance the pooled live states
+  /// [first, first + count) in place through `to_day` and store the tail
+  /// of the newly simulated days into the buffer rows. Unlike run_batch
+  /// there is no copy-and-branch: each slot keeps its model's own RNG
+  /// position and trajectory, so a sequence of advance_batch calls is
+  /// bit-identical to one run_batch over the union of the days. Every
+  /// buffer parent column must reference the slot itself (parent[s] == s).
+  ///
+  /// The default implementation round-trips the slots across the
+  /// checkpoint io boundary and re-branches through the span run_batch
+  /// using the buffer's (seed, stream) columns -- distribution-correct for
+  /// custom registry backends (each call consumes a fresh per-day stream),
+  /// but only the typed overrides carry the bit-equality guarantee.
+  virtual void advance_batch(StatePool& states, std::int32_t to_day,
+                             EnsembleBuffer& buffer, std::size_t first,
+                             std::size_t count,
+                             const BatchSink& sink = {}) const;
+
+  /// Streaming resample redistribution: states[i] becomes a copy of
+  /// states[ancestors[i]] (duplicates allowed), re-branched onto its fresh
+  /// (seed, streams[i], thetas[i]) identity so duplicated particles
+  /// diverge from the next day on. The default implementation only
+  /// gathers -- sound because the default advance_batch re-branches every
+  /// call from the buffer's per-day stream columns anyway; typed backends
+  /// re-seed the pooled models' own engines here.
+  virtual void resample_states(StatePool& states,
+                               std::span<const std::uint32_t> ancestors,
+                               std::uint64_t seed,
+                               std::span<const std::uint64_t> streams,
+                               std::span<const double> thetas) const;
+
   [[nodiscard]] virtual std::string name() const = 0;
 
  protected:
@@ -196,6 +227,15 @@ class SeirSimulator final : public Simulator {
   void run_batch(std::span<const epi::Checkpoint> parents, std::int32_t to_day,
                  EnsembleBuffer& buffer, std::size_t first, std::size_t count,
                  std::span<epi::Checkpoint> end_states = {}) const override;
+  void advance_batch(StatePool& states, std::int32_t to_day,
+                     EnsembleBuffer& buffer, std::size_t first,
+                     std::size_t count,
+                     const BatchSink& sink = {}) const override;
+  void resample_states(StatePool& states,
+                       std::span<const std::uint32_t> ancestors,
+                       std::uint64_t seed,
+                       std::span<const std::uint64_t> streams,
+                       std::span<const double> thetas) const override;
   [[nodiscard]] std::string name() const override { return "seir-event"; }
 
  private:
@@ -222,6 +262,15 @@ class ChainBinomialSimulator final : public Simulator {
   void run_batch(std::span<const epi::Checkpoint> parents, std::int32_t to_day,
                  EnsembleBuffer& buffer, std::size_t first, std::size_t count,
                  std::span<epi::Checkpoint> end_states = {}) const override;
+  void advance_batch(StatePool& states, std::int32_t to_day,
+                     EnsembleBuffer& buffer, std::size_t first,
+                     std::size_t count,
+                     const BatchSink& sink = {}) const override;
+  void resample_states(StatePool& states,
+                       std::span<const std::uint32_t> ancestors,
+                       std::uint64_t seed,
+                       std::span<const std::uint64_t> streams,
+                       std::span<const double> thetas) const override;
   [[nodiscard]] std::string name() const override { return "chain-binomial"; }
 
  private:

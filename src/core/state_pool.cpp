@@ -2,6 +2,17 @@
 
 namespace epismc::core {
 
+void StatePool::gather(std::span<const std::uint32_t> ancestors) {
+  std::vector<epi::Checkpoint> picked(ancestors.size());
+  for (std::size_t i = 0; i < ancestors.size(); ++i) {
+    picked[i] = to_checkpoint(ancestors[i]);  // throws on bad/empty slot
+  }
+  resize(ancestors.size());
+  for (std::size_t i = 0; i < ancestors.size(); ++i) {
+    set_from_checkpoint(i, picked[i]);
+  }
+}
+
 std::size_t CheckpointStatePool::size() const noexcept { return slots_.size(); }
 
 void CheckpointStatePool::resize(std::size_t n_slots) {

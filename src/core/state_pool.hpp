@@ -84,6 +84,14 @@ class StatePool {
     return append_checkpoint(from.to_checkpoint(slot));
   }
 
+  /// Replace the pool's contents with copies of the named ancestor slots:
+  /// slot i becomes a copy of old slot ancestors[i]. Unlike compact(),
+  /// indices may repeat and appear in any order -- this is the streaming
+  /// mid-window resample redistribution, where several particles adopt the
+  /// same ancestor state. The default round-trips through the checkpoint
+  /// io boundary; ModelStatePool copies typed states directly.
+  virtual void gather(std::span<const std::uint32_t> ancestors);
+
   /// Rough in-memory footprint of one state, in bytes -- the input to the
   /// CapturePolicy::kAuto decision (inline capture of N states costs
   /// N * approx_state_bytes() of peak memory). Estimated from the first
@@ -175,9 +183,27 @@ class ModelStatePool final : public StatePool {
     return std::string("typed:") + typeid(Model).name();
   }
 
+  void gather(std::span<const std::uint32_t> ancestors) override {
+    std::vector<std::unique_ptr<Model>> next(ancestors.size());
+    for (std::size_t i = 0; i < ancestors.size(); ++i) {
+      if (ancestors[i] >= slots_.size() || !slots_[ancestors[i]]) {
+        throw_empty_slot(ancestors[i]);
+      }
+      next[i] = std::make_unique<Model>(*slots_[ancestors[i]]);
+    }
+    slots_ = std::move(next);
+  }
+
   // --- Typed access for the batch kernel. ---------------------------------
   /// Prototype view of `slot` for copy-and-branch propagation.
   [[nodiscard]] const Model& at(std::size_t slot) const {
+    if (slot >= slots_.size() || !slots_[slot]) throw_empty_slot(slot);
+    return *slots_[slot];
+  }
+
+  /// Mutable slot view for in-place advancement (the streaming path keeps
+  /// each particle's live model here and steps it day by day).
+  [[nodiscard]] Model& at(std::size_t slot) {
     if (slot >= slots_.size() || !slots_[slot]) throw_empty_slot(slot);
     return *slots_[slot];
   }

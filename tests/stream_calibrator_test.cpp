@@ -1,0 +1,603 @@
+// Streaming calibration (src/stream/): day-at-a-time assimilation must
+// land on the batch posterior -- bit-identical when no mid-window
+// resample fires, paired-seed moment-equivalent otherwise -- and the
+// versioned StreamState archive must round-trip a mid-window session
+// field by field, resume bit-exactly, and reject corrupted or
+// future-format files with precise errors.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <optional>
+#include <sstream>
+
+#include "api/api.hpp"
+#include "core/scenario.hpp"
+#include "stream/stream_state.hpp"
+#include "stream/streaming_calibrator.hpp"
+
+namespace {
+
+using namespace epismc;
+using namespace epismc::core;
+using stream::DailyObservation;
+using stream::StreamConfig;
+using stream::StreamDayRecord;
+using stream::StreamingCalibrator;
+using stream::StreamState;
+
+ScenarioConfig test_scenario() {
+  ScenarioConfig cfg;
+  cfg.params.population = 200000;
+  cfg.initial_exposed = 150;
+  cfg.total_days = 50;
+  cfg.theta_segments = {{0, 0.30}, {34, 0.45}};
+  cfg.rho_segments = {{0, 0.60}, {34, 0.80}};
+  return cfg;
+}
+
+const GroundTruth& test_truth() {
+  static const GroundTruth truth = simulate_ground_truth(test_scenario());
+  return truth;
+}
+
+CalibrationConfig small_config() {
+  CalibrationConfig cfg;
+  cfg.windows = {{20, 33}, {34, 47}};
+  cfg.n_params = 80;
+  cfg.replicates = 3;
+  cfg.resample_size = 160;
+  cfg.seed = 4242;
+  return cfg;
+}
+
+api::SimulatorSpec test_spec() {
+  const ScenarioConfig scenario = test_scenario();
+  api::SimulatorSpec spec;
+  spec.params = scenario.params;
+  spec.burnin_theta = 0.3;
+  spec.initial_exposed = scenario.initial_exposed;
+  return spec;
+}
+
+api::CalibrationSession make_session(CalibrationConfig cfg,
+                                     const std::string& simulator) {
+  api::CalibrationSession session;
+  session.with_simulator(simulator, test_spec())
+      .with_data(test_truth().observed())
+      .with_config(std::move(cfg));
+  return session;
+}
+
+void feed_days(StreamingCalibrator& cal, std::int32_t from, std::int32_t to,
+               bool with_deaths = false) {
+  const ObservedData data = test_truth().observed();
+  for (std::int32_t d = from; d <= to; ++d) {
+    DailyObservation obs;
+    obs.day = d;
+    obs.cases = data.cases_at(d);
+    if (with_deaths && data.has_deaths()) obs.deaths = data.deaths_at(d);
+    cal.ingest(obs);
+  }
+}
+
+#define EXPECT_BITEQ(a, b)                                   \
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(double(a)),         \
+            std::bit_cast<std::uint64_t>(double(b)))
+
+void expect_doubles_bitwise(const std::vector<double>& a,
+                            const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << what << " diverges at index " << i;
+  }
+}
+
+void expect_window_bit_identical(const WindowResult& batch,
+                                 const WindowResult& streamed) {
+  ASSERT_EQ(batch.n_sims(), streamed.n_sims());
+  expect_doubles_bitwise(batch.ensemble.log_weight,
+                         streamed.ensemble.log_weight, "log_weight");
+  expect_doubles_bitwise(batch.weights, streamed.weights, "weights");
+  ASSERT_EQ(batch.resampled, streamed.resampled);
+  ASSERT_EQ(batch.sim_to_state, streamed.sim_to_state);
+  EXPECT_EQ(batch.diag.unique_resampled, streamed.diag.unique_resampled);
+  EXPECT_BITEQ(batch.diag.ess, streamed.diag.ess);
+  EXPECT_BITEQ(batch.diag.log_marginal, streamed.diag.log_marginal);
+  // Series rows of the posterior draws, then the captured end states.
+  expect_doubles_bitwise(
+      {batch.ensemble.true_cases(0).begin(), batch.ensemble.true_cases(0).end()},
+      {streamed.ensemble.true_cases(0).begin(),
+       streamed.ensemble.true_cases(0).end()},
+      "true_cases row 0");
+  ASSERT_TRUE(batch.state_pool);
+  ASSERT_TRUE(streamed.state_pool);
+  ASSERT_EQ(batch.state_pool->size(), streamed.state_pool->size());
+  for (std::size_t u = 0; u < batch.state_pool->size(); ++u) {
+    const epi::Checkpoint cb = batch.state_pool->to_checkpoint(u);
+    const epi::Checkpoint cs = streamed.state_pool->to_checkpoint(u);
+    ASSERT_EQ(cb.day, cs.day) << "state slot " << u;
+    ASSERT_EQ(cb.bytes, cs.bytes) << "state slot " << u;
+  }
+}
+
+// --- Batch-vs-stream equivalence. ------------------------------------------
+
+void run_bit_exact_comparison(const std::string& simulator) {
+  auto batch_session = make_session(small_config(), simulator);
+  batch_session.run_all();
+  ASSERT_EQ(batch_session.results().size(), 2u);
+
+  auto stream_session = make_session(small_config(), simulator);
+  StreamingCalibrator cal = stream_session.stream();
+  feed_days(cal, 20, 47);
+  ASSERT_TRUE(cal.finished());
+  ASSERT_EQ(cal.results().size(), 2u);
+
+  for (std::size_t w = 0; w < 2; ++w) {
+    SCOPED_TRACE("window " + std::to_string(w));
+    expect_window_bit_identical(batch_session.results()[w], cal.results()[w]);
+  }
+  // No adaptive strategy => no mid-window resample ever fires.
+  for (const StreamDayRecord& d : cal.day_records()) {
+    EXPECT_FALSE(d.resampled);
+  }
+}
+
+TEST(StreamingCalibrator, BitIdenticalToBatchSeir) {
+  run_bit_exact_comparison("seir-event");
+}
+
+TEST(StreamingCalibrator, BitIdenticalToBatchChainBinomial) {
+  run_bit_exact_comparison("chain-binomial");
+}
+
+TEST(StreamingCalibrator, BitIdenticalToBatchTemperedNoMidResample) {
+  // Adaptive strategy, but mid-window resampling disabled: the stream
+  // coasts to the boundary and the batch temper ladder sees identical
+  // inputs, so even a *triggered* ladder resolves bit-identically.
+  CalibrationConfig cfg = small_config();
+  cfg.inference = InferenceStrategy::kTempered;
+  cfg.ess_threshold = 0.5;
+
+  auto batch_session = make_session(cfg, "seir-event");
+  batch_session.run_all();
+
+  auto stream_session = make_session(cfg, "seir-event");
+  api::StreamOptions options;
+  options.resample_mid_window = false;
+  StreamingCalibrator cal = stream_session.stream(options);
+  feed_days(cal, 20, 47);
+
+  for (std::size_t w = 0; w < 2; ++w) {
+    SCOPED_TRACE("window " + std::to_string(w));
+    expect_window_bit_identical(batch_session.results()[w], cal.results()[w]);
+  }
+}
+
+TEST(StreamingCalibrator, MidWindowResampleIsDeterministic) {
+  CalibrationConfig cfg = small_config();
+  cfg.inference = InferenceStrategy::kTempered;
+  cfg.ess_threshold = 0.9;  // aggressive: force mid-window resamples
+
+  auto run = [&cfg] {
+    auto session = make_session(cfg, "seir-event");
+    StreamingCalibrator cal = session.stream();
+    feed_days(cal, 20, 47);
+    return std::pair{cal.results().back().weights, cal.day_records()};
+  };
+  const auto [w1, days1] = run();
+  const auto [w2, days2] = run();
+
+  std::size_t resamples = 0;
+  for (const StreamDayRecord& d : days1) resamples += d.resampled ? 1 : 0;
+  ASSERT_GE(resamples, 1u) << "threshold did not force a mid-window resample";
+
+  expect_doubles_bitwise(w1, w2, "final weights across identical runs");
+  ASSERT_EQ(days1.size(), days2.size());
+  for (std::size_t i = 0; i < days1.size(); ++i) {
+    EXPECT_BITEQ(days1[i].ess, days2[i].ess);
+    EXPECT_EQ(days1[i].resampled, days2[i].resampled);
+  }
+}
+
+TEST(StreamingCalibrator, MidWindowResampleMomentEquivalence) {
+  // Paired-seed bound: with mid-window resampling the stream is a
+  // different (adaptive) estimator of the same posterior, so per-seed
+  // theta means may differ -- but the paired mean difference must sit
+  // within 4.5 sigma of zero across seeds.
+  constexpr int kSeeds = 12;
+  CalibrationConfig base = small_config();
+  base.windows = {{20, 33}};
+  base.n_params = 60;
+  base.replicates = 3;
+  base.resample_size = 120;
+  base.inference = InferenceStrategy::kTempered;
+  base.ess_threshold = 0.9;
+
+  std::vector<double> diffs;
+  std::size_t total_resamples = 0;
+  for (int k = 0; k < kSeeds; ++k) {
+    CalibrationConfig cfg = base;
+    cfg.seed = 9000 + static_cast<std::uint64_t>(k);
+
+    auto batch_session = make_session(cfg, "seir-event");
+    batch_session.run_all();
+    const double batch_mean = batch_session.posterior_summary(0).theta.mean;
+
+    auto stream_session = make_session(cfg, "seir-event");
+    StreamingCalibrator cal = stream_session.stream();
+    feed_days(cal, 20, 33);
+    const double stream_mean = cal.history().back().summary.theta.mean;
+    for (const StreamDayRecord& d : cal.day_records()) {
+      total_resamples += d.resampled ? 1 : 0;
+    }
+    diffs.push_back(stream_mean - batch_mean);
+  }
+  ASSERT_GE(total_resamples, 1u);
+
+  const double mean =
+      std::accumulate(diffs.begin(), diffs.end(), 0.0) / diffs.size();
+  double var = 0.0;
+  for (const double d : diffs) var += (d - mean) * (d - mean);
+  var /= (diffs.size() - 1);
+  const double stderr_mean = std::sqrt(var / diffs.size());
+  ASSERT_GT(stderr_mean, 0.0);
+  EXPECT_LT(std::abs(mean), 4.5 * stderr_mean)
+      << "stream-vs-batch paired theta means diverge: mean diff " << mean
+      << ", stderr " << stderr_mean;
+}
+
+// --- Checkpoint / resume. ---------------------------------------------------
+
+TEST(StreamingCalibrator, CheckpointResumeBitExact) {
+  const CalibrationConfig cfg = small_config();
+
+  // Uninterrupted reference run.
+  auto ref_session = make_session(cfg, "seir-event");
+  StreamingCalibrator ref = ref_session.stream();
+  feed_days(ref, 20, 47);
+
+  // Interrupted run: snapshot mid-window (day 40 is inside window 2),
+  // "kill" the process, resume a fresh calibrator from the snapshot.
+  auto a_session = make_session(cfg, "seir-event");
+  StreamingCalibrator a = a_session.stream();
+  feed_days(a, 20, 40);
+  const StreamState snap = a.snapshot();
+
+  auto b_session = make_session(cfg, "seir-event");
+  StreamingCalibrator b = b_session.stream();
+  b.restore(snap);
+  EXPECT_EQ(b.next_expected_day(), 41);
+  feed_days(b, 41, 47);
+  ASSERT_TRUE(b.finished());
+
+  // Window summaries and diagnostics match byte for byte (timing fields
+  // excluded -- wall clocks differ across processes by construction).
+  ASSERT_EQ(ref.history().size(), b.history().size());
+  for (std::size_t w = 0; w < ref.history().size(); ++w) {
+    const auto& rw = ref.history()[w];
+    const auto& bw = b.history()[w];
+    EXPECT_EQ(rw.from_day, bw.from_day);
+    EXPECT_EQ(rw.to_day, bw.to_day);
+    EXPECT_BITEQ(rw.diag.ess, bw.diag.ess);
+    EXPECT_BITEQ(rw.diag.log_marginal, bw.diag.log_marginal);
+    EXPECT_EQ(rw.diag.unique_resampled, bw.diag.unique_resampled);
+    EXPECT_BITEQ(rw.summary.theta.mean, bw.summary.theta.mean);
+    EXPECT_BITEQ(rw.summary.theta.sd, bw.summary.theta.sd);
+    EXPECT_BITEQ(rw.summary.theta.median, bw.summary.theta.median);
+    EXPECT_BITEQ(rw.summary.rho.mean, bw.summary.rho.mean);
+    EXPECT_BITEQ(rw.summary.rho.ci90.lo, bw.summary.rho.ci90.lo);
+    EXPECT_BITEQ(rw.summary.rho.ci90.hi, bw.summary.rho.ci90.hi);
+  }
+  ASSERT_EQ(ref.day_records().size(), b.day_records().size());
+  for (std::size_t i = 0; i < ref.day_records().size(); ++i) {
+    EXPECT_EQ(ref.day_records()[i].day, b.day_records()[i].day);
+    EXPECT_BITEQ(ref.day_records()[i].ess, b.day_records()[i].ess);
+    EXPECT_BITEQ(ref.day_records()[i].log_marginal,
+                 b.day_records()[i].log_marginal);
+  }
+  // The resumed process' window-2 result matches the reference bitwise.
+  expect_window_bit_identical(ref.results()[1], b.results().back());
+}
+
+TEST(StreamingCalibrator, AutomaticCheckpointsLandOnDisk) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    "epismc_stream_auto_ckpt.bin";
+  std::filesystem::remove(path);
+
+  auto session = make_session(small_config(), "seir-event");
+  api::StreamOptions options;
+  options.checkpoint_every = 5;
+  options.checkpoint_path = path;
+  StreamingCalibrator cal = session.stream(options);
+  feed_days(cal, 20, 26);  // 7 days: one checkpoint at day 24
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  const StreamState st = StreamState::load(path);
+  EXPECT_EQ(st.cursor, 24);
+  EXPECT_TRUE(st.window_open);
+  EXPECT_EQ(st.days_since_checkpoint, 0u);
+  std::filesystem::remove(path);
+}
+
+// --- StreamState archive. ---------------------------------------------------
+
+TEST(StreamState, RoundTripsFieldByField) {
+  auto session = make_session(small_config(), "seir-event");
+  StreamingCalibrator cal = session.stream();
+  feed_days(cal, 20, 38);  // window 1 complete, window 2 mid-flight
+
+  const StreamState a = cal.snapshot();
+  io::BinaryWriter out(StreamState::kArchiveVersion);
+  a.serialize(out);
+  io::BinaryReader in(std::vector<std::byte>(out.bytes()));
+  const StreamState b = StreamState::deserialize(in);
+  EXPECT_TRUE(in.exhausted());
+
+  EXPECT_EQ(a.config_fingerprint, b.config_fingerprint);
+  EXPECT_EQ(a.simulator_name, b.simulator_name);
+  EXPECT_EQ(a.cursor, b.cursor);
+  EXPECT_EQ(a.any_assimilated, b.any_assimilated);
+  EXPECT_EQ(a.window_index, b.window_index);
+  EXPECT_EQ(a.window_open, b.window_open);
+  EXPECT_EQ(a.days_since_checkpoint, b.days_since_checkpoint);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t w = 0; w < a.history.size(); ++w) {
+    EXPECT_EQ(a.history[w].from_day, b.history[w].from_day);
+    EXPECT_EQ(a.history[w].to_day, b.history[w].to_day);
+    EXPECT_BITEQ(a.history[w].diag.ess, b.history[w].diag.ess);
+    EXPECT_BITEQ(a.history[w].diag.perplexity, b.history[w].diag.perplexity);
+    EXPECT_BITEQ(a.history[w].diag.max_weight, b.history[w].diag.max_weight);
+    EXPECT_EQ(a.history[w].diag.inline_capture,
+              b.history[w].diag.inline_capture);
+    EXPECT_EQ(a.history[w].smc.strategy, b.history[w].smc.strategy);
+    EXPECT_EQ(a.history[w].smc.stages.size(), b.history[w].smc.stages.size());
+    EXPECT_BITEQ(a.history[w].summary.theta.mean,
+                 b.history[w].summary.theta.mean);
+    EXPECT_BITEQ(a.history[w].summary.rho.ci50.lo,
+                 b.history[w].summary.rho.ci50.lo);
+  }
+  ASSERT_EQ(a.days.size(), b.days.size());
+  for (std::size_t i = 0; i < a.days.size(); ++i) {
+    EXPECT_EQ(a.days[i].day, b.days[i].day);
+    EXPECT_EQ(a.days[i].window, b.days[i].window);
+    EXPECT_BITEQ(a.days[i].ess, b.days[i].ess);
+    EXPECT_EQ(a.days[i].resampled, b.days[i].resampled);
+    EXPECT_BITEQ(a.days[i].log_marginal, b.days[i].log_marginal);
+    EXPECT_BITEQ(a.days[i].seconds, b.days[i].seconds);
+  }
+  EXPECT_EQ(a.has_initial, b.has_initial);
+  EXPECT_EQ(a.initial.day, b.initial.day);
+  EXPECT_EQ(a.initial.bytes, b.initial.bytes);
+  EXPECT_EQ(a.has_posterior, b.has_posterior);
+  EXPECT_EQ(a.posterior.theta, b.posterior.theta);
+  EXPECT_EQ(a.posterior.rho, b.posterior.rho);
+  EXPECT_EQ(a.posterior.parent_slot, b.posterior.parent_slot);
+  ASSERT_EQ(a.parent_pool.size(), b.parent_pool.size());
+  for (std::size_t p = 0; p < a.parent_pool.size(); ++p) {
+    EXPECT_EQ(a.parent_pool[p].day, b.parent_pool[p].day);
+    EXPECT_EQ(a.parent_pool[p].bytes, b.parent_pool[p].bytes);
+  }
+  EXPECT_EQ(a.obs_cases, b.obs_cases);
+  EXPECT_EQ(a.obs_deaths, b.obs_deaths);
+  EXPECT_EQ(a.n_sims, b.n_sims);
+  EXPECT_EQ(a.param_index, b.param_index);
+  EXPECT_EQ(a.replicate, b.replicate);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.theta, b.theta);
+  EXPECT_EQ(a.rho, b.rho);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.stream, b.stream);
+  EXPECT_EQ(a.true_cases_prefix, b.true_cases_prefix);
+  EXPECT_EQ(a.obs_cases_prefix, b.obs_cases_prefix);
+  EXPECT_EQ(a.deaths_prefix, b.deaths_prefix);
+  EXPECT_EQ(a.case_acc, b.case_acc);
+  EXPECT_EQ(a.death_acc, b.death_acc);
+  EXPECT_EQ(a.full_case_acc, b.full_case_acc);
+  EXPECT_EQ(a.full_death_acc, b.full_death_acc);
+  EXPECT_EQ(a.bias_stream, b.bias_stream);
+  EXPECT_EQ(a.bias_position, b.bias_position);
+  ASSERT_EQ(a.cloud.size(), b.cloud.size());
+  for (std::size_t s = 0; s < a.cloud.size(); ++s) {
+    EXPECT_EQ(a.cloud[s].day, b.cloud[s].day);
+    EXPECT_EQ(a.cloud[s].bytes, b.cloud[s].bytes);
+  }
+  EXPECT_BITEQ(a.log_marginal_acc, b.log_marginal_acc);
+  EXPECT_EQ(a.midwindow_resamples, b.midwindow_resamples);
+  EXPECT_BITEQ(a.propagate_seconds, b.propagate_seconds);
+}
+
+TEST(StreamState, RejectsFutureArchiveVersion) {
+  auto session = make_session(small_config(), "seir-event");
+  StreamingCalibrator cal = session.stream();
+  feed_days(cal, 20, 22);
+
+  const auto path = std::filesystem::temp_directory_path() /
+                    "epismc_stream_version_tamper.bin";
+  cal.save(path);
+
+  // Patch the header's version word (bytes 4..7, after the magic) to 99.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f);
+  const std::uint32_t future = 99;
+  f.seekp(4);
+  f.write(reinterpret_cast<const char*>(&future), sizeof(future));
+  f.close();
+
+  try {
+    (void)StreamState::load(path);
+    FAIL() << "future-version archive was accepted";
+  } catch (const io::ArchiveError& e) {
+    EXPECT_NE(std::string(e.what()).find("version 99"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("version 1"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(StreamState, RejectsForeignArchiveTag) {
+  io::BinaryWriter out(StreamState::kArchiveVersion);
+  out.write_string("epismc-window");  // some other archive family
+  out.write(std::uint64_t{0});
+  io::BinaryReader in(std::vector<std::byte>(out.bytes()));
+  try {
+    (void)StreamState::deserialize(in);
+    FAIL() << "foreign-tag archive was accepted";
+  } catch (const io::ArchiveError& e) {
+    EXPECT_NE(std::string(e.what()).find("epismc-window"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("epismc-stream"), std::string::npos);
+  }
+}
+
+TEST(StreamState, RejectsTruncatedArchive) {
+  auto session = make_session(small_config(), "seir-event");
+  StreamingCalibrator cal = session.stream();
+  feed_days(cal, 20, 22);
+
+  io::BinaryWriter out(StreamState::kArchiveVersion);
+  cal.snapshot().serialize(out);
+  std::vector<std::byte> bytes(out.bytes());
+  bytes.resize(bytes.size() / 2);  // chop the tail
+  io::BinaryReader in(std::move(bytes));
+  EXPECT_THROW((void)StreamState::deserialize(in), io::ArchiveError);
+}
+
+TEST(StreamingCalibrator, RestoreGuardsConfigAndSimulator) {
+  auto session = make_session(small_config(), "seir-event");
+  StreamingCalibrator cal = session.stream();
+  feed_days(cal, 20, 24);
+  const StreamState snap = cal.snapshot();
+
+  // Config drift: different seed => different fingerprint.
+  CalibrationConfig other = small_config();
+  other.seed = 777;
+  auto drifted_session = make_session(other, "seir-event");
+  StreamingCalibrator drifted = drifted_session.stream();
+  try {
+    drifted.restore(snap);
+    FAIL() << "fingerprint mismatch was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("fingerprint"), std::string::npos);
+  }
+
+  // Simulator drift: snapshot from seir-event into chain-binomial.
+  auto foreign_session = make_session(small_config(), "chain-binomial");
+  StreamingCalibrator foreign = foreign_session.stream();
+  try {
+    foreign.restore(snap);
+    FAIL() << "simulator mismatch was accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("seir-event"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("chain-binomial"), std::string::npos);
+  }
+}
+
+// --- Ingress and config validation. -----------------------------------------
+
+TEST(StreamingCalibrator, RejectsNonContiguousAndStaleDays) {
+  auto session = make_session(small_config(), "seir-event");
+  StreamingCalibrator cal = session.stream();
+  EXPECT_EQ(cal.next_expected_day(), 20);
+
+  // Starting anywhere but the first window's first day is a gap.
+  try {
+    cal.ingest({.day = 25, .cases = 10.0});
+    FAIL() << "gap accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("expected day 20"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("got day 25"), std::string::npos);
+  }
+
+  feed_days(cal, 20, 25);
+  // Re-ingesting an already-assimilated day names the cursor.
+  try {
+    cal.ingest({.day = 23, .cases = 10.0});
+    FAIL() << "stale day accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("already assimilated"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("cursor at day 25"),
+              std::string::npos);
+  }
+
+  feed_days(cal, 26, 47);
+  ASSERT_TRUE(cal.finished());
+  EXPECT_THROW(cal.ingest({.day = 48, .cases = 1.0}), std::logic_error);
+}
+
+TEST(StreamingCalibrator, RejectsMissingDeathsUnderUseDeaths) {
+  CalibrationConfig cfg = small_config();
+  cfg.use_deaths = true;
+  auto session = make_session(cfg, "seir-event");
+  StreamingCalibrator cal = session.stream();
+  try {
+    cal.ingest({.day = 20, .cases = 10.0});  // no deaths attached
+    FAIL() << "missing death count accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("day-20"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("death"), std::string::npos);
+  }
+  // With the death count attached the same day assimilates fine.
+  cal.ingest({.day = 20, .cases = 10.0, .deaths = 1.0});
+  EXPECT_EQ(cal.last_assimilated_day(), 20);
+}
+
+TEST(StreamConfig, ValidateRejectsBadCheckpointKnobs) {
+  StreamConfig cfg;
+  cfg.calibration = small_config();
+
+  cfg.checkpoint_every = -3;
+  try {
+    cfg.validate();
+    FAIL() << "negative interval accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("positive"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("-3"), std::string::npos);
+  }
+
+  cfg.checkpoint_every = 5;
+  cfg.checkpoint_path.clear();
+  try {
+    cfg.validate();
+    FAIL() << "missing path accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("checkpoint_path"),
+              std::string::npos);
+  }
+
+  // Delegates to the calibration validation too.
+  cfg.checkpoint_every = 0;
+  cfg.calibration.likelihood_name = "no-such-likelihood";
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(StreamingCalibrator, SessionLocksConfigurationAfterStream) {
+  auto session = make_session(small_config(), "seir-event");
+  StreamingCalibrator cal = session.stream();
+  EXPECT_THROW(session.with_seed(1), std::logic_error);
+}
+
+TEST(StreamingCalibrator, DayCsvHasHeaderAndRows) {
+  auto session = make_session(small_config(), "seir-event");
+  StreamingCalibrator cal = session.stream();
+  feed_days(cal, 20, 24);
+  std::ostringstream out;
+  stream::write_stream_day_csv(out, cal.day_records());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("day,window,ess,resampled,log_marginal,seconds"),
+            std::string::npos);
+  EXPECT_NE(csv.find("\n20,0,"), std::string::npos);
+  EXPECT_NE(csv.find("\n24,0,"), std::string::npos);
+}
+
+}  // namespace
