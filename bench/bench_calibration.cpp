@@ -12,6 +12,7 @@
 //                       [--abm-populations=6000,60000,500000,2700000]
 //                       [--abm-sweep-params=6] [--abm-sweep-replicates=2]
 //                       [--repeats=2] [--out=BENCH_calibration.json]
+//                       [--simd=LEVEL]
 //                       [--check] [--min-speedup=1.0] [--min-abm-speedup=0]
 //
 // The ABM engine sweep runs the same four-window calibration once per
@@ -45,7 +46,9 @@
 #include <thread>
 #include <vector>
 
+#include "api/cli.hpp"
 #include "bench_common.hpp"
+#include "simd/simd.hpp"
 
 namespace {
 
@@ -111,6 +114,7 @@ int main(int argc, char** argv) {
   const double min_abm_speedup = args.get_double("min-abm-speedup", 0.0);
   const std::filesystem::path out_path =
       args.get_string("out", "BENCH_calibration.json");
+  api::apply_simd_flag(args);
   args.check_unused();
 
   const core::ObservedData observed = bench::paper_truth().observed();
@@ -294,6 +298,11 @@ int main(int argc, char** argv) {
       << ",\n"
       << "  \"omp_max_threads\": " << machine_threads << ",\n"
       << "  \"repeats\": " << repeats << ",\n"
+      << "  \"simd_level\": \""
+      << simd::level_name(simd::active_level()) << "\",\n"
+      << "  \"skipped_single_core\": "
+      << (std::thread::hardware_concurrency() <= 1 ? "true" : "false")
+      << ",\n"
       << "  \"seir_1thread_fused_speedup_vs_legacy\": " << seir_speedup
       << ",\n"
       << "  \"abm_sweep_max_population\": " << abm_max_population << ",\n"

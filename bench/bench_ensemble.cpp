@@ -6,7 +6,9 @@
 // from PR 2 onward.
 //
 //   ./bench_ensemble [--n-params=64] [--replicates=4] [--abm-population=6000]
-//                    [--repeats=5] [--out=BENCH_ensemble.json]
+//                    [--repeats=5] [--score-iters=20] [--simd=LEVEL]
+//                    [--out=BENCH_ensemble.json]
+//                    [--check] [--min-simd-speedup=0]
 //
 // Each cell is timed --repeats times and reports both the min (the
 // classical best-of estimate) and the median (robust to one lucky run);
@@ -18,8 +20,16 @@
 //   speedup_batch_vs_persim   persim_seconds / batch_seconds  (same threads)
 //   batch_speedup_vs_1thread  batch_seconds@1 / batch_seconds@N
 // The second is the "propagate speedup at N threads" number; it needs >= N
-// hardware threads to mean anything, so the JSON records the machine's
-// concurrency next to it.
+// hardware threads to mean anything, so on a single-core machine those
+// numbers are emitted as null with "skipped_single_core": true instead of
+// pretending a ~1.0x "speedup" is a regression signal.
+//
+// The scoring_kernel section times the fused bias+likelihood scoring pass
+// (the BatchSink::on_sim hot path: BinomialBias thinning + cached
+// gaussian-sqrt scoring per sim) at the scalar reference level vs the best
+// vector dispatch level, single thread. --check gates
+// scoring_simd_speedup >= --min-simd-speedup (skipped when no vector level
+// is compiled/supported on the machine).
 
 #include <algorithm>
 #include <cstdio>
@@ -32,10 +42,14 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "api/cli.hpp"
 #include "bench_common.hpp"
+#include "core/bias_model.hpp"
+#include "core/likelihood.hpp"
 #include "io/args.hpp"
 #include "parallel/parallel.hpp"
 #include "random/seeding.hpp"
+#include "simd/simd.hpp"
 
 namespace {
 
@@ -96,8 +110,12 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("replicates", 4));
   const auto abm_population = args.get_int("abm-population", 6000);
   const int repeats = static_cast<int>(args.get_int("repeats", 5));
+  const int score_iters = static_cast<int>(args.get_int("score-iters", 20));
+  const bool check = args.get_flag("check");
+  const double min_simd_speedup = args.get_double("min-simd-speedup", 0.0);
   const std::filesystem::path out_path =
       args.get_string("out", "BENCH_ensemble.json");
+  api::apply_simd_flag(args);
   args.check_unused();
 
   constexpr std::int32_t kParentDay = 19;
@@ -161,16 +179,73 @@ int main(int argc, char** argv) {
     parallel::set_threads(machine_threads);
   }
 
+  // --- Fused bias+likelihood scoring kernel: scalar reference level vs the
+  // best vector dispatch level, single thread. Replays the BatchSink::on_sim
+  // pass (binomial thinning of each sim's true-case series followed by the
+  // cached gaussian-sqrt score) over a propagated seir-event ensemble.
+  const simd::SimdLevel vec_level = simd::best_level();
+  Timing scoring_scalar;
+  Timing scoring_vector;
+  std::size_t scoring_sims = 0;
+  {
+    parallel::set_threads(1);
+    const auto sim = api::simulators().create("seir-event", backends[0].spec);
+    const std::vector<epi::Checkpoint> parents = {
+        sim->initial_state(kParentDay, 7)};
+    core::EnsembleBuffer buf =
+        make_buffer(n_params, replicates, window_len, 4242);
+    sim->run_batch(parents, kToDay, buf, 0, buf.size());
+    scoring_sims = buf.size();
+
+    const core::BinomialBias bias;
+    const core::GaussianSqrtLikelihood lik(1.0);
+    const std::vector<double> observed(buf.true_cases(0).begin(),
+                                       buf.true_cases(0).end());
+    const core::ObservationCache cache = lik.prepare(observed);
+    std::vector<double> biased(window_len);
+    double sink = 0.0;
+    const auto scoring_pass = [&] {
+      double acc = 0.0;
+      for (int it = 0; it < score_iters; ++it) {
+        for (std::size_t s = 0; s < buf.size(); ++s) {
+          rng::Engine eng =
+              rng::make_engine(buf.seed[s], rng::StreamId{buf.stream[s]});
+          bias.apply_into(eng, buf.true_cases(s), buf.rho[s], biased);
+          acc += lik.logpdf(cache, biased);
+        }
+      }
+      sink += acc;
+    };
+    {
+      const simd::ScopedLevel guard(simd::SimdLevel::kScalar);
+      scoring_pass();  // warm up
+      scoring_scalar = time_repeats(repeats, scoring_pass);
+    }
+    {
+      const simd::ScopedLevel guard(vec_level);
+      scoring_pass();
+      scoring_vector = time_repeats(repeats, scoring_pass);
+    }
+    if (sink == 0.0) std::cout << "";  // keep the scores observable
+    parallel::set_threads(machine_threads);
+  }
+  const double scoring_speedup = scoring_scalar.min / scoring_vector.min;
+  std::cout << "scoring kernel @ 1 thread: scalar "
+            << scoring_scalar.min * 1e3 << " ms, "
+            << simd::level_name(vec_level) << " " << scoring_vector.min * 1e3
+            << " ms (" << scoring_speedup << "x)\n";
+
   const auto batch_at = [&](const std::string& backend, int threads) {
     for (const Cell& c : cells) {
       if (c.backend == backend && c.threads == threads) return c.batch.min;
     }
     return 0.0;
   };
+  const bool single_core = std::thread::hardware_concurrency() <= 1;
 
   std::ofstream out(out_path);
   out << "{\n"
-      << "  \"schema\": \"epismc-ensemble-bench-v2\",\n"
+      << "  \"schema\": \"epismc-ensemble-bench-v3\",\n"
       << "  \"generated_by\": \"bench/bench_ensemble\",\n"
       << "  \"workload\": \"paper-baseline single window, days 20-33\",\n"
       << bench::json_build_stamp()
@@ -179,8 +254,25 @@ int main(int argc, char** argv) {
       << "  \"omp_max_threads\": " << machine_threads << ",\n"
       << "  \"replicates\": " << replicates << ",\n"
       << "  \"repeats\": " << repeats << ",\n"
-      << "  \"seir_8thread_propagate_speedup_vs_1thread\": "
-      << batch_at("seir-event", 1) / batch_at("seir-event", 8) << ",\n"
+      << "  \"simd_level\": \"" << simd::level_name(vec_level) << "\",\n"
+      << "  \"skipped_single_core\": " << (single_core ? "true" : "false")
+      << ",\n"
+      << "  \"seir_8thread_propagate_speedup_vs_1thread\": ";
+  if (single_core) {
+    out << "null";
+  } else {
+    out << batch_at("seir-event", 1) / batch_at("seir-event", 8);
+  }
+  out << ",\n"
+      << "  \"scoring_kernel\": {\"n_sims\": " << scoring_sims
+      << ", \"window_len\": " << window_len << ", \"iters\": " << score_iters
+      << ", \"threads\": 1,\n"
+      << "    \"scalar_seconds\": " << scoring_scalar.min
+      << ", \"scalar_seconds_median\": " << scoring_scalar.median
+      << ", \"vector_seconds\": " << scoring_vector.min
+      << ", \"vector_seconds_median\": " << scoring_vector.median
+      << ", \"vector_level\": \"" << simd::level_name(vec_level) << "\"},\n"
+      << "  \"scoring_simd_speedup\": " << scoring_speedup << ",\n"
       << "  \"results\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const Cell& c = cells[i];
@@ -195,11 +287,31 @@ int main(int argc, char** argv) {
         << c.persim.min / c.batch.min
         << ", \"speedup_batch_vs_persim_median\": "
         << c.persim.median / c.batch.median
-        << ", \"batch_speedup_vs_1thread\": "
-        << batch_at(c.backend, 1) / c.batch.min << "}"
-        << (i + 1 < cells.size() ? "," : "") << "\n";
+        << ", \"batch_speedup_vs_1thread\": ";
+    if (single_core && c.threads > 1) {
+      out << "null, \"skipped_single_core\": true";
+    } else {
+      out << batch_at(c.backend, 1) / c.batch.min;
+    }
+    out << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
-  std::cout << "Wrote " << out_path.string() << "\n";
-  return 0;
+  std::cout << "Wrote " << out_path.string() << " (scoring simd speedup "
+            << scoring_speedup << "x at " << simd::level_name(vec_level)
+            << ")\n";
+
+  bool failed = false;
+  if (check && min_simd_speedup > 0.0) {
+    if (vec_level == simd::SimdLevel::kScalar) {
+      std::cout << "CHECK: no vector dispatch level compiled/supported on "
+                   "this machine; simd speedup gate skipped\n";
+    } else if (!(scoring_speedup >= min_simd_speedup)) {
+      std::cerr << "CHECK FAILED: vector scoring kernel ("
+                << simd::level_name(vec_level) << ") is " << scoring_speedup
+                << "x the scalar kernel @ 1 thread (required >= "
+                << min_simd_speedup << "x)\n";
+      failed = true;
+    }
+  }
+  return failed ? 1 : 0;
 }

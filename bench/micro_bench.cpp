@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "abm/agent_model.hpp"
 #include "api/components.hpp"
 #include "epi/seir_model.hpp"
@@ -14,6 +16,7 @@
 #include "random/distributions.hpp"
 #include "random/engines.hpp"
 #include "random/seeding.hpp"
+#include "simd/simd.hpp"
 #include "stats/resampling.hpp"
 #include "stats/weights.hpp"
 
@@ -235,6 +238,123 @@ BENCHMARK(BM_EnsemblePropagate)
     ->ArgNames({"backend", "batch", "threads"})
     ->ArgsProduct({{0, 1, 2}, {0, 1}, {1, 4, 8}})
     ->Unit(benchmark::kMillisecond);
+
+bool level_compiled(simd::SimdLevel level) {
+  for (const simd::SimdLevel l : simd::compiled_levels()) {
+    if (l == level) return true;
+  }
+  return false;
+}
+
+void BM_PhiloxBlock(benchmark::State& state) {
+  // Batched counter-mode block generation per ISA table: the refill path
+  // behind PhiloxEngine. Output is bit-identical at every level, so this
+  // is a pure throughput comparison.
+  const auto level = static_cast<simd::SimdLevel>(state.range(0));
+  const auto n_blocks = static_cast<std::size_t>(state.range(1));
+  if (!level_compiled(level) || level > simd::host_level()) {
+    state.SkipWithError("level not compiled in or not host-supported");
+    return;
+  }
+  const simd::KernelTable& kt = simd::table_for(level);
+  std::vector<std::uint64_t> out(2 * n_blocks);
+  std::uint64_t block0 = 0;
+  for (auto _ : state) {
+    kt.philox_fill(1, 2, block0, out.data(), n_blocks);
+    block0 += n_blocks;
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(simd::level_name(level));
+  state.SetItemsProcessed(static_cast<std::int64_t>(n_blocks) *
+                          state.iterations());  // blocks (128 bits each)
+}
+BENCHMARK(BM_PhiloxBlock)
+    ->ArgNames({"level", "blocks"})
+    ->ArgsProduct({{static_cast<int>(simd::SimdLevel::kScalar),
+                    static_cast<int>(simd::SimdLevel::kSse41),
+                    static_cast<int>(simd::SimdLevel::kAvx2),
+                    static_cast<int>(simd::SimdLevel::kAvx512)},
+                   {16, 256}});
+
+void BM_ScoreKernel(benchmark::State& state) {
+  // The fused bias+likelihood scoring inner product per ISA level and
+  // likelihood family -- the kernel the BENCH_ensemble speedup gate
+  // tracks. Series length matches a calibration window's day count.
+  const auto level = static_cast<simd::SimdLevel>(state.range(0));
+  const auto family = state.range(1);  // 0 gaussian-sqrt, 1 nb-sqrt, 2 poisson
+  if (!level_compiled(level) || level > simd::host_level()) {
+    state.SkipWithError("level not compiled in or not host-supported");
+    return;
+  }
+  const simd::KernelTable& kt = simd::table_for(level);
+  const std::size_t len = 28;
+  std::vector<double> t0(len), t1(len), sim(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    t0[i] = std::sqrt(90.0 + 11.0 * static_cast<double>(i % 13));
+    t1[i] = 0.4 * static_cast<double>(i);
+    sim[i] = 85.0 + 13.0 * static_cast<double>(i % 17);
+  }
+  static const char* kFamilies[] = {"gaussian-sqrt", "nb-sqrt", "poisson"};
+  for (auto _ : state) {
+    double score = 0.0;
+    switch (family) {
+      case 0:
+        score = kt.score_gaussian_sqrt(t0.data(), sim.data(), len, 1.3);
+        break;
+      case 1:
+        score = kt.score_nb_sqrt(t0.data(), sim.data(), len, 80.0);
+        break;
+      default:
+        score = kt.score_poisson(t0.data(), t1.data(), sim.data(), len, 1e-8);
+        break;
+    }
+    benchmark::DoNotOptimize(score);
+  }
+  state.SetLabel(std::string(simd::level_name(level)) + "/" +
+                 kFamilies[family]);
+  state.SetItemsProcessed(static_cast<std::int64_t>(len) * state.iterations());
+}
+BENCHMARK(BM_ScoreKernel)
+    ->ArgNames({"level", "family"})
+    ->ArgsProduct({{static_cast<int>(simd::SimdLevel::kScalar),
+                    static_cast<int>(simd::SimdLevel::kSse41),
+                    static_cast<int>(simd::SimdLevel::kAvx2),
+                    static_cast<int>(simd::SimdLevel::kAvx512)},
+                   {0, 1, 2}});
+
+void BM_BinomialLanes(benchmark::State& state) {
+  // Counter-segmented lane binomials per ISA level: the draw kernel behind
+  // the vectorized bias model and chain-binomial day step. Results are
+  // identical at every level; only throughput differs.
+  const auto level = static_cast<simd::SimdLevel>(state.range(0));
+  const auto n_trial = static_cast<std::int64_t>(state.range(1));
+  if (!level_compiled(level) || level > simd::host_level()) {
+    state.SkipWithError("level not compiled in or not host-supported");
+    return;
+  }
+  const simd::KernelTable& kt = simd::table_for(level);
+  const std::size_t count = 64;
+  std::vector<std::uint64_t> seg(count);
+  std::vector<std::int64_t> n(count, n_trial);
+  std::vector<double> p(count, 0.12);
+  std::vector<std::int64_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) seg[i] = i * 64;
+  for (auto _ : state) {
+    kt.binomial_lanes(21, 9, seg.data(), n.data(), p.data(), count,
+                      out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(simd::level_name(level));
+  state.SetItemsProcessed(static_cast<std::int64_t>(count) *
+                          state.iterations());
+}
+BENCHMARK(BM_BinomialLanes)
+    ->ArgNames({"level", "n"})
+    ->ArgsProduct({{static_cast<int>(simd::SimdLevel::kScalar),
+                    static_cast<int>(simd::SimdLevel::kSse41),
+                    static_cast<int>(simd::SimdLevel::kAvx2),
+                    static_cast<int>(simd::SimdLevel::kAvx512)},
+                   {100, 5000}});  // BINV regime / BTPE regime
 
 void BM_GaussianSqrtLikelihood(benchmark::State& state) {
   // Via the registry and the Likelihood base pointer on purpose: the

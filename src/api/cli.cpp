@@ -6,6 +6,7 @@
 
 #include "api/scenarios.hpp"
 #include "parallel/parallel.hpp"
+#include "simd/simd.hpp"
 
 namespace epismc::api {
 
@@ -20,10 +21,16 @@ void apply_threads_flag(const io::Args& args) {
   }
 }
 
+void apply_simd_flag(const io::Args& args) {
+  const std::string level = args.get_string("simd", "");
+  if (!level.empty()) simd::set_level(level);
+}
+
 void configure_session_from_args(CalibrationSession& session,
                                  const io::Args& args,
                                  const CliDefaults& defaults) {
   apply_threads_flag(args);
+  apply_simd_flag(args);
 
   session.with_simulator(args.get_string("simulator", defaults.simulator));
   session.with_scenario(args.get_string("scenario", defaults.scenario));

@@ -17,6 +17,9 @@
 //   --rejuvenation-moves=N  MH move rounds for tempered+rejuvenate
 //   --abm-engine=NAME   agent-based day-step engine: fast | reference
 //   --threads=N         OpenMP thread count    (parallel::set_threads)
+//   --simd=LEVEL        SIMD dispatch level: scalar | sse41 | avx2 |
+//                       avx512 | auto (clamped to binary/host support;
+//                       overrides the EPISMC_SIMD environment variable)
 //   --n-params / --replicates / --resample     simulation budget
 //   --use-deaths        add the death stream (paper eq. 4)
 //   --seed=N            base randomness identity
@@ -58,6 +61,11 @@ void configure_session_from_args(CalibrationSession& session,
 /// plain positive integer are ignored (tab1_scaling reuses the flag as a
 /// comma-separated sweep list and manages threads itself).
 void apply_threads_flag(const io::Args& args);
+
+/// Apply --simd=LEVEL via simd::set_level. Unknown level names are fatal
+/// (std::invalid_argument listing the accepted names); absent flag leaves
+/// the dispatcher at its EPISMC_SIMD/default state.
+void apply_simd_flag(const io::Args& args);
 
 /// Print every registry's names (simulators, scenarios, likelihoods, bias
 /// models, jitter policies) -- the `--list` flag.

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "simd/simd.hpp"
+
 namespace epismc::api {
 
 void CalibrationSession::require_unbuilt(const char* call) const {
@@ -192,6 +194,16 @@ CalibrationSession& CalibrationSession::with_jitter(core::JitterKernel theta,
 CalibrationSession& CalibrationSession::with_burnin_day(std::int32_t day) {
   require_unbuilt("with_burnin_day");
   config_.burnin_day = day;
+  return *this;
+}
+
+CalibrationSession& CalibrationSession::with_simd_level(
+    const std::string& level_name) {
+  require_unbuilt("with_simd_level");
+  // Takes effect immediately (the dispatcher is process-global); the
+  // unbuilt guard keeps the fluent contract uniform -- all with_* calls
+  // precede the first run.
+  simd::set_level(level_name);
   return *this;
 }
 

@@ -107,6 +107,13 @@ class CalibrationSession {
   CalibrationSession& with_jitter(core::JitterKernel theta,
                                   core::JitterKernel rho);
   CalibrationSession& with_burnin_day(std::int32_t day);
+  /// SIMD dispatch level for the vectorized kernels ("scalar" | "sse41" |
+  /// "avx2" | "avx512" | "auto"). Applied process-wide immediately (the
+  /// dispatcher is global state, like OpenMP's thread count); levels above
+  /// what the binary/host supports clamp down rather than fail. The
+  /// default is the scalar reference path -- see docs/API.md "SIMD kernels
+  /// & ISA dispatch" for the determinism contract.
+  CalibrationSession& with_simd_level(const std::string& level_name);
   CalibrationSession& with_priors(std::shared_ptr<const core::Prior> theta,
                                   std::shared_ptr<const core::Prior> rho);
   /// Wholesale config replacement (escape hatch for ported call sites).

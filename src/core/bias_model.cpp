@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "api/components.hpp"
+#include "simd/simd.hpp"
 
 namespace epismc::core {
 
@@ -36,6 +37,36 @@ void BinomialBias::apply_into(rng::Engine& eng,
   }
   if (out.size() != true_counts.size()) {
     throw std::invalid_argument("BinomialBias: output size mismatch");
+  }
+  const simd::KernelTable& kt = simd::active();
+  if (kt.level != simd::SimdLevel::kScalar && !true_counts.empty()) {
+    // Lane-parallel path: one counter segment per day, so the thinning of a
+    // series is a pure function of (seed, stream, engine position, counts)
+    // and identical at every vector dispatch level. The engine advances by
+    // a fixed stride instead of its data-dependent sequential consumption.
+    constexpr std::uint64_t kSegment = 64;
+    constexpr std::size_t kChunk = 64;  // stack marshalling, no allocation
+    const std::uint64_t base = eng.position();
+    std::uint64_t seg[kChunk];
+    std::int64_t n[kChunk];
+    std::int64_t drawn[kChunk];
+    double p[kChunk];
+    for (std::size_t start = 0; start < true_counts.size(); start += kChunk) {
+      const std::size_t len = std::min(kChunk, true_counts.size() - start);
+      for (std::size_t i = 0; i < len; ++i) {
+        seg[i] = base + (start + i) * kSegment;
+        n[i] = static_cast<std::int64_t>(
+            std::llround(std::max(true_counts[start + i], 0.0)));
+        p[i] = rho;
+      }
+      kt.binomial_lanes(eng.seed_value(), eng.stream_value(), seg, n, p, len,
+                        drawn);
+      for (std::size_t i = 0; i < len; ++i) {
+        out[start + i] = static_cast<double>(drawn[i]);
+      }
+    }
+    eng.set_position(base + true_counts.size() * kSegment);
+    return;
   }
   for (std::size_t i = 0; i < true_counts.size(); ++i) {
     const auto n = static_cast<std::int64_t>(

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "api/components.hpp"
+#include "simd/simd.hpp"
 #include "stats/densities.hpp"
 
 namespace epismc::core {
@@ -71,7 +72,16 @@ double GaussianSqrtLikelihood::logpdf_cached(
     const ObservationCache& cache, std::span<const double> simulated) const {
   // Same per-day expression as logpdf() with the sqrt(y) transform hoisted
   // into cache.t0; identical operation order keeps the result bit-equal.
+  // Vector dispatch levels score through the fused SIMD kernel instead
+  // (same sum to rounding; the normalization constant is hoisted out of
+  // the per-day loop, so the result differs from this path in the last
+  // ulps -- which is why scalar level keeps the historical loop).
   check_lengths(cache.t0.size(), simulated.size());
+  const simd::KernelTable& kt = simd::active();
+  if (kt.level != simd::SimdLevel::kScalar) {
+    return kt.score_gaussian_sqrt(cache.t0.data(), simulated.data(),
+                                  simulated.size(), sigma_);
+  }
   double acc = 0.0;
   for (std::size_t t = 0; t < cache.t0.size(); ++t) {
     const double eta = std::sqrt(std::max(simulated[t], 0.0));
@@ -122,6 +132,11 @@ double PoissonLikelihood::logpdf_cached(
   // the lgamma term lives in cache.t1 and the remaining expression keeps
   // the uncached operation order (bit-equal scores).
   check_lengths(cache.t0.size(), simulated.size());
+  const simd::KernelTable& kt = simd::active();
+  if (kt.level != simd::SimdLevel::kScalar) {
+    return kt.score_poisson(cache.t0.data(), cache.t1.data(), simulated.data(),
+                            simulated.size(), rate_floor_);
+  }
   double acc = 0.0;
   for (std::size_t t = 0; t < cache.t0.size(); ++t) {
     const double rate = std::max(simulated[t], rate_floor_);
@@ -164,6 +179,11 @@ ObservationCache NegBinSqrtLikelihood::prepare(
 double NegBinSqrtLikelihood::logpdf_cached(
     const ObservationCache& cache, std::span<const double> simulated) const {
   check_lengths(cache.t0.size(), simulated.size());
+  const simd::KernelTable& kt = simd::active();
+  if (kt.level != simd::SimdLevel::kScalar) {
+    return kt.score_nb_sqrt(cache.t0.data(), simulated.data(),
+                            simulated.size(), k_);
+  }
   double acc = 0.0;
   for (std::size_t t = 0; t < cache.t0.size(); ++t) {
     const double eta = std::max(simulated[t], 0.0);

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/simd.hpp"
+
 namespace epismc::epi {
 
 namespace {
@@ -51,26 +53,30 @@ double ChainBinomialModel::force_of_infection() const noexcept {
          static_cast<double>(params_.population);
 }
 
-void ChainBinomialModel::step() {
-  ++day_;
+// One day advances through 27 binomial draw sites, numbered in the order
+// the sequential (scalar-level) path consumes the engine:
+//
+//   0  leave E            1  split E -> P        2  leave Au
+//   3  detect Au          4  leave Ad            5  leave Pu
+//   6  split Pu mild      7  detect Pu           8  leave Pd
+//   9  split Pd mild     10  leave SmU          11  detect SmU
+//  12  leave SmD         13  leave SsU          14  detect SsU
+//  15  leave SsD         16  leave Hu           17  split Hu critical
+//  18  leave Hd          19  split Hd critical  20  leave Cu
+//  21  split Cu death    22  leave Cd           23  split Cd death
+//  24  leave HpU         25  leave HpD          26  infection S -> E
+//
+// Every draw depends only on the start-of-day census plus (for the split
+// and detection sites) the corresponding leave draw, so the sites separate
+// into two dependency stages: stage A = the 15 leaves + infection, stage B
+// = the 11 splits/detections. The segmented path exploits that to draw each
+// stage as one lane-parallel binomial kernel call.
+
+void ChainBinomialModel::draw_sites_sequential(
+    std::array<std::int64_t, kDrawSites>& draw) {
   const DiseaseParameters& p = params_;
   using C = Compartment;
   const auto n = [&](C c) { return counts_[index(c)]; };
-  const auto move = [&](C from, C to, std::int64_t k) {
-    counts_[index(from)] -= k;
-    counts_[index(to)] += k;
-  };
-
-  // Draw every outflow from the start-of-day census before applying any of
-  // them, so transitions are simultaneous (no within-day pass-through).
-  struct Flow {
-    C from;
-    C to;
-    std::int64_t count;
-  };
-  std::vector<Flow> flows;
-  flows.reserve(32);
-
   const auto leave = [&](C from, double mean) {
     return rng::binomial(eng_, n(from), exit_prob(mean));
   };
@@ -83,84 +89,180 @@ void ChainBinomialModel::step() {
     return 1.0 - std::pow(1.0 - frac_detected, 1.0 / mean);
   };
 
-  // E -> A/P.
-  {
-    const std::int64_t out = leave(C::kE, p.latent_period);
-    const std::int64_t to_p = split(out, p.fraction_symptomatic);
-    flows.push_back({C::kE, C::kPu, to_p});
-    flows.push_back({C::kE, C::kAu, out - to_p});
-  }
-  // A_u -> R_u plus detection A_u -> A_d.
-  {
-    const std::int64_t out = leave(C::kAu, p.asymptomatic_period);
-    flows.push_back({C::kAu, C::kRu, out});
-    const std::int64_t det = rng::binomial(
-        eng_, n(C::kAu) - out,
-        detect_hazard(p.detect_asymptomatic, p.asymptomatic_period));
-    flows.push_back({C::kAu, C::kAd, det});
-  }
-  flows.push_back({C::kAd, C::kRd, leave(C::kAd, p.asymptomatic_period)});
-  // P_u -> Sm_u/Ss_u plus detection.
-  {
-    const std::int64_t out = leave(C::kPu, p.presymptomatic_period);
-    const std::int64_t mild = split(out, p.fraction_mild);
-    flows.push_back({C::kPu, C::kSmU, mild});
-    flows.push_back({C::kPu, C::kSsU, out - mild});
-    const std::int64_t det = rng::binomial(
-        eng_, n(C::kPu) - out,
-        detect_hazard(p.detect_presymptomatic, p.presymptomatic_period));
-    flows.push_back({C::kPu, C::kPd, det});
-  }
-  {
-    const std::int64_t out = leave(C::kPd, p.presymptomatic_period);
-    const std::int64_t mild = split(out, p.fraction_mild);
-    flows.push_back({C::kPd, C::kSmD, mild});
-    flows.push_back({C::kPd, C::kSsD, out - mild});
-  }
-  // Sm -> R plus detection.
-  {
-    const std::int64_t out = leave(C::kSmU, p.mild_period);
-    flows.push_back({C::kSmU, C::kRu, out});
-    const std::int64_t det =
-        rng::binomial(eng_, n(C::kSmU) - out,
-                      detect_hazard(p.detect_mild, p.mild_period));
-    flows.push_back({C::kSmU, C::kSmD, det});
-  }
-  flows.push_back({C::kSmD, C::kRd, leave(C::kSmD, p.mild_period)});
-  // Ss -> H plus detection.
-  {
-    const std::int64_t out = leave(C::kSsU, p.severe_period);
-    flows.push_back({C::kSsU, C::kHu, out});
-    const std::int64_t det =
-        rng::binomial(eng_, n(C::kSsU) - out,
-                      detect_hazard(p.detect_severe, p.severe_period));
-    flows.push_back({C::kSsU, C::kSsD, det});
-  }
-  flows.push_back({C::kSsD, C::kHd, leave(C::kSsD, p.severe_period)});
-  // H -> C / R.
-  for (const auto& [h, icu, rec] :
-       {std::tuple{C::kHu, C::kCu, C::kRu}, std::tuple{C::kHd, C::kCd, C::kRd}}) {
-    const std::int64_t out = leave(h, p.hospital_period);
-    const std::int64_t crit = split(out, p.fraction_critical);
-    flows.push_back({h, icu, crit});
-    flows.push_back({h, rec, out - crit});
-  }
-  // C -> D / Hp.
-  for (const auto& [icu, dead, ward] :
-       {std::tuple{C::kCu, C::kDu, C::kHpU}, std::tuple{C::kCd, C::kDd, C::kHpD}}) {
-    const std::int64_t out = leave(icu, p.icu_period);
-    const std::int64_t dying = split(out, p.fraction_death);
-    flows.push_back({icu, dead, dying});
-    flows.push_back({icu, ward, out - dying});
-  }
-  // Hp -> R.
-  flows.push_back({C::kHpU, C::kRu, leave(C::kHpU, p.post_icu_period)});
-  flows.push_back({C::kHpD, C::kRd, leave(C::kHpD, p.post_icu_period)});
-
-  // New infections from the start-of-day census as well.
+  draw[0] = leave(C::kE, p.latent_period);
+  draw[1] = split(draw[0], p.fraction_symptomatic);
+  draw[2] = leave(C::kAu, p.asymptomatic_period);
+  draw[3] = rng::binomial(
+      eng_, n(C::kAu) - draw[2],
+      detect_hazard(p.detect_asymptomatic, p.asymptomatic_period));
+  draw[4] = leave(C::kAd, p.asymptomatic_period);
+  draw[5] = leave(C::kPu, p.presymptomatic_period);
+  draw[6] = split(draw[5], p.fraction_mild);
+  draw[7] = rng::binomial(
+      eng_, n(C::kPu) - draw[5],
+      detect_hazard(p.detect_presymptomatic, p.presymptomatic_period));
+  draw[8] = leave(C::kPd, p.presymptomatic_period);
+  draw[9] = split(draw[8], p.fraction_mild);
+  draw[10] = leave(C::kSmU, p.mild_period);
+  draw[11] = rng::binomial(eng_, n(C::kSmU) - draw[10],
+                           detect_hazard(p.detect_mild, p.mild_period));
+  draw[12] = leave(C::kSmD, p.mild_period);
+  draw[13] = leave(C::kSsU, p.severe_period);
+  draw[14] = rng::binomial(eng_, n(C::kSsU) - draw[13],
+                           detect_hazard(p.detect_severe, p.severe_period));
+  draw[15] = leave(C::kSsD, p.severe_period);
+  draw[16] = leave(C::kHu, p.hospital_period);
+  draw[17] = split(draw[16], p.fraction_critical);
+  draw[18] = leave(C::kHd, p.hospital_period);
+  draw[19] = split(draw[18], p.fraction_critical);
+  draw[20] = leave(C::kCu, p.icu_period);
+  draw[21] = split(draw[20], p.fraction_death);
+  draw[22] = leave(C::kCd, p.icu_period);
+  draw[23] = split(draw[22], p.fraction_death);
+  draw[24] = leave(C::kHpU, p.post_icu_period);
+  draw[25] = leave(C::kHpD, p.post_icu_period);
   const double p_inf = 1.0 - std::exp(-force_of_infection());
-  const std::int64_t infected = rng::binomial(eng_, n(C::kS), p_inf);
-  flows.push_back({C::kS, C::kE, infected});
+  draw[26] = rng::binomial(eng_, n(C::kS), p_inf);
+}
+
+void ChainBinomialModel::draw_sites_segmented(
+    std::array<std::int64_t, kDrawSites>& draw) {
+  const DiseaseParameters& p = params_;
+  using C = Compartment;
+  const auto n = [&](C c) { return counts_[index(c)]; };
+  const auto detect_hazard = [&](double frac_detected, double mean) {
+    return 1.0 - std::pow(1.0 - frac_detected, 1.0 / mean);
+  };
+
+  // Each site owns a fixed 64-draw slice of the counter space starting at
+  // the day's base position, so the day consumes exactly kDrawSites *
+  // kDrawSegment positions regardless of per-draw rejection counts. The
+  // result is a pure function of (seed, stream, site inputs) and identical
+  // across all vector dispatch levels (binomial_lanes is bit-deterministic
+  // across lane widths).
+  const std::uint64_t base = eng_.position();
+  const simd::KernelTable& kt = simd::active();
+
+  struct Batch {
+    std::array<std::uint64_t, 16> seg;
+    std::array<std::int64_t, 16> n;
+    std::array<double, 16> p;
+    std::array<std::size_t, 16> site;
+    std::size_t m = 0;
+    void put(std::uint64_t base, std::size_t s, std::int64_t count,
+             double prob) {
+      seg[m] = base + s * kDrawSegment;
+      n[m] = count;
+      p[m] = prob;
+      site[m] = s;
+      ++m;
+    }
+  };
+
+  // Stage A: leaves + infection (start-of-day census only).
+  Batch a;
+  a.put(base, 0, n(C::kE), exit_prob(p.latent_period));
+  a.put(base, 2, n(C::kAu), exit_prob(p.asymptomatic_period));
+  a.put(base, 4, n(C::kAd), exit_prob(p.asymptomatic_period));
+  a.put(base, 5, n(C::kPu), exit_prob(p.presymptomatic_period));
+  a.put(base, 8, n(C::kPd), exit_prob(p.presymptomatic_period));
+  a.put(base, 10, n(C::kSmU), exit_prob(p.mild_period));
+  a.put(base, 12, n(C::kSmD), exit_prob(p.mild_period));
+  a.put(base, 13, n(C::kSsU), exit_prob(p.severe_period));
+  a.put(base, 15, n(C::kSsD), exit_prob(p.severe_period));
+  a.put(base, 16, n(C::kHu), exit_prob(p.hospital_period));
+  a.put(base, 18, n(C::kHd), exit_prob(p.hospital_period));
+  a.put(base, 20, n(C::kCu), exit_prob(p.icu_period));
+  a.put(base, 22, n(C::kCd), exit_prob(p.icu_period));
+  a.put(base, 24, n(C::kHpU), exit_prob(p.post_icu_period));
+  a.put(base, 25, n(C::kHpD), exit_prob(p.post_icu_period));
+  a.put(base, 26, n(C::kS), 1.0 - std::exp(-force_of_infection()));
+  std::array<std::int64_t, 16> out_a;
+  kt.binomial_lanes(eng_.seed_value(), eng_.stream_value(), a.seg.data(),
+                    a.n.data(), a.p.data(), a.m, out_a.data());
+  for (std::size_t i = 0; i < a.m; ++i) draw[a.site[i]] = out_a[i];
+
+  // Stage B: splits and detections (depend on stage-A leaves).
+  Batch b;
+  b.put(base, 1, draw[0], p.fraction_symptomatic);
+  b.put(base, 3, n(C::kAu) - draw[2],
+        detect_hazard(p.detect_asymptomatic, p.asymptomatic_period));
+  b.put(base, 6, draw[5], p.fraction_mild);
+  b.put(base, 7, n(C::kPu) - draw[5],
+        detect_hazard(p.detect_presymptomatic, p.presymptomatic_period));
+  b.put(base, 9, draw[8], p.fraction_mild);
+  b.put(base, 11, n(C::kSmU) - draw[10],
+        detect_hazard(p.detect_mild, p.mild_period));
+  b.put(base, 14, n(C::kSsU) - draw[13],
+        detect_hazard(p.detect_severe, p.severe_period));
+  b.put(base, 17, draw[16], p.fraction_critical);
+  b.put(base, 19, draw[18], p.fraction_critical);
+  b.put(base, 21, draw[20], p.fraction_death);
+  b.put(base, 23, draw[22], p.fraction_death);
+  std::array<std::int64_t, 16> out_b;
+  kt.binomial_lanes(eng_.seed_value(), eng_.stream_value(), b.seg.data(),
+                    b.n.data(), b.p.data(), b.m, out_b.data());
+  for (std::size_t i = 0; i < b.m; ++i) draw[b.site[i]] = out_b[i];
+
+  eng_.set_position(base + kDrawSites * kDrawSegment);
+}
+
+void ChainBinomialModel::step() {
+  ++day_;
+  using C = Compartment;
+  const auto n = [&](C c) { return counts_[index(c)]; };
+  const auto move = [&](C from, C to, std::int64_t k) {
+    counts_[index(from)] -= k;
+    counts_[index(to)] += k;
+  };
+
+  // Draw every outflow from the start-of-day census before applying any of
+  // them, so transitions are simultaneous (no within-day pass-through). The
+  // scalar dispatch level consumes the engine sequentially (the historical,
+  // golden-value path); vector levels draw both dependency stages through
+  // the lane-parallel binomial kernel over site-addressed counter segments.
+  std::array<std::int64_t, kDrawSites> draw{};
+  if (simd::active_level() == simd::SimdLevel::kScalar) {
+    draw_sites_sequential(draw);
+  } else {
+    draw_sites_segmented(draw);
+  }
+
+  struct Flow {
+    C from;
+    C to;
+    std::int64_t count;
+  };
+  const std::array<Flow, 27> flows = {{
+      {C::kE, C::kPu, draw[1]},
+      {C::kE, C::kAu, draw[0] - draw[1]},
+      {C::kAu, C::kRu, draw[2]},
+      {C::kAu, C::kAd, draw[3]},
+      {C::kAd, C::kRd, draw[4]},
+      {C::kPu, C::kSmU, draw[6]},
+      {C::kPu, C::kSsU, draw[5] - draw[6]},
+      {C::kPu, C::kPd, draw[7]},
+      {C::kPd, C::kSmD, draw[9]},
+      {C::kPd, C::kSsD, draw[8] - draw[9]},
+      {C::kSmU, C::kRu, draw[10]},
+      {C::kSmU, C::kSmD, draw[11]},
+      {C::kSmD, C::kRd, draw[12]},
+      {C::kSsU, C::kHu, draw[13]},
+      {C::kSsU, C::kSsD, draw[14]},
+      {C::kSsD, C::kHd, draw[15]},
+      {C::kHu, C::kCu, draw[17]},
+      {C::kHu, C::kRu, draw[16] - draw[17]},
+      {C::kHd, C::kCd, draw[19]},
+      {C::kHd, C::kRd, draw[18] - draw[19]},
+      {C::kCu, C::kDu, draw[21]},
+      {C::kCu, C::kHpU, draw[20] - draw[21]},
+      {C::kCd, C::kDd, draw[23]},
+      {C::kCd, C::kHpD, draw[22] - draw[23]},
+      {C::kHpU, C::kRu, draw[24]},
+      {C::kHpD, C::kRd, draw[25]},
+      {C::kS, C::kE, draw[26]},
+  }};
+  const std::int64_t infected = draw[26];
 
   std::int64_t new_deaths = 0;
   std::int64_t new_detected = 0;

@@ -10,6 +10,7 @@
 // and the event queue change calibration), and as a cross-check oracle for
 // SeirModel's aggregate behaviour.
 
+#include <array>
 #include <cstdint>
 
 #include "epi/compartments.hpp"
@@ -64,6 +65,17 @@ class ChainBinomialModel {
 
   /// Per-day exit probability for a mean sojourn (exponential hazard).
   [[nodiscard]] static double exit_prob(double mean_days);
+
+  /// Number of binomial draw sites in one day step (see step()).
+  static constexpr std::size_t kDrawSites = 27;
+
+  /// Fixed-width counter segment reserved per draw site at vector dispatch
+  /// levels, so every site reads from a seed/stream/site-addressed slice of
+  /// the Philox stream regardless of how many uniforms its draw consumes.
+  static constexpr std::uint64_t kDrawSegment = 64;
+
+  void draw_sites_sequential(std::array<std::int64_t, kDrawSites>& draw);
+  void draw_sites_segmented(std::array<std::int64_t, kDrawSites>& draw);
 
   DiseaseParameters params_;
   PiecewiseSchedule transmission_;

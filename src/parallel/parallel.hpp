@@ -48,8 +48,19 @@ inline void set_threads(int n) noexcept {
 #endif
 }
 
+/// Dynamic-schedule chunk size for a loop of `count` iterations: a quarter
+/// of an even split per thread, clamped to at least 1. Small loops stay
+/// fine-grained enough that every thread gets work; large loops amortize
+/// the dynamic-queue overhead instead of paying it every 16 iterations
+/// (the previous fixed default, which penalized ensemble-sized counts).
+[[nodiscard]] inline int default_chunk(std::size_t count) noexcept {
+  const std::size_t per = count / (4 * static_cast<std::size_t>(max_threads()));
+  return per < 1 ? 1 : static_cast<int>(per);
+}
+
 /// Parallel loop over [0, count) with dynamic chunking. `body` must be
-/// thread-safe and index-deterministic (see header comment).
+/// thread-safe and index-deterministic (see header comment). `chunk` <= 0
+/// selects the default_chunk(count) heuristic.
 ///
 /// Exception contract: an exception escaping an OpenMP structured block
 /// calls std::terminate, so body exceptions are captured inside the region
@@ -57,8 +68,9 @@ inline void set_threads(int n) noexcept {
 /// which exception wins under concurrent failures is unspecified, but
 /// these are terminal wiring errors -- results never depend on it).
 template <typename Body>
-void parallel_for(std::size_t count, Body&& body, int chunk = 16) {
+void parallel_for(std::size_t count, Body&& body, int chunk = 0) {
 #ifdef _OPENMP
+  if (chunk <= 0) chunk = default_chunk(count);
   std::exception_ptr error = nullptr;
 #pragma omp parallel for schedule(dynamic, chunk)
   for (std::int64_t i = 0; i < static_cast<std::int64_t>(count); ++i) {

@@ -12,6 +12,8 @@
 #include <array>
 #include <cstdint>
 
+#include "simd/simd.hpp"
+
 namespace epismc::rng {
 
 /// Stateless Philox4x32 block function (10 rounds).
@@ -58,11 +60,21 @@ struct Philox4x32 {
 /// The 128-bit counter is split as (block_index_lo, block_index_hi,
 /// stream_lo, stream_hi); the 64-bit key carries the seed. Each generated
 /// block yields two 64-bit outputs. The full generator state is
-/// (seed, stream, block index, phase) and is trivially serializable --
-/// a requirement for bit-faithful simulator checkpoints.
+/// (seed, stream, draw position) and is trivially serializable -- a
+/// requirement for bit-faithful simulator checkpoints.
+///
+/// Refills are batched through the dispatched SIMD Philox kernel
+/// (simd::philox_table()), which generates several blocks per call at
+/// vector levels. The block function is pure integer, so the output
+/// sequence, position() semantics, and serialized form are bit-identical
+/// at every dispatch level (the scalar table refills one block at a time,
+/// reproducing the historical engine exactly, machine ops included).
 class PhiloxEngine {
  public:
   using result_type = std::uint64_t;
+
+  /// Upper bound on blocks buffered per refill (AVX-512 table uses 16).
+  static constexpr unsigned kMaxRefillBlocks = 16;
 
   PhiloxEngine() : PhiloxEngine(0, 0) {}
   explicit PhiloxEngine(std::uint64_t seed, std::uint64_t stream = 0) {
@@ -76,11 +88,12 @@ class PhiloxEngine {
     seed_ = seed;
     stream_ = stream;
     block_ = 0;
-    phase_ = 2;  // force block generation on next call
+    filled_ = 0;
+    phase_ = 0;
   }
 
   result_type operator()() {
-    if (phase_ >= 2) {
+    if (phase_ >= filled_) {
       refill();
     }
     return buffer_[phase_++];
@@ -88,29 +101,20 @@ class PhiloxEngine {
 
   /// Skip ahead n draws in O(1): counter-based generators support random
   /// access by construction.
-  void discard(std::uint64_t n) noexcept {
-    const std::uint64_t pos = position() + n;
-    block_ = pos / 2;
-    const std::uint64_t rem = pos % 2;
-    if (rem == 0) {
-      phase_ = 2;  // next call regenerates block `block_`
-    } else {
-      refill();
-      phase_ = 1;
-    }
-  }
+  void discard(std::uint64_t n) noexcept { set_position(position() + n); }
 
   /// Number of 64-bit outputs consumed since construction/reseed.
   [[nodiscard]] std::uint64_t position() const noexcept {
-    if (phase_ >= 2) return block_ * 2;
-    return (block_ - 1) * 2 + phase_;
+    return block_ * 2 - filled_ + phase_;
   }
 
   /// Jump directly to an absolute draw position (used by checkpoint restore).
   void set_position(std::uint64_t pos) noexcept {
     block_ = pos / 2;
-    phase_ = 2;
+    filled_ = 0;
+    phase_ = 0;
     if (pos % 2 != 0) {
+      // buffer_[1] is word 1 of block pos/2 regardless of refill width.
       refill();
       phase_ = 1;
     }
@@ -126,25 +130,22 @@ class PhiloxEngine {
 
  private:
   void refill() noexcept {
-    const Philox4x32::counter_type ctr = {
-        static_cast<std::uint32_t>(block_),
-        static_cast<std::uint32_t>(block_ >> 32),
-        static_cast<std::uint32_t>(stream_),
-        static_cast<std::uint32_t>(stream_ >> 32)};
-    const Philox4x32::key_type key = {static_cast<std::uint32_t>(seed_),
-                                      static_cast<std::uint32_t>(seed_ >> 32)};
-    const auto out = Philox4x32::block(ctr, key);
-    buffer_[0] = (static_cast<std::uint64_t>(out[1]) << 32) | out[0];
-    buffer_[1] = (static_cast<std::uint64_t>(out[3]) << 32) | out[2];
-    ++block_;
+    const simd::KernelTable& kt = simd::philox_table();
+    const unsigned nblocks =
+        kt.philox_engine_blocks < kMaxRefillBlocks ? kt.philox_engine_blocks
+                                                   : kMaxRefillBlocks;
+    kt.philox_fill(seed_, stream_, block_, buffer_.data(), nblocks);
+    block_ += nblocks;
+    filled_ = 2 * nblocks;
     phase_ = 0;
   }
 
   std::uint64_t seed_ = 0;
   std::uint64_t stream_ = 0;
   std::uint64_t block_ = 0;  // counter of *generated* blocks (post-increment)
-  std::array<std::uint64_t, 2> buffer_{};
-  unsigned phase_ = 2;
+  std::array<std::uint64_t, 2 * kMaxRefillBlocks> buffer_{};
+  unsigned filled_ = 0;  // u64 outputs currently in buffer_
+  unsigned phase_ = 0;   // next output index within buffer_
 };
 
 }  // namespace epismc::rng

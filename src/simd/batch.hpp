@@ -1,0 +1,470 @@
+#pragma once
+
+// Fixed-width lane abstraction used by kernels_body.inl.
+//
+// batch<T, N> wraps N lanes of T behind one small operator set; the generic
+// implementation is a plain array loop (what the scalar translation unit
+// instantiates), and intrinsic specializations light up inside the per-ISA
+// translation units via the compiler's own feature macros (__SSE4_1__,
+// __AVX2__, __AVX512F__ -- each TU is compiled with exactly one -m flag
+// set, so each sees exactly the specializations it may use).
+//
+// The operator set is deliberately minimal: what the Philox block kernel,
+// the lane binomial-inversion sampler, and the fused scorers need, and
+// nothing else. All loads/stores are unaligned. No FMA is used anywhere
+// (and the TUs build with -ffp-contract=off), so the generic and intrinsic
+// paths execute the same IEEE-754 operation sequence elementwise -- that is
+// what makes lane results width-independent.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__SSE4_1__) || defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace epismc::simd {
+
+// --- Generic (scalar-array) implementation ---------------------------------
+
+template <typename T, int N>
+struct batch {
+  T v[N];
+
+  static batch broadcast(T x) noexcept {
+    batch r;
+    for (int i = 0; i < N; ++i) r.v[i] = x;
+    return r;
+  }
+  static batch load(const T* p) noexcept {
+    batch r;
+    for (int i = 0; i < N; ++i) r.v[i] = p[i];
+    return r;
+  }
+  void store(T* p) const noexcept {
+    for (int i = 0; i < N; ++i) p[i] = v[i];
+  }
+};
+
+template <int N>
+struct dmask {
+  bool m[N];
+};
+
+// Double-lane ops (generic).
+template <int N>
+inline batch<double, N> operator+(batch<double, N> a, batch<double, N> b) noexcept {
+  for (int i = 0; i < N; ++i) a.v[i] += b.v[i];
+  return a;
+}
+template <int N>
+inline batch<double, N> operator-(batch<double, N> a, batch<double, N> b) noexcept {
+  for (int i = 0; i < N; ++i) a.v[i] -= b.v[i];
+  return a;
+}
+template <int N>
+inline batch<double, N> operator*(batch<double, N> a, batch<double, N> b) noexcept {
+  for (int i = 0; i < N; ++i) a.v[i] *= b.v[i];
+  return a;
+}
+template <int N>
+inline batch<double, N> operator/(batch<double, N> a, batch<double, N> b) noexcept {
+  for (int i = 0; i < N; ++i) a.v[i] /= b.v[i];
+  return a;
+}
+template <int N>
+inline batch<double, N> vmax(batch<double, N> a, batch<double, N> b) noexcept {
+  for (int i = 0; i < N; ++i) a.v[i] = a.v[i] > b.v[i] ? a.v[i] : b.v[i];
+  return a;
+}
+template <int N>
+inline batch<double, N> vsqrt(batch<double, N> a) noexcept {
+  for (int i = 0; i < N; ++i) a.v[i] = std::sqrt(a.v[i]);
+  return a;
+}
+template <int N>
+inline batch<double, N> vfloor(batch<double, N> a) noexcept {
+  for (int i = 0; i < N; ++i) a.v[i] = std::floor(a.v[i]);
+  return a;
+}
+template <int N>
+inline dmask<N> cmp_gt(batch<double, N> a, batch<double, N> b) noexcept {
+  dmask<N> r;
+  for (int i = 0; i < N; ++i) r.m[i] = a.v[i] > b.v[i];
+  return r;
+}
+template <int N>
+inline dmask<N> cmp_le(batch<double, N> a, batch<double, N> b) noexcept {
+  dmask<N> r;
+  for (int i = 0; i < N; ++i) r.m[i] = a.v[i] <= b.v[i];
+  return r;
+}
+template <int N>
+inline dmask<N> mask_and(dmask<N> a, dmask<N> b) noexcept {
+  for (int i = 0; i < N; ++i) a.m[i] = a.m[i] && b.m[i];
+  return a;
+}
+template <int N>
+inline dmask<N> mask_andnot(dmask<N> notted, dmask<N> b) noexcept {
+  // !notted & b
+  for (int i = 0; i < N; ++i) notted.m[i] = !notted.m[i] && b.m[i];
+  return notted;
+}
+template <int N>
+inline dmask<N> mask_or(dmask<N> a, dmask<N> b) noexcept {
+  for (int i = 0; i < N; ++i) a.m[i] = a.m[i] || b.m[i];
+  return a;
+}
+template <int N>
+inline bool any(dmask<N> a) noexcept {
+  for (int i = 0; i < N; ++i) {
+    if (a.m[i]) return true;
+  }
+  return false;
+}
+template <int N>
+inline batch<double, N> select(dmask<N> m, batch<double, N> a,
+                               batch<double, N> b) noexcept {
+  for (int i = 0; i < N; ++i) b.v[i] = m.m[i] ? a.v[i] : b.v[i];
+  return b;
+}
+template <int N>
+inline double hsum(batch<double, N> a) noexcept {
+  double s = a.v[0];
+  for (int i = 1; i < N; ++i) s += a.v[i];
+  return s;
+}
+template <int N>
+inline double hprod(batch<double, N> a) noexcept {
+  double s = a.v[0];
+  for (int i = 1; i < N; ++i) s *= a.v[i];
+  return s;
+}
+
+// u32-lane ops (generic): xor, wrapping add, and the Philox 32x32->(hi,lo).
+template <int N>
+inline batch<std::uint32_t, N> operator^(batch<std::uint32_t, N> a,
+                                         batch<std::uint32_t, N> b) noexcept {
+  for (int i = 0; i < N; ++i) a.v[i] ^= b.v[i];
+  return a;
+}
+template <int N>
+inline void mulhilo(batch<std::uint32_t, N> a, batch<std::uint32_t, N> b,
+                    batch<std::uint32_t, N>& hi,
+                    batch<std::uint32_t, N>& lo) noexcept {
+  for (int i = 0; i < N; ++i) {
+    const std::uint64_t prod =
+        static_cast<std::uint64_t>(a.v[i]) * static_cast<std::uint64_t>(b.v[i]);
+    hi.v[i] = static_cast<std::uint32_t>(prod >> 32);
+    lo.v[i] = static_cast<std::uint32_t>(prod);
+  }
+}
+
+// --- SSE4.1: 2 double lanes / 4 u32 lanes -----------------------------------
+
+#if defined(__SSE4_1__)
+
+template <>
+struct batch<double, 2> {
+  __m128d v;
+  static batch broadcast(double x) noexcept { return {_mm_set1_pd(x)}; }
+  static batch load(const double* p) noexcept { return {_mm_loadu_pd(p)}; }
+  void store(double* p) const noexcept { _mm_storeu_pd(p, v); }
+};
+
+struct dmask2 {
+  __m128d m;
+};
+template <>
+struct batch<std::uint32_t, 4> {
+  __m128i v;
+  static batch broadcast(std::uint32_t x) noexcept {
+    return {_mm_set1_epi32(static_cast<int>(x))};
+  }
+  static batch load(const std::uint32_t* p) noexcept {
+    return {_mm_loadu_si128(reinterpret_cast<const __m128i*>(p))};
+  }
+  void store(std::uint32_t* p) const noexcept {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+};
+
+inline batch<double, 2> operator+(batch<double, 2> a, batch<double, 2> b) noexcept {
+  return {_mm_add_pd(a.v, b.v)};
+}
+inline batch<double, 2> operator-(batch<double, 2> a, batch<double, 2> b) noexcept {
+  return {_mm_sub_pd(a.v, b.v)};
+}
+inline batch<double, 2> operator*(batch<double, 2> a, batch<double, 2> b) noexcept {
+  return {_mm_mul_pd(a.v, b.v)};
+}
+inline batch<double, 2> operator/(batch<double, 2> a, batch<double, 2> b) noexcept {
+  return {_mm_div_pd(a.v, b.v)};
+}
+inline batch<double, 2> vmax(batch<double, 2> a, batch<double, 2> b) noexcept {
+  return {_mm_max_pd(b.v, a.v)};
+}
+inline batch<double, 2> vsqrt(batch<double, 2> a) noexcept {
+  return {_mm_sqrt_pd(a.v)};
+}
+inline batch<double, 2> vfloor(batch<double, 2> a) noexcept {
+  return {_mm_floor_pd(a.v)};
+}
+inline dmask2 cmp_gt(batch<double, 2> a, batch<double, 2> b) noexcept {
+  return {_mm_cmpgt_pd(a.v, b.v)};
+}
+inline dmask2 cmp_le(batch<double, 2> a, batch<double, 2> b) noexcept {
+  return {_mm_cmple_pd(a.v, b.v)};
+}
+inline dmask2 mask_and(dmask2 a, dmask2 b) noexcept {
+  return {_mm_and_pd(a.m, b.m)};
+}
+inline dmask2 mask_andnot(dmask2 notted, dmask2 b) noexcept {
+  return {_mm_andnot_pd(notted.m, b.m)};
+}
+inline dmask2 mask_or(dmask2 a, dmask2 b) noexcept {
+  return {_mm_or_pd(a.m, b.m)};
+}
+inline bool any(dmask2 a) noexcept { return _mm_movemask_pd(a.m) != 0; }
+inline batch<double, 2> select(dmask2 m, batch<double, 2> a,
+                               batch<double, 2> b) noexcept {
+  return {_mm_blendv_pd(b.v, a.v, m.m)};
+}
+inline double hsum(batch<double, 2> a) noexcept {
+  const __m128d hi = _mm_unpackhi_pd(a.v, a.v);
+  return _mm_cvtsd_f64(a.v) + _mm_cvtsd_f64(hi);
+}
+inline double hprod(batch<double, 2> a) noexcept {
+  const __m128d hi = _mm_unpackhi_pd(a.v, a.v);
+  return _mm_cvtsd_f64(a.v) * _mm_cvtsd_f64(hi);
+}
+
+inline batch<std::uint32_t, 4> operator^(batch<std::uint32_t, 4> a,
+                                         batch<std::uint32_t, 4> b) noexcept {
+  return {_mm_xor_si128(a.v, b.v)};
+}
+inline void mulhilo(batch<std::uint32_t, 4> a, batch<std::uint32_t, 4> b,
+                    batch<std::uint32_t, 4>& hi,
+                    batch<std::uint32_t, 4>& lo) noexcept {
+  lo.v = _mm_mullo_epi32(a.v, b.v);
+  const __m128i even = _mm_mul_epu32(a.v, b.v);
+  const __m128i odd =
+      _mm_mul_epu32(_mm_srli_epi64(a.v, 32), _mm_srli_epi64(b.v, 32));
+  const __m128i hi_even = _mm_srli_epi64(even, 32);
+  const __m128i hi_odd =
+      _mm_and_si128(odd, _mm_set1_epi64x(static_cast<long long>(0xFFFFFFFF00000000ull)));
+  hi.v = _mm_or_si128(hi_even, hi_odd);
+}
+
+#endif  // __SSE4_1__
+
+// --- AVX2: 4 double lanes / 8 u32 lanes -------------------------------------
+
+#if defined(__AVX2__)
+
+template <>
+struct batch<double, 4> {
+  __m256d v;
+  static batch broadcast(double x) noexcept { return {_mm256_set1_pd(x)}; }
+  static batch load(const double* p) noexcept { return {_mm256_loadu_pd(p)}; }
+  void store(double* p) const noexcept { _mm256_storeu_pd(p, v); }
+};
+
+struct dmask4 {
+  __m256d m;
+};
+template <>
+struct batch<std::uint32_t, 8> {
+  __m256i v;
+  static batch broadcast(std::uint32_t x) noexcept {
+    return {_mm256_set1_epi32(static_cast<int>(x))};
+  }
+  static batch load(const std::uint32_t* p) noexcept {
+    return {_mm256_loadu_si256(reinterpret_cast<const __m256i*>(p))};
+  }
+  void store(std::uint32_t* p) const noexcept {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+};
+
+inline batch<double, 4> operator+(batch<double, 4> a, batch<double, 4> b) noexcept {
+  return {_mm256_add_pd(a.v, b.v)};
+}
+inline batch<double, 4> operator-(batch<double, 4> a, batch<double, 4> b) noexcept {
+  return {_mm256_sub_pd(a.v, b.v)};
+}
+inline batch<double, 4> operator*(batch<double, 4> a, batch<double, 4> b) noexcept {
+  return {_mm256_mul_pd(a.v, b.v)};
+}
+inline batch<double, 4> operator/(batch<double, 4> a, batch<double, 4> b) noexcept {
+  return {_mm256_div_pd(a.v, b.v)};
+}
+inline batch<double, 4> vmax(batch<double, 4> a, batch<double, 4> b) noexcept {
+  return {_mm256_max_pd(b.v, a.v)};
+}
+inline batch<double, 4> vsqrt(batch<double, 4> a) noexcept {
+  return {_mm256_sqrt_pd(a.v)};
+}
+inline batch<double, 4> vfloor(batch<double, 4> a) noexcept {
+  return {_mm256_floor_pd(a.v)};
+}
+inline dmask4 cmp_gt(batch<double, 4> a, batch<double, 4> b) noexcept {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_GT_OQ)};
+}
+inline dmask4 cmp_le(batch<double, 4> a, batch<double, 4> b) noexcept {
+  return {_mm256_cmp_pd(a.v, b.v, _CMP_LE_OQ)};
+}
+inline dmask4 mask_and(dmask4 a, dmask4 b) noexcept {
+  return {_mm256_and_pd(a.m, b.m)};
+}
+inline dmask4 mask_andnot(dmask4 notted, dmask4 b) noexcept {
+  return {_mm256_andnot_pd(notted.m, b.m)};
+}
+inline dmask4 mask_or(dmask4 a, dmask4 b) noexcept {
+  return {_mm256_or_pd(a.m, b.m)};
+}
+inline bool any(dmask4 a) noexcept { return _mm256_movemask_pd(a.m) != 0; }
+inline batch<double, 4> select(dmask4 m, batch<double, 4> a,
+                               batch<double, 4> b) noexcept {
+  return {_mm256_blendv_pd(b.v, a.v, m.m)};
+}
+inline double hsum(batch<double, 4> a) noexcept {
+  const __m128d lo = _mm256_castpd256_pd128(a.v);
+  const __m128d hi = _mm256_extractf128_pd(a.v, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+inline double hprod(batch<double, 4> a) noexcept {
+  const __m128d lo = _mm256_castpd256_pd128(a.v);
+  const __m128d hi = _mm256_extractf128_pd(a.v, 1);
+  const __m128d s = _mm_mul_pd(lo, hi);
+  return _mm_cvtsd_f64(s) * _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+}
+
+inline batch<std::uint32_t, 8> operator^(batch<std::uint32_t, 8> a,
+                                         batch<std::uint32_t, 8> b) noexcept {
+  return {_mm256_xor_si256(a.v, b.v)};
+}
+inline void mulhilo(batch<std::uint32_t, 8> a, batch<std::uint32_t, 8> b,
+                    batch<std::uint32_t, 8>& hi,
+                    batch<std::uint32_t, 8>& lo) noexcept {
+  lo.v = _mm256_mullo_epi32(a.v, b.v);
+  const __m256i even = _mm256_mul_epu32(a.v, b.v);
+  const __m256i odd =
+      _mm256_mul_epu32(_mm256_srli_epi64(a.v, 32), _mm256_srli_epi64(b.v, 32));
+  const __m256i hi_even = _mm256_srli_epi64(even, 32);
+  const __m256i hi_odd = _mm256_and_si256(
+      odd, _mm256_set1_epi64x(static_cast<long long>(0xFFFFFFFF00000000ull)));
+  hi.v = _mm256_or_si256(hi_even, hi_odd);
+}
+
+#endif  // __AVX2__
+
+// --- AVX-512F: 8 double lanes / 16 u32 lanes --------------------------------
+
+#if defined(__AVX512F__)
+
+template <>
+struct batch<double, 8> {
+  __m512d v;
+  static batch broadcast(double x) noexcept { return {_mm512_set1_pd(x)}; }
+  static batch load(const double* p) noexcept { return {_mm512_loadu_pd(p)}; }
+  void store(double* p) const noexcept { _mm512_storeu_pd(p, v); }
+};
+
+struct dmask8 {
+  __mmask8 m;
+};
+template <>
+struct batch<std::uint32_t, 16> {
+  __m512i v;
+  static batch broadcast(std::uint32_t x) noexcept {
+    return {_mm512_set1_epi32(static_cast<int>(x))};
+  }
+  static batch load(const std::uint32_t* p) noexcept {
+    return {_mm512_loadu_si512(p)};
+  }
+  void store(std::uint32_t* p) const noexcept { _mm512_storeu_si512(p, v); }
+};
+
+inline batch<double, 8> operator+(batch<double, 8> a, batch<double, 8> b) noexcept {
+  return {_mm512_add_pd(a.v, b.v)};
+}
+inline batch<double, 8> operator-(batch<double, 8> a, batch<double, 8> b) noexcept {
+  return {_mm512_sub_pd(a.v, b.v)};
+}
+inline batch<double, 8> operator*(batch<double, 8> a, batch<double, 8> b) noexcept {
+  return {_mm512_mul_pd(a.v, b.v)};
+}
+inline batch<double, 8> operator/(batch<double, 8> a, batch<double, 8> b) noexcept {
+  return {_mm512_div_pd(a.v, b.v)};
+}
+inline batch<double, 8> vmax(batch<double, 8> a, batch<double, 8> b) noexcept {
+  return {_mm512_max_pd(b.v, a.v)};
+}
+inline batch<double, 8> vsqrt(batch<double, 8> a) noexcept {
+  return {_mm512_sqrt_pd(a.v)};
+}
+inline batch<double, 8> vfloor(batch<double, 8> a) noexcept {
+  return {_mm512_roundscale_pd(a.v, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC)};
+}
+inline dmask8 cmp_gt(batch<double, 8> a, batch<double, 8> b) noexcept {
+  return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_GT_OQ)};
+}
+inline dmask8 cmp_le(batch<double, 8> a, batch<double, 8> b) noexcept {
+  return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_LE_OQ)};
+}
+inline dmask8 mask_and(dmask8 a, dmask8 b) noexcept {
+  return {static_cast<__mmask8>(a.m & b.m)};
+}
+inline dmask8 mask_andnot(dmask8 notted, dmask8 b) noexcept {
+  return {static_cast<__mmask8>(~notted.m & b.m)};
+}
+inline dmask8 mask_or(dmask8 a, dmask8 b) noexcept {
+  return {static_cast<__mmask8>(a.m | b.m)};
+}
+inline bool any(dmask8 a) noexcept { return a.m != 0; }
+inline batch<double, 8> select(dmask8 m, batch<double, 8> a,
+                               batch<double, 8> b) noexcept {
+  return {_mm512_mask_blend_pd(m.m, b.v, a.v)};
+}
+inline double hsum(batch<double, 8> a) noexcept {
+  // Fixed pairwise order (not _mm512_reduce_add_pd, whose reduction order
+  // is a compiler detail): lanes (0+4, 1+5, 2+6, 3+7) then the AVX2 tree.
+  const __m256d lo = _mm512_castpd512_pd256(a.v);
+  const __m256d hi = _mm512_extractf64x4_pd(a.v, 1);
+  const __m256d s4 = _mm256_add_pd(lo, hi);
+  const __m128d s2 =
+      _mm_add_pd(_mm256_castpd256_pd128(s4), _mm256_extractf128_pd(s4, 1));
+  return _mm_cvtsd_f64(s2) + _mm_cvtsd_f64(_mm_unpackhi_pd(s2, s2));
+}
+inline double hprod(batch<double, 8> a) noexcept {
+  const __m256d lo = _mm512_castpd512_pd256(a.v);
+  const __m256d hi = _mm512_extractf64x4_pd(a.v, 1);
+  const __m256d s4 = _mm256_mul_pd(lo, hi);
+  const __m128d s2 =
+      _mm_mul_pd(_mm256_castpd256_pd128(s4), _mm256_extractf128_pd(s4, 1));
+  return _mm_cvtsd_f64(s2) * _mm_cvtsd_f64(_mm_unpackhi_pd(s2, s2));
+}
+
+inline batch<std::uint32_t, 16> operator^(batch<std::uint32_t, 16> a,
+                                          batch<std::uint32_t, 16> b) noexcept {
+  return {_mm512_xor_si512(a.v, b.v)};
+}
+inline void mulhilo(batch<std::uint32_t, 16> a, batch<std::uint32_t, 16> b,
+                    batch<std::uint32_t, 16>& hi,
+                    batch<std::uint32_t, 16>& lo) noexcept {
+  lo.v = _mm512_mullo_epi32(a.v, b.v);
+  const __m512i even = _mm512_mul_epu32(a.v, b.v);
+  const __m512i odd =
+      _mm512_mul_epu32(_mm512_srli_epi64(a.v, 32), _mm512_srli_epi64(b.v, 32));
+  const __m512i hi_even = _mm512_srli_epi64(even, 32);
+  const __m512i hi_odd = _mm512_and_si512(
+      odd, _mm512_set1_epi64(static_cast<long long>(0xFFFFFFFF00000000ull)));
+  hi.v = _mm512_or_si512(hi_even, hi_odd);
+}
+
+#endif  // __AVX512F__
+
+}  // namespace epismc::simd

@@ -1,0 +1,24 @@
+#pragma once
+
+// Internal: per-ISA KernelTable accessors. Which of these exist is decided
+// at configure time -- CMake adds kernels_<isa>.cpp (compiled with the
+// matching -m flags) and defines EPISMC_SIMD_HAS_<ISA> on the library when
+// the toolchain/arch supports it. Only simd.cpp and the kernel TUs include
+// this header.
+
+#include "simd/simd.hpp"
+
+namespace epismc::simd {
+
+const KernelTable& scalar_table();
+#ifdef EPISMC_SIMD_HAS_SSE41
+const KernelTable& sse41_table();
+#endif
+#ifdef EPISMC_SIMD_HAS_AVX2
+const KernelTable& avx2_table();
+#endif
+#ifdef EPISMC_SIMD_HAS_AVX512
+const KernelTable& avx512_table();
+#endif
+
+}  // namespace epismc::simd

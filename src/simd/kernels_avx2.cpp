@@ -1,0 +1,16 @@
+// AVX2 instantiation: 4 double lanes, 8 u32 lanes. Compiled with
+// -mavx2 -ffp-contract=off (no FMA -- lane results must match the scalar
+// operation sequence elementwise; see kernels_body.inl).
+
+#define EPISMC_SIMD_IMPL_NS avx2_impl
+#define EPISMC_SIMD_WD 4
+#define EPISMC_SIMD_WU 8
+#define EPISMC_SIMD_LEVEL SimdLevel::kAvx2
+#define EPISMC_SIMD_ENGINE_BLOCKS 8u
+#include "simd/kernels_body.inl"
+
+#include "simd/kernels.hpp"
+
+namespace epismc::simd {
+const KernelTable& avx2_table() { return avx2_impl::table(); }
+}  // namespace epismc::simd

@@ -1,0 +1,15 @@
+// AVX-512F instantiation: 8 double lanes, 16 u32 lanes. Compiled with
+// -mavx512f -mavx512dq -ffp-contract=off.
+
+#define EPISMC_SIMD_IMPL_NS avx512_impl
+#define EPISMC_SIMD_WD 8
+#define EPISMC_SIMD_WU 16
+#define EPISMC_SIMD_LEVEL SimdLevel::kAvx512
+#define EPISMC_SIMD_ENGINE_BLOCKS 16u
+#include "simd/kernels_body.inl"
+
+#include "simd/kernels.hpp"
+
+namespace epismc::simd {
+const KernelTable& avx512_table() { return avx512_impl::table(); }
+}  // namespace epismc::simd

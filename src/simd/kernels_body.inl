@@ -1,0 +1,654 @@
+// One kernel source, compiled once per ISA (RayDemo CoreSIMD pattern).
+//
+// Each kernels_<isa>.cpp defines the macros below and includes this file;
+// the kernels land in a per-ISA namespace and are exported through one
+// KernelTable. Required macros:
+//
+//   EPISMC_SIMD_IMPL_NS        namespace for this instantiation
+//   EPISMC_SIMD_WD             double lanes per batch (1 / 2 / 4 / 8)
+//   EPISMC_SIMD_WU             u32 lanes per batch (2 / 4 / 8 / 16), >= WD
+//   EPISMC_SIMD_LEVEL          SimdLevel enumerator
+//   EPISMC_SIMD_ENGINE_BLOCKS  Philox blocks per PhiloxEngine refill
+//
+// Determinism notes (load-bearing -- see docs/API.md):
+//  * philox_fill is pure integer and bit-identical at every width.
+//  * binomial_lanes mirrors rng::binomial draw for draw: the lane BINV and
+//    lane BTPE execute the identical IEEE-754 operation sequences as
+//    binomial_inversion / binomial_btpe (no FMA, -ffp-contract=off on every
+//    TU), and each lane consumes the identical uniform values a scalar
+//    engine positioned at seg[i] would produce. Lane results therefore do
+//    not depend on lane grouping or batch width.
+//  * score_* accumulate in lanes, so last-ulp totals differ across widths;
+//    they are deterministic at a fixed level, which is all the replay
+//    machinery requires.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "random/distributions.hpp"
+#include "random/philox.hpp"
+#include "simd/batch.hpp"
+#include "simd/simd.hpp"
+
+namespace epismc::simd {
+namespace EPISMC_SIMD_IMPL_NS {
+
+constexpr int kWD = EPISMC_SIMD_WD;
+constexpr int kWU = EPISMC_SIMD_WU;
+static_assert(kWU >= kWD && kWU % 2 == 0);
+
+using vd = batch<double, kWD>;
+using vu = batch<std::uint32_t, kWU>;
+using vm = decltype(cmp_gt(vd::broadcast(0.0), vd::broadcast(0.0)));
+
+// Same literal as stats/densities.cpp (log sqrt(2 pi)).
+constexpr double kLogSqrt2Pi = 0.91893853320467274178;
+
+// --- Philox -----------------------------------------------------------------
+
+struct PhiloxWords {
+  std::uint32_t w0[kWU], w1[kWU], w2[kWU], w3[kWU];
+};
+
+/// Run kWU Philox4x32-10 blocks in lanes: per-lane counters (c0a, c1a),
+/// broadcast stream halves and key. Matches Philox4x32::block bit for bit.
+inline void philox_rounds(const std::uint32_t* c0a, const std::uint32_t* c1a,
+                          std::uint64_t seed, std::uint64_t stream,
+                          PhiloxWords& out) noexcept {
+  using P = rng::Philox4x32;
+  vu c0 = vu::load(c0a);
+  vu c1 = vu::load(c1a);
+  vu c2 = vu::broadcast(static_cast<std::uint32_t>(stream));
+  vu c3 = vu::broadcast(static_cast<std::uint32_t>(stream >> 32));
+  const vu m0 = vu::broadcast(P::kMult0);
+  const vu m1 = vu::broadcast(P::kMult1);
+  std::uint32_t k0 = static_cast<std::uint32_t>(seed);
+  std::uint32_t k1 = static_cast<std::uint32_t>(seed >> 32);
+  for (int r = 0; r < 10; ++r) {
+    vu hi0 = c0, lo0 = c0, hi1 = c0, lo1 = c0;
+    mulhilo(m0, c0, hi0, lo0);
+    mulhilo(m1, c2, hi1, lo1);
+    const vu n0 = hi1 ^ c1 ^ vu::broadcast(k0);
+    const vu n2 = hi0 ^ c3 ^ vu::broadcast(k1);
+    c0 = n0;
+    c1 = lo1;
+    c2 = n2;
+    c3 = lo0;
+    k0 += P::kWeyl0;
+    k1 += P::kWeyl1;
+  }
+  c0.store(out.w0);
+  c1.store(out.w1);
+  c2.store(out.w2);
+  c3.store(out.w3);
+}
+
+void philox_fill(std::uint64_t seed, std::uint64_t stream, std::uint64_t block0,
+                 std::uint64_t* out, std::size_t n_blocks) {
+  std::uint32_t c0a[kWU], c1a[kWU];
+  for (std::size_t b = 0; b < n_blocks; b += kWU) {
+    for (int l = 0; l < kWU; ++l) {
+      // Lanes past n_blocks compute a throwaway block (pure function).
+      const std::uint64_t blk = block0 + b + static_cast<std::uint64_t>(l);
+      c0a[l] = static_cast<std::uint32_t>(blk);
+      c1a[l] = static_cast<std::uint32_t>(blk >> 32);
+    }
+    PhiloxWords w;
+    philox_rounds(c0a, c1a, seed, stream, w);
+    const std::size_t live = std::min<std::size_t>(kWU, n_blocks - b);
+    for (std::size_t l = 0; l < live; ++l) {
+      out[2 * (b + l)] =
+          (static_cast<std::uint64_t>(w.w1[l]) << 32) | w.w0[l];
+      out[2 * (b + l) + 1] =
+          (static_cast<std::uint64_t>(w.w3[l]) << 32) | w.w2[l];
+    }
+  }
+}
+
+/// Raw 64-bit words at draw positions pos[l] and pos[l] + 1 for kWD lanes,
+/// from a single philox_rounds pass: each draw lane's two positions touch at
+/// most two distinct blocks, and kWU == 2 * kWD u32 lanes cover them all.
+inline void pair_words_at(std::uint64_t seed, std::uint64_t stream,
+                          const std::uint64_t* pos, std::uint64_t* w0_out,
+                          std::uint64_t* w1_out) noexcept {
+  static_assert(kWU == 2 * kWD);
+  std::uint32_t c0a[kWU], c1a[kWU];
+  for (int l = 0; l < kWD; ++l) {
+    const std::uint64_t blk_a = pos[l] >> 1;
+    const std::uint64_t blk_b = (pos[l] + 1) >> 1;
+    c0a[2 * l] = static_cast<std::uint32_t>(blk_a);
+    c1a[2 * l] = static_cast<std::uint32_t>(blk_a >> 32);
+    c0a[2 * l + 1] = static_cast<std::uint32_t>(blk_b);
+    c1a[2 * l + 1] = static_cast<std::uint32_t>(blk_b >> 32);
+  }
+  PhiloxWords w;
+  philox_rounds(c0a, c1a, seed, stream, w);
+  for (int l = 0; l < kWD; ++l) {
+    const std::uint64_t lo_a =
+        (static_cast<std::uint64_t>(w.w1[2 * l]) << 32) | w.w0[2 * l];
+    const std::uint64_t hi_a =
+        (static_cast<std::uint64_t>(w.w3[2 * l]) << 32) | w.w2[2 * l];
+    const std::uint64_t lo_b =
+        (static_cast<std::uint64_t>(w.w1[2 * l + 1]) << 32) | w.w0[2 * l + 1];
+    const std::uint64_t hi_b =
+        (static_cast<std::uint64_t>(w.w3[2 * l + 1]) << 32) | w.w2[2 * l + 1];
+    w0_out[l] = (pos[l] & 1) ? hi_a : lo_a;
+    w1_out[l] = ((pos[l] + 1) & 1) ? hi_b : lo_b;
+  }
+}
+
+/// One uniform per lane, lane l reading absolute draw position pos[l] of
+/// the (seed, stream) counter stream; value bit-equal to what
+/// rng::uniform_double on an engine at that position returns.
+inline void uniforms_at(std::uint64_t seed, std::uint64_t stream,
+                        const std::uint64_t* pos, int count,
+                        double* u_out) noexcept {
+  std::uint32_t c0a[kWU], c1a[kWU];
+  for (int l = 0; l < kWU; ++l) {
+    const std::uint64_t blk = pos[l < count ? l : 0] >> 1;
+    c0a[l] = static_cast<std::uint32_t>(blk);
+    c1a[l] = static_cast<std::uint32_t>(blk >> 32);
+  }
+  PhiloxWords w;
+  philox_rounds(c0a, c1a, seed, stream, w);
+  for (int l = 0; l < count; ++l) {
+    const std::uint64_t lo64 =
+        (static_cast<std::uint64_t>(w.w1[l]) << 32) | w.w0[l];
+    const std::uint64_t hi64 =
+        (static_cast<std::uint64_t>(w.w3[l]) << 32) | w.w2[l];
+    const std::uint64_t x = (pos[l] & 1) ? hi64 : lo64;
+    u_out[l] = static_cast<double>(x >> 11) * 0x1.0p-53;
+  }
+}
+
+// --- Lane binomial sampler ---------------------------------------------------
+
+struct BinvLane {
+  double r0 = 0.0;    // q^n
+  double s = 0.0;     // p / q
+  double npq = 0.0;   // (n + 1) * s
+  double xmax = 0.0;  // restart tail bound
+  std::uint64_t seg = 0;
+  std::int64_t n = 0;
+  std::size_t out_idx = 0;
+  bool flip = false;
+};
+
+/// The scalar inner search of binomial_inversion, for restarts (probability
+/// ~1e-20 per lane) -- attempt k consumes the uniform at seg + k, exactly
+/// like the sequential sampler consuming its next draw.
+inline std::int64_t binv_restart(std::uint64_t seed, std::uint64_t stream,
+                                 const BinvLane& b) noexcept {
+  rng::PhiloxEngine eng(seed, stream);
+  const auto xmax = static_cast<std::int64_t>(b.xmax);
+  for (std::uint64_t attempt = 1;; ++attempt) {
+    eng.set_position(b.seg + attempt);
+    double u = rng::uniform_double(eng);
+    double r = b.r0;
+    std::int64_t x = 0;
+    while (u > r) {
+      u -= r;
+      ++x;
+      if (x > xmax) break;
+      r *= (b.npq / static_cast<double>(x)) - b.s;
+    }
+    if (x <= b.n && x <= xmax) return x;
+  }
+}
+
+/// Vector BINV over up to kWD lanes. Masked updates keep every lane's
+/// trajectory a pure function of its own (u, r0, s, npq, xmax) -- neighbours
+/// only add dead iterations -- so results match the scalar recurrence
+/// bit for bit at any width.
+inline void binv_group(std::uint64_t seed, std::uint64_t stream,
+                       const BinvLane* lanes, int count,
+                       std::int64_t* out) noexcept {
+  std::uint64_t pos[kWD];
+  double us[kWD];
+  for (int l = 0; l < kWD; ++l) pos[l] = lanes[l < count ? l : 0].seg;
+  uniforms_at(seed, stream, pos, kWD, us);
+
+  double uarr[kWD], r0arr[kWD], sarr[kWD], npqarr[kWD], xmaxarr[kWD];
+  for (int l = 0; l < kWD; ++l) {
+    const BinvLane& b = lanes[l < count ? l : 0];
+    uarr[l] = us[l < count ? l : 0];
+    r0arr[l] = b.r0;
+    sarr[l] = b.s;
+    npqarr[l] = b.npq;
+    xmaxarr[l] = b.xmax;
+  }
+
+  vd u = vd::load(uarr);
+  vd r = vd::load(r0arr);
+  vd x = vd::broadcast(0.0);
+  const vd s = vd::load(sarr);
+  const vd npq = vd::load(npqarr);
+  const vd xmax = vd::load(xmaxarr);
+  const vd one = vd::broadcast(1.0);
+  vm failed = cmp_gt(vd::broadcast(0.0), one);  // all-false
+
+  // xmax <= 164 for n*p < 30, so 256 iterations cover every live lane.
+  for (int iter = 0; iter < 256; ++iter) {
+    const vm active = mask_andnot(failed, cmp_gt(u, r));
+    if (!any(active)) break;
+    u = select(active, u - r, u);
+    x = select(active, x + one, x);
+    failed = mask_or(failed, mask_and(active, cmp_gt(x, xmax)));
+    const vm update = mask_andnot(failed, active);
+    r = select(update, r * (npq / x - s), r);
+  }
+
+  double xarr[kWD], failarr[kWD];
+  x.store(xarr);
+  select(failed, one, vd::broadcast(0.0)).store(failarr);
+  for (int l = 0; l < count; ++l) {
+    const BinvLane& b = lanes[l];
+    auto xi = static_cast<std::int64_t>(xarr[l]);
+    if (failarr[l] != 0.0 || xi > b.n) xi = binv_restart(seed, stream, b);
+    out[b.out_idx] = b.flip ? b.n - xi : xi;
+  }
+}
+
+// --- Lane BTPE sampler -------------------------------------------------------
+//
+// BTPE (Kachitvichyanukul & Schmeiser 1988) attempts consume exactly two
+// uniforms each, so attempt k of a lane maps to positions seg + 2k and
+// seg + 2k + 1 -- the identical consumption pattern of rng::binomial on an
+// engine positioned at seg. The envelope setup and the dominant triangular
+// region (u <= p1: immediate acceptance, the majority of attempts) run in
+// lanes; rejected lanes continue through an exact scalar mirror of
+// rng::binomial_btpe. Lane results are therefore bit-identical at every
+// width AND bit-identical to the positioned-scalar-engine fallback they
+// replace (same uniforms, same IEEE op sequence).
+
+struct BtpeLane {
+  std::uint64_t seg = 0;
+  std::int64_t n = 0;
+  double pp = 0.0;  // working probability, <= 0.5
+  std::size_t out_idx = 0;
+  bool flip = false;
+};
+
+/// Scalar envelope constants for one lane, spilled from the vector setup so
+/// the continuation uses bit-identical values.
+struct BtpeSetup {
+  double nd, r, q, nrq, md, p1, xm, xl, xr, c, laml, lamr, p2, p3, p4;
+  std::int64_t n, m;
+};
+
+/// Positioned one-block-at-a-time engine for BTPE continuations: bit-equal
+/// uniforms to PhiloxEngine without paying the dispatched multi-block refill
+/// for the ~2 words a continuation typically needs.
+class LiteEngine {
+ public:
+  LiteEngine(std::uint64_t seed, std::uint64_t stream, std::uint64_t pos) noexcept
+      : seed_(seed), stream_(stream), pos_(pos) {}
+
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  double uniform_oo() noexcept {
+    return (static_cast<double>(next() >> 12) + 0.5) * 0x1.0p-52;
+  }
+
+ private:
+  std::uint64_t next() noexcept {
+    const std::uint64_t blk = pos_ >> 1;
+    if (blk != cached_block_) {
+      const rng::Philox4x32::counter_type ctr = {
+          static_cast<std::uint32_t>(blk), static_cast<std::uint32_t>(blk >> 32),
+          static_cast<std::uint32_t>(stream_),
+          static_cast<std::uint32_t>(stream_ >> 32)};
+      const rng::Philox4x32::key_type key = {
+          static_cast<std::uint32_t>(seed_),
+          static_cast<std::uint32_t>(seed_ >> 32)};
+      const auto w = rng::Philox4x32::block(ctr, key);
+      lo_ = (static_cast<std::uint64_t>(w[1]) << 32) | w[0];
+      hi_ = (static_cast<std::uint64_t>(w[3]) << 32) | w[2];
+      cached_block_ = blk;
+    }
+    return (pos_++ & 1) ? hi_ : lo_;
+  }
+
+  std::uint64_t seed_, stream_, pos_;
+  std::uint64_t cached_block_ = ~std::uint64_t{0};
+  std::uint64_t lo_ = 0, hi_ = 0;
+};
+
+/// One BTPE attempt, mirroring the loop body of rng::binomial_btpe operation
+/// for operation. `u` is already scaled by p4. Returns the accepted value,
+/// or -1 to reject and try again (accepted values are always >= 0 in the
+/// BTPE regime: xl >= 0 for n*p >= 30).
+inline std::int64_t btpe_attempt(const BtpeSetup& s, double u, double v) noexcept {
+  std::int64_t y = 0;
+  if (u <= s.p1) {
+    return static_cast<std::int64_t>(std::floor(s.xm - s.p1 * v + u));
+  }
+  if (u <= s.p2) {
+    const double x = s.xl + (u - s.p1) / s.c;
+    v = v * s.c + 1.0 - std::fabs(s.md - x + 0.5) / s.p1;
+    if (v > 1.0) return -1;
+    y = static_cast<std::int64_t>(std::floor(x));
+  } else if (u <= s.p3) {
+    y = static_cast<std::int64_t>(std::floor(s.xl + std::log(v) / s.laml));
+    if (y < 0) return -1;
+    v = v * (u - s.p2) * s.laml;
+  } else {
+    y = static_cast<std::int64_t>(std::floor(s.xr - std::log(v) / s.lamr));
+    if (y > s.n) return -1;
+    v = v * (u - s.p3) * s.lamr;
+  }
+
+  const std::int64_t k = std::llabs(y - s.m);
+  const double yd = static_cast<double>(y);
+  const double kd = static_cast<double>(k);
+  if (k <= 20 || kd >= s.nrq / 2.0 - 1.0) {
+    const double sr = s.r / s.q;
+    const double aa = sr * (s.nd + 1.0);
+    double f = 1.0;
+    if (s.m < y) {
+      for (std::int64_t i = s.m + 1; i <= y; ++i) {
+        f *= (aa / static_cast<double>(i) - sr);
+      }
+    } else if (s.m > y) {
+      for (std::int64_t i = y + 1; i <= s.m; ++i) {
+        f /= (aa / static_cast<double>(i) - sr);
+      }
+    }
+    return v <= f ? y : -1;
+  }
+  const double rho =
+      (kd / s.nrq) * ((kd * (kd / 3.0 + 0.625) + 1.0 / 6.0) / s.nrq + 0.5);
+  const double t = -kd * kd / (2.0 * s.nrq);
+  const double logv = std::log(v);
+  if (logv < t - rho) return y;
+  if (logv > t + rho) return -1;
+  const double x1 = yd + 1.0;
+  const double f1 = s.md + 1.0;
+  const double z = s.nd + 1.0 - s.md;
+  const double w = s.nd - yd + 1.0;
+  const double z2 = z * z;
+  const double x2 = x1 * x1;
+  const double f2 = f1 * f1;
+  const double w2 = w * w;
+  const auto stirling_corr = [](double sq, double lin) {
+    return (13680.0 - (462.0 - (132.0 - (99.0 - 140.0 / sq) / sq) / sq) / sq) /
+           lin / 166320.0;
+  };
+  const double stirling = stirling_corr(f2, f1) + stirling_corr(z2, z) +
+                          stirling_corr(x2, x1) + stirling_corr(w2, w);
+  if (logv <= s.xm * std::log(f1 / x1) + (s.nd - s.md + 0.5) * std::log(z / w) +
+                  (yd - s.md) * std::log(w * s.r / (x1 * s.q)) + stirling) {
+    return y;
+  }
+  return -1;
+}
+
+/// Scalar continuation for a lane whose first attempt was not a triangular
+/// acceptance: finish attempt 0 with the already-drawn (u, v), then draw
+/// attempt k's pair from positions seg + 2k, seg + 2k + 1.
+inline std::int64_t btpe_continue(std::uint64_t seed, std::uint64_t stream,
+                                  std::uint64_t seg, const BtpeSetup& s,
+                                  double u0, double v0) noexcept {
+  std::int64_t y = btpe_attempt(s, u0, v0);
+  if (y >= 0) return y;
+  LiteEngine eng(seed, stream, seg + 2);
+  for (;;) {
+    const double u = eng.uniform() * s.p4;
+    const double v = eng.uniform_oo();
+    y = btpe_attempt(s, u, v);
+    if (y >= 0) return y;
+  }
+}
+
+/// Vector BTPE over up to kWD lanes: envelope setup and the first attempt's
+/// triangular-region acceptance in lanes, scalar continuation otherwise.
+inline void btpe_group(std::uint64_t seed, std::uint64_t stream,
+                       const BtpeLane* lanes, int count,
+                       std::int64_t* out) noexcept {
+  double rarr[kWD], ndarr[kWD];
+  std::uint64_t pos[kWD];
+  for (int l = 0; l < kWD; ++l) {
+    const BtpeLane& b = lanes[l < count ? l : 0];
+    rarr[l] = b.pp;
+    ndarr[l] = static_cast<double>(b.n);
+    pos[l] = b.seg;
+  }
+
+  // Envelope setup, same IEEE op sequence as rng::binomial_btpe elementwise.
+  const vd one = vd::broadcast(1.0);
+  const vd half = vd::broadcast(0.5);
+  const vd r = vd::load(rarr);
+  const vd nd = vd::load(ndarr);
+  const vd q = one - r;
+  const vd fm = nd * r + r;
+  const vd md = vfloor(fm);
+  const vd nrq = nd * r * q;
+  const vd p1 =
+      vfloor(vd::broadcast(2.195) * vsqrt(nrq) - vd::broadcast(4.6) * q) + half;
+  const vd xm = md + half;
+  const vd xl = xm - p1;
+  const vd xr = xm + p1;
+  const vd c =
+      vd::broadcast(0.134) + vd::broadcast(20.5) / (vd::broadcast(15.3) + md);
+  vd a = (fm - xl) / (fm - xl * r);
+  const vd laml = a * (one + a * half);
+  a = (xr - fm) / (xr * q);
+  const vd lamr = a * (one + a * half);
+  const vd p2 = p1 * (one + vd::broadcast(2.0) * c);
+  const vd p3 = p2 + c / laml;
+  const vd p4 = p3 + c / lamr;
+
+  // First (u, v) pair for every lane from one Philox pass.
+  std::uint64_t w_u[kWD], w_v[kWD];
+  pair_words_at(seed, stream, pos, w_u, w_v);
+  double uarr[kWD], varr[kWD];
+  for (int l = 0; l < kWD; ++l) {
+    uarr[l] = static_cast<double>(w_u[l] >> 11) * 0x1.0p-53;
+    varr[l] = (static_cast<double>(w_v[l] >> 12) + 0.5) * 0x1.0p-52;
+  }
+  const vd u = vd::load(uarr) * p4;
+  const vd v = vd::load(varr);
+
+  // Triangular central region: immediate acceptance, the bulk of attempts.
+  const vm rejected = cmp_gt(u, p1);
+  const vd y1 = vfloor(xm - p1 * v + u);
+
+  double y1arr[kWD], uscaled[kWD], rejarr[kWD];
+  y1.store(y1arr);
+  u.store(uscaled);
+  select(rejected, one, vd::broadcast(0.0)).store(rejarr);
+
+  double mdarr[kWD], nrqarr[kWD], p1arr[kWD], xmarr[kWD], xlarr[kWD],
+      xrarr[kWD], carr[kWD], lamlarr[kWD], lamrarr[kWD], p2arr[kWD],
+      p3arr[kWD], p4arr[kWD], qarr[kWD];
+  md.store(mdarr);
+  nrq.store(nrqarr);
+  p1.store(p1arr);
+  xm.store(xmarr);
+  xl.store(xlarr);
+  xr.store(xrarr);
+  c.store(carr);
+  laml.store(lamlarr);
+  lamr.store(lamrarr);
+  p2.store(p2arr);
+  p3.store(p3arr);
+  p4.store(p4arr);
+  q.store(qarr);
+
+  for (int l = 0; l < count; ++l) {
+    const BtpeLane& b = lanes[l];
+    std::int64_t y;
+    if (rejarr[l] == 0.0) {
+      y = static_cast<std::int64_t>(y1arr[l]);
+    } else {
+      const BtpeSetup s{ndarr[l],   b.pp,       qarr[l],   nrqarr[l],
+                        mdarr[l],   p1arr[l],   xmarr[l],  xlarr[l],
+                        xrarr[l],   carr[l],    lamlarr[l], lamrarr[l],
+                        p2arr[l],   p3arr[l],   p4arr[l],  b.n,
+                        static_cast<std::int64_t>(mdarr[l])};
+      y = btpe_continue(seed, stream, b.seg, s, uscaled[l], varr[l]);
+    }
+    out[b.out_idx] = b.flip ? b.n - y : y;
+  }
+}
+
+void binomial_lanes(std::uint64_t seed, std::uint64_t stream,
+                    const std::uint64_t* seg, const std::int64_t* n,
+                    const double* p, std::size_t count, std::int64_t* out) {
+  BinvLane binv_buf[kWD];
+  BtpeLane btpe_buf[kWD];
+  int n_binv = 0;
+  int n_btpe = 0;
+  const auto flush_binv = [&] {
+    if (n_binv > 0) binv_group(seed, stream, binv_buf, n_binv, out);
+    n_binv = 0;
+  };
+  const auto flush_btpe = [&] {
+    if (n_btpe > 0) btpe_group(seed, stream, btpe_buf, n_btpe, out);
+    n_btpe = 0;
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    if (n[i] < 0 || !(p[i] >= 0.0 && p[i] <= 1.0)) {
+      throw std::invalid_argument("binomial_lanes: invalid n or p");
+    }
+    if (n[i] == 0 || p[i] == 0.0) {
+      out[i] = 0;
+      continue;
+    }
+    if (p[i] == 1.0) {
+      out[i] = n[i];
+      continue;
+    }
+    const bool flip = p[i] > 0.5;
+    const double pp = flip ? 1.0 - p[i] : p[i];
+    if (static_cast<double>(n[i]) * pp < 30.0) {
+      BinvLane& b = binv_buf[n_binv++];
+      const double q = 1.0 - pp;
+      b.s = pp / q;
+      b.npq = static_cast<double>(n[i] + 1) * b.s;
+      b.r0 = std::pow(q, static_cast<double>(n[i]));
+      b.xmax = static_cast<double>(
+          110 + static_cast<std::int64_t>(
+                    10.0 * std::sqrt(static_cast<double>(n[i]) * pp)));
+      b.seg = seg[i];
+      b.n = n[i];
+      b.out_idx = i;
+      b.flip = flip;
+      if (n_binv == kWD) flush_binv();
+    } else {
+      BtpeLane& b = btpe_buf[n_btpe++];
+      b.seg = seg[i];
+      b.n = n[i];
+      b.pp = pp;
+      b.out_idx = i;
+      b.flip = flip;
+      if (n_btpe == kWD) flush_btpe();
+    }
+  }
+  flush_binv();
+  flush_btpe();
+}
+
+// --- Fused scoring kernels ---------------------------------------------------
+
+double score_gaussian_sqrt(const double* t0, const double* sim,
+                           std::size_t len, double sigma) {
+  const double inv_sigma = 1.0 / sigma;
+  const vd zero = vd::broadcast(0.0);
+  const vd inv = vd::broadcast(inv_sigma);
+  vd acc = zero;
+  std::size_t t = 0;
+  for (; t + kWD <= len; t += kWD) {
+    const vd eta = vsqrt(vmax(vd::load(sim + t), zero));
+    const vd z = (vd::load(t0 + t) - eta) * inv;
+    acc = acc + z * z;
+  }
+  double total = hsum(acc);
+  for (; t < len; ++t) {
+    const double eta = std::sqrt(std::max(sim[t], 0.0));
+    const double z = (t0[t] - eta) * inv_sigma;
+    total += z * z;
+  }
+  return -0.5 * total -
+         static_cast<double>(len) * (std::log(sigma) + kLogSqrt2Pi);
+}
+
+double score_nb_sqrt(const double* t0, const double* sim, std::size_t len,
+                     double dispersion_k) {
+  const double inv_k = 1.0 / dispersion_k;
+  const vd zero = vd::broadcast(0.0);
+  const vd half = vd::broadcast(0.5);
+  const vd one = vd::broadcast(1.0);
+  const vd invk = vd::broadcast(inv_k);
+  vd acc = zero;
+  vd sdprod = one;
+  double log_sd_sum = 0.0;
+  std::size_t t = 0;
+  int chunks = 0;
+  for (; t + kWD <= len; t += kWD) {
+    const vd eta = vmax(vd::load(sim + t), zero);
+    const vd sd = half * vsqrt(one + eta * invk);
+    const vd z = (vd::load(t0 + t) - vsqrt(eta)) / sd;
+    acc = acc + z * z;
+    sdprod = sdprod * sd;
+    // Flush the running sd product before it can overflow on long series.
+    if (++chunks == 4) {
+      log_sd_sum += std::log(hprod(sdprod));
+      sdprod = one;
+      chunks = 0;
+    }
+  }
+  double total = hsum(acc);
+  double tail_prod = hprod(sdprod);
+  for (; t < len; ++t) {
+    const double eta = std::max(sim[t], 0.0);
+    const double sd = 0.5 * std::sqrt(1.0 + eta * inv_k);
+    const double z = (t0[t] - std::sqrt(eta)) / sd;
+    total += z * z;
+    tail_prod *= sd;
+  }
+  log_sd_sum += std::log(tail_prod);
+  return -0.5 * total - log_sd_sum -
+         static_cast<double>(len) * kLogSqrt2Pi;
+}
+
+double score_poisson(const double* t0, const double* t1, const double* sim,
+                     std::size_t len, double rate_floor) {
+  // y*log(rate) stays scalar (libm); the rate clamp and the (rate + lgamma)
+  // subtraction stream vectorize.
+  const vd floor_v = vd::broadcast(rate_floor);
+  vd acc = vd::broadcast(0.0);
+  std::size_t t = 0;
+  for (; t + kWD <= len; t += kWD) {
+    acc = acc + vmax(vd::load(sim + t), floor_v) + vd::load(t1 + t);
+  }
+  double sub = hsum(acc);
+  for (; t < len; ++t) {
+    sub += std::max(sim[t], rate_floor) + t1[t];
+  }
+  double logpart = 0.0;
+  for (std::size_t i = 0; i < len; ++i) {
+    logpart += t0[i] * std::log(std::max(sim[i], rate_floor));
+  }
+  return logpart - sub;
+}
+
+const KernelTable& table() {
+  static const KernelTable t{
+      EPISMC_SIMD_LEVEL,
+      EPISMC_SIMD_ENGINE_BLOCKS,
+      &philox_fill,
+      &binomial_lanes,
+      &score_gaussian_sqrt,
+      &score_nb_sqrt,
+      &score_poisson,
+  };
+  return t;
+}
+
+}  // namespace EPISMC_SIMD_IMPL_NS
+}  // namespace epismc::simd

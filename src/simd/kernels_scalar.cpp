@@ -1,0 +1,16 @@
+// Scalar instantiation of the kernel body: the reference engine every
+// vector level is tested against. Built with the project's default flags
+// (plus -ffp-contract=off like the rest of the simd TUs).
+
+#define EPISMC_SIMD_IMPL_NS scalar_impl
+#define EPISMC_SIMD_WD 1
+#define EPISMC_SIMD_WU 2
+#define EPISMC_SIMD_LEVEL SimdLevel::kScalar
+#define EPISMC_SIMD_ENGINE_BLOCKS 1u
+#include "simd/kernels_body.inl"
+
+#include "simd/kernels.hpp"
+
+namespace epismc::simd {
+const KernelTable& scalar_table() { return scalar_impl::table(); }
+}  // namespace epismc::simd

@@ -1,0 +1,15 @@
+// SSE4.1 instantiation: 2 double lanes, 4 u32 lanes. Compiled with
+// -msse4.1 -ffp-contract=off (see CMakeLists).
+
+#define EPISMC_SIMD_IMPL_NS sse41_impl
+#define EPISMC_SIMD_WD 2
+#define EPISMC_SIMD_WU 4
+#define EPISMC_SIMD_LEVEL SimdLevel::kSse41
+#define EPISMC_SIMD_ENGINE_BLOCKS 4u
+#include "simd/kernels_body.inl"
+
+#include "simd/kernels.hpp"
+
+namespace epismc::simd {
+const KernelTable& sse41_table() { return sse41_impl::table(); }
+}  // namespace epismc::simd

@@ -1,0 +1,216 @@
+#include "simd/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "simd/kernels.hpp"
+
+namespace epismc::simd {
+
+namespace {
+
+const KernelTable* table_ptr(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return &scalar_table();
+#ifdef EPISMC_SIMD_HAS_SSE41
+    case SimdLevel::kSse41:
+      return &sse41_table();
+#endif
+#ifdef EPISMC_SIMD_HAS_AVX2
+    case SimdLevel::kAvx2:
+      return &avx2_table();
+#endif
+#ifdef EPISMC_SIMD_HAS_AVX512
+    case SimdLevel::kAvx512:
+      return &avx512_table();
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+SimdLevel probe_host() noexcept {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq")) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return SimdLevel::kAvx2;
+  if (__builtin_cpu_supports("sse4.1")) return SimdLevel::kSse41;
+#endif
+  return SimdLevel::kScalar;
+}
+
+// Both dispatch slots; see simd.hpp for why there are two. Initialization
+// happens on first use (env override applied once), after which set_level /
+// set_state swap the atomics. Relaxed ordering is fine: the tables are
+// immutable function-pointer structs with static storage.
+std::atomic<const KernelTable*> g_lanes{nullptr};
+std::atomic<const KernelTable*> g_philox{nullptr};
+
+void ensure_init();
+
+SimdLevel apply_level(SimdLevel want) noexcept {
+  const SimdLevel actual = clamp_level(want, compiled_levels(), host_level());
+  const KernelTable* t = table_ptr(actual);
+  g_lanes.store(t, std::memory_order_relaxed);
+  g_philox.store(t, std::memory_order_relaxed);
+  return actual;
+}
+
+SimdLevel init_from_env() {
+  const char* env = std::getenv("EPISMC_SIMD");
+  if (env != nullptr && *env != '\0') {
+    bool is_auto = false;
+    SimdLevel want = SimdLevel::kScalar;
+    try {
+      want = parse_level(env, &is_auto);
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument(
+          std::string("EPISMC_SIMD: unknown level '") + env +
+          "' (expected scalar|sse41|avx2|avx512|auto)");
+    }
+    return apply_level(is_auto ? best_level() : want);
+  }
+  // Default split: scalar reference for the result-changing lane kernels,
+  // best level for the bit-identical Philox block generator.
+  g_lanes.store(&scalar_table(), std::memory_order_relaxed);
+  g_philox.store(table_ptr(best_level()), std::memory_order_relaxed);
+  return SimdLevel::kScalar;
+}
+
+void ensure_init() {
+  if (g_lanes.load(std::memory_order_relaxed) == nullptr) {
+    static const SimdLevel once = init_from_env();
+    (void)once;
+  }
+}
+
+}  // namespace
+
+const char* level_name(SimdLevel level) noexcept {
+  switch (level) {
+    case SimdLevel::kSse41:
+      return "sse41";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+SimdLevel parse_level(const std::string& name, bool* is_auto) {
+  if (is_auto != nullptr) *is_auto = false;
+  if (name == "scalar") return SimdLevel::kScalar;
+  if (name == "sse41") return SimdLevel::kSse41;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "avx512") return SimdLevel::kAvx512;
+  if (name == "auto") {
+    if (is_auto != nullptr) *is_auto = true;
+    return best_level();
+  }
+  throw std::invalid_argument("simd: unknown level '" + name +
+                              "' (expected scalar|sse41|avx2|avx512|auto)");
+}
+
+const std::vector<SimdLevel>& compiled_levels() noexcept {
+  static const std::vector<SimdLevel> levels = [] {
+    std::vector<SimdLevel> out{SimdLevel::kScalar};
+#ifdef EPISMC_SIMD_HAS_SSE41
+    out.push_back(SimdLevel::kSse41);
+#endif
+#ifdef EPISMC_SIMD_HAS_AVX2
+    out.push_back(SimdLevel::kAvx2);
+#endif
+#ifdef EPISMC_SIMD_HAS_AVX512
+    out.push_back(SimdLevel::kAvx512);
+#endif
+    return out;
+  }();
+  return levels;
+}
+
+SimdLevel host_level() noexcept {
+  static const SimdLevel level = probe_host();
+  return level;
+}
+
+SimdLevel best_level() noexcept {
+  return clamp_level(SimdLevel::kAvx512, compiled_levels(), host_level());
+}
+
+SimdLevel clamp_level(SimdLevel want, const std::vector<SimdLevel>& compiled,
+                      SimdLevel host) noexcept {
+  SimdLevel best = SimdLevel::kScalar;
+  for (const SimdLevel l : compiled) {
+    if (l <= want && l <= host && l > best) best = l;
+  }
+  return best;
+}
+
+SimdLevel set_level(SimdLevel want) noexcept { return apply_level(want); }
+
+SimdLevel set_level(const std::string& name) {
+  bool is_auto = false;
+  const SimdLevel want = parse_level(name, &is_auto);
+  return set_level(is_auto ? best_level() : want);
+}
+
+const KernelTable& active() noexcept {
+  ensure_init();
+  return *g_lanes.load(std::memory_order_relaxed);
+}
+
+SimdLevel active_level() noexcept { return active().level; }
+
+const KernelTable& philox_table() noexcept {
+  ensure_init();
+  return *g_philox.load(std::memory_order_relaxed);
+}
+
+const KernelTable& table_for(SimdLevel level) {
+  const KernelTable* t = table_ptr(level);
+  if (t == nullptr) {
+    throw std::invalid_argument(std::string("simd: level '") +
+                                level_name(level) +
+                                "' was not compiled into this binary");
+  }
+  return *t;
+}
+
+SimdLevel refresh_from_env() {
+  const char* env = std::getenv("EPISMC_SIMD");
+  if (env == nullptr || *env == '\0') {
+    g_lanes.store(&scalar_table(), std::memory_order_relaxed);
+    g_philox.store(table_ptr(best_level()), std::memory_order_relaxed);
+    return SimdLevel::kScalar;
+  }
+  bool is_auto = false;
+  const SimdLevel want = parse_level(env, &is_auto);
+  return apply_level(is_auto ? best_level() : want);
+}
+
+namespace detail {
+
+DispatchState get_state() noexcept {
+  ensure_init();
+  return {g_lanes.load(std::memory_order_relaxed)->level,
+          g_philox.load(std::memory_order_relaxed)->level};
+}
+
+void set_state(DispatchState state) noexcept {
+  g_lanes.store(table_ptr(clamp_level(state.lanes, compiled_levels(),
+                                      host_level())),
+                std::memory_order_relaxed);
+  g_philox.store(table_ptr(clamp_level(state.philox, compiled_levels(),
+                                       host_level())),
+                 std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+}  // namespace epismc::simd

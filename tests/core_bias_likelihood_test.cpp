@@ -9,6 +9,7 @@
 
 #include "core/bias_model.hpp"
 #include "core/likelihood.hpp"
+#include "simd/simd.hpp"
 #include "stats/densities.hpp"
 
 namespace {
@@ -143,6 +144,11 @@ TEST(Likelihoods, LengthMismatchRejected) {
 }
 
 TEST(ObservationCaches, CachedScoreIsBitIdenticalForEveryBuiltin) {
+  // Cached-vs-uncached bit-identity is a scalar-path contract: the vector
+  // scorers accumulate in lanes (last-ulp different totals), so pin scalar
+  // regardless of any EPISMC_SIMD override.
+  const epismc::simd::ScopedLevel simd_pin(epismc::simd::SimdLevel::kScalar);
+
   // The per-window observation cache hoists sqrt/lgamma transforms out of
   // the per-sim scoring loop; the fused window and PMMH rely on the cached
   // path reproducing the uncached one bit for bit.

@@ -16,6 +16,7 @@
 #include "api/api.hpp"
 #include "core/importance_sampler.hpp"
 #include "core/scenario.hpp"
+#include "simd/simd.hpp"
 #include "parallel/parallel.hpp"
 
 namespace {
@@ -78,6 +79,10 @@ void expect_identical_results(const WindowResult& a, const WindowResult& b) {
 // series extraction that alters a single bit fails here.
 // ---------------------------------------------------------------------------
 TEST(EnsembleGolden, BitIdenticalToPreRefactorPerSimPath) {
+  // Golden values are the scalar reference realization; pin the lane
+  // kernels to scalar so the suite passes under any EPISMC_SIMD override.
+  const epismc::simd::ScopedLevel simd_pin(epismc::simd::SimdLevel::kScalar);
+
   const api::ScenarioPreset preset = api::scenarios().create("paper-baseline");
   const GroundTruth truth = preset.make_truth();
   const api::SimulatorSpec sim_spec = preset.simulator_spec();

@@ -18,6 +18,7 @@
 #include "core/scenario.hpp"
 #include "core/sequential_calibrator.hpp"
 #include "core/state_pool.hpp"
+#include "simd/simd.hpp"
 #include "epi/chain_binomial.hpp"
 #include "epi/seir_model.hpp"
 
@@ -100,6 +101,10 @@ struct GoldenCase {
 class WindowGolden : public ::testing::TestWithParam<GoldenCase> {};
 
 TEST_P(WindowGolden, SinglePassMatchesPreRefactorTwoPassPath) {
+  // Golden values are the scalar reference realization; pin the lane
+  // kernels to scalar so the suite passes under any EPISMC_SIMD override.
+  const epismc::simd::ScopedLevel simd_pin(epismc::simd::SimdLevel::kScalar);
+
   const GoldenCase gc = GetParam();
   api::SimulatorSpec sim_spec;
   sim_spec.params.population = gc.population;
@@ -162,6 +167,10 @@ INSTANTIATE_TEST_SUITE_P(
 // posterior forecast branched from the pooled states -- both pinned to
 // the pre-refactor values captured at commit bdce11f.
 TEST(WindowGolden, SequentialWindowsAndForecastMatchPreRefactor) {
+  // Golden values are the scalar reference realization; pin the lane
+  // kernels to scalar so the suite passes under any EPISMC_SIMD override.
+  const epismc::simd::ScopedLevel simd_pin(epismc::simd::SimdLevel::kScalar);
+
   api::SimulatorSpec sim_spec;
   sim_spec.params.population = 300000;
   sim_spec.initial_exposed = 1500;

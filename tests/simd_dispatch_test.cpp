@@ -1,0 +1,336 @@
+// Runtime ISA dispatch invariants. The two-slot contract under test:
+//
+//  * philox_fill is bit-identical to the scalar Philox4x32 block function at
+//    every compiled level, so the engine's buffered refills never change the
+//    draw sequence (golden hashes are dispatch-independent).
+//  * binomial_lanes (BINV- and BTPE-sized) matches rng::binomial on an
+//    engine positioned at each lane's counter segment, identically at every
+//    compiled level -- lane grouping and batch width never leak into draws.
+//  * The EPISMC_SIMD override selects each compiled level by name, clamps
+//    unsupported requests to the best runnable level, and rejects unknown
+//    names; "scalar" restores the sequential reference everywhere.
+//  * Vector scorers agree with the scalar reference to accumulation-order
+//    tolerance, and the lane-segmented samplers are distributionally
+//    equivalent to the sequential ones (paired-seed moment bound).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "core/bias_model.hpp"
+#include "epi/chain_binomial.hpp"
+#include "random/distributions.hpp"
+#include "random/philox.hpp"
+#include "simd/simd.hpp"
+
+namespace {
+
+namespace simd = epismc::simd;
+namespace rng = epismc::rng;
+using simd::SimdLevel;
+
+std::uint64_t word_of_block(std::uint64_t seed, std::uint64_t stream,
+                            std::uint64_t block, int word) {
+  const rng::Philox4x32::counter_type ctr = {
+      static_cast<std::uint32_t>(block), static_cast<std::uint32_t>(block >> 32),
+      static_cast<std::uint32_t>(stream),
+      static_cast<std::uint32_t>(stream >> 32)};
+  const rng::Philox4x32::key_type key = {static_cast<std::uint32_t>(seed),
+                                         static_cast<std::uint32_t>(seed >> 32)};
+  const auto w = rng::Philox4x32::block(ctr, key);
+  return word == 0 ? (static_cast<std::uint64_t>(w[1]) << 32) | w[0]
+                   : (static_cast<std::uint64_t>(w[3]) << 32) | w[2];
+}
+
+TEST(SimdDispatch, CompiledLevelsAlwaysIncludeScalar) {
+  const auto& levels = simd::compiled_levels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), SimdLevel::kScalar);
+  // best_level is one of the compiled levels and host-runnable.
+  bool found = false;
+  for (const SimdLevel l : levels) found = found || l == simd::best_level();
+  EXPECT_TRUE(found);
+}
+
+TEST(SimdDispatch, ClampFallsBackToBestRunnableLevel) {
+  using L = SimdLevel;
+  const std::vector<L> all = {L::kScalar, L::kSse41, L::kAvx2, L::kAvx512};
+  // Host caps the request even when everything is compiled in.
+  EXPECT_EQ(simd::clamp_level(L::kAvx512, all, L::kAvx2), L::kAvx2);
+  EXPECT_EQ(simd::clamp_level(L::kAvx512, all, L::kScalar), L::kScalar);
+  // A hole in the compiled set falls through to the next level below.
+  const std::vector<L> no_avx2 = {L::kScalar, L::kSse41, L::kAvx512};
+  EXPECT_EQ(simd::clamp_level(L::kAvx2, no_avx2, L::kAvx512), L::kSse41);
+  // Requests never round up past the wanted level.
+  EXPECT_EQ(simd::clamp_level(L::kScalar, all, L::kAvx512), L::kScalar);
+}
+
+TEST(SimdDispatch, PhiloxFillBitIdenticalAtEveryCompiledLevel) {
+  const std::uint64_t seed = 0x853C49E6748FEA9Bull;
+  const std::uint64_t stream = 0xDA3E39CB94B95BDBull;
+  // Block ranges crossing the 32-bit counter-word boundary exercise the
+  // per-lane carry into the high counter word.
+  const std::uint64_t starts[] = {0, 1, 1000003,
+                                  (std::uint64_t{1} << 32) - 9};
+  for (const SimdLevel level : simd::compiled_levels()) {
+    const simd::KernelTable& kt = simd::table_for(level);
+    for (const std::uint64_t b0 : starts) {
+      for (const std::size_t nblocks : {std::size_t{1}, std::size_t{3},
+                                        std::size_t{16}, std::size_t{33}}) {
+        std::vector<std::uint64_t> out(2 * nblocks, 0);
+        kt.philox_fill(seed, stream, b0, out.data(), nblocks);
+        for (std::size_t b = 0; b < nblocks; ++b) {
+          ASSERT_EQ(out[2 * b], word_of_block(seed, stream, b0 + b, 0))
+              << simd::level_name(level) << " block " << b0 + b;
+          ASSERT_EQ(out[2 * b + 1], word_of_block(seed, stream, b0 + b, 1))
+              << simd::level_name(level) << " block " << b0 + b;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, EngineSequenceInvariantUnderRefillWidth) {
+  // The buffered engine must emit the same sequence whichever table refills
+  // it, including across discard / set_position interleavings.
+  std::vector<std::uint64_t> reference;
+  {
+    const simd::ScopedLevel pin(SimdLevel::kScalar);
+    rng::PhiloxEngine eng(123, 456);
+    for (int i = 0; i < 40; ++i) reference.push_back(eng());
+    eng.set_position(7);
+    for (int i = 0; i < 8; ++i) reference.push_back(eng());
+    eng.discard(1000);
+    for (int i = 0; i < 8; ++i) reference.push_back(eng());
+  }
+  for (const SimdLevel level : simd::compiled_levels()) {
+    const simd::ScopedLevel pin(level);
+    rng::PhiloxEngine eng(123, 456);
+    std::vector<std::uint64_t> got;
+    for (int i = 0; i < 40; ++i) got.push_back(eng());
+    EXPECT_EQ(eng.position(), 40u);
+    eng.set_position(7);
+    for (int i = 0; i < 8; ++i) got.push_back(eng());
+    eng.discard(1000);
+    EXPECT_EQ(eng.position(), 1015u);
+    for (int i = 0; i < 8; ++i) got.push_back(eng());
+    EXPECT_EQ(got, reference) << simd::level_name(level);
+  }
+}
+
+TEST(SimdDispatch, EnvOverrideSelectsEachCompiledLevel) {
+  const simd::detail::DispatchState saved = simd::detail::get_state();
+  for (const SimdLevel level : simd::compiled_levels()) {
+    ASSERT_EQ(setenv("EPISMC_SIMD", simd::level_name(level), 1), 0);
+    const SimdLevel got = simd::refresh_from_env();
+    // The override takes effect exactly, clamped only by host support.
+    EXPECT_EQ(got, simd::clamp_level(level, simd::compiled_levels(),
+                                     simd::host_level()));
+    EXPECT_EQ(simd::active_level(), got);
+  }
+  ASSERT_EQ(setenv("EPISMC_SIMD", "auto", 1), 0);
+  EXPECT_EQ(simd::refresh_from_env(), simd::best_level());
+  ASSERT_EQ(setenv("EPISMC_SIMD", "pentium-mmx", 1), 0);
+  EXPECT_THROW((void)simd::refresh_from_env(), std::invalid_argument);
+  ASSERT_EQ(unsetenv("EPISMC_SIMD"), 0);
+  simd::detail::set_state(saved);
+}
+
+TEST(SimdDispatch, UnsupportedSelectionFallsBackCleanly) {
+  const simd::detail::DispatchState saved = simd::detail::get_state();
+  // Request the top level whether or not this host has it: set_level must
+  // land on a runnable compiled level, never fault, and report what it did.
+  const SimdLevel got = simd::set_level(SimdLevel::kAvx512);
+  EXPECT_EQ(got, simd::clamp_level(SimdLevel::kAvx512, simd::compiled_levels(),
+                                   simd::host_level()));
+  EXPECT_EQ(simd::active_level(), got);
+  EXPECT_EQ(simd::active().level, got);
+  // Scalar is always selectable and truly scalar in both dispatch slots.
+  EXPECT_EQ(simd::set_level(SimdLevel::kScalar), SimdLevel::kScalar);
+  EXPECT_EQ(simd::philox_table().level, SimdLevel::kScalar);
+  simd::detail::set_state(saved);
+}
+
+TEST(SimdDispatch, ScopedLevelRestoresBothSlots) {
+  const simd::detail::DispatchState before = simd::detail::get_state();
+  {
+    const simd::ScopedLevel pin(simd::best_level());
+    EXPECT_EQ(simd::active_level(), simd::best_level());
+  }
+  const simd::detail::DispatchState after = simd::detail::get_state();
+  EXPECT_EQ(after.lanes, before.lanes);
+  EXPECT_EQ(after.philox, before.philox);
+}
+
+TEST(SimdDispatch, BinomialLanesMatchPositionedScalarSamplerEverywhere) {
+  const std::uint64_t seed = 99, stream = 1234;
+  // Mixed BINV-sized (n*p < 30) and BTPE-sized lanes, odd and even segment
+  // bases, and p > 0.5 flips.
+  std::vector<std::uint64_t> seg;
+  std::vector<std::int64_t> n;
+  std::vector<double> p;
+  for (int i = 0; i < 603; ++i) {
+    seg.push_back(11 + static_cast<std::uint64_t>(i) * 64);
+    n.push_back(1 + (i * 131) % 2500);
+    p.push_back(i % 4 == 0 ? 0.85 : 0.01 + 0.15 * (i % 7));
+  }
+  std::vector<std::int64_t> expected(seg.size());
+  for (std::size_t i = 0; i < seg.size(); ++i) {
+    rng::PhiloxEngine eng(seed, stream);
+    eng.set_position(seg[i]);
+    expected[i] = rng::binomial(eng, n[i], p[i]);
+  }
+  for (const SimdLevel level : simd::compiled_levels()) {
+    const simd::KernelTable& kt = simd::table_for(level);
+    std::vector<std::int64_t> out(seg.size(), -1);
+    kt.binomial_lanes(seed, stream, seg.data(), n.data(), p.data(), seg.size(),
+                      out.data());
+    EXPECT_EQ(out, expected) << simd::level_name(level);
+  }
+}
+
+TEST(SimdDispatch, BinomialLanesRejectInvalidArguments) {
+  const simd::KernelTable& kt = simd::table_for(simd::best_level());
+  const std::uint64_t seg[] = {0};
+  std::int64_t out[1];
+  {
+    const std::int64_t n[] = {-1};
+    const double p[] = {0.5};
+    EXPECT_THROW(kt.binomial_lanes(1, 2, seg, n, p, 1, out),
+                 std::invalid_argument);
+  }
+  {
+    const std::int64_t n[] = {10};
+    const double p[] = {1.5};
+    EXPECT_THROW(kt.binomial_lanes(1, 2, seg, n, p, 1, out),
+                 std::invalid_argument);
+  }
+}
+
+TEST(SimdDispatch, LaneBinomialMomentsMatchAnalytic) {
+  // The segmented draw discipline is distribution-exact: across many
+  // segments, the standardized mean of Binomial(n, p) lane draws stays
+  // within a 4.5-sigma normal bound (one-in-3e5 false-positive rate).
+  const simd::KernelTable& kt = simd::table_for(simd::best_level());
+  const std::int64_t n_trial = 640;  // BTPE regime
+  const double p_trial = 0.23;
+  const std::size_t draws = 20000;
+  std::vector<std::uint64_t> seg(draws);
+  std::vector<std::int64_t> n(draws, n_trial);
+  std::vector<double> p(draws, p_trial);
+  for (std::size_t i = 0; i < draws; ++i) {
+    seg[i] = static_cast<std::uint64_t>(i) * 64;
+  }
+  std::vector<std::int64_t> out(draws);
+  kt.binomial_lanes(2024, 7, seg.data(), n.data(), p.data(), draws,
+                    out.data());
+  const double sum =
+      std::accumulate(out.begin(), out.end(), 0.0,
+                      [](double a, std::int64_t x) { return a + x; });
+  const double mean = sum / static_cast<double>(draws);
+  const double expect_mean = static_cast<double>(n_trial) * p_trial;
+  const double sd_mean =
+      std::sqrt(expect_mean * (1.0 - p_trial) / static_cast<double>(draws));
+  EXPECT_NEAR(mean, expect_mean, 4.5 * sd_mean);
+}
+
+TEST(SimdDispatch, VectorScorersMatchScalarReferenceToTolerance) {
+  const simd::KernelTable& ref = simd::table_for(SimdLevel::kScalar);
+  std::vector<double> t0(157), t1(157), sim(157);
+  for (std::size_t i = 0; i < t0.size(); ++i) {
+    t0[i] = std::sqrt(40.0 + 11.0 * static_cast<double>(i % 13));
+    t1[i] = 0.3 * static_cast<double>(i);
+    sim[i] = 35.0 + 13.0 * static_cast<double>(i % 17);
+  }
+  for (const SimdLevel level : simd::compiled_levels()) {
+    const simd::KernelTable& kt = simd::table_for(level);
+    const double g_ref =
+        ref.score_gaussian_sqrt(t0.data(), sim.data(), t0.size(), 1.3);
+    const double g = kt.score_gaussian_sqrt(t0.data(), sim.data(), t0.size(), 1.3);
+    EXPECT_NEAR(g, g_ref, std::abs(g_ref) * 1e-12) << simd::level_name(level);
+    const double nb_ref =
+        ref.score_nb_sqrt(t0.data(), sim.data(), t0.size(), 80.0);
+    const double nb = kt.score_nb_sqrt(t0.data(), sim.data(), t0.size(), 80.0);
+    EXPECT_NEAR(nb, nb_ref, std::abs(nb_ref) * 1e-12) << simd::level_name(level);
+    const double po_ref =
+        ref.score_poisson(t0.data(), t1.data(), sim.data(), t0.size(), 1e-8);
+    const double po =
+        kt.score_poisson(t0.data(), t1.data(), sim.data(), t0.size(), 1e-8);
+    EXPECT_NEAR(po, po_ref, std::abs(po_ref) * 1e-12) << simd::level_name(level);
+  }
+}
+
+TEST(SimdDispatch, BiasVectorPathMomentEquivalentToScalar) {
+  // Paired-seed comparison of the whole BinomialBias surface: the scalar
+  // sequential path and the counter-segmented lane path draw different
+  // uniforms but must agree in distribution. Standardize the difference of
+  // the two sums of thinned counts under independence.
+  const epismc::core::BinomialBias bias;
+  const std::vector<double> series = {120.0, 340.0, 660.0, 1225.0,
+                                      980.0,  55.0,  12.0,  2048.0};
+  const double rho = 0.8;
+  const int reps = 4000;
+  double scalar_sum = 0.0, vector_sum = 0.0, var = 0.0;
+  std::vector<double> out(series.size());
+  for (int rep = 0; rep < reps; ++rep) {
+    {
+      const simd::ScopedLevel pin(SimdLevel::kScalar);
+      rng::PhiloxEngine eng(501, static_cast<std::uint64_t>(rep));
+      bias.apply_into(eng, series, rho, out);
+      for (const double v : out) scalar_sum += v;
+    }
+    {
+      const simd::ScopedLevel pin(simd::best_level());
+      rng::PhiloxEngine eng(501, static_cast<std::uint64_t>(rep));
+      bias.apply_into(eng, series, rho, out);
+      for (const double v : out) vector_sum += v;
+    }
+    for (const double n : series) var += 2.0 * n * rho * (1.0 - rho);
+  }
+  const double z = (vector_sum - scalar_sum) / std::sqrt(var);
+  EXPECT_LT(std::abs(z), 4.5);
+}
+
+TEST(SimdDispatch, ChainBinomialSegmentedStepMomentEquivalentToSequential) {
+  // Paired-seed epidemic totals: the segmented 27-site day step must be
+  // distributionally indistinguishable from the sequential reference.
+  using namespace epismc::epi;
+  const auto total_cases = [](SimdLevel level, std::uint64_t stream) {
+    const simd::ScopedLevel pin(level);
+    DiseaseParameters params;
+    params.population = 80000;
+    ChainBinomialModel m(params, PiecewiseSchedule(0.32), 31, stream);
+    m.seed_exposed(200);
+    m.run_until_day(50);
+    const auto cases = m.trajectory().new_infections(1, 50);
+    return std::accumulate(cases.begin(), cases.end(), 0.0);
+  };
+  const int reps = 48;
+  std::vector<double> a(reps), b(reps);
+  double mean_a = 0.0, mean_b = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    a[i] = total_cases(SimdLevel::kScalar, static_cast<std::uint64_t>(i));
+    b[i] = total_cases(simd::best_level(), static_cast<std::uint64_t>(i));
+    mean_a += a[i] / reps;
+    mean_b += b[i] / reps;
+  }
+  double var_a = 0.0, var_b = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    var_a += (a[i] - mean_a) * (a[i] - mean_a) / (reps - 1);
+    var_b += (b[i] - mean_b) * (b[i] - mean_b) / (reps - 1);
+  }
+  const double se = std::sqrt(var_a / reps + var_b / reps);
+  EXPECT_LT(std::abs(mean_a - mean_b), 4.5 * se)
+      << "scalar " << mean_a << " vs " << simd::level_name(simd::best_level())
+      << " " << mean_b;
+  // Same level, same seeds: bit-deterministic.
+  EXPECT_EQ(total_cases(simd::best_level(), 3),
+            total_cases(simd::best_level(), 3));
+}
+
+}  // namespace

@@ -21,6 +21,7 @@
 #include "core/scenario.hpp"
 #include "stream/stream_state.hpp"
 #include "stream/streaming_calibrator.hpp"
+#include "simd/simd.hpp"
 
 namespace {
 
@@ -132,6 +133,11 @@ void expect_window_bit_identical(const WindowResult& batch,
 // --- Batch-vs-stream equivalence. ------------------------------------------
 
 void run_bit_exact_comparison(const std::string& simulator) {
+  // Stream-vs-batch bit-identity is a scalar-path contract: the batch
+  // window scores 28 days in one lane-accumulated pass while the stream sums
+  // per-day increments, which differ in last ulps at vector levels.
+  const epismc::simd::ScopedLevel simd_pin(epismc::simd::SimdLevel::kScalar);
+
   auto batch_session = make_session(small_config(), simulator);
   batch_session.run_all();
   ASSERT_EQ(batch_session.results().size(), 2u);
@@ -161,6 +167,8 @@ TEST(StreamingCalibrator, BitIdenticalToBatchChainBinomial) {
 }
 
 TEST(StreamingCalibrator, BitIdenticalToBatchTemperedNoMidResample) {
+  const epismc::simd::ScopedLevel simd_pin(epismc::simd::SimdLevel::kScalar);
+
   // Adaptive strategy, but mid-window resampling disabled: the stream
   // coasts to the boundary and the batch temper ladder sees identical
   // inputs, so even a *triggered* ladder resolves bit-identically.
