@@ -13,6 +13,10 @@
 //       --checkpoint-path=stream.ckpt                # archive weekly
 //   streaming_calibration --stop-after=20 --checkpoint-path=stream.ckpt
 //   streaming_calibration --resume-from=stream.ckpt  # pick up mid-window
+//   streaming_calibration --checkpoint-every=7 \
+//       --checkpoint-path=stream.ckpt --resume-latest
+//       # crash recovery: restore the newest CRC-passing rotated slot
+//       # (stream.ckpt.a / .b), falling back to the older on corruption
 //   streaming_calibration --stream-csv=days.csv      # per-day diagnostics
 //   streaming_calibration --inference=tempered --ess-threshold=0.6
 //       # adaptive: resample the live cloud the day ESS collapses
@@ -50,6 +54,8 @@ int main(int argc, char** argv) {
   options.checkpoint_every = args.get_int("checkpoint-every", 0);
   if (options.checkpoint_every > 0) options.checkpoint_path = checkpoint_path;
   const std::string resume_from = args.get_string("resume-from", "");
+  options.resume_latest = args.get_flag("resume-latest");
+  if (options.resume_latest) options.checkpoint_path = checkpoint_path;
   const std::string data_csv = args.get_string("data", "");
   const std::string stream_csv = args.get_string("stream-csv", "");
   const auto stop_after = args.get_int("stop-after", 0);
@@ -84,6 +90,13 @@ int main(int argc, char** argv) {
   }
 
   stream::StreamingCalibrator calibrator = session.stream(options);
+  if (const auto& rec = calibrator.last_recovery()) {
+    std::cout << "Recovered from " << rec->path.string() << " (generation "
+              << rec->generation << (rec->fell_back ? ", after fallback: " : ": ")
+              << rec->note << "): " << calibrator.windows_completed()
+              << " window(s) done, next expected day "
+              << calibrator.next_expected_day() << "\n";
+  }
   if (!resume_from.empty()) {
     calibrator.load(resume_from);
     std::cout << "Resumed from " << resume_from << ": "

@@ -138,6 +138,7 @@ void AgentBasedModel::rebuild_population_index() {
   hot_pos_.assign(household_count(), kNoIndex);
   if (hot_households_.size() != hot_count) {
     throw io::ArchiveError(
+        io::ArchiveErrorKind::kCorrupt,
         "AgentBasedModel::restore: hot-household set does not match state");
   }
   for (std::size_t i = 0; i < hot_households_.size(); ++i) {
@@ -145,6 +146,7 @@ void AgentBasedModel::rebuild_population_index() {
     if (hh >= household_count() || hot_pos_[hh] != kNoIndex ||
         hh_state_[hh].infectious == 0) {
       throw io::ArchiveError(
+          io::ArchiveErrorKind::kCorrupt,
           "AgentBasedModel::restore: corrupt hot-household set");
     }
     hot_pos_[hh] = static_cast<std::uint32_t>(i);
@@ -162,6 +164,7 @@ std::size_t AgentBasedModel::calendar_length() const noexcept {
 void AgentBasedModel::validate_restored_calendar() const {
   if (ring_.size() != calendar_length()) {
     throw io::ArchiveError(
+        io::ArchiveErrorKind::kCorrupt,
         "AgentBasedModel::restore: calendar ring length does not match the "
         "disease parameters");
   }
@@ -169,6 +172,7 @@ void AgentBasedModel::validate_restored_calendar() const {
     for (const std::uint32_t a : bucket) {
       if (a >= state_.size()) {
         throw io::ArchiveError(
+            io::ArchiveErrorKind::kCorrupt,
             "AgentBasedModel::restore: calendar entry out of range");
       }
     }
@@ -637,6 +641,7 @@ AgentBasedModel AgentBasedModel::restore(const epi::Checkpoint& ckpt,
   io::BinaryReader in{ckpt.bytes};
   if (in.version() != kAbmCheckpointVersion) {
     throw io::ArchiveError(
+        io::ArchiveErrorKind::kVersion,
         "AgentBasedModel::restore: unsupported checkpoint version");
   }
   AgentBasedModel m;
@@ -646,7 +651,8 @@ AgentBasedModel AgentBasedModel::restore(const epi::Checkpoint& ckpt,
   m.config_.network_seed = in.read<std::uint64_t>();
   const auto engine_tag = in.read<std::uint8_t>();
   if (engine_tag > static_cast<std::uint8_t>(AbmEngine::kReference)) {
-    throw io::ArchiveError("AgentBasedModel::restore: unknown engine tag");
+    throw io::ArchiveError(io::ArchiveErrorKind::kCorrupt,
+                           "AgentBasedModel::restore: unknown engine tag");
   }
   m.config_.engine = static_cast<AbmEngine>(engine_tag);
   m.transmission_ = epi::PiecewiseSchedule::deserialize(in);

@@ -62,6 +62,9 @@ void configure_session_from_args(CalibrationSession& session,
     }
     session.with_rejuvenation_moves(static_cast<std::size_t>(moves));
   }
+  if (args.has("on-degenerate")) {
+    session.with_on_degenerate(args.get_string("on-degenerate", "quarantine"));
+  }
   const auto n_params = static_cast<std::size_t>(args.get_int(
       "n-params", static_cast<std::int64_t>(defaults.n_params)));
   const std::size_t resample_default =

@@ -15,6 +15,8 @@
 //                       tempered+rejuvenate (inference_strategies() registry)
 //   --ess-threshold=X   temper trigger/target, a fraction of n_sims in (0,1)
 //   --rejuvenation-moves=N  MH move rounds for tempered+rejuvenate
+//   --on-degenerate=P   non-finite log-likelihood policy: quarantine
+//                       (demote to -inf, keep going -- default) | throw
 //   --abm-engine=NAME   agent-based day-step engine: fast | reference
 //   --threads=N         OpenMP thread count    (parallel::set_threads)
 //   --simd=LEVEL        SIMD dispatch level: scalar | sse41 | avx2 |

@@ -161,6 +161,18 @@ CalibrationSession& CalibrationSession::with_rejuvenation_moves(
   return *this;
 }
 
+CalibrationSession& CalibrationSession::with_on_degenerate(
+    const std::string& policy_name) {
+  return with_on_degenerate(core::degeneracy_policy_from_name(policy_name));
+}
+
+CalibrationSession& CalibrationSession::with_on_degenerate(
+    core::DegeneracyPolicy policy) {
+  require_unbuilt("with_on_degenerate");
+  config_.on_degenerate = policy;
+  return *this;
+}
+
 CalibrationSession& CalibrationSession::with_common_random_numbers(bool crn) {
   require_unbuilt("with_common_random_numbers");
   config_.common_random_numbers = crn;
@@ -265,7 +277,10 @@ stream::StreamingCalibrator CalibrationSession::stream(StreamOptions options) {
   stream_config.checkpoint_every = options.checkpoint_every;
   stream_config.checkpoint_path = std::move(options.checkpoint_path);
   stream_config.resample_mid_window = options.resample_mid_window;
-  return stream::StreamingCalibrator(*simulator_, std::move(stream_config));
+  stream::StreamingCalibrator calibrator(*simulator_,
+                                         std::move(stream_config));
+  if (options.resume_latest) calibrator.resume_latest();
+  return calibrator;
 }
 
 const core::WindowResult& CalibrationSession::run_next_window() {

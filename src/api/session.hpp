@@ -48,6 +48,12 @@ struct StreamOptions {
   std::int64_t checkpoint_every = 0;
   std::filesystem::path checkpoint_path;
   bool resample_mid_window = true;
+  /// Crash recovery on start-up: before the calibrator is returned it
+  /// restores the newest CRC-passing rotated slot of checkpoint_path
+  /// (falling back to the older slot on corruption; see
+  /// StreamingCalibrator::resume_latest). A fresh session -- no slot on
+  /// disk yet -- starts clean; inspect last_recovery() for what happened.
+  bool resume_latest = false;
 };
 
 class CalibrationSession {
@@ -101,6 +107,10 @@ class CalibrationSession {
   /// Temper trigger/target as a fraction of n_sims, in (0, 1).
   CalibrationSession& with_ess_threshold(double fraction);
   CalibrationSession& with_rejuvenation_moves(std::size_t rounds);
+  /// Non-finite log-likelihood policy by name ("quarantine" | "throw");
+  /// see core::DegeneracyPolicy.
+  CalibrationSession& with_on_degenerate(const std::string& policy_name);
+  CalibrationSession& with_on_degenerate(core::DegeneracyPolicy policy);
   CalibrationSession& with_common_random_numbers(bool crn);
   CalibrationSession& with_defensive_fraction(double fraction);
   CalibrationSession& with_jitter(const std::string& policy_name);

@@ -370,6 +370,33 @@ void layout_window_ensemble(const WindowSpec& spec, const StatePool& parents,
   }
 }
 
+DegeneracyReport collect_degenerate(std::span<const std::uint8_t> flags) {
+  DegeneracyReport report;
+  for (std::size_t s = 0; s < flags.size(); ++s) {
+    if (flags[s] != 0) {
+      ++report.demoted;
+      report.draws.push_back(static_cast<std::uint32_t>(s));
+    }
+  }
+  return report;
+}
+
+void throw_degenerate(const std::string& where,
+                      const DegeneracyReport& report) {
+  std::string ids;
+  const std::size_t shown = std::min<std::size_t>(report.draws.size(), 8);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i != 0) ids += ", ";
+    ids += std::to_string(report.draws[i]);
+  }
+  if (report.draws.size() > shown) ids += ", ...";
+  throw CalibrationError(
+      where + ": " + std::to_string(report.demoted) +
+      " draw(s) scored a non-finite log-likelihood (draw ids " + ids +
+      ") under DegeneracyPolicy::kThrow; switch on_degenerate to "
+      "'quarantine' to demote them to zero weight instead");
+}
+
 void resolve_window_posterior(const WindowPosteriorInputs& in,
                               std::shared_ptr<StatePool> capture,
                               bool inline_capture, WindowResult& result) {
@@ -387,6 +414,26 @@ void resolve_window_posterior(const WindowPosteriorInputs& in,
   // copies on the hot path.
   ParticleSystem ps;
   ps.commit(ens.log_weight);
+  result.smc.degeneracy = in.degeneracy;
+  if (!std::isfinite(ps.lse())) {
+    // Every log-weight is -inf: there is no posterior to resample. Fail
+    // here with the window named, instead of letting the stats layer
+    // throw std::domain_error from deep inside the normalize.
+    std::string msg = "calibration window " +
+                      std::to_string(spec.window_index) + " (days " +
+                      std::to_string(spec.from_day) + ".." +
+                      std::to_string(spec.to_day) + "): all " +
+                      std::to_string(n_sims) +
+                      " draws carry zero posterior weight";
+    if (in.degeneracy.any()) {
+      msg += " (" + std::to_string(in.degeneracy.demoted) +
+             " scored non-finite and were quarantined)";
+    }
+    msg +=
+        "; widen the priors/jitter kernels or relax the likelihood -- a "
+        "streaming session can instead resume from its last checkpoint";
+    throw CalibrationError(msg);
+  }
   result.diag.n_sims = n_sims;
   result.diag.ess = ps.ess();
   result.diag.perplexity = ps.perplexity();
@@ -539,6 +586,9 @@ WindowResult run_importance_window(const Simulator& sim,
   // row, then the window likelihood. The bias stream is addressed by the
   // same identity as before the batching refactor, so weights are
   // bit-identical to the per-sim path.
+  // Per-slot quarantine flags: on_sim runs inside the backend's parallel
+  // loop, so each sim writes only its own byte (no shared mutation).
+  std::vector<std::uint8_t> degenerate_flag(n_sims, 0);
   sink.on_sim = [&](std::size_t s) {
     auto bias_eng = detail::bias_engine(spec, ens.param_index[s],
                                         ens.replicate[s]);
@@ -547,6 +597,10 @@ WindowResult run_importance_window(const Simulator& sim,
     double logw = case_likelihood.logpdf(case_cache, ens.obs_cases(s));
     if (spec.use_deaths) {
       logw += death_likelihood.logpdf(death_cache, ens.deaths(s));
+    }
+    if (detail::nonfinite_score(logw)) {
+      degenerate_flag[s] = 1;
+      logw = -std::numeric_limits<double>::infinity();
     }
     ens.log_weight[s] = logw;
   };
@@ -558,13 +612,24 @@ WindowResult run_importance_window(const Simulator& sim,
   sim.run_batch(parents, spec.to_day, ens, 0, n_sims, sink);
   result.diag.propagate_seconds = propagate_timer.seconds();
 
+  DegeneracyReport degeneracy = detail::collect_degenerate(degenerate_flag);
+  if (degeneracy.any() && spec.on_degenerate == DegeneracyPolicy::kThrow) {
+    detail::throw_degenerate("calibration window " +
+                                 std::to_string(spec.window_index) +
+                                 " (days " + std::to_string(spec.from_day) +
+                                 ".." + std::to_string(spec.to_day) + ")",
+                             degeneracy);
+  }
+
   // Stages 3-6 (normalize -> strategy dispatch -> survivor states ->
   // rejuvenation) live in the shared resolver so the streaming calibrator
   // lands on the same posterior bits.
-  detail::resolve_window_posterior(
-      {sim, case_likelihood, death_likelihood, bias, parents, spec, propose,
-       case_cache, death_cache},
-      std::move(capture), inline_capture, result);
+  detail::WindowPosteriorInputs inputs{
+      sim,        case_likelihood, death_likelihood, bias, parents,
+      spec,       propose,         case_cache,       death_cache};
+  inputs.degeneracy = std::move(degeneracy);
+  detail::resolve_window_posterior(inputs, std::move(capture), inline_capture,
+                                   result);
 
   return result;
 }

@@ -32,9 +32,12 @@
 //      at scale): checkpoints cost memory, re-runs cost one window of
 //      compute, and survivors are few.
 
+#include <cmath>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <span>
+#include <string>
 
 #include "core/bias_model.hpp"
 #include "core/data.hpp"
@@ -112,6 +115,11 @@ struct WindowSpec {
   /// Rejuvenation rounds after a triggered ladder (kTemperedRejuvenate).
   std::size_t rejuvenation_moves = 1;
 
+  /// What to do with a draw whose log-likelihood scores non-finite (NaN /
+  /// +inf): quarantine it to -inf with a DegeneracyReport entry, or throw
+  /// CalibrationError. See core::DegeneracyPolicy.
+  DegeneracyPolicy on_degenerate = DegeneracyPolicy::kQuarantine;
+
   /// Throws std::invalid_argument on an inverted window, zero-sized
   /// budget, or out-of-range inference knobs (ESS threshold outside
   /// (0, 1), zero ladder/move caps); `data` (when provided) must cover
@@ -174,6 +182,23 @@ namespace detail {
 // survivor compaction -> rejuvenation), so the streaming path re-uses the
 // batch machinery instead of re-implementing it.
 
+/// The degeneracy classification both scoring paths share: NaN and +inf
+/// are numerical failures (demote / throw per policy); -inf is a
+/// legitimate impossible trajectory and passes through untouched.
+[[nodiscard]] inline bool nonfinite_score(double logw) noexcept {
+  return std::isnan(logw) ||
+         logw == std::numeric_limits<double>::infinity();
+}
+
+/// Fold per-sim quarantine flags (1 = demoted this pass) into a report.
+[[nodiscard]] DegeneracyReport collect_degenerate(
+    std::span<const std::uint8_t> flags);
+
+/// The kThrow action, shared by the batch window and the streaming day:
+/// raises CalibrationError naming `where` and the first offending draws.
+[[noreturn]] void throw_degenerate(const std::string& where,
+                                   const DegeneracyReport& report);
+
 /// Engine drawing the j-th proposal of a window.
 [[nodiscard]] rng::PhiloxEngine proposal_engine(const WindowSpec& spec,
                                                 std::uint32_t j);
@@ -213,6 +238,10 @@ struct WindowPosteriorInputs {
   /// the streaming driver passes its own accumulators here because after a
   /// mid-window resample the log_weight column only covers the tail.
   std::span<const double> rejuvenation_loglik = {};
+  /// Draws the scoring pass quarantined (log-likelihood demoted to -inf
+  /// under DegeneracyPolicy::kQuarantine); copied onto result.smc and
+  /// cited when the whole window turns out degenerate.
+  DegeneracyReport degeneracy = {};
 };
 
 /// Stages 3-6 of a window, operating on result.ensemble (whose log_weight

@@ -18,6 +18,22 @@ const char* to_string(InferenceStrategy strategy) {
   return "unknown";
 }
 
+const char* to_string(DegeneracyPolicy policy) {
+  switch (policy) {
+    case DegeneracyPolicy::kQuarantine: return "quarantine";
+    case DegeneracyPolicy::kThrow: return "throw";
+  }
+  return "unknown";
+}
+
+DegeneracyPolicy degeneracy_policy_from_name(const std::string& name) {
+  if (name == "quarantine") return DegeneracyPolicy::kQuarantine;
+  if (name == "throw") return DegeneracyPolicy::kThrow;
+  throw std::invalid_argument(
+      "degeneracy_policy_from_name: unknown policy '" + name +
+      "' (known: quarantine, throw)");
+}
+
 double SmcDiagnostics::acceptance_rate() const noexcept {
   if (rejuvenation_proposed == 0) return -1.0;
   return static_cast<double>(rejuvenation_accepted) /
@@ -39,6 +55,8 @@ void SmcDiagnostics::serialize(io::BinaryWriter& out) const {
   out.write_vector(move_acceptance);
   out.write(rejuvenation_proposed);
   out.write(rejuvenation_accepted);
+  out.write(degeneracy.demoted);
+  out.write_vector(degeneracy.draws);
 }
 
 SmcDiagnostics SmcDiagnostics::deserialize(io::BinaryReader& in) {
@@ -63,6 +81,8 @@ SmcDiagnostics SmcDiagnostics::deserialize(io::BinaryReader& in) {
   d.move_acceptance = in.read_vector<double>();
   d.rejuvenation_proposed = in.read<std::uint64_t>();
   d.rejuvenation_accepted = in.read<std::uint64_t>();
+  d.degeneracy.demoted = in.read<std::uint64_t>();
+  d.degeneracy.draws = in.read_vector<std::uint32_t>();
   return d;
 }
 

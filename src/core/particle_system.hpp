@@ -23,6 +23,7 @@
 #include <iosfwd>
 #include <limits>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,44 @@ enum class InferenceStrategy : std::uint8_t {
 
 [[nodiscard]] const char* to_string(InferenceStrategy strategy);
 
+/// What a window does with a draw whose log-likelihood comes back
+/// non-finite-and-not--inf (NaN or +inf -- a numerical failure, unlike
+/// the legitimate "impossible trajectory" -inf).
+enum class DegeneracyPolicy : std::uint8_t {
+  /// Demote the draw's log-likelihood to -inf (zero posterior weight) and
+  /// record it in the window's DegeneracyReport; the window proceeds with
+  /// the surviving draws. The default: one pathological trajectory must
+  /// not take down a long-lived streaming session.
+  kQuarantine,
+  /// Raise CalibrationError naming the offending draws; nothing is
+  /// demoted. For batch runs that prefer loud failure over silent
+  /// down-weighting.
+  kThrow,
+};
+
+[[nodiscard]] const char* to_string(DegeneracyPolicy policy);
+/// "quarantine" | "throw"; throws std::invalid_argument otherwise.
+[[nodiscard]] DegeneracyPolicy degeneracy_policy_from_name(
+    const std::string& name);
+
+/// A calibration window that cannot produce a posterior -- every draw's
+/// log-weight is -inf, or the DegeneracyPolicy is kThrow and a draw
+/// scored non-finite. Unlike the std::domain_error the stats layer used
+/// to leak, this is typed, names the window/day and the draws involved,
+/// and leaves the session restorable from its last checkpoint.
+class CalibrationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Which draws were quarantined in a window (counts + draw ids); rides on
+/// SmcDiagnostics, and per day on StreamDayRecord as a count.
+struct DegeneracyReport {
+  std::uint64_t demoted = 0;          // draws demoted to -inf
+  std::vector<std::uint32_t> draws;   // their sim indices, ascending
+  [[nodiscard]] bool any() const noexcept { return demoted != 0; }
+};
+
 /// One rung of the temper ladder (a single-stage window records exactly
 /// one rung at phi = 1).
 struct SmcStage {
@@ -70,7 +109,7 @@ struct SmcStage {
 /// the binary archive (no struct memcpy, so padding bytes never reach the
 /// wire); bump kArchiveVersion when the layout changes.
 struct SmcDiagnostics {
-  static constexpr std::uint32_t kArchiveVersion = 1;
+  static constexpr std::uint32_t kArchiveVersion = 2;
 
   InferenceStrategy strategy = InferenceStrategy::kSingleStage;
   /// True when the ESS trigger actually fired and a temper ladder ran --
@@ -85,6 +124,9 @@ struct SmcDiagnostics {
   std::vector<double> move_acceptance;
   std::uint64_t rejuvenation_proposed = 0;
   std::uint64_t rejuvenation_accepted = 0;
+  /// Draws whose non-finite log-likelihoods were quarantined to -inf
+  /// (empty under healthy windows and under DegeneracyPolicy::kThrow).
+  DegeneracyReport degeneracy;
 
   [[nodiscard]] bool tempered() const noexcept { return triggered; }
   /// Overall rejuvenation acceptance rate; -1 when no move was proposed.

@@ -144,6 +144,7 @@ WindowSpec make_window_spec(const CalibrationConfig& config, std::size_t m) {
   spec.ess_threshold = config.ess_threshold;
   spec.max_temper_stages = config.max_temper_stages;
   spec.rejuvenation_moves = config.rejuvenation_moves;
+  spec.on_degenerate = config.on_degenerate;
   return spec;
 }
 

@@ -88,6 +88,12 @@ struct CalibrationConfig {
   std::size_t max_temper_stages = 12;
   std::size_t rejuvenation_moves = 1;  // rounds (tempered+rejuvenate)
 
+  /// What a window does with draws whose log-likelihood scores non-finite
+  /// (NaN / +inf): quarantine to -inf with a DegeneracyReport (default --
+  /// one pathological trajectory must not take down a session), or throw
+  /// CalibrationError. See core::DegeneracyPolicy.
+  DegeneracyPolicy on_degenerate = DegeneracyPolicy::kQuarantine;
+
   /// Fail-fast validation in the WindowSpec::validate style: precise
   /// messages for inverted/overlapping windows, zero budgets, a
   /// non-positive defensive mixture (a zero fraction silently disables

@@ -325,6 +325,7 @@ ChainBinomialModel ChainBinomialModel::restore(const Checkpoint& ckpt,
   io::BinaryReader in{ckpt.bytes};
   if (in.version() != kChainCheckpointVersion) {
     throw io::ArchiveError(
+        io::ArchiveErrorKind::kVersion,
         "ChainBinomialModel::restore: unsupported checkpoint version");
   }
   ChainBinomialModel m;

@@ -384,7 +384,8 @@ SeirModel SeirModel::restore(const Checkpoint& ckpt,
                              const RestartOverrides& ovr) {
   io::BinaryReader in{ckpt.bytes};
   if (in.version() != kCheckpointVersion) {
-    throw io::ArchiveError("SeirModel::restore: unsupported checkpoint version");
+    throw io::ArchiveError(io::ArchiveErrorKind::kVersion,
+                           "SeirModel::restore: unsupported checkpoint version");
   }
 
   SeirModel m;
@@ -402,11 +403,13 @@ SeirModel SeirModel::restore(const Checkpoint& ckpt,
     const auto count = in.read<std::int64_t>();
     if (day <= m.day_ ||
         static_cast<std::size_t>(day - m.day_) >= m.ring_.size()) {
-      throw io::ArchiveError("SeirModel::restore: event outside ring horizon");
+      throw io::ArchiveError(io::ArchiveErrorKind::kCorrupt,
+                             "SeirModel::restore: event outside ring horizon");
     }
     const int edge = edge_index(from, to);
     if (edge < 0) {
-      throw io::ArchiveError("SeirModel::restore: unknown transition edge");
+      throw io::ArchiveError(io::ArchiveErrorKind::kCorrupt,
+                             "SeirModel::restore: unknown transition edge");
     }
     m.ring_[m.ring_slot(day)][static_cast<std::size_t>(edge)] += count;
   }

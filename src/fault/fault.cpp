@@ -1,0 +1,234 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include <signal.h>
+#include <unistd.h>
+
+namespace epismc::fault {
+
+namespace detail {
+std::atomic<std::uint32_t> g_armed_specs{0};
+}  // namespace detail
+
+namespace {
+
+enum class Action : std::uint8_t { kFail, kCrash, kKill, kTorn };
+
+struct Spec {
+  std::string point;
+  Action action = Action::kFail;
+  std::uint64_t after = 0;    // hits (or saves, for torn) that pass first
+  std::uint64_t at_byte = 0;  // torn-write only
+  std::uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Spec> specs;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+const char* kTornPoint = "torn-write";
+
+[[noreturn]] void die_by_crash() { std::_Exit(kCrashExitCode); }
+
+[[noreturn]] void die_by_kill() {
+  ::kill(::getpid(), SIGKILL);
+  // SIGKILL cannot be blocked; the loop only exists to satisfy
+  // [[noreturn]] between raise and delivery.
+  for (;;) ::pause();
+}
+
+std::uint64_t parse_uint(const std::string& spec, const std::string& token) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used != token.size() || token.empty()) {
+    throw std::invalid_argument("fault::arm: '" + spec +
+                                "': expected an unsigned integer, got '" +
+                                token + "'");
+  }
+  return value;
+}
+
+Spec parse_spec(const std::string& text) {
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    throw std::invalid_argument(
+        "fault::arm: '" + text +
+        "' is not of the form point:key=value[,key=value]");
+  }
+  Spec spec;
+  spec.point = text.substr(0, colon);
+  const auto& points = injection_points();
+  if (std::find(points.begin(), points.end(), spec.point) == points.end()) {
+    std::string known;
+    for (const std::string& p : points) {
+      if (!known.empty()) known += ", ";
+      known += p;
+    }
+    throw std::invalid_argument("fault::arm: unknown injection point '" +
+                                spec.point + "' (known: " + known + ")");
+  }
+
+  bool have_action = false;
+  bool have_after = false;
+  std::string rest = text.substr(colon + 1);
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string kv = rest.substr(0, comma);
+    rest = comma == std::string::npos ? std::string() : rest.substr(comma + 1);
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("fault::arm: '" + text +
+                                  "': token '" + kv + "' is not key=value");
+    }
+    const std::string key = kv.substr(0, eq);
+    const std::uint64_t value = parse_uint(text, kv.substr(eq + 1));
+    if (key == "fail_after" || key == "crash_after" || key == "kill_after") {
+      if (have_action) {
+        throw std::invalid_argument("fault::arm: '" + text +
+                                    "': more than one action");
+      }
+      spec.action = key == "fail_after"    ? Action::kFail
+                    : key == "crash_after" ? Action::kCrash
+                                           : Action::kKill;
+      spec.after = value;
+      have_action = true;
+    } else if (key == "at_byte") {
+      if (have_action) {
+        throw std::invalid_argument("fault::arm: '" + text +
+                                    "': more than one action");
+      }
+      if (spec.point != kTornPoint) {
+        throw std::invalid_argument(
+            "fault::arm: '" + text + "': at_byte only applies to the '" +
+            std::string(kTornPoint) + "' point");
+      }
+      spec.action = Action::kTorn;
+      spec.at_byte = value;
+      have_action = true;
+    } else if (key == "after") {
+      spec.after = value;
+      have_after = true;
+    } else {
+      throw std::invalid_argument("fault::arm: '" + text +
+                                  "': unknown key '" + key + "'");
+    }
+  }
+  if (!have_action) {
+    throw std::invalid_argument(
+        "fault::arm: '" + text +
+        "': no action (fail_after / crash_after / kill_after / at_byte)");
+  }
+  if (have_after && spec.action != Action::kTorn) {
+    throw std::invalid_argument(
+        "fault::arm: '" + text +
+        "': 'after' is only valid alongside at_byte (the *_after actions "
+        "carry their own threshold)");
+  }
+  return spec;
+}
+
+// Parsed once here so EPISMC_FAULT is honored by any binary linking the
+// library; this TU is always pulled in because the io layer calls hit().
+const bool g_env_armed = [] {
+  arm_from_env();
+  return true;
+}();
+
+}  // namespace
+
+namespace detail {
+
+void hit_slow(const char* point) {
+  Action action = Action::kFail;
+  std::uint64_t after = 0;
+  std::uint64_t hit_no = 0;
+  {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = std::find_if(r.specs.begin(), r.specs.end(), [&](const Spec& s) {
+      return s.action != Action::kTorn && s.point == point;
+    });
+    if (it == r.specs.end()) return;
+    hit_no = ++it->hits;
+    if (hit_no <= it->after) return;
+    action = it->action;
+    after = it->after;
+  }
+  switch (action) {
+    case Action::kFail:
+      throw FaultInjected("fault injection: point '" + std::string(point) +
+                          "' failed on hit " + std::to_string(hit_no) +
+                          " (fail_after=" + std::to_string(after) + ")");
+    case Action::kCrash:
+      die_by_crash();
+    case Action::kKill:
+      die_by_kill();
+    case Action::kTorn:
+      break;  // unreachable: torn specs are filtered out above
+  }
+}
+
+std::optional<std::uint64_t> torn_write_byte_slow() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = std::find_if(r.specs.begin(), r.specs.end(), [](const Spec& s) {
+    return s.action == Action::kTorn;
+  });
+  if (it == r.specs.end()) return std::nullopt;
+  if (++it->hits <= it->after) return std::nullopt;
+  return it->at_byte;
+}
+
+}  // namespace detail
+
+void arm(const std::string& specs) {
+  std::vector<Spec> parsed;
+  std::string rest = specs;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string one = rest.substr(0, semi);
+    rest = semi == std::string::npos ? std::string() : rest.substr(semi + 1);
+    if (!one.empty()) parsed.push_back(parse_spec(one));
+  }
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.specs = std::move(parsed);
+  detail::g_armed_specs.store(static_cast<std::uint32_t>(r.specs.size()),
+                              std::memory_order_relaxed);
+}
+
+void arm_from_env() {
+  const char* env = std::getenv("EPISMC_FAULT");
+  if (env == nullptr || *env == '\0') return;
+  arm(env);
+}
+
+void disarm() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.specs.clear();
+  detail::g_armed_specs.store(0, std::memory_order_relaxed);
+}
+
+const std::vector<std::string>& injection_points() {
+  static const std::vector<std::string> points = {
+      "archive-write", "archive-read",    "torn-write",
+      "stream-ingest", "window-boundary", "resample"};
+  return points;
+}
+
+}  // namespace epismc::fault

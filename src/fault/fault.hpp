@@ -1,0 +1,95 @@
+#pragma once
+
+// Deterministic fault injection for the durability layer.
+//
+// A long-lived streaming calibration must survive being killed at any
+// instruction, and "survive" is only testable when the kill lands at a
+// chosen instruction on demand. This header names the injection points
+// the durability tests care about and lets a spec string arm an action
+// at each of them:
+//
+//   EPISMC_FAULT="stream-ingest:crash_after=9"
+//   EPISMC_FAULT="archive-write:fail_after=2;archive-read:fail_after=0"
+//   EPISMC_FAULT="torn-write:at_byte=100,after=2"
+//
+// Grammar: specs separated by ';', each `point:key=value[,key=value]`.
+// Actions (exactly one per spec):
+//   fail_after=N   pass N hits, then throw FaultInjected on hit N+1
+//   crash_after=N  pass N hits, then std::_Exit(kCrashExitCode)
+//   kill_after=N   pass N hits, then raise SIGKILL against this process
+//   at_byte=K      torn-write only: the armed archive save writes exactly
+//                  the first K bytes of the sealed frame to the final
+//                  destination (no temp/rename protocol) and _Exits --
+//                  simulating a non-atomic filesystem tearing the write.
+//                  Optional `,after=N` lets N saves complete first.
+//
+// Points: archive-write, archive-read, torn-write, stream-ingest,
+// window-boundary, resample (see docs/API.md "Durability, fault
+// injection & recovery").
+//
+// Zero-cost when disarmed: every hook is one relaxed atomic load and a
+// never-taken branch; the registry, the mutex and the spec parse only
+// exist on the armed path. EPISMC_FAULT is parsed once at process start
+// (static init of fault.cpp); tests arm/disarm programmatically.
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace epismc::fault {
+
+/// Exit status of the crash / torn-write actions; distinguishable from a
+/// clean exit and from a signal death in the harness's waitpid.
+inline constexpr int kCrashExitCode = 86;
+
+/// Thrown by the fail action; names the point and the hit that fired.
+class FaultInjected : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+extern std::atomic<std::uint32_t> g_armed_specs;
+void hit_slow(const char* point);
+[[nodiscard]] std::optional<std::uint64_t> torn_write_byte_slow();
+}  // namespace detail
+
+/// True when any spec is armed. The disarmed fast path of every hook.
+[[nodiscard]] inline bool armed() noexcept {
+  return detail::g_armed_specs.load(std::memory_order_relaxed) != 0;
+}
+
+/// An injection point. No-op unless a spec armed `point`; otherwise
+/// counts the hit and fires the spec's action once the threshold passes.
+inline void hit(const char* point) {
+  if (armed()) detail::hit_slow(point);
+}
+
+/// The torn-write point, polled by BinaryWriter::save: the byte count K
+/// at which the current save must tear (consuming one `after` credit per
+/// call), or nullopt when disarmed / still skipping.
+[[nodiscard]] inline std::optional<std::uint64_t> torn_write_byte() {
+  if (!armed()) return std::nullopt;
+  return detail::torn_write_byte_slow();
+}
+
+/// Parse `specs` (the EPISMC_FAULT grammar above) and arm them, replacing
+/// whatever was armed before. Throws std::invalid_argument on an unknown
+/// point, an unknown or missing action, or a malformed value -- the
+/// message quotes the offending token.
+void arm(const std::string& specs);
+
+/// Arm from the EPISMC_FAULT environment variable; no-op when unset or
+/// empty. Called once automatically at process start.
+void arm_from_env();
+
+/// Remove all armed specs (tests pair this with arm()).
+void disarm();
+
+/// The canonical point names, for docs, validation and CI sweeps.
+[[nodiscard]] const std::vector<std::string>& injection_points();
+
+}  // namespace epismc::fault

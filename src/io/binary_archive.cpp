@@ -1,39 +1,247 @@
 #include "io/binary_archive.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "fault/fault.hpp"
+#include "io/crc32c.hpp"
 
 namespace epismc::io {
 
-void BinaryWriter::save(const std::filesystem::path& path) const {
-  const std::filesystem::path tmp = path.string() + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw ArchiveError("BinaryWriter: cannot open " + tmp.string());
-    out.write(reinterpret_cast<const char*>(buffer_.data()),
-              static_cast<std::streamsize>(buffer_.size()));
-    if (!out) throw ArchiveError("BinaryWriter: write failed " + tmp.string());
+const char* to_string(ArchiveErrorKind kind) {
+  switch (kind) {
+    case ArchiveErrorKind::kIo: return "io";
+    case ArchiveErrorKind::kTruncated: return "truncated";
+    case ArchiveErrorKind::kCorrupt: return "corrupt";
+    case ArchiveErrorKind::kVersion: return "version";
+    case ArchiveErrorKind::kForeignTag: return "foreign-tag";
   }
-  std::filesystem::rename(tmp, path);
+  return "unknown";
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(ArchiveErrorKind kind, const std::string& step,
+                              const std::filesystem::path& path) {
+  throw ArchiveError(kind, step + " " + path.string() + ": " +
+                               std::strerror(errno));
+}
+
+/// The sealed on-disk frame: payload followed by the checksummed footer.
+std::vector<std::byte> seal_frame(const std::vector<std::byte>& payload,
+                                  std::uint64_t generation) {
+  std::vector<std::byte> frame = payload;
+  const auto append = [&frame](const auto& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    frame.insert(frame.end(), p, p + sizeof(value));
+  };
+  append(static_cast<std::uint64_t>(payload.size()));
+  append(generation);
+  append(ArchiveFooter::kMagic);
+  // The crc covers payload + the three footer fields before it, so a
+  // flipped length/generation/magic is caught like any payload flip.
+  append(crc32c(frame));
+  return frame;
+}
+
+/// write(2) loop with EINTR handling; cleans nothing up itself.
+bool write_all(int fd, const std::byte* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void fsync_directory(const std::filesystem::path& dir) {
+  const std::filesystem::path target = dir.empty() ? "." : dir;
+  const int fd = ::open(target.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) throw_errno(ArchiveErrorKind::kIo, "cannot open directory", target);
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno(ArchiveErrorKind::kIo, "fsync failed for directory", target);
+  }
+  ::close(fd);
+}
+
+/// The torn-write action: emulate a filesystem tearing the write by
+/// putting a prefix of the sealed frame at the *final* path (no
+/// temp/rename protocol) and dying, exactly what the pre-durability
+/// writer risked on power loss.
+[[noreturn]] void tear_and_die(const std::filesystem::path& path,
+                               const std::vector<std::byte>& frame,
+                               std::uint64_t at_byte) {
+  const std::size_t n = static_cast<std::size_t>(
+      std::min<std::uint64_t>(at_byte, frame.size()));
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd >= 0) {
+    write_all(fd, frame.data(), n);
+    ::close(fd);
+  }
+  std::_Exit(fault::kCrashExitCode);
+}
+
+}  // namespace
+
+void BinaryWriter::save(const std::filesystem::path& path,
+                        std::uint64_t generation) const {
+  const std::vector<std::byte> frame = seal_frame(buffer_, generation);
+  if (fault::armed()) {
+    if (const auto at_byte = fault::torn_write_byte()) {
+      tear_and_die(path, frame, *at_byte);
+    }
+    fault::hit("archive-write");
+  }
+
+  // Unique temp name: pid guards against another process checkpointing
+  // the same path, the counter against two writers in this process.
+  static std::atomic<std::uint64_t> save_counter{0};
+  const std::filesystem::path tmp =
+      path.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(save_counter.fetch_add(1, std::memory_order_relaxed));
+
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw_errno(ArchiveErrorKind::kIo, "BinaryWriter: cannot open temp file",
+                tmp);
+  }
+  const auto fail = [&](const char* step) {
+    const int saved_errno = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());  // never leak the temp file on failure
+    errno = saved_errno;
+    throw_errno(ArchiveErrorKind::kIo, std::string("BinaryWriter: ") + step,
+                tmp);
+  };
+  if (!write_all(fd, frame.data(), frame.size())) fail("write failed for");
+  // Durability order: file contents reach stable storage before the
+  // rename publishes them, and the directory entry after.
+  if (::fsync(fd) != 0) fail("fsync failed for");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    throw_errno(ArchiveErrorKind::kIo, "BinaryWriter: close failed for", tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    ::unlink(tmp.c_str());
+    throw ArchiveError(ArchiveErrorKind::kIo,
+                       "BinaryWriter: rename " + tmp.string() + " -> " +
+                           path.string() + " failed: " + ec.message());
+  }
+  fsync_directory(path.parent_path());
 }
 
 BinaryReader::BinaryReader(std::vector<std::byte> bytes)
     : buffer_(std::move(bytes)) {
   const auto magic = read<std::uint32_t>();
   if (magic != BinaryWriter::kMagic) {
-    throw ArchiveError("BinaryReader: bad magic (not an epismc archive)");
+    throw ArchiveError(ArchiveErrorKind::kForeignTag,
+                       "BinaryReader: bad magic (not an epismc archive)");
   }
   version_ = read<std::uint32_t>();
 }
 
 BinaryReader BinaryReader::load(const std::filesystem::path& path) {
+  fault::hit("archive-read");
+
+  std::error_code ec;
+  const auto status = std::filesystem::status(path, ec);
+  if (ec || !std::filesystem::exists(status)) {
+    throw ArchiveError(ArchiveErrorKind::kIo,
+                       "BinaryReader: cannot open " + path.string() + ": " +
+                           (ec ? ec.message() : "no such file"));
+  }
+  if (std::filesystem::is_directory(status)) {
+    throw ArchiveError(
+        ArchiveErrorKind::kIo,
+        "BinaryReader: " + path.string() + " is a directory, not an archive");
+  }
+
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw ArchiveError("BinaryReader: cannot open " + path.string());
+  if (!in) {
+    throw ArchiveError(ArchiveErrorKind::kIo,
+                       "BinaryReader: cannot open " + path.string());
+  }
   const std::streamsize size = in.tellg();
+  if (size < 0) {
+    throw ArchiveError(ArchiveErrorKind::kIo,
+                       "BinaryReader: cannot determine size of " +
+                           path.string());
+  }
+  if (size == 0) {
+    throw ArchiveError(ArchiveErrorKind::kTruncated,
+                       "BinaryReader: " + path.string() + " is empty");
+  }
+  constexpr std::size_t kMinBytes = 2 * sizeof(std::uint32_t);  // the header
+  if (static_cast<std::size_t>(size) < kMinBytes + ArchiveFooter::kBytes) {
+    throw ArchiveError(ArchiveErrorKind::kTruncated,
+                       "BinaryReader: " + path.string() + " holds " +
+                           std::to_string(size) +
+                           " bytes, too few for an archive header and "
+                           "footer");
+  }
   in.seekg(0);
   std::vector<std::byte> bytes(static_cast<std::size_t>(size));
   in.read(reinterpret_cast<char*>(bytes.data()), size);
-  if (!in) throw ArchiveError("BinaryReader: read failed " + path.string());
-  return BinaryReader(std::move(bytes));
+  if (!in) {
+    throw ArchiveError(ArchiveErrorKind::kIo,
+                       "BinaryReader: read failed " + path.string());
+  }
+
+  // Verify the footer seal before any payload byte is interpreted.
+  ArchiveFooter footer;
+  const std::byte* f = bytes.data() + bytes.size() - ArchiveFooter::kBytes;
+  std::memcpy(&footer.payload_bytes, f, sizeof footer.payload_bytes);
+  std::memcpy(&footer.generation, f + 8, sizeof footer.generation);
+  std::memcpy(&footer.magic, f + 16, sizeof footer.magic);
+  std::memcpy(&footer.crc, f + 20, sizeof footer.crc);
+  if (footer.magic != ArchiveFooter::kMagic) {
+    throw ArchiveError(ArchiveErrorKind::kCorrupt,
+                       "BinaryReader: " + path.string() +
+                           " carries no valid footer seal (torn write, "
+                           "truncation, or a pre-durability archive)");
+  }
+  const std::uint64_t expect_payload =
+      static_cast<std::uint64_t>(bytes.size()) - ArchiveFooter::kBytes;
+  if (footer.payload_bytes != expect_payload) {
+    throw ArchiveError(ArchiveErrorKind::kTruncated,
+                       "BinaryReader: " + path.string() +
+                           " footer declares " +
+                           std::to_string(footer.payload_bytes) +
+                           " payload bytes but the file holds " +
+                           std::to_string(expect_payload));
+  }
+  const std::uint32_t crc = crc32c(
+      std::span<const std::byte>(bytes.data(), bytes.size() - sizeof footer.crc));
+  if (crc != footer.crc) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "stored %08x, computed %08x", footer.crc,
+                  crc);
+    throw ArchiveError(ArchiveErrorKind::kCorrupt,
+                       "BinaryReader: CRC32C mismatch in " + path.string() +
+                           " (" + buf + ")");
+  }
+
+  bytes.resize(expect_payload);
+  BinaryReader reader(std::move(bytes));
+  reader.generation_ = footer.generation;
+  return reader;
 }
 
 }  // namespace epismc::io

@@ -9,6 +9,16 @@
 // byte-level substrate: little-endian on-wire layout, magic/version header,
 // and primitives for trivially-copyable types, strings and vectors.
 //
+// On disk every archive is durable and self-verifying. save() writes to a
+// unique temp file (pid + counter, so two processes checkpointing the same
+// path never collide), fsyncs the file and its parent directory, renames
+// into place, and seals the frame with a footer carrying the payload
+// length, a caller-supplied generation stamp (checkpoint rotation orders
+// slots by it) and a CRC32C over everything before it. load() verifies the
+// footer before a single payload byte is parsed, so a torn write, a
+// truncation or bit rot fails with a typed ArchiveError instead of garbage
+// state.
+//
 // Checkpoints travel between runs of the same binary on the same cluster, so
 // the format targets x86-64/little-endian; a static_assert guards the
 // assumption rather than paying for byte swaps in the hot path.
@@ -29,9 +39,52 @@ namespace epismc::io {
 static_assert(std::endian::native == std::endian::little,
               "checkpoint archives assume a little-endian host");
 
+/// What went wrong with an archive -- callers branch on this to decide
+/// between "retry" (environmental io failures) and "refuse" (the bytes
+/// themselves are unusable).
+enum class ArchiveErrorKind : std::uint8_t {
+  kIo,          // open/read/write/fsync/rename failed; retrying may succeed
+  kTruncated,   // fewer bytes than the format or a length field promises
+  kCorrupt,     // checksum mismatch, garbled footer, or inconsistent fields
+  kVersion,     // well-formed archive from an unsupported format version
+  kForeignTag,  // well-formed archive holding some other payload type
+};
+
+[[nodiscard]] const char* to_string(ArchiveErrorKind kind);
+
 class ArchiveError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  /// Untyped fallback, kept so call sites migrate incrementally; reads as
+  /// corrupt (the conservative "refuse" classification).
+  explicit ArchiveError(const std::string& what)
+      : ArchiveError(ArchiveErrorKind::kCorrupt, what) {}
+  ArchiveError(ArchiveErrorKind kind, const std::string& what)
+      : std::runtime_error('[' + std::string(to_string(kind)) + "] " + what),
+        kind_(kind) {}
+
+  [[nodiscard]] ArchiveErrorKind kind() const noexcept { return kind_; }
+  /// True for environmental failures worth retrying; false when the bytes
+  /// themselves are bad (retrying reads the same bad bytes).
+  [[nodiscard]] bool retryable() const noexcept {
+    return kind_ == ArchiveErrorKind::kIo;
+  }
+
+ private:
+  ArchiveErrorKind kind_;
+};
+
+/// The 24-byte frame save() appends after the payload: payload length,
+/// generation stamp, footer magic, and a CRC32C over every byte before
+/// the crc field (payload included). Exposed so the rotation layer and
+/// the checkpoint_inspect tool can peek at sealed files cheaply.
+struct ArchiveFooter {
+  static constexpr std::uint32_t kMagic = 0x45534346u;  // "ESCF"
+  static constexpr std::size_t kBytes = 24;
+
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t generation = 0;
+  std::uint32_t magic = kMagic;
+  std::uint32_t crc = 0;
 };
 
 /// Append-only byte sink.
@@ -67,8 +120,12 @@ class BinaryWriter {
   }
   [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
 
-  /// Persist the archive to disk (atomically via rename).
-  void save(const std::filesystem::path& path) const;
+  /// Durable atomic persist: unique temp file (pid + counter), payload +
+  /// checksummed footer stamped with `generation`, fsync of file and
+  /// parent directory, rename into place. The temp file is removed on any
+  /// failure. Throws ArchiveError (kIo) naming the failing step.
+  void save(const std::filesystem::path& path,
+            std::uint64_t generation = 0) const;
 
  private:
   void write_header(std::uint32_t version) {
@@ -83,9 +140,19 @@ class BinaryWriter {
 class BinaryReader {
  public:
   explicit BinaryReader(std::vector<std::byte> bytes);
+  /// Read + verify a sealed archive: rejects missing files, directories
+  /// and empty files (kIo / kTruncated), then checks the footer magic,
+  /// the declared payload length and the CRC32C before handing the
+  /// payload to the in-memory constructor. Every archive load in the
+  /// system goes through this verification.
   static BinaryReader load(const std::filesystem::path& path);
 
   [[nodiscard]] std::uint32_t version() const noexcept { return version_; }
+  /// Generation stamp from the footer (0 for in-memory readers and
+  /// archives saved without one).
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
@@ -109,7 +176,15 @@ class BinaryReader {
     requires std::is_trivially_copyable_v<T>
   std::vector<T> read_vector() {
     const auto n = read<std::uint64_t>();
-    require(n * sizeof(T));
+    // Reject n before the byte-count multiply can wrap: a corrupt length
+    // field must fail typed, not request a bogus allocation.
+    if (n > remaining() / sizeof(T)) {
+      throw ArchiveError(
+          ArchiveErrorKind::kTruncated,
+          "BinaryReader: vector length " + std::to_string(n) + " (" +
+              std::to_string(sizeof(T)) + "-byte elements) exceeds the " +
+              std::to_string(remaining()) + " bytes left in the archive");
+    }
     std::vector<T> v(n);
     if (n != 0) {  // an empty vector's data() may be null; memcpy forbids it
       std::memcpy(v.data(), buffer_.data() + cursor_, n * sizeof(T));
@@ -127,14 +202,21 @@ class BinaryReader {
 
  private:
   void require(std::size_t n) const {
-    if (cursor_ + n > buffer_.size()) {
-      throw ArchiveError("BinaryReader: truncated archive");
+    // remaining() form: immune to cursor_ + n overflowing on a corrupt
+    // 64-bit length field.
+    if (n > buffer_.size() - cursor_) {
+      throw ArchiveError(ArchiveErrorKind::kTruncated,
+                         "BinaryReader: truncated archive (" +
+                             std::to_string(n) + " bytes needed, " +
+                             std::to_string(buffer_.size() - cursor_) +
+                             " left)");
     }
   }
 
   std::vector<std::byte> buffer_;
   std::size_t cursor_ = 0;
   std::uint32_t version_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace epismc::io

@@ -1,0 +1,120 @@
+#include "io/checkpoint_rotation.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace epismc::io {
+
+namespace {
+
+/// Footer-only peek: generation ordering without reading (or CRC-ing)
+/// the payload, so save_next stays O(footer) per slot. Returns nullopt
+/// when the file is missing, too small, or carries no footer magic.
+std::optional<ArchiveFooter> peek_footer(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::streamsize size = in.tellg();
+  if (size < static_cast<std::streamsize>(ArchiveFooter::kBytes)) {
+    return std::nullopt;
+  }
+  in.seekg(size - static_cast<std::streamsize>(ArchiveFooter::kBytes));
+  char raw[ArchiveFooter::kBytes];
+  in.read(raw, sizeof raw);
+  if (!in) return std::nullopt;
+  ArchiveFooter footer;
+  std::memcpy(&footer.payload_bytes, raw, sizeof footer.payload_bytes);
+  std::memcpy(&footer.generation, raw + 8, sizeof footer.generation);
+  std::memcpy(&footer.magic, raw + 16, sizeof footer.magic);
+  std::memcpy(&footer.crc, raw + 20, sizeof footer.crc);
+  if (footer.magic != ArchiveFooter::kMagic) return std::nullopt;
+  return footer;
+}
+
+}  // namespace
+
+SlotInfo inspect_archive(const std::filesystem::path& path) {
+  SlotInfo info;
+  info.path = path;
+  std::error_code ec;
+  info.exists = std::filesystem::exists(path, ec) && !ec;
+  if (!info.exists) {
+    info.error = "missing";
+    return info;
+  }
+  if (const auto footer = peek_footer(path)) {
+    info.generation = footer->generation;
+  }
+  try {
+    BinaryReader reader = BinaryReader::load(path);
+    info.usable = true;
+    info.generation = reader.generation();
+    info.version = reader.version();
+    info.payload_bytes = reader.remaining() + 2 * sizeof(std::uint32_t);
+    // Best-effort payload identification: our archives that carry a tag
+    // (e.g. StreamState) write it as the leading string.
+    try {
+      std::string tag = reader.read_string();
+      const bool printable = !tag.empty() && tag.size() <= 64 &&
+                             std::all_of(tag.begin(), tag.end(), [](char c) {
+                               return c >= 0x20 && c < 0x7F;
+                             });
+      if (printable) info.tag = std::move(tag);
+    } catch (const ArchiveError&) {
+      // Tagless archive; leave tag empty.
+    }
+  } catch (const ArchiveError& e) {
+    info.usable = false;
+    info.error = e.what();
+  }
+  return info;
+}
+
+CheckpointRotation::CheckpointRotation(std::filesystem::path base)
+    : base_(std::move(base)) {
+  if (base_.empty()) {
+    throw std::invalid_argument("CheckpointRotation: empty base path");
+  }
+}
+
+std::filesystem::path CheckpointRotation::slot_a() const {
+  return base_.string() + ".a";
+}
+
+std::filesystem::path CheckpointRotation::slot_b() const {
+  return base_.string() + ".b";
+}
+
+std::array<std::filesystem::path, 2> CheckpointRotation::slots() const {
+  return {slot_a(), slot_b()};
+}
+
+std::filesystem::path CheckpointRotation::save_next(
+    const BinaryWriter& out) const {
+  const auto gen_of = [](const std::filesystem::path& p) -> std::uint64_t {
+    const auto footer = peek_footer(p);
+    return footer ? footer->generation : 0;
+  };
+  const std::uint64_t gen_a = gen_of(slot_a());
+  const std::uint64_t gen_b = gen_of(slot_b());
+  // Target the slot NOT holding the newest generation, so the newest
+  // durable checkpoint survives a crash at any point of this save.
+  const std::filesystem::path target = gen_a > gen_b ? slot_b() : slot_a();
+  out.save(target, std::max(gen_a, gen_b) + 1);
+  return target;
+}
+
+std::array<SlotInfo, 2> CheckpointRotation::inspect() const {
+  return {inspect_archive(slot_a()), inspect_archive(slot_b())};
+}
+
+std::array<SlotInfo, 2> CheckpointRotation::by_recency() const {
+  std::array<SlotInfo, 2> both = inspect();
+  if (both[1].generation > both[0].generation) {
+    std::swap(both[0], both[1]);
+  }
+  return both;
+}
+
+}  // namespace epismc::io

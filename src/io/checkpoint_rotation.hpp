@@ -1,0 +1,86 @@
+#pragma once
+
+// Dual-slot checkpoint rotation over the durable archive layer.
+//
+// A single checkpoint path has a fatal failure mode even with atomic
+// replace: die after the old checkpoint is gone but before the new one is
+// durable and the session has nothing to resume from. Rotation alternates
+// saves between two generation-stamped slots derived from one base path
+// (`ckpt` -> `ckpt.a` / `ckpt.b`): every save targets the slot NOT
+// holding the newest generation, so the previous checkpoint survives any
+// crash -- torn writes included -- until its successor is fully sealed.
+// Recovery picks the newest slot whose CRC verifies and falls back to the
+// older one otherwise (the generation stamp lives in the archive footer,
+// so slot recency is self-describing, not mtime-dependent).
+//
+// The stream layer's StreamingCalibrator::resume_latest drives this;
+// examples/checkpoint_inspect.cpp prints inspect() for operators.
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "io/binary_archive.hpp"
+
+namespace epismc::io {
+
+/// One slot's health, as deep as it could be read. `usable` means the
+/// full seal verified (footer magic, declared length, CRC32C) and the
+/// payload header parsed; `error` explains any failure short of that.
+struct SlotInfo {
+  std::filesystem::path path;
+  bool exists = false;
+  bool usable = false;
+  std::uint64_t generation = 0;   // footer stamp (0 when unreadable)
+  std::uint32_t version = 0;      // header version (usable slots only)
+  std::uint64_t payload_bytes = 0;
+  std::string tag;                // best-effort leading tag string
+  std::string error;              // why the slot is not usable
+};
+
+/// What resume_latest recovered, for operator-facing recovery reports.
+struct RecoveredSlot {
+  std::filesystem::path path;
+  std::uint64_t generation = 0;
+  /// True when an existing slot had to be skipped (unusable or failed to
+  /// load) before this one succeeded -- the corruption-fallback case.
+  bool fell_back = false;
+  std::string note;
+};
+
+class CheckpointRotation {
+ public:
+  explicit CheckpointRotation(std::filesystem::path base);
+
+  [[nodiscard]] const std::filesystem::path& base() const noexcept {
+    return base_;
+  }
+  [[nodiscard]] std::filesystem::path slot_a() const;
+  [[nodiscard]] std::filesystem::path slot_b() const;
+  /// Both slot paths, a first.
+  [[nodiscard]] std::array<std::filesystem::path, 2> slots() const;
+
+  /// Durable save of `out` into the slot not holding the newest
+  /// generation, stamped one past it. Returns the slot written.
+  std::filesystem::path save_next(const BinaryWriter& out) const;
+
+  /// Full health check of both slots (reads and CRC-verifies each
+  /// existing file); [0] is slot a.
+  [[nodiscard]] std::array<SlotInfo, 2> inspect() const;
+
+  /// Slot paths ordered newest generation first, skipping nothing: the
+  /// resume loop tries these in order and reports a fallback when the
+  /// first fails. Unreadable-footer slots sort last (generation 0).
+  [[nodiscard]] std::array<SlotInfo, 2> by_recency() const;
+
+ private:
+  std::filesystem::path base_;
+};
+
+/// Health of a single sealed archive file (the per-slot primitive behind
+/// CheckpointRotation::inspect, usable on non-rotated archives too).
+[[nodiscard]] SlotInfo inspect_archive(const std::filesystem::path& path);
+
+}  // namespace epismc::io

@@ -1,0 +1,25 @@
+#pragma once
+
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) -- the checksum
+// sealing every on-disk archive (see binary_archive.hpp). Software
+// slicing-by-8 table implementation: checkpoints are megabytes at most
+// and are written once per checkpoint interval, so hardware SSE4.2
+// dispatch is not worth a per-ISA TU here. The choice of CRC32C (over
+// zlib's CRC32) matches what filesystems and storage stacks use for the
+// same torn-write/bit-rot detection job.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace epismc::io {
+
+/// One-shot checksum of `data`.
+[[nodiscard]] std::uint32_t crc32c(std::span<const std::byte> data) noexcept;
+
+/// Streaming form: feed `crc` of the previous chunk back in (start from
+/// 0). crc32c(a ++ b) == crc32c_update(crc32c(a), b).
+[[nodiscard]] std::uint32_t crc32c_update(std::uint32_t crc, const void* data,
+                                          std::size_t size) noexcept;
+
+}  // namespace epismc::io

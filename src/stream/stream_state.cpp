@@ -82,6 +82,7 @@ std::uint64_t config_fingerprint(const StreamConfig& config) {
   h = mix(h, c.ess_threshold);
   h = mix(h, static_cast<std::uint64_t>(c.max_temper_stages));
   h = mix(h, static_cast<std::uint64_t>(c.rejuvenation_moves));
+  h = mix(h, static_cast<std::uint64_t>(c.on_degenerate));
   h = mix(h, static_cast<std::uint64_t>(config.resample_mid_window));
   return h;
 }
@@ -202,6 +203,7 @@ void write_day_record(io::BinaryWriter& out, const StreamDayRecord& d) {
   out.write(static_cast<std::uint8_t>(d.resampled));
   out.write(d.log_marginal);
   out.write(d.seconds);
+  out.write(d.demoted);
 }
 
 StreamDayRecord read_day_record(io::BinaryReader& in) {
@@ -212,6 +214,7 @@ StreamDayRecord read_day_record(io::BinaryReader& in) {
   d.resampled = in.read<std::uint8_t>() != 0;
   d.log_marginal = in.read<double>();
   d.seconds = in.read<double>();
+  d.demoted = in.read<std::uint32_t>();
   return d;
 }
 
@@ -266,20 +269,23 @@ void StreamState::serialize(io::BinaryWriter& out) const {
   out.write(log_marginal_acc);
   out.write(midwindow_resamples);
   out.write(propagate_seconds);
+  out.write_vector(degenerate_draw);
 }
 
 StreamState StreamState::deserialize(io::BinaryReader& in) {
   if (in.version() != kArchiveVersion) {
     throw io::ArchiveError(
+        io::ArchiveErrorKind::kVersion,
         "StreamState: archive is format version " +
-        std::to_string(in.version()) + "; this build reads version " +
-        std::to_string(kArchiveVersion));
+            std::to_string(in.version()) + "; this build reads version " +
+            std::to_string(kArchiveVersion));
   }
   const std::string tag = in.read_string();
   if (tag != kArchiveTag) {
-    throw io::ArchiveError("StreamState: not a streaming-calibrator "
+    throw io::ArchiveError(io::ArchiveErrorKind::kForeignTag,
+                           "StreamState: not a streaming-calibrator "
                            "checkpoint (archive tag '" +
-                           tag + "', expected '" + kArchiveTag + "')");
+                               tag + "', expected '" + kArchiveTag + "')");
   }
 
   StreamState st;
@@ -336,6 +342,7 @@ StreamState StreamState::deserialize(io::BinaryReader& in) {
   st.log_marginal_acc = in.read<double>();
   st.midwindow_resamples = in.read<std::uint32_t>();
   st.propagate_seconds = in.read<double>();
+  st.degenerate_draw = in.read_vector<std::uint8_t>();
   return st;
 }
 
@@ -354,11 +361,11 @@ void write_stream_day_csv(std::ostream& out,
                           const std::vector<StreamDayRecord>& days) {
   const auto prec = out.precision();
   out.precision(std::numeric_limits<double>::max_digits10);
-  out << "day,window,ess,resampled,log_marginal,seconds\n";
+  out << "day,window,ess,resampled,log_marginal,seconds,demoted\n";
   for (const StreamDayRecord& d : days) {
     out << d.day << ',' << d.window << ',' << d.ess << ','
         << (d.resampled ? 1 : 0) << ',' << d.log_marginal << ',' << d.seconds
-        << '\n';
+        << ',' << d.demoted << '\n';
   }
   out.precision(prec);
 }

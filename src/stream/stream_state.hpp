@@ -42,8 +42,11 @@ struct StreamConfig {
   core::CalibrationConfig calibration;
 
   /// Automatic checkpointing: every `checkpoint_every` assimilated days
-  /// the session is archived to `checkpoint_path` (atomic replace). Both
-  /// default off; setting either knob requires the other.
+  /// the session is archived through dual-slot rotation derived from
+  /// `checkpoint_path` (`<path>.a` / `<path>.b`, generation-stamped; see
+  /// io::CheckpointRotation), so a crash at any instant -- mid-save
+  /// included -- leaves at least one durable CRC-verified checkpoint.
+  /// Both knobs default off; setting either requires the other.
   std::int64_t checkpoint_every = 0;
   std::filesystem::path checkpoint_path;
 
@@ -69,6 +72,9 @@ struct StreamDayRecord {
   bool resampled = false;    // a mid-window resample fired on this day
   double log_marginal = 0.0; // evidence of the since-resample weights
   double seconds = 0.0;      // wall time of this day's assimilation
+  /// Draws whose day-term scored non-finite and were quarantined to -inf
+  /// under DegeneracyPolicy::kQuarantine (0 on healthy days).
+  std::uint32_t demoted = 0;
 };
 
 /// Per-window summary kept in the streaming history. Unlike the full
@@ -87,7 +93,9 @@ struct StreamWindowRecord {
 /// mirror StreamingCalibrator's members. `open-window` fields are
 /// meaningful only when `window_open` is set.
 struct StreamState {
-  static constexpr std::uint32_t kArchiveVersion = 1;
+  // v2: per-day demoted counts, open-window degenerate-draw flags
+  // (fault-tolerant degeneracy handling).
+  static constexpr std::uint32_t kArchiveVersion = 2;
   static constexpr const char* kArchiveTag = "epismc-stream";
 
   /// Guard against resuming under a different configuration: a hash over
@@ -133,6 +141,10 @@ struct StreamState {
   double log_marginal_acc = 0.0;       // evidence folded at resamples
   std::uint32_t midwindow_resamples = 0;
   double propagate_seconds = 0.0;
+  // Per-distinct-draw quarantine flags of the open window (1 = some day
+  // term of that draw was demoted to -inf); folded into the window's
+  // DegeneracyReport at the boundary.
+  std::vector<std::uint8_t> degenerate_draw;
 
   void serialize(io::BinaryWriter& out) const;
   /// Throws io::ArchiveError on a wrong tag, an unsupported version, or a
@@ -149,7 +161,7 @@ struct StreamState {
 [[nodiscard]] std::uint64_t config_fingerprint(const StreamConfig& config);
 
 /// Per-day diagnostics as CSV (day, window, ess, resampled, log_marginal,
-/// seconds); doubles are written round-trip exact.
+/// seconds, demoted); doubles are written round-trip exact.
 void write_stream_day_csv(std::ostream& out,
                           const std::vector<StreamDayRecord>& days);
 

@@ -1,11 +1,13 @@
 #include "stream/streaming_calibrator.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "core/importance_sampler.hpp"
 #include "core/posterior.hpp"
+#include "fault/fault.hpp"
 #include "parallel/parallel.hpp"
 #include "random/seeding.hpp"
 
@@ -83,6 +85,7 @@ const StreamDayRecord& StreamingCalibrator::ingest(
         std::to_string(obs.day) + " observation carries no death count");
   }
 
+  fault::hit("stream-ingest");
   if (!window_open_) open_window();
   assimilate_day(obs);
   cursor_ = obs.day;
@@ -144,6 +147,7 @@ void StreamingCalibrator::open_window() {
   log_marginal_acc_ = 0.0;
   midwindow_resamples_ = 0;
   propagate_seconds_ = 0.0;
+  win_degen_.assign(n, 0);
   ps_.reset(n);
   lw_scratch_.assign(n, 0.0);
   window_open_ = true;
@@ -172,6 +176,14 @@ void StreamingCalibrator::assimilate_day(const DailyObservation& obs) {
     death_cache = death_likelihood_->prepare({&day_deaths, 1});
   }
 
+  // Raw day terms land in scratch, not the accumulators: a kThrow
+  // degeneracy must abort before any accumulator mutates, and the
+  // quarantine demotion happens in one serial pass below (per-sim the
+  // day-ordered fold is unchanged, so healthy windows stay bit-identical).
+  day_case_term_.assign(n, 0.0);
+  if (use_deaths) day_death_term_.assign(n, 0.0);
+  day_degen_.assign(n, 0);
+
   core::BatchSink sink;
   sink.on_sim = [&](std::size_t s) {
     // The bias engine persists across days and its draws are consumed
@@ -181,14 +193,15 @@ void StreamingCalibrator::assimilate_day(const DailyObservation& obs) {
                       day_ens_.obs_cases(s));
     const double case_term =
         likelihood_->logpdf(case_cache, day_ens_.obs_cases(s));
-    case_acc_[s] += case_term;
-    full_case_acc_[s] += case_term;
+    day_case_term_[s] = case_term;
+    bool bad = core::detail::nonfinite_score(case_term);
     if (use_deaths) {
       const double death_term =
           death_likelihood_->logpdf(death_cache, day_ens_.deaths(s));
-      death_acc_[s] += death_term;
-      full_death_acc_[s] += death_term;
+      day_death_term_[s] = death_term;
+      bad = bad || core::detail::nonfinite_score(death_term);
     }
+    if (bad) day_degen_[s] = 1;
     win_ens_.true_cases(s)[k] = day_ens_.true_cases(s)[0];
     win_ens_.obs_cases(s)[k] = day_ens_.obs_cases(s)[0];
     win_ens_.deaths(s)[k] = day_ens_.deaths(s)[0];
@@ -216,6 +229,37 @@ void StreamingCalibrator::assimilate_day(const DailyObservation& obs) {
   }
   propagate_seconds_ += prop_timer.seconds();
 
+  const core::DegeneracyReport day_report =
+      core::detail::collect_degenerate(day_degen_);
+  if (day_report.any() &&
+      spec_.on_degenerate == core::DegeneracyPolicy::kThrow) {
+    // No accumulator has been touched yet, so the session stays restorable
+    // from its last checkpoint.
+    core::detail::throw_degenerate(
+        "streaming day " + std::to_string(day) + " (window " +
+            std::to_string(spec_.window_index) + ")",
+        day_report);
+  }
+
+  // Fold the day terms, demoting each non-finite term to -inf (the
+  // quarantine policy); per sim this adds exactly one term per day in day
+  // order, bit-identical to the pre-scratch fold on healthy windows and to
+  // the batch whole-window demotion on quarantined ones (-inf either way).
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < n; ++s) {
+    double case_term = day_case_term_[s];
+    if (core::detail::nonfinite_score(case_term)) case_term = kNegInf;
+    case_acc_[s] += case_term;
+    full_case_acc_[s] += case_term;
+    if (use_deaths) {
+      double death_term = day_death_term_[s];
+      if (core::detail::nonfinite_score(death_term)) death_term = kNegInf;
+      death_acc_[s] += death_term;
+      full_death_acc_[s] += death_term;
+    }
+    win_degen_[s] = static_cast<std::uint8_t>(win_degen_[s] | day_degen_[s]);
+  }
+
   for (std::size_t s = 0; s < n; ++s) {
     lw_scratch_[s] =
         use_deaths ? case_acc_[s] + death_acc_[s] : case_acc_[s];
@@ -225,12 +269,16 @@ void StreamingCalibrator::assimilate_day(const DailyObservation& obs) {
   StreamDayRecord rec;
   rec.day = day;
   rec.window = spec_.window_index;
+  rec.demoted = static_cast<std::uint32_t>(day_report.demoted);
   rec.log_marginal = ps_.log_marginal_increment();
   bool degenerate = false;
   try {
     rec.ess = ps_.ess();
   } catch (const std::domain_error&) {
-    rec.ess = 0.0;  // fully degenerate day; the window-end ladder handles it
+    // Fully degenerate day: every since-resample weight is -inf. Coast to
+    // the boundary, where resolve_window_posterior raises a precise,
+    // recoverable CalibrationError naming the quarantined draws.
+    rec.ess = 0.0;
     degenerate = true;
   }
 
@@ -247,6 +295,7 @@ void StreamingCalibrator::assimilate_day(const DailyObservation& obs) {
 }
 
 void StreamingCalibrator::resample_cloud(std::int32_t day) {
+  fault::hit("resample");
   const std::size_t n = n_sims();
   const auto w = static_cast<std::uint64_t>(spec_.window_index);
   const auto d = static_cast<std::uint64_t>(day);
@@ -282,14 +331,19 @@ void StreamingCalibrator::resample_cloud(std::int32_t day) {
   win_ens_ = std::move(next);
 
   // Full-window accumulators follow the ancestor; the since-resample
-  // accumulators restart at zero (the SMC weights from here on).
+  // accumulators restart at zero (the SMC weights from here on). The
+  // quarantine flags are distinct-draw bookkeeping, so they follow the
+  // ancestor too.
   std::vector<double> fc(n), fd(n);
+  std::vector<std::uint8_t> dg(n);
   for (std::size_t i = 0; i < n; ++i) {
     fc[i] = full_case_acc_[anc[i]];
     fd[i] = full_death_acc_[anc[i]];
+    dg[i] = win_degen_[anc[i]];
   }
   full_case_acc_ = std::move(fc);
   full_death_acc_ = std::move(fd);
+  win_degen_ = std::move(dg);
   case_acc_.assign(n, 0.0);
   death_acc_.assign(n, 0.0);
 
@@ -310,6 +364,7 @@ void StreamingCalibrator::resample_cloud(std::int32_t day) {
 }
 
 void StreamingCalibrator::finalize_window() {
+  fault::hit("window-boundary");
   const std::size_t n = n_sims();
   const bool use_deaths = config_.calibration.use_deaths;
 
@@ -350,6 +405,7 @@ void StreamingCalibrator::finalize_window() {
       sim_,        *likelihood_, *death_likelihood_, *bias_, *parents_,
       spec_,       propose_,     case_cache,         death_cache,
       full_lw};
+  inputs.degeneracy = core::detail::collect_degenerate(win_degen_);
   core::detail::resolve_window_posterior(inputs, cloud_,
                                          /*inline_capture=*/true, result);
   if (midwindow_resamples_ > 0) {
@@ -380,6 +436,7 @@ void StreamingCalibrator::close_window_members() {
   win_obs_cases_.clear();
   win_obs_deaths_.clear();
   bias_eng_.clear();
+  win_degen_.clear();
   log_marginal_acc_ = 0.0;
   midwindow_resamples_ = 0;
   propagate_seconds_ = 0.0;
@@ -395,7 +452,9 @@ void StreamingCalibrator::maybe_checkpoint() {
   // Reset before snapshotting so the archive does not re-trigger a
   // checkpoint on the first post-resume ingest.
   days_since_checkpoint_ = 0;
-  save(config_.checkpoint_path);
+  io::BinaryWriter out(StreamState::kArchiveVersion);
+  snapshot().serialize(out);
+  io::CheckpointRotation(config_.checkpoint_path).save_next(out);
 }
 
 StreamState StreamingCalibrator::snapshot() const {
@@ -467,6 +526,7 @@ StreamState StreamingCalibrator::snapshot() const {
     st.log_marginal_acc = log_marginal_acc_;
     st.midwindow_resamples = midwindow_resamples_;
     st.propagate_seconds = propagate_seconds_;
+    st.degenerate_draw = win_degen_;
   }
   return st;
 }
@@ -584,6 +644,8 @@ void StreamingCalibrator::restore(const StreamState& state) {
   log_marginal_acc_ = state.log_marginal_acc;
   midwindow_resamples_ = state.midwindow_resamples;
   propagate_seconds_ = state.propagate_seconds;
+  win_degen_ = state.degenerate_draw;
+  win_degen_.resize(n, 0);
   ps_.reset(n);
   lw_scratch_.assign(n, 0.0);
   window_open_ = true;
@@ -595,6 +657,51 @@ void StreamingCalibrator::save(const std::filesystem::path& path) const {
 
 void StreamingCalibrator::load(const std::filesystem::path& path) {
   restore(StreamState::load(path));
+}
+
+std::optional<io::RecoveredSlot> StreamingCalibrator::resume_latest() {
+  if (config_.checkpoint_path.empty()) {
+    throw std::logic_error(
+        "StreamingCalibrator::resume_latest: no checkpoint_path configured "
+        "(rotated slots are derived from it)");
+  }
+  const io::CheckpointRotation rotation(config_.checkpoint_path);
+  bool any_exists = false;
+  bool fell_back = false;
+  std::string failures;
+  for (const io::SlotInfo& slot : rotation.by_recency()) {
+    if (!slot.exists) continue;
+    any_exists = true;
+    try {
+      io::BinaryReader in = io::BinaryReader::load(slot.path);
+      StreamState state = StreamState::deserialize(in);
+      // A fingerprint/simulator mismatch throws std::invalid_argument out
+      // of restore() and is deliberately NOT a fallback trigger: both
+      // slots came from the same session, so the older one would mismatch
+      // identically.
+      restore(state);
+      io::RecoveredSlot recovered;
+      recovered.path = slot.path;
+      recovered.generation = in.generation();
+      recovered.fell_back = fell_back;
+      recovered.note =
+          fell_back ? "newest slot unusable (" + failures +
+                          "); recovered from the previous generation"
+                    : "newest checkpoint slot";
+      last_recovery_ = std::move(recovered);
+      return last_recovery_;
+    } catch (const io::ArchiveError& e) {
+      // Torn/corrupt/truncated slot: note why and try the older one.
+      if (!failures.empty()) failures += "; ";
+      failures += slot.path.filename().string() + ": " + e.what();
+      fell_back = true;
+    }
+  }
+  if (!any_exists) return std::nullopt;  // fresh session, nothing to resume
+  throw io::ArchiveError(
+      io::ArchiveErrorKind::kCorrupt,
+      "StreamingCalibrator::resume_latest: no usable checkpoint slot under "
+      "'" + config_.checkpoint_path.string() + "' (" + failures + ")");
 }
 
 }  // namespace epismc::stream

@@ -31,10 +31,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/particle_system.hpp"
 #include "core/sequential_calibrator.hpp"
+#include "io/checkpoint_rotation.hpp"
 #include "stream/stream_state.hpp"
 
 namespace epismc::stream {
@@ -102,6 +104,23 @@ class StreamingCalibrator {
   void save(const std::filesystem::path& path) const;
   void load(const std::filesystem::path& path);
 
+  /// Crash recovery over the rotated checkpoint slots of the configured
+  /// checkpoint_path: restores the newest CRC-passing slot, falling back
+  /// to the older one when the newest is torn/corrupt, and reports what
+  /// was recovered (path, generation, whether a fallback happened).
+  /// Returns nullopt -- leaving the session fresh -- when neither slot
+  /// exists yet; throws io::ArchiveError when slots exist but none is
+  /// usable, std::logic_error when no checkpoint_path is configured, and
+  /// std::invalid_argument when a usable slot belongs to a different
+  /// config/simulator (a fingerprint mismatch is not recoverable by
+  /// falling back -- both slots came from the same session).
+  std::optional<io::RecoveredSlot> resume_latest();
+  /// The last resume_latest recovery, if one happened this process.
+  [[nodiscard]] const std::optional<io::RecoveredSlot>& last_recovery()
+      const noexcept {
+    return last_recovery_;
+  }
+
  private:
   void open_window();
   void assimilate_day(const DailyObservation& obs);
@@ -142,6 +161,12 @@ class StreamingCalibrator {
   std::vector<double> win_obs_cases_, win_obs_deaths_;
   std::vector<double> case_acc_, death_acc_;       // since last resample
   std::vector<double> full_case_acc_, full_death_acc_;  // whole window
+  // Day-scoring scratch: raw per-day terms land here first so a kThrow
+  // degeneracy can abort before any accumulator is touched; quarantined
+  // (demoted) terms then fold in as -inf. win_degen_ marks draws with at
+  // least one demoted day this window (remapped by ancestor on resample).
+  std::vector<double> day_case_term_, day_death_term_;
+  std::vector<std::uint8_t> day_degen_, win_degen_;
   std::vector<rng::PhiloxEngine> bias_eng_;
   double log_marginal_acc_ = 0.0;
   std::uint32_t midwindow_resamples_ = 0;
@@ -153,6 +178,7 @@ class StreamingCalibrator {
   std::vector<core::WindowResult> results_;
   std::vector<StreamWindowRecord> history_;
   std::vector<StreamDayRecord> days_;
+  std::optional<io::RecoveredSlot> last_recovery_;
 };
 
 }  // namespace epismc::stream

@@ -1,0 +1,450 @@
+// Crash-kill recovery harness: fork this binary as a streaming child,
+// kill it mid-window through a deterministic fault injection, resume the
+// session from the rotated checkpoint slots, and require the recovered
+// posterior to be *byte-identical* to an uninterrupted run -- the
+// end-to-end proof behind the durability stack (sealed archives, slot
+// rotation, resume_latest).
+//
+// The binary is its own child: `--fault-child` re-enters main as a small
+// streaming driver (scenario replay, rotated checkpoints every 4 days, a
+// bit-pattern digest of the whole run written at exit), and the parent
+// fork+execs /proc/self/exe with EPISMC_FAULT set to each matrix cell:
+//
+//   crash (_Exit 86) on a mid-window ingest     -> resume from newest slot
+//   SIGKILL at the first window boundary        -> resume, posterior intact
+//   torn checkpoint write (prefix at final path) -> older slot still seals
+//   newest slot corrupted after the crash        -> fallback slot recovers
+//
+// Fail-action and grammar cells run in-process. Every scenario appends
+// its outcome to fault-recovery.log in the working directory (the CI
+// fault-injection leg uploads it as an artifact).
+//
+// Custom main (no gtest_main): link GTest::gtest only.
+
+#include <gtest/gtest.h>
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "core/scenario.hpp"
+#include "fault/fault.hpp"
+#include "io/binary_archive.hpp"
+#include "io/checkpoint_rotation.hpp"
+#include "stream/stream_state.hpp"
+#include "stream/streaming_calibrator.hpp"
+
+namespace {
+
+using namespace epismc;
+
+constexpr std::int32_t kFirstDay = 5;
+constexpr std::int32_t kLastDay = 24;
+
+// --- The shared scenario (parent assertions and child driver). --------------
+
+core::ScenarioConfig harness_scenario() {
+  core::ScenarioConfig scenario;
+  scenario.params.population = 50000;
+  scenario.initial_exposed = 80;
+  scenario.total_days = 30;
+  scenario.theta_segments = {{0, 0.30}};
+  scenario.rho_segments = {{0, 0.60}};
+  return scenario;
+}
+
+const core::GroundTruth& harness_truth() {
+  static const core::GroundTruth truth =
+      core::simulate_ground_truth(harness_scenario());
+  return truth;
+}
+
+api::CalibrationSession harness_session() {
+  core::CalibrationConfig cfg;
+  cfg.windows = {{5, 14}, {15, 24}};
+  cfg.n_params = 32;
+  cfg.replicates = 2;
+  cfg.resample_size = 64;
+  cfg.seed = 99;
+
+  api::SimulatorSpec spec;
+  spec.params = harness_scenario().params;
+  spec.burnin_theta = 0.3;
+  spec.initial_exposed = harness_scenario().initial_exposed;
+
+  api::CalibrationSession session;
+  session.with_simulator("seir-event", spec)
+      .with_data(harness_truth().observed())
+      .with_config(std::move(cfg));
+  return session;
+}
+
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+// --- Child mode: stream with rotated checkpoints, digest the run. -----------
+
+int run_fault_child(const std::string& ckpt, const std::string& out_path,
+                    bool resume) {
+  api::CalibrationSession session = harness_session();
+
+  api::StreamOptions options;
+  options.checkpoint_every = 4;
+  options.checkpoint_path = ckpt;
+  options.resume_latest = resume;
+  stream::StreamingCalibrator cal = session.stream(options);
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (const auto& rec = cal.last_recovery()) {
+    out << "# recovered " << rec->path.string() << " generation "
+        << rec->generation << " fell_back=" << (rec->fell_back ? 1 : 0)
+        << " note=" << rec->note << "\n";
+  }
+
+  const core::ObservedData data = harness_truth().observed();
+  for (std::int32_t d = cal.next_expected_day(); d <= kLastDay; ++d) {
+    stream::DailyObservation obs;
+    obs.day = d;
+    obs.cases = data.cases_at(d);
+    cal.ingest(obs);  // armed EPISMC_FAULT specs fire in here
+  }
+
+  // The digest: every diagnostic double as its exact bit pattern, over
+  // the whole session (history()/day_records() include pre-resume work).
+  for (const auto& w : cal.history()) {
+    out << "w " << w.from_day << ' ' << w.to_day << ' ' << bits(w.diag.ess)
+        << ' ' << bits(w.diag.log_marginal) << ' ' << w.diag.unique_resampled
+        << ' ' << bits(w.summary.theta.mean) << ' ' << bits(w.summary.theta.sd)
+        << ' ' << bits(w.summary.rho.mean) << ' ' << bits(w.summary.rho.sd)
+        << '\n';
+  }
+  for (const auto& d : cal.day_records()) {
+    out << "d " << d.day << ' ' << d.window << ' ' << bits(d.ess) << ' '
+        << (d.resampled ? 1 : 0) << ' ' << bits(d.log_marginal) << ' '
+        << d.demoted << '\n';
+  }
+  return out.good() ? 0 : 1;
+}
+
+// --- Parent-side process harness. -------------------------------------------
+
+struct ChildExit {
+  bool exited = false;    // normal exit (any code)
+  int code = -1;          // exit code when exited
+  bool signaled = false;  // killed by a signal
+  int signal = 0;
+};
+
+/// fork + execv /proc/self/exe in child mode. `fault_spec` becomes the
+/// child's EPISMC_FAULT (cleared when empty, so a resume child never
+/// inherits the parent test's environment).
+ChildExit spawn_child(const std::filesystem::path& ckpt,
+                      const std::filesystem::path& out, bool resume,
+                      const std::string& fault_spec) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    if (fault_spec.empty()) {
+      ::unsetenv("EPISMC_FAULT");
+    } else {
+      ::setenv("EPISMC_FAULT", fault_spec.c_str(), 1);
+    }
+    const std::string ckpt_arg = "--ckpt=" + ckpt.string();
+    const std::string out_arg = "--out=" + out.string();
+    std::vector<char*> argv;
+    std::string exe = "/proc/self/exe";
+    std::string mode = "--fault-child";
+    std::string resume_flag = "--resume";
+    argv.push_back(exe.data());
+    argv.push_back(mode.data());
+    argv.push_back(const_cast<char*>(ckpt_arg.c_str()));
+    argv.push_back(const_cast<char*>(out_arg.c_str()));
+    if (resume) argv.push_back(resume_flag.data());
+    argv.push_back(nullptr);
+    ::execv("/proc/self/exe", argv.data());
+    std::_Exit(127);  // exec failed
+  }
+  ChildExit result;
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) return result;
+  if (WIFEXITED(status)) {
+    result.exited = true;
+    result.code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.signal = WTERMSIG(status);
+  }
+  return result;
+}
+
+std::filesystem::path scratch(const std::string& name) {
+  return std::filesystem::temp_directory_path() / ("epismc_fault_" + name);
+}
+
+void clear_slots(const std::filesystem::path& ckpt) {
+  const io::CheckpointRotation rotation{ckpt};
+  std::filesystem::remove(rotation.slot_a());
+  std::filesystem::remove(rotation.slot_b());
+}
+
+/// Digest lines of a child out file, recovery comments stripped.
+std::vector<std::string> digest_lines(const std::filesystem::path& out) {
+  std::ifstream in(out);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty() && line[0] != '#') lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream s;
+  s << in.rdbuf();
+  return s.str();
+}
+
+std::ofstream& recovery_log() {
+  static std::ofstream log("fault-recovery.log", std::ios::trunc);
+  return log;
+}
+
+void log_scenario(const std::string& name, const ChildExit& crash,
+                  const std::filesystem::path& resumed_out) {
+  auto& log = recovery_log();
+  log << "=== " << name << " ===\n";
+  if (crash.exited) log << "fault child exited " << crash.code << "\n";
+  if (crash.signaled) log << "fault child killed by signal " << crash.signal
+                          << "\n";
+  log << slurp(resumed_out) << std::flush;
+}
+
+/// The uninterrupted reference digest, computed once per binary run.
+const std::vector<std::string>& baseline_digest() {
+  static const std::vector<std::string> digest = [] {
+    const auto ckpt = scratch("baseline.ckpt");
+    const auto out = scratch("baseline.out");
+    clear_slots(ckpt);
+    const ChildExit r = spawn_child(ckpt, out, false, "");
+    EXPECT_TRUE(r.exited && r.code == 0)
+        << "baseline child failed (exited=" << r.exited << " code=" << r.code
+        << " signal=" << r.signal << ")";
+    auto lines = digest_lines(out);
+    EXPECT_FALSE(lines.empty());
+    recovery_log() << "=== baseline ===\nuninterrupted digest: "
+                   << lines.size() << " lines\n";
+    clear_slots(ckpt);
+    std::filesystem::remove(out);
+    return lines;
+  }();
+  return digest;
+}
+
+// --- The crash-kill matrix. --------------------------------------------------
+
+TEST(FaultRecovery, CrashMidWindowResumesBitExact) {
+  const auto ckpt = scratch("crash.ckpt");
+  const auto out = scratch("crash.out");
+  clear_slots(ckpt);
+
+  // 13 ingests pass (days 5..17, checkpoints after days 8/12/16), the
+  // 14th _Exits with the crash code -- mid second window.
+  const ChildExit crash =
+      spawn_child(ckpt, out, false, "stream-ingest:crash_after=13");
+  ASSERT_TRUE(crash.exited);
+  EXPECT_EQ(crash.code, fault::kCrashExitCode);
+
+  // Three checkpoints alternate the slots, so both must exist.
+  const io::CheckpointRotation rotation{ckpt};
+  EXPECT_TRUE(std::filesystem::exists(rotation.slot_a()));
+  EXPECT_TRUE(std::filesystem::exists(rotation.slot_b()));
+  const auto ordered = rotation.by_recency();
+  ASSERT_TRUE(ordered[0].usable);
+  EXPECT_EQ(ordered[0].generation, 3u);
+
+  const ChildExit resumed = spawn_child(ckpt, out, true, "");
+  ASSERT_TRUE(resumed.exited && resumed.code == 0)
+      << "resume child: code=" << resumed.code << " signal=" << resumed.signal;
+  EXPECT_NE(slurp(out).find("# recovered"), std::string::npos);
+  EXPECT_EQ(digest_lines(out), baseline_digest());
+
+  log_scenario("crash mid-window (stream-ingest:crash_after=13)", crash, out);
+  clear_slots(ckpt);
+  std::filesystem::remove(out);
+}
+
+TEST(FaultRecovery, SigkillAtWindowBoundaryResumesBitExact) {
+  const auto ckpt = scratch("kill.ckpt");
+  const auto out = scratch("kill.out");
+  clear_slots(ckpt);
+
+  // SIGKILL inside the first window's finalize: no destructors, no
+  // flushing -- the hardest death the durability layer must absorb.
+  const ChildExit kill =
+      spawn_child(ckpt, out, false, "window-boundary:kill_after=0");
+  ASSERT_TRUE(kill.signaled);
+  EXPECT_EQ(kill.signal, SIGKILL);
+
+  const ChildExit resumed = spawn_child(ckpt, out, true, "");
+  ASSERT_TRUE(resumed.exited && resumed.code == 0)
+      << "resume child: code=" << resumed.code << " signal=" << resumed.signal;
+  EXPECT_EQ(digest_lines(out), baseline_digest());
+
+  log_scenario("SIGKILL at window boundary (window-boundary:kill_after=0)",
+               kill, out);
+  clear_slots(ckpt);
+  std::filesystem::remove(out);
+}
+
+TEST(FaultRecovery, TornCheckpointWriteLeavesOlderSlotRecoverable) {
+  const auto ckpt = scratch("torn.ckpt");
+  const auto out = scratch("torn.out");
+  clear_slots(ckpt);
+
+  // Two checkpoints complete; the third tears after 120 bytes at the
+  // *final* slot path (no temp/rename) and dies -- the pre-durability
+  // failure mode. The torn slot has no footer, the other still seals.
+  const ChildExit torn =
+      spawn_child(ckpt, out, false, "torn-write:at_byte=120,after=2");
+  ASSERT_TRUE(torn.exited);
+  EXPECT_EQ(torn.code, fault::kCrashExitCode);
+
+  const io::CheckpointRotation rotation{ckpt};
+  const auto slots = rotation.inspect();
+  int usable = 0, torn_slots = 0;
+  for (const auto& s : slots) {
+    if (s.usable) ++usable;
+    if (s.exists && !s.usable) ++torn_slots;
+  }
+  EXPECT_EQ(usable, 1);
+  EXPECT_EQ(torn_slots, 1);
+
+  const ChildExit resumed = spawn_child(ckpt, out, true, "");
+  ASSERT_TRUE(resumed.exited && resumed.code == 0)
+      << "resume child: code=" << resumed.code << " signal=" << resumed.signal;
+  EXPECT_EQ(digest_lines(out), baseline_digest());
+
+  log_scenario("torn checkpoint write (torn-write:at_byte=120,after=2)", torn,
+               out);
+  clear_slots(ckpt);
+  std::filesystem::remove(out);
+}
+
+TEST(FaultRecovery, CorruptedNewestSlotFallsBackToOlder) {
+  const auto ckpt = scratch("fallback.ckpt");
+  const auto out = scratch("fallback.out");
+  clear_slots(ckpt);
+
+  const ChildExit crash =
+      spawn_child(ckpt, out, false, "stream-ingest:crash_after=13");
+  ASSERT_TRUE(crash.exited);
+  EXPECT_EQ(crash.code, fault::kCrashExitCode);
+
+  // Rot a payload byte of the newest slot: its footer still reads, so
+  // recovery tries it first, hits the CRC, and must fall back.
+  const io::CheckpointRotation rotation{ckpt};
+  const auto newest = rotation.by_recency()[0];
+  ASSERT_TRUE(newest.usable);
+  {
+    std::fstream f(newest.path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(50);
+    char byte = 0;
+    f.seekg(50);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x10);
+    f.seekp(50);
+    f.write(&byte, 1);
+  }
+  EXPECT_FALSE(io::inspect_archive(newest.path).usable);
+
+  const ChildExit resumed = spawn_child(ckpt, out, true, "");
+  ASSERT_TRUE(resumed.exited && resumed.code == 0)
+      << "resume child: code=" << resumed.code << " signal=" << resumed.signal;
+  const std::string report = slurp(out);
+  EXPECT_NE(report.find("fell_back=1"), std::string::npos) << report;
+  EXPECT_EQ(digest_lines(out), baseline_digest());
+
+  log_scenario("corrupted newest slot falls back", crash, out);
+  clear_slots(ckpt);
+  std::filesystem::remove(out);
+}
+
+// --- In-process cells: fail action, grammar, disarmed behavior. -------------
+
+TEST(FaultRecovery, FailActionThrowsFaultInjected) {
+  fault::arm("archive-write:fail_after=1");
+  io::BinaryWriter out(1);
+  out.write(std::uint32_t{1});
+  const auto path = scratch("failaction.bin");
+  EXPECT_NO_THROW(out.save(path));            // hit 1 passes
+  EXPECT_THROW(out.save(path), fault::FaultInjected);  // hit 2 fires
+  fault::disarm();
+  EXPECT_NO_THROW(out.save(path));            // disarmed: inert again
+  std::filesystem::remove(path);
+}
+
+TEST(FaultRecovery, ArchiveReadFaultFiresBeforeAnyIo) {
+  const auto path = scratch("readfault.bin");
+  io::BinaryWriter out(1);
+  out.write(std::uint32_t{1});
+  out.save(path);
+  fault::arm("archive-read:fail_after=0");
+  EXPECT_THROW((void)io::BinaryReader::load(path), fault::FaultInjected);
+  fault::disarm();
+  EXPECT_NO_THROW((void)io::BinaryReader::load(path));
+  std::filesystem::remove(path);
+}
+
+TEST(FaultRecovery, SpecGrammarErrorsAreNamed) {
+  EXPECT_THROW(fault::arm("no-such-point:fail_after=1"),
+               std::invalid_argument);
+  EXPECT_THROW(fault::arm("archive-write:explode=1"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("archive-write"), std::invalid_argument);
+  EXPECT_THROW(fault::arm("torn-write:at_byte=banana"),
+               std::invalid_argument);
+  // at_byte is torn-write-only.
+  EXPECT_THROW(fault::arm("archive-write:at_byte=3"), std::invalid_argument);
+  fault::disarm();
+  EXPECT_FALSE(fault::armed());
+}
+
+TEST(FaultRecovery, EveryDocumentedPointParses) {
+  for (const std::string& point : fault::injection_points()) {
+    if (point == "torn-write") {
+      EXPECT_NO_THROW(fault::arm(point + ":at_byte=1"));
+    } else {
+      EXPECT_NO_THROW(fault::arm(point + ":fail_after=0"));
+    }
+  }
+  fault::disarm();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Child re-entry: `<exe> --fault-child --ckpt=BASE --out=FILE [--resume]`.
+  bool child = false, resume = false;
+  std::string ckpt, out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fault-child") child = true;
+    else if (arg == "--resume") resume = true;
+    else if (arg.rfind("--ckpt=", 0) == 0) ckpt = arg.substr(7);
+    else if (arg.rfind("--out=", 0) == 0) out = arg.substr(6);
+  }
+  if (child) {
+    if (ckpt.empty() || out.empty()) return 2;
+    return run_fault_child(ckpt, out, resume);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}

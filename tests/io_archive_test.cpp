@@ -1,10 +1,12 @@
 // Binary archive: round-trips for PODs, strings and vectors; header
-// validation; truncation detection; atomic file save/load.
+// validation; truncation detection; durable (fsync + checksummed-footer)
+// file save/load with a typed error taxonomy.
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +16,8 @@
 namespace {
 
 using epismc::io::ArchiveError;
+using epismc::io::ArchiveErrorKind;
+using epismc::io::ArchiveFooter;
 using epismc::io::BinaryReader;
 using epismc::io::BinaryWriter;
 
@@ -116,8 +120,153 @@ TEST(Archive, FileSaveLoad) {
 }
 
 TEST(Archive, LoadMissingFileThrows) {
-  EXPECT_THROW((void)BinaryReader::load("/nonexistent/epismc.bin"),
-               ArchiveError);
+  try {
+    (void)BinaryReader::load("/nonexistent/epismc.bin");
+    FAIL() << "missing file was loaded";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveErrorKind::kIo) << e.what();
+    EXPECT_TRUE(e.retryable());
+  }
+}
+
+TEST(Archive, FooterSealsPayloadGenerationAndCrc) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "epismc_archive_footer.bin";
+  BinaryWriter out(4);
+  out.write_string("sealed");
+  out.write(std::uint64_t{7});
+  out.save(path, 17);
+
+  // On disk: the payload plus exactly one 24-byte checksummed footer.
+  EXPECT_EQ(std::filesystem::file_size(path),
+            out.bytes().size() + ArchiveFooter::kBytes);
+
+  // The footer is stripped before parsing; the generation stamp survives.
+  BinaryReader in = BinaryReader::load(path);
+  EXPECT_EQ(in.version(), 4u);
+  EXPECT_EQ(in.generation(), 17u);
+  EXPECT_EQ(in.read_string(), "sealed");
+  EXPECT_EQ(in.read<std::uint64_t>(), 7u);
+  EXPECT_TRUE(in.exhausted());
+  std::filesystem::remove(path);
+}
+
+TEST(Archive, DefaultGenerationIsZero) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "epismc_archive_gen0.bin";
+  BinaryWriter out(1);
+  out.write(std::int32_t{1});
+  out.save(path);
+  EXPECT_EQ(BinaryReader::load(path).generation(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(Archive, BitFlipFailsCrcAsCorrupt) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "epismc_archive_bitflip.bin";
+  BinaryWriter out(1);
+  for (int i = 0; i < 64; ++i) out.write(static_cast<std::uint64_t>(i));
+  out.save(path);
+
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(100);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x01);
+  f.seekp(100);
+  f.write(&byte, 1);
+  f.close();
+
+  try {
+    (void)BinaryReader::load(path);
+    FAIL() << "bit-flipped archive was loaded";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveErrorKind::kCorrupt) << e.what();
+    EXPECT_FALSE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Archive, LoadEmptyFileIsTruncatedNotHugeAllocation) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "epismc_archive_empty.bin";
+  { std::ofstream touch(path, std::ios::binary); }
+  try {
+    (void)BinaryReader::load(path);
+    FAIL() << "empty file was loaded";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveErrorKind::kTruncated) << e.what();
+    EXPECT_NE(std::string(e.what()).find("empty"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Archive, LoadDirectoryPathIsIoError) {
+  try {
+    (void)BinaryReader::load(std::filesystem::temp_directory_path());
+    FAIL() << "directory path was loaded";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveErrorKind::kIo) << e.what();
+  }
+}
+
+TEST(Archive, PreDurabilityFileLacksFooterSeal) {
+  // A raw header-only file written before the footer era (or torn right
+  // after the header) must fail the seal check, not parse as empty.
+  const auto path =
+      std::filesystem::temp_directory_path() / "epismc_archive_prefooter.bin";
+  BinaryWriter out(1);
+  for (int i = 0; i < 8; ++i) out.write(std::uint64_t{0});
+  {
+    std::ofstream raw(path, std::ios::binary | std::ios::trunc);
+    raw.write(reinterpret_cast<const char*>(out.bytes().data()),
+              static_cast<std::streamsize>(out.bytes().size()));
+  }
+  try {
+    (void)BinaryReader::load(path);
+    FAIL() << "unsealed archive was loaded";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveErrorKind::kCorrupt) << e.what();
+    EXPECT_NE(std::string(e.what()).find("footer"), std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Archive, FailedSaveCleansUpTempAndReportsIo) {
+  // Renaming onto an existing directory fails after the temp file was
+  // written; the save must unlink its temp and surface a retryable io
+  // error rather than litter the parent directory.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "epismc_save_target_dir";
+  std::filesystem::create_directories(dir);
+  BinaryWriter out(1);
+  out.write(std::uint32_t{7});
+  try {
+    out.save(dir);
+    FAIL() << "saving onto a directory succeeded";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveErrorKind::kIo) << e.what();
+    EXPECT_TRUE(e.retryable());
+  }
+  const std::string prefix = dir.filename().string() + ".tmp.";
+  for (const auto& entry :
+       std::filesystem::directory_iterator(dir.parent_path())) {
+    EXPECT_NE(entry.path().filename().string().rfind(prefix, 0), 0u)
+        << "temp file leaked: " << entry.path();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Archive, ErrorKindPrefixesMessage) {
+  const ArchiveError e(ArchiveErrorKind::kTruncated, "needs 8 bytes");
+  EXPECT_EQ(std::string(e.what()), "[truncated] needs 8 bytes");
+  EXPECT_EQ(e.kind(), ArchiveErrorKind::kTruncated);
+  // The legacy single-string constructor defaults to corrupt.
+  EXPECT_EQ(ArchiveError("old style").kind(), ArchiveErrorKind::kCorrupt);
 }
 
 TEST(Archive, SmcDiagnosticsRoundTripsFieldByField) {
@@ -134,6 +283,8 @@ TEST(Archive, SmcDiagnosticsRoundTripsFieldByField) {
   d.move_acceptance = {0.107, 0.052};
   d.rejuvenation_proposed = 2400;
   d.rejuvenation_accepted = 191;
+  d.degeneracy.demoted = 2;
+  d.degeneracy.draws = {11, 312};
 
   BinaryWriter out(SmcDiagnostics::kArchiveVersion);
   d.serialize(out);
@@ -157,6 +308,8 @@ TEST(Archive, SmcDiagnosticsRoundTripsFieldByField) {
   EXPECT_EQ(r.move_acceptance, d.move_acceptance);
   EXPECT_EQ(r.rejuvenation_proposed, d.rejuvenation_proposed);
   EXPECT_EQ(r.rejuvenation_accepted, d.rejuvenation_accepted);
+  EXPECT_EQ(r.degeneracy.demoted, d.degeneracy.demoted);
+  EXPECT_EQ(r.degeneracy.draws, d.degeneracy.draws);
 
   // Serializing the same record twice yields identical bytes: no struct
   // memcpy, so no uninitialized padding can leak into the archive.

@@ -1,0 +1,321 @@
+// Durability corruption matrix: take one real sealed StreamState archive
+// (a mid-window streaming session, serialized and saved through the
+// durable writer) and mutate it every way a disk or a crash can -- bit
+// flips in each section, truncation at every structural boundary, footer
+// field damage, foreign and future-format files. Every cell must fail
+// with a *typed* io::ArchiveError -- never a clean load of garbage state,
+// never an untyped exception, and never the retryable kIo class (the
+// bytes are bad; retrying reads the same bad bytes).
+//
+// This file runs in the unit group, so the sanitizer CI legs sweep the
+// whole matrix under ASan + UBSan as well.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/api.hpp"
+#include "core/scenario.hpp"
+#include "io/binary_archive.hpp"
+#include "io/checkpoint_rotation.hpp"
+#include "stream/stream_state.hpp"
+#include "stream/streaming_calibrator.hpp"
+
+namespace {
+
+using namespace epismc;
+using epismc::io::ArchiveError;
+using epismc::io::ArchiveErrorKind;
+using epismc::io::ArchiveFooter;
+using epismc::io::BinaryReader;
+using epismc::io::BinaryWriter;
+using stream::StreamState;
+
+constexpr std::uint64_t kSeedGeneration = 3;
+
+// One real archive, built once per binary: a streaming session stopped
+// mid-window so the open-window sections (accumulators, pool snapshot,
+// degenerate-draw flags) are all populated, sealed through save().
+const std::vector<std::byte>& sealed_frame() {
+  static const std::vector<std::byte> frame = [] {
+    core::ScenarioConfig scenario;
+    scenario.params.population = 50000;
+    scenario.initial_exposed = 80;
+    scenario.total_days = 30;
+    scenario.theta_segments = {{0, 0.30}};
+    scenario.rho_segments = {{0, 0.60}};
+    const core::GroundTruth truth = core::simulate_ground_truth(scenario);
+
+    core::CalibrationConfig cfg;
+    cfg.windows = {{5, 14}, {15, 24}};
+    cfg.n_params = 32;
+    cfg.replicates = 2;
+    cfg.resample_size = 64;
+    cfg.seed = 99;
+
+    api::SimulatorSpec spec;
+    spec.params = scenario.params;
+    spec.burnin_theta = 0.3;
+    spec.initial_exposed = scenario.initial_exposed;
+
+    api::CalibrationSession session;
+    session.with_simulator("seir-event", spec)
+        .with_data(truth.observed())
+        .with_config(std::move(cfg));
+
+    stream::StreamingCalibrator cal = session.stream({});
+    const core::ObservedData data = truth.observed();
+    for (std::int32_t d = 5; d <= 9; ++d) {  // stop mid first window
+      stream::DailyObservation obs;
+      obs.day = d;
+      obs.cases = data.cases_at(d);
+      cal.ingest(obs);
+    }
+
+    BinaryWriter out(StreamState::kArchiveVersion);
+    cal.snapshot().serialize(out);
+    const auto path =
+        std::filesystem::temp_directory_path() / "epismc_durability_seed.bin";
+    out.save(path, kSeedGeneration);
+
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    std::vector<std::byte> bytes(static_cast<std::size_t>(in.tellg()));
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+    in.close();
+    std::filesystem::remove(path);
+    return bytes;
+  }();
+  return frame;
+}
+
+std::size_t payload_size() {
+  return sealed_frame().size() - ArchiveFooter::kBytes;
+}
+
+/// Write `frame` verbatim to a scratch file and attempt the full recovery
+/// path (sealed load + StreamState parse). Returns the ArchiveError kind,
+/// or nullopt -- with a test failure recorded -- when the mutant loaded
+/// cleanly or threw something untyped.
+std::optional<ArchiveErrorKind> load_kind(const std::vector<std::byte>& frame,
+                                          const std::string& cell) {
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("epismc_durability_" + cell + ".bin");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  }
+  std::optional<ArchiveErrorKind> kind;
+  try {
+    BinaryReader in = BinaryReader::load(path);
+    (void)StreamState::deserialize(in);
+    ADD_FAILURE() << cell << ": mutated archive loaded cleanly";
+  } catch (const ArchiveError& e) {
+    kind = e.kind();
+    EXPECT_FALSE(e.retryable())
+        << cell << ": bad bytes must not be classed retryable: " << e.what();
+  } catch (const std::exception& e) {
+    ADD_FAILURE() << cell << ": untyped exception escaped: " << e.what();
+  }
+  std::filesystem::remove(path);
+  return kind;
+}
+
+std::vector<std::byte> with_bit_flip(std::size_t offset, int bit = 0) {
+  std::vector<std::byte> frame = sealed_frame();
+  frame[offset] ^= std::byte{static_cast<unsigned char>(1u << bit)};
+  return frame;
+}
+
+std::vector<std::byte> truncated_to(std::size_t size) {
+  std::vector<std::byte> frame = sealed_frame();
+  frame.resize(size);
+  return frame;
+}
+
+TEST(Durability, BaselineArchiveLoadsCleanly) {
+  const auto path =
+      std::filesystem::temp_directory_path() / "epismc_durability_clean.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(sealed_frame().data()),
+              static_cast<std::streamsize>(sealed_frame().size()));
+  }
+  BinaryReader in = BinaryReader::load(path);
+  EXPECT_EQ(in.version(), StreamState::kArchiveVersion);
+  EXPECT_EQ(in.generation(), kSeedGeneration);
+  const StreamState st = StreamState::deserialize(in);
+  EXPECT_TRUE(in.exhausted());
+  EXPECT_GT(st.n_sims, 0u);
+  EXPECT_FALSE(st.days.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Durability, EveryPayloadBitFlipFailsTheCrc) {
+  // The CRC covers the whole payload, so damage anywhere -- the archive
+  // header, the tag, the accumulators, the last payload byte -- is caught
+  // at the seal check before a single field is parsed.
+  const std::size_t payload = payload_size();
+  const std::size_t offsets[] = {0,            // header magic
+                                 4,            // header version word
+                                 8,            // StreamState tag length
+                                 payload / 3,  // early payload
+                                 payload / 2,  // mid payload
+                                 payload - 1}; // last payload byte
+  for (const std::size_t off : offsets) {
+    for (const int bit : {0, 7}) {
+      const auto kind = load_kind(with_bit_flip(off, bit),
+                                  "payload_flip_" + std::to_string(off) +
+                                      "_b" + std::to_string(bit));
+      if (kind) {
+        EXPECT_EQ(*kind, ArchiveErrorKind::kCorrupt)
+            << "payload offset " << off << " bit " << bit;
+      }
+    }
+  }
+}
+
+TEST(Durability, FooterFieldDamageIsTyped) {
+  const std::size_t size = sealed_frame().size();
+  // Footer layout: u64 payload_bytes, u64 generation, u32 magic, u32 crc.
+  const struct {
+    std::size_t offset;
+    ArchiveErrorKind expect;
+    const char* name;
+  } cells[] = {
+      // A wrong declared length reads as truncation (checked right after
+      // the magic, before the CRC).
+      {size - 24, ArchiveErrorKind::kTruncated, "footer_payload_bytes"},
+      // The generation stamp is under the CRC: rotation ordering cannot
+      // be silently flipped by bit rot.
+      {size - 16, ArchiveErrorKind::kCorrupt, "footer_generation"},
+      {size - 8, ArchiveErrorKind::kCorrupt, "footer_magic"},
+      {size - 4, ArchiveErrorKind::kCorrupt, "footer_crc"},
+  };
+  for (const auto& cell : cells) {
+    const auto kind = load_kind(with_bit_flip(cell.offset), cell.name);
+    if (kind) EXPECT_EQ(*kind, cell.expect) << cell.name;
+  }
+}
+
+TEST(Durability, EveryTruncationBoundaryIsTyped) {
+  const std::size_t size = sealed_frame().size();
+  const std::size_t payload = payload_size();
+  const std::size_t cuts[] = {
+      1,             // single byte
+      7,             // inside the archive header
+      8,             // header only (below the structural minimum)
+      31,            // one short of header + footer minimum
+      payload / 2,   // torn mid-payload
+      payload,       // exactly the payload, footer gone
+      size - 24,     // same boundary, spelled from the seal side
+      size - 4,      // crc field torn off
+      size - 1,      // one byte short
+  };
+  for (const std::size_t cut : cuts) {
+    const auto kind =
+        load_kind(truncated_to(cut), "truncate_" + std::to_string(cut));
+    if (kind) {
+      EXPECT_TRUE(*kind == ArchiveErrorKind::kTruncated ||
+                  *kind == ArchiveErrorKind::kCorrupt)
+          << "cut at " << cut << " reported "
+          << epismc::io::to_string(*kind);
+    }
+  }
+  // Size zero is its own cell: a created-then-crashed empty file.
+  const auto kind = load_kind(truncated_to(0), "truncate_0");
+  if (kind) EXPECT_EQ(*kind, ArchiveErrorKind::kTruncated);
+}
+
+TEST(Durability, TrailingGarbageBreaksTheSeal) {
+  std::vector<std::byte> frame = sealed_frame();
+  frame.push_back(std::byte{0xAB});
+  const auto kind = load_kind(frame, "appended_byte");
+  if (kind) {
+    EXPECT_TRUE(*kind == ArchiveErrorKind::kTruncated ||
+                *kind == ArchiveErrorKind::kCorrupt);
+  }
+}
+
+TEST(Durability, ForeignSealedArchiveIsForeignTag) {
+  // A well-formed, correctly sealed archive of the right format version
+  // that simply holds some other payload: the one case the CRC cannot
+  // catch, caught by the tag instead.
+  BinaryWriter out(StreamState::kArchiveVersion);
+  out.write_string("epismc-sweep-grid");
+  out.write(std::uint64_t{42});
+  const auto path =
+      std::filesystem::temp_directory_path() / "epismc_durability_foreign.bin";
+  out.save(path);
+  BinaryReader in = BinaryReader::load(path);
+  try {
+    (void)StreamState::deserialize(in);
+    FAIL() << "foreign archive parsed as a stream checkpoint";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveErrorKind::kForeignTag) << e.what();
+    EXPECT_NE(std::string(e.what()).find("epismc-sweep-grid"),
+              std::string::npos)
+        << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Durability, FutureFormatVersionIsVersionNotForeign) {
+  // The version gate fires before the tag read, so an archive from a
+  // newer build reports "upgrade me", not "wrong payload".
+  BinaryWriter out(StreamState::kArchiveVersion + 97);
+  out.write_string(StreamState::kArchiveTag);
+  const auto path =
+      std::filesystem::temp_directory_path() / "epismc_durability_future.bin";
+  out.save(path);
+  BinaryReader in = BinaryReader::load(path);
+  try {
+    (void)StreamState::deserialize(in);
+    FAIL() << "future-version archive parsed";
+  } catch (const ArchiveError& e) {
+    EXPECT_EQ(e.kind(), ArchiveErrorKind::kVersion) << e.what();
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Durability, RotationInspectClassifiesDamagedSlots) {
+  // The slot prober used by resume_latest and checkpoint_inspect must
+  // carry the same typed verdicts: a damaged newest slot reads unusable
+  // with its error, recency ordering falls back to the intact older one.
+  const auto base =
+      std::filesystem::temp_directory_path() / "epismc_durability_rot";
+  const io::CheckpointRotation rotation{base};
+  std::filesystem::remove(rotation.slot_a());
+  std::filesystem::remove(rotation.slot_b());
+
+  const auto write_frame = [](const std::filesystem::path& p,
+                              const std::vector<std::byte>& frame) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
+  };
+  write_frame(rotation.slot_a(), sealed_frame());          // intact, gen 3
+  write_frame(rotation.slot_b(), with_bit_flip(payload_size() / 2));
+
+  const auto slots = rotation.inspect();
+  EXPECT_TRUE(slots[0].usable);
+  EXPECT_EQ(slots[0].generation, kSeedGeneration);
+  EXPECT_FALSE(slots[1].usable);
+  EXPECT_FALSE(slots[1].error.empty());
+
+  const auto ordered = rotation.by_recency();
+  EXPECT_TRUE(ordered[0].usable || ordered[1].usable);
+
+  std::filesystem::remove(rotation.slot_a());
+  std::filesystem::remove(rotation.slot_b());
+}
+
+}  // namespace
