@@ -8,14 +8,18 @@
 // For every file this reports existence, footer generation stamp, CRC32C
 // verification, format version, payload size and the leading archive tag,
 // plus which slot resume_latest would pick -- the same io::inspect_archive
-// probe StreamingCalibrator uses for recovery.
+// probe StreamingCalibrator uses for recovery. If a supervisor left its
+// report next to the slots (BASE.supervision), the per-task attempt
+// history is printed too. Exits 1 when no inspected archive is usable.
 
+#include <filesystem>
 #include <iostream>
 #include <string>
 
 #include "io/args.hpp"
 #include "io/checkpoint_rotation.hpp"
 #include "io/table.hpp"
+#include "supervise/report.hpp"
 
 namespace {
 
@@ -33,6 +37,39 @@ void add_row(epismc::io::Table& table, const std::string& label,
       info.usable ? std::to_string(info.payload_bytes) : "-",
       info.usable ? (info.tag.empty() ? "(untagged)" : info.tag)
                   : info.error);
+}
+
+// A supervisor saves its report as BASE.supervision next to the slots;
+// surface the per-task attempt history when one is there. A torn or
+// foreign file is reported, never fatal -- this is a read-only probe.
+void maybe_print_supervision(const std::string& base) {
+  namespace fs = std::filesystem;
+  using namespace epismc;
+  const fs::path report_path = base + ".supervision";
+  std::error_code ec;
+  if (!fs::exists(report_path, ec)) return;
+  std::cout << "\nSupervision report (" << report_path.string() << "):\n";
+  try {
+    const auto report = supervise::SupervisionReport::load(report_path);
+    io::Table table({"task", "kind", "attempt", "outcome", "exit", "signal",
+                     "resumed", "wall-s"});
+    for (const auto& t : report.tasks) {
+      for (const auto& a : t.attempts) {
+        table.add_row_values(
+            a.attempt == 0 ? t.name : "", a.attempt == 0 ? t.kind : "",
+            std::to_string(a.attempt), supervise::to_string(a.outcome),
+            a.exit_code < 0 ? "-" : std::to_string(a.exit_code),
+            a.signal == 0 ? "-" : std::to_string(a.signal),
+            a.resumed ? "gen " + std::to_string(a.recovered_generation) : "",
+            io::Table::num(a.wall_seconds, 2));
+      }
+    }
+    table.print(std::cout);
+    std::cout << report.n_ok() << "/" << report.tasks.size() << " task(s) ok, "
+              << report.n_recovered() << " recovered after retries\n";
+  } catch (const std::exception& e) {
+    std::cout << "  unreadable: " << e.what() << "\n";
+  }
 }
 
 }  // namespace
@@ -56,9 +93,11 @@ int main(int argc, char** argv) {
        "tag / error"});
 
   if (single) {
-    add_row(table, "-", io::inspect_archive(path));
+    const io::SlotInfo info = io::inspect_archive(path);
+    add_row(table, "-", info);
     table.print(std::cout);
-    return 0;
+    maybe_print_supervision(path);
+    return info.usable ? 0 : 1;
   }
 
   const io::CheckpointRotation rotation{path};
@@ -78,9 +117,11 @@ int main(int argc, char** argv) {
               << "); newest slot is unusable: " << ordered[0].error << "\n";
   } else if (ordered[0].exists || ordered[1].exists) {
     std::cout << "\nno usable slot -- recovery would fail\n";
+    maybe_print_supervision(path);
     return 1;
   } else {
     std::cout << "\nno slots on disk -- a session here would start fresh\n";
   }
+  maybe_print_supervision(path);
   return 0;
 }

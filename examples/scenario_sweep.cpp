@@ -10,7 +10,13 @@
 //   scenario_sweep                                  # 4 presets x 2 backends
 //   scenario_sweep --scenarios=paper-baseline,abm-truth --simulators=abm
 //   scenario_sweep --windows=2 --n-params=400 --threads=8
+//   scenario_sweep --supervise --max-retries=2 --stall-timeout=10
+//       # each cell in a forked, heartbeat-monitored worker: crashes and
+//       # hangs are killed, backed off, retried; surviving cells report
+//       # normally and the failed ones are named (--report-csv=PATH dumps
+//       # the per-attempt log)
 
+#include <fstream>
 #include <iostream>
 
 #include "api/api.hpp"
@@ -49,6 +55,7 @@ int main(int argc, char** argv) {
   const auto resample = static_cast<std::size_t>(
       args.get_int("resample", static_cast<std::int64_t>(2 * n_params)));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 20240306));
+  const api::SuperviseFlags sup_flags = api::query_supervise_flags(args);
   args.check_unused();
 
   std::vector<std::pair<std::int32_t, std::int32_t>> windows(
@@ -67,9 +74,38 @@ int main(int argc, char** argv) {
             << simulator_list.size() << " simulators = " << sweep.cell_count()
             << " calibration runs (" << windows.size() << " windows each, "
             << n_params * replicates << " trajectories per window) on "
-            << parallel::max_threads() << " threads...\n\n";
+            << parallel::max_threads() << " threads"
+            << (sup_flags.enabled ? " (supervised workers)" : "")
+            << "...\n\n";
 
-  const std::vector<api::SweepRun> runs = sweep.run_all();
+  std::vector<api::SweepRun> runs;
+  bool supervision_ok = true;
+  if (sup_flags.enabled) {
+    api::ScenarioSweep::SupervisedSweep result =
+        sweep.run_supervised(sup_flags.options);
+    supervision_ok = result.all_ok();
+    runs = std::move(result.runs);
+
+    io::Table sup_table({"task", "outcome", "attempts", "wall-s"});
+    for (const auto& t : result.report.tasks) {
+      sup_table.add_row_values(t.name, supervise::to_string(t.outcome),
+                               std::to_string(t.attempts.size()),
+                               io::Table::num(t.wall_seconds, 2));
+    }
+    std::cout << "Supervision report (" << result.report.n_ok() << "/"
+              << result.report.tasks.size() << " ok, "
+              << result.report.n_recovered() << " recovered):\n";
+    sup_table.print(std::cout);
+    if (!sup_flags.report_csv.empty()) {
+      std::ofstream out(sup_flags.report_csv);
+      supervise::write_supervision_csv(out, result.report);
+      std::cout << "Attempt log written to " << sup_flags.report_csv.string()
+                << "\n";
+    }
+    std::cout << "\n";
+  } else {
+    runs = sweep.run_all();
+  }
 
   io::Table table({"scenario", "simulator", "window", "theta*", "theta mean",
                    "theta sd", "rho*", "rho mean", "ESS", "wall (s)"});
@@ -99,5 +135,5 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n" << runs.size() - failed << "/" << runs.size()
             << " cells completed.\n";
-  return failed == 0 ? 0 : 1;
+  return failed == 0 && supervision_ok ? 0 : 1;
 }

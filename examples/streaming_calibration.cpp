@@ -20,6 +20,11 @@
 //   streaming_calibration --stream-csv=days.csv      # per-day diagnostics
 //   streaming_calibration --inference=tempered --ess-threshold=0.6
 //       # adaptive: resample the live cloud the day ESS collapses
+//   streaming_calibration --supervise --checkpoint-every=4 \
+//       --checkpoint-path=stream.ckpt --max-retries=2 --stall-timeout=10
+//       # hands-off: the whole feed runs in a forked, heartbeat-monitored
+//       # worker; crashes/hangs are killed, backed off and resumed from
+//       # the newest CRC-passing slot (--report-csv=PATH dumps attempts)
 
 #include <fstream>
 #include <iostream>
@@ -27,6 +32,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "fault/fault.hpp"
 #include "io/csv.hpp"
 #include "io/table.hpp"
 #include "stream/stream_state.hpp"
@@ -59,7 +65,65 @@ int main(int argc, char** argv) {
   const std::string data_csv = args.get_string("data", "");
   const std::string stream_csv = args.get_string("stream-csv", "");
   const auto stop_after = args.get_int("stop-after", 0);
+  const api::SuperviseFlags sup_flags = api::query_supervise_flags(args);
   args.check_unused();
+
+  // --- Supervised mode: the whole feed in a monitored worker. -------------
+  if (sup_flags.enabled) {
+    if (options.checkpoint_every <= 0 || checkpoint_path.empty()) {
+      std::cerr << "--supervise needs --checkpoint-every=N and "
+                   "--checkpoint-path=PATH (retries resume from the rotated "
+                   "slots)\n";
+      return 2;
+    }
+    if (!data_csv.empty()) {
+      std::cerr << "--supervise replays the session's scenario feed; "
+                   "--data is not supported here\n";
+      return 2;
+    }
+    options.checkpoint_path = checkpoint_path;
+    const supervise::SupervisionReport report =
+        session.supervised(options, sup_flags.options);
+
+    io::Table table({"task", "kind", "outcome", "attempts", "wall-s"});
+    for (const auto& t : report.tasks) {
+      table.add_row_values(t.name, t.kind, supervise::to_string(t.outcome),
+                           std::to_string(t.attempts.size()),
+                           io::Table::num(t.wall_seconds, 2));
+    }
+    std::cout << "Supervision report (" << report.n_ok() << "/"
+              << report.tasks.size() << " ok, " << report.n_recovered()
+              << " recovered):\n";
+    table.print(std::cout);
+    if (!sup_flags.report_csv.empty()) {
+      std::ofstream out(sup_flags.report_csv);
+      supervise::write_supervision_csv(out, report);
+      std::cout << "Attempt log written to "
+                << sup_flags.report_csv.string() << "\n";
+    }
+    if (!report.all_ok()) {
+      std::cout << "FAILED: " << report.n_failed()
+                << " task(s) exhausted the retry budget\n";
+      return 1;
+    }
+
+    // Load the worker's final durable state and show what it computed.
+    // Any EPISMC_FAULT matrix aimed at the worker is suppressed here: the
+    // parent is bookkeeping, not the system under test.
+    fault::ScopedSuppress suppress;
+    api::StreamOptions load_options;
+    load_options.checkpoint_every = options.checkpoint_every;
+    load_options.checkpoint_path = checkpoint_path;
+    load_options.resume_latest = true;
+    stream::StreamingCalibrator calibrator = session.stream(load_options);
+    if (!stream_csv.empty()) {
+      std::ofstream out(stream_csv);
+      stream::write_stream_day_csv(out, calibrator.day_records());
+    }
+    std::cout << "\nAll " << calibrator.history().size()
+              << " windows assimilated.\n";
+    return 0;
+  }
 
   // --- The day feed: a CSV (day,cases[,deaths]) or the scenario truth. ----
   std::vector<stream::DailyObservation> feed;

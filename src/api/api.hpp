@@ -8,6 +8,8 @@
 //                  jitter_policies() / scenarios()
 //   one run        api::CalibrationSession (fluent builder)
 //   many runs      api::ScenarioSweep (presets x backends, OpenMP-parallel)
+//   supervised     session.supervised() / sweep.run_supervised() (forked
+//                  workers, heartbeats, retry/backoff; src/supervise/)
 //   CLI            api::configure_session_from_args (standard flags)
 //
 // Result types (WindowResult, WindowPosteriorSummary, Forecast, Ribbon,

@@ -104,4 +104,26 @@ bool handle_list_flag(const io::Args& args, std::ostream& os) {
   return true;
 }
 
+SuperviseFlags query_supervise_flags(const io::Args& args) {
+  SuperviseFlags flags;
+  flags.enabled = args.get_flag("supervise");
+  const std::int64_t retries =
+      args.get_int("max-retries", flags.options.max_retries);
+  if (retries < 0) {
+    throw std::invalid_argument("--max-retries must be >= 0");
+  }
+  flags.options.max_retries = static_cast<std::uint32_t>(retries);
+  flags.options.task_deadline_seconds =
+      args.get_double("task-deadline", flags.options.task_deadline_seconds);
+  flags.options.stall_timeout_seconds =
+      args.get_double("stall-timeout", flags.options.stall_timeout_seconds);
+  if (flags.options.task_deadline_seconds < 0.0 ||
+      flags.options.stall_timeout_seconds < 0.0) {
+    throw std::invalid_argument(
+        "--task-deadline / --stall-timeout must be >= 0 (0 disables)");
+  }
+  flags.report_csv = args.get_string("report-csv", "");
+  return flags;
+}
+
 }  // namespace epismc::api

@@ -26,6 +26,13 @@
 //   --use-deaths        add the death stream (paper eq. 4)
 //   --seed=N            base randomness identity
 //
+// Supervised-execution flags (see src/supervise/):
+//   --supervise         run the work under process supervision
+//   --max-retries=N     retry budget per task (default 2)
+//   --task-deadline=S   hard per-attempt wall clock in seconds (0 = off)
+//   --stall-timeout=S   kill a task with no heartbeat for S seconds
+//   --report-csv=PATH   dump the SupervisionReport as CSV
+//
 // Unknown registry names fail with the registry's listing; `--list`
 // prints every registry's names and returns true (caller should exit 0).
 
@@ -34,6 +41,7 @@
 
 #include "api/session.hpp"
 #include "io/args.hpp"
+#include "supervise/supervisor.hpp"
 
 namespace epismc::api {
 
@@ -75,5 +83,19 @@ void print_registries(std::ostream& os);
 
 /// True when --list was passed (after printing); callers exit early.
 [[nodiscard]] bool handle_list_flag(const io::Args& args, std::ostream& os);
+
+/// The supervised-execution flag set, queried in one shot (so
+/// check_unused accepts the flags even on unsupervised runs).
+struct SuperviseFlags {
+  bool enabled = false;
+  supervise::SupervisorOptions options;
+  /// --report-csv destination; empty when the flag is absent.
+  std::filesystem::path report_csv;
+};
+
+/// Query --supervise / --max-retries / --task-deadline / --stall-timeout /
+/// --report-csv. Negative durations are rejected (std::invalid_argument);
+/// defaults come from SupervisorOptions.
+[[nodiscard]] SuperviseFlags query_supervise_flags(const io::Args& args);
 
 }  // namespace epismc::api

@@ -235,6 +235,16 @@ CalibrationSession& CalibrationSession::with_config(
   return *this;
 }
 
+CalibrationSession& CalibrationSession::with_progress(
+    core::ProgressReporter progress) {
+  // Deliberately allowed after build(): a progress hook changes no
+  // result, so late attachment is harmless (and supervised children
+  // attach theirs after materialization).
+  progress_ = std::move(progress);
+  if (calibrator_) calibrator_->set_progress(progress_);
+  return *this;
+}
+
 void CalibrationSession::build() {
   if (calibrator_) return;
   // Validate the staged config (windows, budget, component names) before
@@ -258,6 +268,7 @@ void CalibrationSession::build() {
   simulator_ = simulators().create(simulator_name_, spec);
   calibrator_ = std::make_unique<core::SequentialCalibrator>(*simulator_,
                                                              *data_, config_);
+  calibrator_->set_progress(progress_);
 }
 
 stream::StreamingCalibrator CalibrationSession::stream(StreamOptions options) {
@@ -279,8 +290,71 @@ stream::StreamingCalibrator CalibrationSession::stream(StreamOptions options) {
   stream_config.resample_mid_window = options.resample_mid_window;
   stream::StreamingCalibrator calibrator(*simulator_,
                                          std::move(stream_config));
+  calibrator.set_progress(progress_);
   if (options.resume_latest) calibrator.resume_latest();
   return calibrator;
+}
+
+supervise::SupervisionReport CalibrationSession::supervised(
+    StreamOptions options, supervise::SupervisorOptions sup) {
+  config_.validate();
+  if (options.checkpoint_path.empty() || options.checkpoint_every <= 0) {
+    throw std::invalid_argument(
+        "CalibrationSession::supervised: checkpoint_every > 0 and a "
+        "checkpoint_path are required (retries resume from the rotated "
+        "slots)");
+  }
+  // Materialize the feed in the parent: every attempt's forked child
+  // inherits the same observations copy-on-write instead of re-simulating
+  // ground truth per retry.
+  if (preset_ && !data_) {
+    truth_ = preset_->make_truth();
+    data_ = truth_->observed();
+  }
+  if (!data_) {
+    throw std::logic_error(
+        "CalibrationSession::supervised: no data -- call with_scenario() or "
+        "with_data() first");
+  }
+  if (sup.report_path.empty()) {
+    sup.report_path = options.checkpoint_path.string() + ".supervision";
+  }
+
+  supervise::SupervisedTask task;
+  task.name = "stream:" + options.checkpoint_path.filename().string();
+  task.kind = "stream";
+  task.checkpoint_base = options.checkpoint_path;
+  task.body = [this, options](supervise::TaskContext& ctx) -> int {
+    // Runs in the forked child: `this` is the child's COW copy of the
+    // session, so mutating it (stream() marks it streamed) never leaks
+    // back into the parent.
+    StreamOptions o = options;
+    // Attempt 0 with empty slots starts fresh (resume_latest returns
+    // nullopt); any attempt after a checkpointed crash resumes.
+    o.resume_latest = true;
+    stream::StreamingCalibrator calibrator = stream(o);
+    if (calibrator.last_recovery()) {
+      ctx.report_recovery(*calibrator.last_recovery());
+    }
+    calibrator.set_progress(
+        core::ProgressReporter::chain(progress_, ctx.progress()));
+    const core::ObservedData& feed = *data_;
+    while (!calibrator.finished()) {
+      stream::DailyObservation obs;
+      obs.day = calibrator.next_expected_day();
+      obs.cases = feed.cases_at(obs.day);
+      if (config_.use_deaths) obs.deaths = feed.deaths_at(obs.day);
+      calibrator.ingest(obs);
+    }
+    // The final state must be durable even when the feed length is not a
+    // multiple of the checkpoint cadence -- it is what the parent loads.
+    calibrator.checkpoint_now();
+    return 0;
+  };
+
+  supervise::Supervisor supervisor(std::move(sup));
+  supervisor.add_task(std::move(task));
+  return supervisor.run_all();
 }
 
 const core::WindowResult& CalibrationSession::run_next_window() {

@@ -39,6 +39,7 @@
 #include "core/sequential_calibrator.hpp"
 #include "core/simulator.hpp"
 #include "stream/streaming_calibrator.hpp"
+#include "supervise/supervisor.hpp"
 
 namespace epismc::api {
 
@@ -128,6 +129,10 @@ class CalibrationSession {
                                   std::shared_ptr<const core::Prior> rho);
   /// Wholesale config replacement (escape hatch for ported call sites).
   CalibrationSession& with_config(core::CalibrationConfig config);
+  /// Liveness/progress hook, beaten per window (batch) or per day
+  /// (streaming). Composes with the supervision heartbeat when the
+  /// session runs under supervised().
+  CalibrationSession& with_progress(core::ProgressReporter progress);
 
   // --- Running. ------------------------------------------------------------
   /// Online streaming calibration: materialize the simulator from the
@@ -137,6 +142,16 @@ class CalibrationSession {
   /// calibrator (it owns the simulator), and like the batch path a
   /// session is one run: further with_* calls throw after stream().
   [[nodiscard]] stream::StreamingCalibrator stream(StreamOptions options = {});
+  /// Hands-off streaming run under process supervision: the whole feed
+  /// (the session's scenario/user data) is assimilated day by day inside
+  /// a forked worker that heartbeats per day; a crash, hang or stall is
+  /// killed, backed off, and retried from the newest CRC-passing
+  /// checkpoint slot (resume_latest) up to the retry budget. Requires
+  /// checkpoint_every > 0 and a checkpoint_path. The parent session
+  /// stays un-streamed: after a successful report, load the final state
+  /// with stream({.checkpoint_path = ..., .resume_latest = true}).
+  supervise::SupervisionReport supervised(
+      StreamOptions options, supervise::SupervisorOptions sup = {});
   /// Calibrate the next window (materializes the pipeline on first call).
   const core::WindowResult& run_next_window();
   /// Calibrate all remaining windows.
@@ -192,6 +207,7 @@ class CalibrationSession {
   core::CalibrationConfig config_;
   std::unique_ptr<core::Simulator> simulator_;
   std::unique_ptr<core::SequentialCalibrator> calibrator_;
+  core::ProgressReporter progress_;
   bool streamed_ = false;
 };
 

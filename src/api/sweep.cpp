@@ -1,11 +1,130 @@
 #include "api/sweep.hpp"
 
 #include <exception>
+#include <filesystem>
+#include <system_error>
 
+#include <unistd.h>
+
+#include "io/binary_archive.hpp"
 #include "parallel/parallel.hpp"
 #include "random/seeding.hpp"
 
 namespace epismc::api {
+
+namespace {
+
+// Durable per-cell result interchange for run_supervised: a supervised
+// cell computes in a forked child, so its SweepRun crosses back to the
+// parent through a sealed archive file (same footer/CRC protocol as the
+// checkpoints -- a child killed mid-write must not hand the parent a
+// torn result).
+constexpr std::uint32_t kCellArchiveVersion = 1;
+constexpr const char* kCellArchiveTag = "epismc-sweep-cell";
+
+void write_summary(io::BinaryWriter& out, const core::ParameterSummary& s) {
+  out.write(s.mean);
+  out.write(s.sd);
+  out.write(s.median);
+  out.write(s.ci50.lo);
+  out.write(s.ci50.hi);
+  out.write(s.ci90.lo);
+  out.write(s.ci90.hi);
+}
+
+core::ParameterSummary read_summary(io::BinaryReader& in) {
+  core::ParameterSummary s;
+  s.mean = in.read<double>();
+  s.sd = in.read<double>();
+  s.median = in.read<double>();
+  s.ci50.lo = in.read<double>();
+  s.ci50.hi = in.read<double>();
+  s.ci90.lo = in.read<double>();
+  s.ci90.hi = in.read<double>();
+  return s;
+}
+
+void write_sweep_run(const SweepRun& run, const std::filesystem::path& path) {
+  io::BinaryWriter out(kCellArchiveVersion);
+  out.write_string(kCellArchiveTag);
+  out.write_string(run.scenario);
+  out.write_string(run.simulator);
+  out.write(static_cast<std::uint64_t>(run.windows.size()));
+  for (const core::WindowPosteriorSummary& w : run.windows) {
+    out.write(w.from_day);
+    out.write(w.to_day);
+    write_summary(out, w.theta);
+    write_summary(out, w.rho);
+  }
+  out.write(static_cast<std::uint64_t>(run.diagnostics.size()));
+  for (const core::WindowDiagnostics& d : run.diagnostics) {
+    out.write(d.ess);
+    out.write(d.perplexity);
+    out.write(d.max_weight);
+    out.write(d.log_marginal);
+    out.write(static_cast<std::uint64_t>(d.unique_resampled));
+    out.write(static_cast<std::uint64_t>(d.n_sims));
+    out.write(d.propagate_seconds);
+    out.write(d.checkpoint_seconds);
+    out.write(static_cast<std::uint8_t>(d.inline_capture ? 1 : 0));
+  }
+  out.write_vector(run.truth_theta);
+  out.write_vector(run.truth_rho);
+  out.write(run.wall_seconds);
+  out.write_string(run.error);
+  out.save(path);
+}
+
+SweepRun read_sweep_run(const std::filesystem::path& path) {
+  io::BinaryReader in = io::BinaryReader::load(path);
+  if (in.version() != kCellArchiveVersion) {
+    throw io::ArchiveError(io::ArchiveErrorKind::kVersion,
+                           "sweep cell result: version " +
+                               std::to_string(in.version()) +
+                               ", this build reads " +
+                               std::to_string(kCellArchiveVersion));
+  }
+  const std::string tag = in.read_string();
+  if (tag != kCellArchiveTag) {
+    throw io::ArchiveError(io::ArchiveErrorKind::kForeignTag,
+                           "sweep cell result: archive tagged '" + tag + "'");
+  }
+  SweepRun run;
+  run.scenario = in.read_string();
+  run.simulator = in.read_string();
+  const auto n_windows = in.read<std::uint64_t>();
+  run.windows.reserve(n_windows);
+  for (std::uint64_t i = 0; i < n_windows; ++i) {
+    core::WindowPosteriorSummary w;
+    w.from_day = in.read<std::int32_t>();
+    w.to_day = in.read<std::int32_t>();
+    w.theta = read_summary(in);
+    w.rho = read_summary(in);
+    run.windows.push_back(w);
+  }
+  const auto n_diag = in.read<std::uint64_t>();
+  run.diagnostics.reserve(n_diag);
+  for (std::uint64_t i = 0; i < n_diag; ++i) {
+    core::WindowDiagnostics d;
+    d.ess = in.read<double>();
+    d.perplexity = in.read<double>();
+    d.max_weight = in.read<double>();
+    d.log_marginal = in.read<double>();
+    d.unique_resampled = static_cast<std::size_t>(in.read<std::uint64_t>());
+    d.n_sims = static_cast<std::size_t>(in.read<std::uint64_t>());
+    d.propagate_seconds = in.read<double>();
+    d.checkpoint_seconds = in.read<double>();
+    d.inline_capture = in.read<std::uint8_t>() != 0;
+    run.diagnostics.push_back(d);
+  }
+  run.truth_theta = in.read_vector<double>();
+  run.truth_rho = in.read_vector<double>();
+  run.wall_seconds = in.read<double>();
+  run.error = in.read_string();
+  return run;
+}
+
+}  // namespace
 
 ScenarioSweep& ScenarioSweep::add_scenario(const std::string& preset_name) {
   if (!scenarios().contains(preset_name)) {
@@ -75,6 +194,11 @@ ScenarioSweep& ScenarioSweep::with_session_setup(
   return *this;
 }
 
+ScenarioSweep& ScenarioSweep::with_progress(core::ProgressReporter progress) {
+  progress_ = std::move(progress);
+  return *this;
+}
+
 std::vector<SweepRun> ScenarioSweep::run_all() const {
   if (scenario_names_.empty() || simulator_names_.empty()) {
     throw std::logic_error(
@@ -136,6 +260,7 @@ std::vector<SweepRun> ScenarioSweep::run_all() const {
               .with_deaths(use_deaths_)
               .with_seed(scenario_seed(si));
           if (session_setup_) session_setup_(session);
+          session.with_progress(progress_);
           session.run_all();
 
           for (const auto& w : session.results()) {
@@ -157,6 +282,126 @@ std::vector<SweepRun> ScenarioSweep::run_all() const {
   }
 
   return runs;
+}
+
+ScenarioSweep::SupervisedSweep ScenarioSweep::run_supervised(
+    supervise::SupervisorOptions sup) const {
+  if (scenario_names_.empty() || simulator_names_.empty()) {
+    throw std::logic_error(
+        "ScenarioSweep: need at least one scenario and one simulator");
+  }
+
+  // Ground truths once, in the parent, serially: every child inherits
+  // them copy-on-write, and staying out of OpenMP regions before fork
+  // leaves each child free to bring up its own thread team.
+  struct ScenarioTruth {
+    ScenarioPreset preset;
+    core::GroundTruth truth;
+  };
+  std::vector<ScenarioTruth> truths;
+  truths.reserve(scenario_names_.size());
+  for (const auto& name : scenario_names_) {
+    ScenarioPreset preset = scenarios().create(name);
+    core::GroundTruth truth = preset.make_truth();
+    truths.push_back({std::move(preset), std::move(truth)});
+  }
+
+  // Cell results cross the process boundary through sealed archives in a
+  // directory that outlives the supervisor's own scratch space.
+  const std::filesystem::path cells_dir =
+      sup.report_path.empty()
+          ? std::filesystem::temp_directory_path() /
+                ("epismc-sweep." + std::to_string(::getpid()))
+          : std::filesystem::path(sup.report_path.string() + ".cells");
+  std::error_code dir_ec;
+  std::filesystem::create_directories(cells_dir, dir_ec);
+
+  const std::size_t n_sims = simulator_names_.size();
+  const auto scenario_seed = [this](std::size_t si) {
+    std::uint64_t h = seed_;
+    for (const char c : scenario_names_[si]) {
+      h = rng::hash_combine(h, static_cast<std::uint64_t>(c));
+    }
+    return h;
+  };
+
+  supervise::Supervisor supervisor(std::move(sup));
+  for (std::size_t cell = 0; cell < cell_count(); ++cell) {
+    const std::size_t si = cell / n_sims;
+    const std::size_t bi = cell % n_sims;
+    const std::filesystem::path result_path =
+        cells_dir / ("cell" + std::to_string(cell) + ".result");
+
+    supervise::SupervisedTask task;
+    task.name = "cell:" + scenario_names_[si] + "/" + simulator_names_[bi];
+    task.kind = "sweep-cell";
+    task.body = [this, &truths, si, bi, cell, scenario_seed,
+                 result_path](supervise::TaskContext& ctx) -> int {
+      const ScenarioTruth& st = truths[si];
+      SweepRun out;
+      out.scenario = scenario_names_[si];
+      out.simulator = simulator_names_[bi];
+
+      parallel::Timer timer;
+      CalibrationSession session;
+      session
+          .with_simulator(simulator_names_[bi], st.preset.simulator_spec())
+          .with_data(st.truth.observed())
+          .with_windows(windows_)
+          .with_budget(n_params_, replicates_, resample_size_)
+          .with_likelihood(likelihood_name_, likelihood_parameter_)
+          .with_deaths(use_deaths_)
+          .with_seed(scenario_seed(si));
+      if (session_setup_) session_setup_(session);
+      session.with_progress(
+          core::ProgressReporter::chain(progress_, ctx.progress()));
+      session.run_all();
+
+      for (const auto& w : session.results()) {
+        out.windows.push_back(core::summarize_window(w));
+        out.diagnostics.push_back(w.diag);
+        out.truth_theta.push_back(st.truth.theta_at(w.from_day));
+        out.truth_rho.push_back(st.truth.rho_at(w.from_day));
+      }
+      out.wall_seconds = timer.seconds();
+      write_sweep_run(out, result_path);
+      (void)cell;
+      return 0;
+    };
+    supervisor.add_task(std::move(task));
+  }
+
+  SupervisedSweep result;
+  result.report = supervisor.run_all();
+
+  result.runs.resize(cell_count());
+  for (std::size_t cell = 0; cell < cell_count(); ++cell) {
+    const std::size_t si = cell / n_sims;
+    const std::size_t bi = cell % n_sims;
+    SweepRun& out = result.runs[cell];
+    const supervise::TaskReport& task = result.report.tasks[cell];
+    if (task.ok()) {
+      try {
+        out = read_sweep_run(cells_dir /
+                             ("cell" + std::to_string(cell) + ".result"));
+        continue;
+      } catch (const io::ArchiveError& e) {
+        out.error = std::string("supervision: result archive unreadable (") +
+                    e.what() + ")";
+      }
+    } else {
+      out.error = "supervision: " + std::string(to_string(task.outcome)) +
+                  " after " + std::to_string(task.attempts.size()) +
+                  " attempt(s)";
+    }
+    out.scenario = scenario_names_[si];
+    out.simulator = simulator_names_[bi];
+    out.wall_seconds = task.wall_seconds;
+  }
+
+  std::error_code cleanup_ec;
+  std::filesystem::remove_all(cells_dir, cleanup_ec);
+  return result;
 }
 
 }  // namespace epismc::api

@@ -32,6 +32,7 @@
 #include "api/session.hpp"
 #include "core/particle.hpp"
 #include "core/posterior.hpp"
+#include "supervise/supervisor.hpp"
 
 namespace epismc::api {
 
@@ -78,6 +79,30 @@ class ScenarioSweep {
   /// identical regardless of thread count.
   [[nodiscard]] std::vector<SweepRun> run_all() const;
 
+  /// A supervised sweep: the cell results (same order and, for surviving
+  /// cells, same values as run_all) plus the per-task attempt record.
+  struct SupervisedSweep {
+    std::vector<SweepRun> runs;
+    supervise::SupervisionReport report;
+
+    [[nodiscard]] bool all_ok() const noexcept { return report.all_ok(); }
+  };
+
+  /// Liveness hook threaded into every cell's session (per-window beats).
+  /// run_supervised composes it with the supervision heartbeat.
+  ScenarioSweep& with_progress(core::ProgressReporter progress);
+
+  /// Run every cell in its own forked, heartbeat-monitored child process:
+  /// a crashed, hung or stalled cell is killed and retried with backoff up
+  /// to sup.max_retries, and a cell whose budget is exhausted fails alone
+  /// -- its SweepRun carries the supervision error while every surviving
+  /// cell completes normally. Cells that succeed first try are
+  /// bit-identical to run_all() (same per-cell seeds; the fork changes no
+  /// stream). Ground truths are still simulated once, in the parent, and
+  /// inherited copy-on-write by every child.
+  [[nodiscard]] SupervisedSweep run_supervised(
+      supervise::SupervisorOptions sup = {}) const;
+
  private:
   std::vector<std::string> scenario_names_;
   std::vector<std::string> simulator_names_;
@@ -91,6 +116,7 @@ class ScenarioSweep {
   bool use_deaths_ = false;
   std::uint64_t seed_ = 20240306;
   std::function<void(CalibrationSession&)> session_setup_;
+  core::ProgressReporter progress_;
 };
 
 }  // namespace epismc::api

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "api/components.hpp"
+#include "fault/fault.hpp"
 #include "random/engines.hpp"
 
 namespace epismc::core {
@@ -201,6 +202,8 @@ const WindowResult& SequentialCalibrator::run_next_window() {
     results_.push_back(run_importance_window(
         sim_, *likelihood_, *death_likelihood_, *bias_, data_, *initial_pool_,
         spec, make_prior_proposal(config_, needs_rho)));
+    fault::hit("window-boundary");
+    progress_.beat();
     return results_.back();
   }
 
@@ -217,6 +220,8 @@ const WindowResult& SequentialCalibrator::run_next_window() {
   results_.push_back(run_importance_window(sim_, *likelihood_,
                                            *death_likelihood_, *bias_, data_,
                                            *prev.state_pool, spec, propose));
+  fault::hit("window-boundary");
+  progress_.beat();
   return results_.back();
 }
 

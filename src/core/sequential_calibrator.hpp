@@ -22,6 +22,7 @@
 #include "core/likelihood.hpp"
 #include "core/particle.hpp"
 #include "core/prior.hpp"
+#include "core/progress.hpp"
 #include "core/simulator.hpp"
 
 namespace epismc::core {
@@ -164,6 +165,12 @@ class SequentialCalibrator {
   /// Shared burn-in checkpoint (valid after the first window has run).
   [[nodiscard]] const epi::Checkpoint& initial_state() const;
 
+  /// Liveness hook, beaten once after every completed window (the
+  /// supervision layer's stall detector rides this; see core/progress.hpp).
+  void set_progress(ProgressReporter progress) {
+    progress_ = std::move(progress);
+  }
+
  private:
   const Simulator& sim_;
   ObservedData data_;
@@ -174,6 +181,7 @@ class SequentialCalibrator {
   epi::Checkpoint initial_ckpt_;           // io-boundary copy (initial_state())
   std::shared_ptr<StatePool> initial_pool_;  // pooled shared burn-in state
   std::vector<WindowResult> results_;
+  ProgressReporter progress_;
 };
 
 }  // namespace epismc::core

@@ -15,7 +15,7 @@ std::atomic<std::uint32_t> g_armed_specs{0};
 
 namespace {
 
-enum class Action : std::uint8_t { kFail, kCrash, kKill, kTorn };
+enum class Action : std::uint8_t { kFail, kCrash, kKill, kHang, kTorn };
 
 struct Spec {
   std::string point;
@@ -43,6 +43,12 @@ const char* kTornPoint = "torn-write";
   ::kill(::getpid(), SIGKILL);
   // SIGKILL cannot be blocked; the loop only exists to satisfy
   // [[noreturn]] between raise and delivery.
+  for (;;) ::pause();
+}
+
+[[noreturn]] void die_by_hang() {
+  // A wedged-but-alive worker: never exits, never progresses, consumes
+  // no CPU. Only stall detection (or SIGKILL from a supervisor) ends it.
   for (;;) ::pause();
 }
 
@@ -96,14 +102,16 @@ Spec parse_spec(const std::string& text) {
     }
     const std::string key = kv.substr(0, eq);
     const std::uint64_t value = parse_uint(text, kv.substr(eq + 1));
-    if (key == "fail_after" || key == "crash_after" || key == "kill_after") {
+    if (key == "fail_after" || key == "crash_after" || key == "kill_after" ||
+        key == "hang_after") {
       if (have_action) {
         throw std::invalid_argument("fault::arm: '" + text +
                                     "': more than one action");
       }
       spec.action = key == "fail_after"    ? Action::kFail
                     : key == "crash_after" ? Action::kCrash
-                                           : Action::kKill;
+                    : key == "kill_after"  ? Action::kKill
+                                           : Action::kHang;
       spec.after = value;
       have_action = true;
     } else if (key == "at_byte") {
@@ -130,7 +138,8 @@ Spec parse_spec(const std::string& text) {
   if (!have_action) {
     throw std::invalid_argument(
         "fault::arm: '" + text +
-        "': no action (fail_after / crash_after / kill_after / at_byte)");
+        "': no action (fail_after / crash_after / kill_after / hang_after "
+        "/ at_byte)");
   }
   if (have_after && spec.action != Action::kTorn) {
     throw std::invalid_argument(
@@ -177,6 +186,8 @@ void hit_slow(const char* point) {
       die_by_crash();
     case Action::kKill:
       die_by_kill();
+    case Action::kHang:
+      die_by_hang();
     case Action::kTorn:
       break;  // unreachable: torn specs are filtered out above
   }
@@ -222,6 +233,16 @@ void disarm() {
   std::lock_guard<std::mutex> lock(r.mu);
   r.specs.clear();
   detail::g_armed_specs.store(0, std::memory_order_relaxed);
+}
+
+// Suppression only flips the fast-path gate; the specs and their hit
+// counters stay in the registry, so a later hook sees exactly the state
+// it would have seen had the suppressed scope never run.
+ScopedSuppress::ScopedSuppress()
+    : saved_(detail::g_armed_specs.exchange(0, std::memory_order_relaxed)) {}
+
+ScopedSuppress::~ScopedSuppress() {
+  detail::g_armed_specs.store(saved_, std::memory_order_relaxed);
 }
 
 const std::vector<std::string>& injection_points() {

@@ -17,6 +17,8 @@
 //   fail_after=N   pass N hits, then throw FaultInjected on hit N+1
 //   crash_after=N  pass N hits, then std::_Exit(kCrashExitCode)
 //   kill_after=N   pass N hits, then raise SIGKILL against this process
+//   hang_after=N   pass N hits, then block forever (pause loop) without
+//                  exiting -- a wedged worker for stall-detection tests
 //   at_byte=K      torn-write only: the armed archive save writes exactly
 //                  the first K bytes of the sealed frame to the final
 //                  destination (no temp/rename protocol) and _Exits --
@@ -88,6 +90,22 @@ void arm_from_env();
 
 /// Remove all armed specs (tests pair this with arm()).
 void disarm();
+
+/// RAII suppression of every armed spec for the current scope: hooks see
+/// the disarmed fast path while alive, the armed set is untouched and
+/// hook visibility is restored on destruction. The supervisor wraps its
+/// own report/archive saves in this so a process-wide EPISMC_FAULT aimed
+/// at worker checkpoints cannot take down the parent doing bookkeeping.
+class ScopedSuppress {
+ public:
+  ScopedSuppress();
+  ~ScopedSuppress();
+  ScopedSuppress(const ScopedSuppress&) = delete;
+  ScopedSuppress& operator=(const ScopedSuppress&) = delete;
+
+ private:
+  std::uint32_t saved_;
+};
 
 /// The canonical point names, for docs, validation and CI sweeps.
 [[nodiscard]] const std::vector<std::string>& injection_points();

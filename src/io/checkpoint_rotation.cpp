@@ -109,6 +109,34 @@ std::array<SlotInfo, 2> CheckpointRotation::inspect() const {
   return {inspect_archive(slot_a()), inspect_archive(slot_b())};
 }
 
+std::size_t CheckpointRotation::gc_stale_temps() const {
+  std::filesystem::path dir = base_.parent_path();
+  if (dir.empty()) dir = ".";
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  // BinaryWriter::save temps are `<final>.tmp.<pid>.<counter>`; match on
+  // the slot (and bare-base) filename prefixes so unrelated files in the
+  // checkpoint directory are never touched.
+  const std::array<std::string, 3> prefixes = {
+      slot_a().filename().string() + ".tmp.",
+      slot_b().filename().string() + ".tmp.",
+      base_.filename().string() + ".tmp."};
+  std::size_t removed = 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    const bool stale = std::any_of(
+        prefixes.begin(), prefixes.end(), [&](const std::string& prefix) {
+          return name.size() > prefix.size() &&
+                 name.compare(0, prefix.size(), prefix) == 0;
+        });
+    if (!stale) continue;
+    std::error_code rm_ec;
+    if (std::filesystem::remove(entry.path(), rm_ec) && !rm_ec) ++removed;
+  }
+  return removed;
+}
+
 std::array<SlotInfo, 2> CheckpointRotation::by_recency() const {
   std::array<SlotInfo, 2> both = inspect();
   if (both[1].generation > both[0].generation) {

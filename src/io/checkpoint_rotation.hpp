@@ -75,6 +75,13 @@ class CheckpointRotation {
   /// first fails. Unreadable-footer slots sort last (generation 0).
   [[nodiscard]] std::array<SlotInfo, 2> by_recency() const;
 
+  /// Remove leftover `<slot>.tmp.<pid>.<counter>` files from saves that
+  /// died between temp write and rename (a supervised child killed
+  /// mid-save leaves one per attempt, forever). Safe against live
+  /// writers of *this* base only in the single-writer regime the
+  /// rotation already assumes. Returns the number of files removed.
+  std::size_t gc_stale_temps() const;
+
  private:
   std::filesystem::path base_;
 };

@@ -70,6 +70,14 @@ inline void set_threads(int n) noexcept {
 template <typename Body>
 void parallel_for(std::size_t count, Body&& body, int chunk = 0) {
 #ifdef _OPENMP
+  // Serial fast path when only one thread would run: skips the OpenMP
+  // region entirely, which also makes single-threaded work fork-safe --
+  // a supervised child forked from an OpenMP-initialized parent must not
+  // re-enter the runtime (its worker-thread state did not survive fork).
+  if (max_threads() == 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
   if (chunk <= 0) chunk = default_chunk(count);
   std::exception_ptr error = nullptr;
 #pragma omp parallel for schedule(dynamic, chunk)

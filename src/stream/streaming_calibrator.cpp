@@ -92,6 +92,7 @@ const StreamDayRecord& StreamingCalibrator::ingest(
   any_assimilated_ = true;
   if (cursor_ == spec_.to_day) finalize_window();
   maybe_checkpoint();
+  progress_.beat();
   return days_.back();
 }
 
@@ -457,6 +458,17 @@ void StreamingCalibrator::maybe_checkpoint() {
   io::CheckpointRotation(config_.checkpoint_path).save_next(out);
 }
 
+void StreamingCalibrator::checkpoint_now() {
+  if (config_.checkpoint_path.empty()) {
+    throw std::logic_error(
+        "StreamingCalibrator::checkpoint_now: no checkpoint_path configured");
+  }
+  days_since_checkpoint_ = 0;
+  io::BinaryWriter out(StreamState::kArchiveVersion);
+  snapshot().serialize(out);
+  io::CheckpointRotation(config_.checkpoint_path).save_next(out);
+}
+
 StreamState StreamingCalibrator::snapshot() const {
   StreamState st;
   st.config_fingerprint = config_fingerprint(config_);
@@ -666,6 +678,9 @@ std::optional<io::RecoveredSlot> StreamingCalibrator::resume_latest() {
         "(rotated slots are derived from it)");
   }
   const io::CheckpointRotation rotation(config_.checkpoint_path);
+  // A crash mid-save (the very situation resume recovers from) leaks the
+  // save's temp file; collect any such strays before a retry leaks more.
+  rotation.gc_stale_temps();
   bool any_exists = false;
   bool fell_back = false;
   std::string failures;

@@ -104,6 +104,12 @@ class StreamingCalibrator {
   void save(const std::filesystem::path& path) const;
   void load(const std::filesystem::path& path);
 
+  /// Force a rotated checkpoint right now, regardless of the
+  /// checkpoint_every cadence (supervised sessions call this once at end
+  /// of feed so the terminal state is always durable). Requires a
+  /// configured checkpoint_path; resets the cadence counter.
+  void checkpoint_now();
+
   /// Crash recovery over the rotated checkpoint slots of the configured
   /// checkpoint_path: restores the newest CRC-passing slot, falling back
   /// to the older one when the newest is torn/corrupt, and reports what
@@ -119,6 +125,12 @@ class StreamingCalibrator {
   [[nodiscard]] const std::optional<io::RecoveredSlot>& last_recovery()
       const noexcept {
     return last_recovery_;
+  }
+
+  /// Liveness hook, beaten once per assimilated day (after any window
+  /// finalization and checkpoint for that day). See core/progress.hpp.
+  void set_progress(core::ProgressReporter progress) {
+    progress_ = std::move(progress);
   }
 
  private:
@@ -179,6 +191,7 @@ class StreamingCalibrator {
   std::vector<StreamWindowRecord> history_;
   std::vector<StreamDayRecord> days_;
   std::optional<io::RecoveredSlot> last_recovery_;
+  core::ProgressReporter progress_;
 };
 
 }  // namespace epismc::stream

@@ -1,0 +1,124 @@
+#pragma once
+
+// Outcome taxonomy and structured report for supervised execution.
+//
+// A supervisor's value is in what it can tell the operator after the
+// fact: not just "some cells failed" but which task, on which attempt,
+// how it died, how long it ran, and whether a retry resumed from a
+// durable checkpoint or started over. TaskOutcome is the typed
+// classification every child exit maps into (built on exit codes,
+// signals, and the archive layer's retryable/non-retryable split);
+// SupervisionReport is the durable record -- it serializes through the
+// same sealed binary archive as the calibration checkpoints and dumps
+// as CSV for scripts and CI artifacts.
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "io/binary_archive.hpp"
+
+namespace epismc::supervise {
+
+/// How a supervised task ended, in decreasing order of health.
+enum class TaskOutcome : std::uint8_t {
+  kOk = 0,                // clean exit 0
+  kRetryableCrash = 1,    // signal death or the crash exit code: the
+                          // process died, the checkpoint (if any) did not
+  kStall = 2,             // alive but no heartbeat within stall_timeout,
+                          // or past its deadline; killed by the supervisor
+  kCorruptCheckpoint = 3, // the child refused its own state: a
+                          // non-retryable ArchiveError (corrupt/truncated/
+                          // version/foreign-tag) surfaced as exit 87
+  kFatal = 4,             // any other nonzero exit: a logic error retries
+                          // would only repeat
+};
+
+[[nodiscard]] const char* to_string(TaskOutcome outcome);
+
+/// Outcomes the retry budget applies to. A crash or a stall is assumed
+/// transient (and a resumed attempt starts from the newest durable slot,
+/// not from scratch); corrupt state and logic errors are deterministic,
+/// so retrying them only burns the budget.
+[[nodiscard]] constexpr bool is_retryable(TaskOutcome outcome) noexcept {
+  return outcome == TaskOutcome::kRetryableCrash ||
+         outcome == TaskOutcome::kStall;
+}
+
+/// Exit code contract between supervised children and the classifier.
+/// kRetryableExitCode deliberately equals fault::kCrashExitCode: an
+/// injected crash and a caught-retryable-ArchiveError exit classify the
+/// same way.
+inline constexpr int kRetryableExitCode = 86;
+inline constexpr int kCorruptCheckpointExitCode = 87;
+
+/// One execution attempt of one task.
+struct TaskAttempt {
+  std::uint32_t attempt = 0;     // 0-based
+  TaskOutcome outcome = TaskOutcome::kOk;
+  std::int32_t exit_code = -1;   // -1 when the child died by signal
+  std::int32_t signal = 0;       // 0 when the child exited
+  double wall_seconds = 0.0;
+  /// Backoff slept *before* this attempt started (0 for attempt 0).
+  double backoff_seconds = 0.0;
+  /// Recovered-slot provenance, reported by the child through its
+  /// sidecar: did this attempt resume from a durable checkpoint, and if
+  /// so which generation, and did recovery fall back to the older slot?
+  std::uint8_t resumed = 0;
+  std::uint64_t recovered_generation = 0;
+  std::uint8_t fell_back = 0;
+  std::string note;
+};
+
+/// Everything the supervisor learned about one task.
+struct TaskReport {
+  std::string name;
+  std::string kind;  // "sweep-cell", "stream", "task"...
+  TaskOutcome outcome = TaskOutcome::kOk;  // of the final attempt
+  std::vector<TaskAttempt> attempts;
+  double wall_seconds = 0.0;  // across all attempts, backoff included
+
+  [[nodiscard]] bool ok() const noexcept {
+    return outcome == TaskOutcome::kOk;
+  }
+  /// Succeeded, but only after at least one failed attempt.
+  [[nodiscard]] bool recovered() const noexcept {
+    return ok() && attempts.size() > 1;
+  }
+};
+
+/// The durable run record: per-task attempt histories plus the knobs
+/// that shaped them (so a report is interpretable without the command
+/// line that produced it).
+struct SupervisionReport {
+  static constexpr std::uint32_t kArchiveVersion = 1;
+  static constexpr const char* kArchiveTag = "epismc-supervision";
+
+  std::uint64_t seed = 0;
+  std::uint32_t max_retries = 0;
+  double task_deadline_seconds = 0.0;
+  double stall_timeout_seconds = 0.0;
+  std::vector<TaskReport> tasks;
+
+  [[nodiscard]] bool all_ok() const noexcept;
+  [[nodiscard]] std::size_t n_ok() const noexcept;
+  [[nodiscard]] std::size_t n_recovered() const noexcept;
+  [[nodiscard]] std::size_t n_failed() const noexcept;
+  [[nodiscard]] const TaskReport* find(const std::string& name) const;
+
+  void serialize(io::BinaryWriter& out) const;
+  [[nodiscard]] static SupervisionReport deserialize(io::BinaryReader& in);
+  /// Sealed-archive persistence (same footer/CRC protocol as
+  /// checkpoints); load verifies tag and version.
+  void save(const std::filesystem::path& path) const;
+  [[nodiscard]] static SupervisionReport load(
+      const std::filesystem::path& path);
+};
+
+/// One CSV row per attempt: task,kind,attempt,outcome,exit_code,signal,
+/// wall_seconds,backoff_seconds,resumed,generation,fell_back,note.
+void write_supervision_csv(std::ostream& os, const SupervisionReport& report);
+
+}  // namespace epismc::supervise
