@@ -245,12 +245,14 @@ int main(int argc, char** argv) {
 
   std::ofstream out(out_path);
   out << "{\n"
-      << "  \"schema\": \"epismc-ensemble-bench-v3\",\n"
+      << "  \"schema\": \"epismc-ensemble-bench-v4\",\n"
       << "  \"generated_by\": \"bench/bench_ensemble\",\n"
       << "  \"workload\": \"paper-baseline single window, days 20-33\",\n"
       << bench::json_build_stamp()
       << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
       << ",\n"
+      << "  \"pool_backend\": \""
+      << parallel::backend_name(parallel::backend()) << "\",\n"
       << "  \"omp_max_threads\": " << machine_threads << ",\n"
       << "  \"replicates\": " << replicates << ",\n"
       << "  \"repeats\": " << repeats << ",\n"

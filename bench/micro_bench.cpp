@@ -239,6 +239,56 @@ BENCHMARK(BM_EnsemblePropagate)
     ->ArgsProduct({{0, 1, 2}, {0, 1}, {1, 4, 8}})
     ->Unit(benchmark::kMillisecond);
 
+void BM_ParallelFor(benchmark::State& state) {
+  // parallel_for dispatch overhead per backend: a loop of `count` indices
+  // whose body spins for `body_ns` of work-alike arithmetic. Small counts
+  // with cheap bodies measure pure scheduling cost; large counts with
+  // heavier bodies show where the pool's steal-half splitting amortizes.
+  // Thread budget is the machine default; serial cells are the
+  // no-machinery baseline.
+  const auto backend = static_cast<parallel::PoolBackend>(state.range(0));
+  const auto count = static_cast<std::size_t>(state.range(1));
+  const auto body_spin = static_cast<int>(state.range(2));
+  if (backend == parallel::PoolBackend::kOmp &&
+      parallel::set_backend(backend) != backend) {
+    state.SkipWithError("OpenMP not compiled in");
+    return;
+  }
+  const parallel::ScopedBackend guard(backend);
+  std::vector<double> out(count);
+  for (auto _ : state) {
+    parallel::parallel_for(count, [&](std::size_t i) {
+      double acc = static_cast<double>(i) + 1.0;
+      for (int k = 0; k < body_spin; ++k) acc = acc * 1.0000001 + 1e-9;
+      out[i] = acc;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(parallel::backend_name(backend));
+  state.SetItemsProcessed(static_cast<std::int64_t>(count) *
+                          state.iterations());
+}
+BENCHMARK(BM_ParallelFor)
+    ->ArgNames({"backend", "count", "spin"})
+    ->ArgsProduct({{static_cast<int>(parallel::PoolBackend::kSerial),
+                    static_cast<int>(parallel::PoolBackend::kOmp),
+                    static_cast<int>(parallel::PoolBackend::kPool)},
+                   {64, 4096},
+                   {0, 400}});
+
+void BM_PoolSubmit(benchmark::State& state) {
+  // Raw TaskPool::run round-trip for a single already-split range: the
+  // floor cost of one external submission (root-lane claim, wake, join)
+  // that every pool-backend parallel_for pays once.
+  const parallel::ScopedBackend guard(parallel::PoolBackend::kPool);
+  const auto fn = +[](void*, std::size_t, std::size_t) {};
+  parallel::TaskPool::instance().run(1, 1, fn, nullptr);  // spawn workers
+  for (auto _ : state) {
+    parallel::TaskPool::instance().run(1, 1, fn, nullptr);
+  }
+}
+BENCHMARK(BM_PoolSubmit);
+
 bool level_compiled(simd::SimdLevel level) {
   for (const simd::SimdLevel l : simd::compiled_levels()) {
     if (l == level) return true;

@@ -125,6 +125,12 @@ class CalibrationSession {
   /// default is the scalar reference path -- see docs/API.md "SIMD kernels
   /// & ISA dispatch" for the determinism contract.
   CalibrationSession& with_simd_level(const std::string& level_name);
+  /// parallel_for backend ("serial" | "omp" | "pool"). Applied
+  /// process-wide immediately, same global-state caveat as
+  /// with_simd_level; "omp" in a build without OpenMP clamps to serial.
+  /// Results are bit-identical across backends -- this selects the engine,
+  /// not the answer. See docs/API.md "Task pool & thread scaling".
+  CalibrationSession& with_pool_backend(const std::string& backend_name);
   CalibrationSession& with_priors(std::shared_ptr<const core::Prior> theta,
                                   std::shared_ptr<const core::Prior> rho);
   /// Wholesale config replacement (escape hatch for ported call sites).

@@ -226,14 +226,22 @@ std::vector<SweepRun> ScenarioSweep::run_all() const {
   // so reordering scenarios or simulators reproduces every cell exactly
   // and the same backend sees the same randomness in every scenario.
   //
-  // Parallelism placement: with fewer cells than threads, an outer
-  // parallel region would leave cores idle *and* (OpenMP nesting being off
-  // by default) serialize each calibrator's inner particle loop -- so run
-  // the cells sequentially and let the particle sweep own the machine.
-  // With many cells, parallelize across them instead. Either placement
-  // yields identical results: both loops are index-deterministic.
+  // Parallelism placement. Under the work-stealing pool both levels go
+  // through hierarchical submit: the outer cell loop runs on the pool and
+  // each cell's inner particle loops nest onto the same lanes, so cells
+  // and particles share one set of workers without oversubscription
+  // (tests/api_sweep_test.cpp asserts peak_active never exceeds the
+  // configured lane count). Under OpenMP nesting is off, so keep the old
+  // placement heuristic: with fewer cells than threads an outer region
+  // would leave cores idle *and* serialize each calibrator's inner
+  // particle loop -- run cells sequentially and let the particle sweep
+  // own the machine; with many cells, parallelize across them. Either
+  // placement yields identical results: both loops are
+  // index-deterministic.
   const bool parallel_over_cells =
-      runs.size() >= static_cast<std::size_t>(parallel::max_threads());
+      parallel::backend() == parallel::PoolBackend::kPool
+          ? runs.size() > 1
+          : runs.size() >= static_cast<std::size_t>(parallel::max_threads());
   const auto scenario_seed = [this](std::size_t si) {
     std::uint64_t h = seed_;
     for (const char c : scenario_names_[si]) {
@@ -292,8 +300,9 @@ ScenarioSweep::SupervisedSweep ScenarioSweep::run_supervised(
   }
 
   // Ground truths once, in the parent, serially: every child inherits
-  // them copy-on-write, and staying out of OpenMP regions before fork
-  // leaves each child free to bring up its own thread team.
+  // them copy-on-write. (The parent no longer has to stay out of parallel
+  // regions: the supervisor tears pool workers down before each fork and
+  // both sides respawn lazily -- see parallel::prepare_fork.)
   struct ScenarioTruth {
     ScenarioPreset preset;
     core::GroundTruth truth;

@@ -87,7 +87,10 @@ void run_batch_fused(const StatePool& parents_erased, std::int32_t to_day,
     const std::size_t s = first + i;
     const Model& proto = parents.at(buffer.parent[s]);
     // Workspace selection by thread id is safe here: it only decides which
-    // scratch memory is reused, never what is computed.
+    // scratch memory is reused, never what is computed. Under every
+    // backend thread_id() is unique per concurrently-running body and
+    // < max_threads() (pool lanes are single-occupancy; external
+    // submitters serialize on lane 0 -- see parallel/task_pool.hpp).
     Workspace& ws = workspaces[static_cast<std::size_t>(parallel::thread_id())];
     if (!ws.model) {
       ws.model = std::make_unique<Model>(proto);
@@ -182,7 +185,8 @@ void advance_batch_inplace(StatePool& states_erased, std::int32_t to_day,
         "advance_batch: sim range exceeds the buffer or state pool");
   }
   // Day-bound pre-pass outside the parallel region, so a stale slot fails
-  // with a message instead of terminating inside the OpenMP loop.
+  // with a message instead of an exception racing out of the parallel
+  // loop's capture machinery.
   for (std::size_t i = 0; i < count; ++i) {
     const std::size_t s = first + i;
     if (to_day < states.at(s).day() + 1) {

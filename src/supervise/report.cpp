@@ -112,6 +112,7 @@ void SupervisionReport::serialize(io::BinaryWriter& out) const {
       out.write_string(a.note);
     }
   }
+  out.write_string(pool_stats);  // v2
 }
 
 SupervisionReport SupervisionReport::deserialize(io::BinaryReader& in) {
@@ -153,6 +154,9 @@ SupervisionReport SupervisionReport::deserialize(io::BinaryReader& in) {
     }
     report.tasks.push_back(std::move(task));
   }
+  if (in.version() >= 2) {
+    report.pool_stats = in.read_string();
+  }
   return report;
 }
 
@@ -164,11 +168,12 @@ void SupervisionReport::save(const std::filesystem::path& path) const {
 
 SupervisionReport SupervisionReport::load(const std::filesystem::path& path) {
   io::BinaryReader in = io::BinaryReader::load(path);
-  if (in.version() != kArchiveVersion) {
+  if (in.version() < 1 || in.version() > kArchiveVersion) {
     throw io::ArchiveError(
         io::ArchiveErrorKind::kVersion,
         "SupervisionReport: archive version " + std::to_string(in.version()) +
-            ", this build reads version " + std::to_string(kArchiveVersion));
+            ", this build reads versions 1.." +
+            std::to_string(kArchiveVersion));
   }
   return deserialize(in);
 }

@@ -93,7 +93,9 @@ struct TaskReport {
 /// that shaped them (so a report is interpretable without the command
 /// line that produced it).
 struct SupervisionReport {
-  static constexpr std::uint32_t kArchiveVersion = 1;
+  // v2 added pool_stats (task-pool observability summary). load() still
+  // reads v1 archives, leaving pool_stats empty.
+  static constexpr std::uint32_t kArchiveVersion = 2;
   static constexpr const char* kArchiveTag = "epismc-supervision";
 
   std::uint64_t seed = 0;
@@ -101,6 +103,10 @@ struct SupervisionReport {
   double task_deadline_seconds = 0.0;
   double stall_timeout_seconds = 0.0;
   std::vector<TaskReport> tasks;
+  /// parallel::PoolStats::summary() of the parent's work-stealing pool at
+  /// the end of run_all ("lanes=4 workers=3 peak_active=4 tasks=...");
+  /// empty when the pool backend never ran anything.
+  std::string pool_stats;
 
   [[nodiscard]] bool all_ok() const noexcept;
   [[nodiscard]] std::size_t n_ok() const noexcept;

@@ -255,6 +255,12 @@ SupervisionReport Supervisor::run_all() {
     }
     ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
 
+    // Join and discard pool workers so the child is born single-threaded
+    // with no inherited lock state; both sides respawn lazily on their
+    // next parallel_for. This is what lets the parent run parallel work
+    // between spawns (the old restriction required it to stay serial).
+    parallel::prepare_fork();
+
     const pid_t pid = ::fork();
     if (pid < 0) {
       ::close(fds[0]);
@@ -397,6 +403,14 @@ SupervisionReport Supervisor::run_all() {
 
   std::error_code cleanup_ec;
   std::filesystem::remove_all(scratch, cleanup_ec);
+
+  // Pool observability for the operator: did the parent's parallel work
+  // between spawns actually schedule (tasks/steals), and did the
+  // teardown/respawn protocol keep the lane count bounded (peak_active)?
+  {
+    const parallel::PoolStats ps = parallel::pool_stats();
+    if (ps.totals().tasks_run > 0) report.pool_stats = ps.summary();
+  }
 
   if (!options_.report_path.empty()) {
     // The workers' fault matrix must not be able to shoot the scribe:

@@ -19,10 +19,14 @@
 // fork() without exec keeps the child a copy-on-write clone -- task
 // bodies capture whatever state they need and the armed fault-injection
 // specs are inherited, which is exactly what the recovery tests want.
-// The one sharp edge is OpenMP: a child forked from a parent that
-// already entered a parallel region must not re-enter the runtime.
-// parallel_for's serial fast path handles child_threads=1; parents that
-// plan to fork should stay out of parallel regions beforehand.
+// Threads vs fork: the supervisor calls parallel::prepare_fork() before
+// every spawn, which joins and discards the work-stealing pool's workers;
+// parent and child then respawn their own lazily on the next
+// parallel_for. That lifted the old "parents must stay out of parallel
+// regions" restriction for the pool backend (the default). The OpenMP
+// backend keeps its sharp edge: a child forked from a parent that
+// already entered an OpenMP region must not re-enter that runtime --
+// parallel_for's serial fast path handles child_threads=1 there.
 
 #include <cstdint>
 #include <filesystem>
@@ -108,9 +112,10 @@ struct SupervisorOptions {
   /// > 0), modelling transient faults that do not recur. Exhausted-
   /// budget tests set this false to make every attempt fail.
   bool disarm_faults_on_retry = true;
-  /// OpenMP thread count forced inside each child; 0 inherits. Use 1
-  /// when the parent may already have entered a parallel region (see
-  /// the fork/OpenMP note above).
+  /// Thread count forced inside each child (pool lanes + OpenMP team);
+  /// 0 inherits. Use 1 under the omp backend when the parent may already
+  /// have entered an OpenMP region (see the fork note above); the pool
+  /// backend needs no such cap.
   int child_threads = 0;
   /// Where run_all saves the sealed SupervisionReport; empty skips.
   std::filesystem::path report_path;

@@ -104,6 +104,36 @@ TEST(Sweep, ByteIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial, threaded);
 }
 
+TEST(Sweep, HierarchicalSchedulingNeverOversubscribesLanes) {
+  // Under the pool backend the outer cell loop and the inner particle
+  // loops share one set of lanes via hierarchical submit; peak_active is
+  // the observable that nesting never exceeded the configured budget.
+  const api::ScenarioSweep sweep = small_sweep();
+  const int prev_threads = parallel::max_threads();
+  const parallel::PoolBackend prev_backend = parallel::backend();
+  parallel::set_backend(parallel::PoolBackend::kPool);
+  parallel::set_threads(4);
+  parallel::TaskPool::instance().reset_peak();
+
+  const auto pooled = fingerprint(sweep.run_all());
+
+  const parallel::PoolStats stats = parallel::pool_stats();
+  EXPECT_LE(stats.peak_active, stats.lanes)
+      << "outer cells x inner particle loops oversubscribed the pool";
+  EXPECT_GE(stats.peak_active, 1);
+  EXPECT_EQ(stats.lanes, 4);
+
+  // Same answer as the serial reference: hierarchical placement is an
+  // engine decision, not a statistical one.
+  parallel::set_backend(parallel::PoolBackend::kSerial);
+  parallel::set_threads(1);
+  const auto serial = fingerprint(sweep.run_all());
+  EXPECT_EQ(pooled, serial);
+
+  parallel::set_threads(prev_threads);
+  parallel::set_backend(prev_backend);
+}
+
 TEST(Sweep, CellsInvariantToListOrdering) {
   // A cell's randomness derives from (sweep seed, scenario *name*), so
   // listing the scenarios or backends in a different order reproduces

@@ -28,6 +28,7 @@
 #include "fault/fault.hpp"
 #include "io/binary_archive.hpp"
 #include "io/checkpoint_rotation.hpp"
+#include "parallel/parallel.hpp"
 #include "stream/streaming_calibrator.hpp"
 #include "supervise/supervisor.hpp"
 
@@ -218,6 +219,7 @@ supervise::SupervisionReport sample_report() {
   f0.wall_seconds = 0.1;
   failed.attempts = {f0};
   report.tasks.push_back(failed);
+  report.pool_stats = "lanes=4 workers=3 peak_active=4 tasks=96 steals=17";
   return report;
 }
 
@@ -251,6 +253,7 @@ TEST(SupervisionReport, SaveLoadRoundTrip) {
   ASSERT_NE(loaded.find("cell:x/y"), nullptr);
   EXPECT_EQ(loaded.find("cell:x/y")->outcome, supervise::TaskOutcome::kFatal);
   EXPECT_EQ(loaded.find("nope"), nullptr);
+  EXPECT_EQ(loaded.pool_stats, report.pool_stats);
 }
 
 TEST(SupervisionReport, ForeignArchiveRefused) {
@@ -344,6 +347,53 @@ TEST(Supervisor, OkFirstTry) {
   ASSERT_EQ(report.tasks[0].attempts.size(), 1u);
   EXPECT_EQ(report.tasks[0].attempts[0].exit_code, 0);
   EXPECT_FALSE(report.tasks[0].recovered());
+}
+
+TEST(Supervisor, ParallelParentForksSafelyAndChildrenReusePool) {
+  // The lifted restriction: the parent may run pool-parallel work before
+  // and between spawns -- the supervisor tears workers down ahead of each
+  // fork -- and every forked child can bring up its own lanes.
+  const int prev_threads = parallel::max_threads();
+  const parallel::PoolBackend prev_backend = parallel::backend();
+  parallel::set_backend(parallel::PoolBackend::kPool);
+  parallel::set_threads(4);
+
+  // Parent enters a parallel region BEFORE forking anything.
+  std::atomic<long> parent_sum{0};
+  parallel::parallel_for(
+      512, [&](std::size_t i) { parent_sum.fetch_add(static_cast<long>(i)); },
+      /*chunk=*/1);
+  ASSERT_EQ(parent_sum.load(), 512L * 511 / 2);
+
+  supervise::Supervisor sup(fast_options());
+  for (int t = 0; t < 3; ++t) {
+    supervise::SupervisedTask task;
+    task.name = "pool-child-" + std::to_string(t);
+    task.body = [](supervise::TaskContext& ctx) -> int {
+      ctx.beat();
+      std::atomic<long> sum{0};
+      parallel::parallel_for(
+          1000, [&](std::size_t i) { sum.fetch_add(static_cast<long>(i)); },
+          /*chunk=*/1);
+      return sum.load() == 1000L * 999 / 2 ? 0 : 7;
+    };
+    sup.add_task(std::move(task));
+  }
+
+  const auto report = sup.run_all();
+  EXPECT_TRUE(report.all_ok());
+  EXPECT_FALSE(report.pool_stats.empty());
+  EXPECT_NE(report.pool_stats.find("lanes="), std::string::npos);
+
+  // Parent lanes respawn lazily after all the forking.
+  std::atomic<long> after{0};
+  parallel::parallel_for(
+      512, [&](std::size_t i) { after.fetch_add(static_cast<long>(i)); },
+      /*chunk=*/1);
+  EXPECT_EQ(after.load(), 512L * 511 / 2);
+
+  parallel::set_threads(prev_threads);
+  parallel::set_backend(prev_backend);
 }
 
 TEST(Supervisor, CrashThenSucceedRecordsBackoffAndRecovers) {
